@@ -1,0 +1,98 @@
+// Ablation A8: the prototypical standalone ARM of §II vs. the
+// batch-integrated allocation of §III. The ARM grants immediately from its
+// pool (no queue, no scheduler, no job association); pbs_dynget pays the
+// scheduling machinery. This quantifies what the batch-system integration
+// costs — and the readme of what it buys (job association, policies,
+// fairness, accounting) is the paper's §III.
+#include <atomic>
+#include <cstdio>
+
+#include "arm/arm.hpp"
+#include "bench/harness.hpp"
+#include "core/cluster.hpp"
+#include "util/clock.hpp"
+
+using namespace dac;
+
+namespace {
+
+double measure_arm(int count, int n_trials) {
+  vnet::ClusterTopology topo;
+  topo.node_count = 8;
+  topo.network.latency = std::chrono::microseconds(200);
+  topo.process_start_delay = std::chrono::microseconds(0);
+  vnet::Cluster cluster(topo);
+  std::vector<arm::PrototypeArm::PoolEntry> pool;
+  for (vnet::NodeId id = 2; id <= 7; ++id) {
+    pool.push_back({id, "ac" + std::to_string(id - 2)});
+  }
+  arm::PrototypeArm service(cluster.node(0), std::move(pool));
+  auto proc = cluster.node(0).spawn(
+      {.name = "arm"}, [&](vnet::Process& p) { service.run(p); });
+
+  arm::ArmClient client(cluster.node(1), service.address());
+  util::Samples samples;
+  for (int t = 0; t < n_trials; ++t) {
+    util::Stopwatch w;
+    auto a = client.alloc(count);
+    samples.add(w.lap_seconds());
+    if (a.granted) client.free_set(a.set_id);
+  }
+  proc->request_stop();
+  proc->join();
+  return samples.mean();
+}
+
+double measure_batch(int count, int n_trials) {
+  core::DacCluster cluster(core::DacClusterConfig::paper_testbed(1, 6));
+  bench::Slot<double> slot;
+  cluster.register_program("a8", [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    util::ByteReader r(ctx.info().program_args);
+    const auto y = r.get<std::int32_t>();
+    auto got = s.ac_get(y);
+    const double t = got.batch_s;  // allocation only, excluding MPI
+    if (got.granted) s.ac_free(got.client_id);
+    s.ac_finalize();
+    slot.put(got.granted ? t : -1.0);
+  });
+
+  util::Samples samples;
+  for (int t = 0; t < n_trials; ++t) {
+    util::ByteWriter args;
+    args.put<std::int32_t>(count);
+    const auto id = cluster.submit_program("a8", 1, 0,
+                                           std::move(args).take());
+    auto v = slot.take(std::chrono::milliseconds(120'000));
+    if (!v || *v < 0.0 ||
+        !cluster.wait_job(id, std::chrono::milliseconds(60'000))) {
+      std::fprintf(stderr, "batch trial failed\n");
+      std::exit(1);
+    }
+    samples.add(*v);
+  }
+  return samples.mean();
+}
+
+}  // namespace
+
+int main() {
+  const int n_trials = bench::trials();
+  bench::print_title(
+      "Ablation A8: standalone prototype ARM vs. batch-integrated dynget",
+      "allocation latency for y accelerators, idle system; mean over " +
+          std::to_string(n_trials) + " trials");
+  bench::print_columns({"accelerators", "arm[s]", "batch(dynget)[s]"});
+  for (const int y : {1, 3, 6}) {
+    const double arm_s = measure_arm(y, n_trials);
+    const double batch_s = measure_batch(y, n_trials);
+    bench::print_row({std::to_string(y), bench::cell(arm_s),
+                      bench::cell(batch_s)});
+  }
+  std::printf(
+      "\nExpected shape: the ARM answers in ~one round trip; the batch"
+      " system adds queueing + scheduling cost, buying job association,"
+      " policy control and accounting (paper §III).\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Ablation A7: the paper's motivating claim (§I, §VI) — dynamic allocation
+// "contributes to optimized utilization of cluster resources". Three jobs
+// each need 2 accelerators for only a short phase of their runtime, with a
+// pool of 4:
+//
+//   static strategy   qsub -l nodes=1:acpn=2 — accelerators are held for the
+//                     whole job, so only two jobs fit at a time and the
+//                     third queues;
+//   dynamic strategy  acpn=0 + AC_Get(2)/AC_Free around the phase — all
+//                     three jobs run concurrently and share the pool.
+//
+// Expected: dynamic cuts makespan and raises the useful share of
+// accelerator hold time; the cost is that a phase's AC_Get may be rejected
+// under contention (reported).
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "bench/harness.hpp"
+#include "core/cluster.hpp"
+#include "util/clock.hpp"
+#include "workload/workload.hpp"
+
+using namespace dac;
+
+namespace {
+
+struct Tally {
+  std::mutex mu;
+  double held_node_seconds = 0.0;   // accelerator-seconds held
+  double useful_node_seconds = 0.0; // held while the accel phase computed
+  int rejections = 0;
+
+  void add(double held, double useful) {
+    std::lock_guard lock(mu);
+    held_node_seconds += held;
+    useful_node_seconds += useful;
+  }
+  void reject() {
+    std::lock_guard lock(mu);
+    ++rejections;
+  }
+};
+
+constexpr auto kCpuPhase = std::chrono::milliseconds(150);
+constexpr auto kAccelPhase = std::chrono::milliseconds(60);
+constexpr int kAccelsPerJob = 2;
+constexpr int kJobs = 3;
+
+struct Result {
+  double makespan = 0.0;
+  double held = 0.0;
+  double useful = 0.0;
+  int rejections = 0;
+};
+
+Result run_strategy(bool dynamic) {
+  auto config = core::DacClusterConfig::fast();
+  config.compute_nodes = 3;
+  config.accel_nodes = 4;
+  core::DacCluster cluster(config);
+  Tally tally;
+
+  cluster.register_program("phased", [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    util::Stopwatch hold;
+    auto statics = s.ac_init();
+    // Static strategy: the accelerators are held from here to finalize.
+
+    std::this_thread::sleep_for(kCpuPhase);
+
+    double useful = 0.0;
+    std::uint64_t client = 0;
+    int have = static_cast<int>(statics.size());
+    util::Stopwatch dyn_hold;
+    if (ctx.info().acpn == 0) {
+      auto got = s.ac_get(kAccelsPerJob);
+      if (!got.granted) {
+        tally.reject();
+      } else {
+        client = got.client_id;
+        have = kAccelsPerJob;
+        dyn_hold.reset();
+      }
+    }
+    if (have > 0) {
+      util::Stopwatch phase;
+      std::this_thread::sleep_for(kAccelPhase);  // the accelerator phase
+      useful = have * phase.elapsed_seconds();
+    }
+    if (client != 0) {
+      tally.add(kAccelsPerJob * dyn_hold.elapsed_seconds(), useful);
+      s.ac_free(client);
+    }
+
+    std::this_thread::sleep_for(kCpuPhase);
+    if (ctx.info().acpn > 0) {
+      tally.add(ctx.info().acpn * hold.elapsed_seconds(), useful);
+    }
+    s.ac_finalize();
+  });
+
+  std::vector<torque::JobId> ids;
+  for (int i = 0; i < kJobs; ++i) {
+    ids.push_back(cluster.submit_program(
+        "phased", 1, dynamic ? 0 : kAccelsPerJob, {},
+        std::chrono::milliseconds(2000)));
+  }
+  for (const auto id : ids) {
+    if (!cluster.wait_job(id, std::chrono::milliseconds(60'000))) {
+      std::fprintf(stderr, "job did not complete\n");
+      std::exit(1);
+    }
+  }
+  const auto metrics =
+      workload::analyze(cluster.client().stat_jobs(), config.compute_nodes);
+  Result r;
+  r.makespan = metrics.makespan_s;
+  {
+    std::lock_guard lock(tally.mu);
+    r.held = tally.held_node_seconds;
+    r.useful = tally.useful_node_seconds;
+    r.rejections = tally.rejections;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "Ablation A7: static-hold vs. dynamic accelerator provisioning",
+      "3 jobs, each needs 2 of 4 accelerators for ~17% of its runtime");
+  bench::print_columns({"strategy", "makespan[s]", "held[ac*s]",
+                        "useful/held", "rejections"});
+
+  for (const bool dynamic : {false, true}) {
+    const auto r = run_strategy(dynamic);
+    bench::print_row({dynamic ? "dynamic" : "static-hold",
+                      bench::cell(r.makespan), bench::cell(r.held),
+                      bench::cell(r.held > 0 ? r.useful / r.held : 0.0),
+                      std::to_string(r.rejections)});
+  }
+  std::printf(
+      "\nExpected shape: dynamic provisioning shortens the makespan (all"
+      " jobs run concurrently) and raises the useful fraction of"
+      " accelerator hold time; occasional rejections are the price under"
+      " contention.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 7(a): time for completion of AC_Init() for 1..6 statically
+// allocated network-attached accelerators, split into the waiting share
+// (until all accelerator daemons were prepared on the remote nodes) and the
+// connect share (establishing the MPI communicator).
+//
+// Paper shape: waiting dominates and grows with the accelerator count;
+// ~0.3 s total at 6 accelerators. Setup mirrors the paper's testbed: 8 nodes
+// = 1 head + 1 compute node + 6 accelerator nodes.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "core/cluster.hpp"
+
+using namespace dac;
+
+int main() {
+  core::DacCluster cluster(core::DacClusterConfig::paper_testbed(1, 6));
+
+  bench::Slot<rmlib::InitTiming> slot;
+  cluster.register_program("fig7a", [&](core::JobContext& ctx) {
+    rmlib::InitTiming timing;
+    (void)ctx.session().ac_init(&timing);
+    ctx.session().ac_finalize();
+    slot.put(timing);
+  });
+
+  const int n_trials = bench::trials();
+  bench::print_title(
+      "Figure 7(a): Time for completion of AC_Init()",
+      "1 compute node, x statically allocated accelerators; mean over " +
+          std::to_string(n_trials) + " trials");
+  bench::print_columns(
+      {"accelerators", "waiting[s]", "connect[s]", "total[s]"});
+
+  for (int x = 1; x <= 6; ++x) {
+    util::Samples waiting;
+    util::Samples connect;
+    util::Samples total;
+    for (int t = 0; t < n_trials; ++t) {
+      const auto id = cluster.submit_program("fig7a", 1, x);
+      auto timing = slot.take(std::chrono::milliseconds(60'000));
+      if (!timing) {
+        std::fprintf(stderr, "trial timed out (x=%d)\n", x);
+        return 1;
+      }
+      if (!cluster.wait_job(id, std::chrono::milliseconds(60'000))) {
+        std::fprintf(stderr, "job did not complete (x=%d)\n", x);
+        return 1;
+      }
+      waiting.add(timing->waiting_s);
+      connect.add(timing->connect_s);
+      total.add(timing->total_s());
+    }
+    bench::print_row({std::to_string(x),
+                      bench::cell(waiting.mean(), waiting.stddev()),
+                      bench::cell(connect.mean(), connect.stddev()),
+                      bench::cell(total.mean(), total.stddev())});
+  }
+  std::printf(
+      "\nExpected shape (paper): waiting >> connect, total grows with x,"
+      " sub-0.5s at x=6.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7(b): time for completion of a dynamic request for 1..6 additional
+// accelerators, split into the batch-system share (pbs_dynget round trip:
+// dynqueued scheduling, allocation, mom DYNJOIN forwarding) and the
+// resource-management-library share (MPI_Comm_spawn + MPI_Intercomm_merge).
+//
+// Paper shape: the batch-system share dominates and grows with the count;
+// the MPI share stays roughly flat; totals stay sub-second.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "core/cluster.hpp"
+
+using namespace dac;
+
+namespace {
+struct Measurement {
+  double batch_s = 0.0;
+  double mpi_s = 0.0;
+  bool granted = false;
+};
+}  // namespace
+
+int main() {
+  core::DacCluster cluster(core::DacClusterConfig::paper_testbed(1, 6));
+
+  bench::Slot<Measurement> slot;
+  cluster.register_program("fig7b", [&](core::JobContext& ctx) {
+    util::ByteReader r(ctx.info().program_args);
+    const auto y = r.get<std::int32_t>();
+    auto& s = ctx.session();
+    (void)s.ac_init();  // no static accelerators
+    auto got = s.ac_get(y);
+    Measurement m{got.batch_s, got.mpi_s, got.granted};
+    if (got.granted) s.ac_free(got.client_id);
+    s.ac_finalize();
+    slot.put(m);
+  });
+
+  const int n_trials = bench::trials();
+  bench::print_title(
+      "Figure 7(b): Time for completion of a dynamic request",
+      "1 compute node dynamically requesting y accelerators; mean over " +
+          std::to_string(n_trials) + " trials");
+  bench::print_columns(
+      {"accelerators", "batch[s]", "rm-lib(MPI)[s]", "total[s]"});
+
+  for (int y = 1; y <= 6; ++y) {
+    util::Samples batch;
+    util::Samples mpi;
+    util::Samples total;
+    for (int t = 0; t < n_trials; ++t) {
+      util::ByteWriter args;
+      args.put<std::int32_t>(y);
+      const auto id =
+          cluster.submit_program("fig7b", 1, 0, std::move(args).take());
+      auto m = slot.take(std::chrono::milliseconds(60'000));
+      if (!m || !m->granted) {
+        std::fprintf(stderr, "dynamic request failed (y=%d)\n", y);
+        return 1;
+      }
+      if (!cluster.wait_job(id, std::chrono::milliseconds(60'000))) {
+        std::fprintf(stderr, "job did not complete (y=%d)\n", y);
+        return 1;
+      }
+      batch.add(m->batch_s);
+      mpi.add(m->mpi_s);
+      total.add(m->batch_s + m->mpi_s);
+    }
+    bench::print_row({std::to_string(y),
+                      bench::cell(batch.mean(), batch.stddev()),
+                      bench::cell(mpi.mean(), mpi.stddev()),
+                      bench::cell(total.mean(), total.stddev())});
+  }
+  std::printf(
+      "\nExpected shape (paper): batch-system share dominates and grows"
+      " with y; MPI share roughly flat; total sub-second.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Figure 8: time to dynamically allocate one accelerator while the Maui
+// scheduler is busy servicing 0 / 16 / 20 other qsub requests, split into
+// the time spent waiting for the scheduler to finish the earlier requests
+// (queue wait) and the time servicing the dynamic request itself.
+//
+// As in the paper, the background jobs never touch the DAC nodes: they
+// request more compute nodes than the cluster has, so they only cost
+// scheduling time. Paper shape: the larger the load, the longer the wait.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "bench/harness.hpp"
+#include "core/cluster.hpp"
+
+using namespace dac;
+
+namespace {
+struct Measurement {
+  double queue_wait_s = 0.0;
+  double service_s = 0.0;
+  bool granted = false;
+};
+}  // namespace
+
+int main() {
+  core::DacCluster cluster(core::DacClusterConfig::paper_testbed(1, 6));
+
+  bench::Gate* gate = nullptr;
+  std::atomic<bool> ready{false};
+  bench::Slot<Measurement> slot;
+  cluster.register_program("fig8", [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    ready.store(true);
+    gate->wait();  // driver releases once the background load is submitted
+    auto got = s.ac_get(1);
+    Measurement m{got.reply.queue_wait_seconds, got.reply.service_seconds,
+                  got.granted};
+    if (got.granted) s.ac_free(got.client_id);
+    s.ac_finalize();
+    slot.put(m);
+  });
+
+  const int n_trials = bench::trials();
+  bench::print_title(
+      "Figure 8: Dynamic allocation of one accelerator under scheduler load",
+      "background qsub requests keep Maui busy; mean over " +
+          std::to_string(n_trials) + " trials");
+  bench::print_columns(
+      {"load[jobs]", "sched-other[s]", "dyn-service[s]", "total[s]"});
+
+  auto client = cluster.client();
+  for (const int load : {0, 16, 20}) {
+    util::Samples waits;
+    util::Samples services;
+    util::Samples totals;
+    for (int t = 0; t < n_trials; ++t) {
+      bench::Gate g;
+      gate = &g;
+      ready.store(false);
+      const auto id = cluster.submit_program("fig8", 1, 0);
+      // The requesting job must already be running (and parked at the gate)
+      // before the background load exists, as in the paper's setup.
+      while (!ready.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+
+      // Submit the background load: jobs that can never run (they ask for
+      // more compute nodes than exist), so they stay queued and cost
+      // evaluation time every cycle without touching the DAC nodes.
+      std::vector<torque::JobId> background;
+      for (int i = 0; i < load; ++i) {
+        torque::JobSpec spec;
+        spec.name = "load-" + std::to_string(i);
+        spec.resources.nodes = 64;
+        background.push_back(client.submit(spec));
+      }
+      // Fire the dynamic request into the middle of a scheduling cycle that
+      // covers the whole background load: wait for the next cycle to begin
+      // (its queue snapshot is taken within the first millisecond), then
+      // release the requester.
+      if (load > 0) {
+        const auto c0 = cluster.scheduler_stats().cycles;
+        while (cluster.scheduler_stats().cycles == c0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      g.open();
+
+      auto m = slot.take(std::chrono::milliseconds(120'000));
+      if (!m || !m->granted) {
+        std::fprintf(stderr, "dynamic request failed (load=%d)\n", load);
+        return 1;
+      }
+      if (!cluster.wait_job(id, std::chrono::milliseconds(60'000))) {
+        std::fprintf(stderr, "job did not complete (load=%d)\n", load);
+        return 1;
+      }
+      for (const auto b : background) client.delete_job(b);
+      waits.add(m->queue_wait_s);
+      services.add(m->service_s);
+      totals.add(m->queue_wait_s + m->service_s);
+    }
+    bench::print_row({std::to_string(load),
+                      bench::cell(waits.mean(), waits.stddev()),
+                      bench::cell(services.mean(), services.stddev()),
+                      bench::cell(totals.mean(), totals.stddev())});
+  }
+  std::printf(
+      "\nExpected shape (paper): the larger the workload Maui is handling"
+      " when the dynamic request arrives, the longer the wait.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Microbenchmarks of the gpusim substrate (google-benchmark): device memory
+// management, host<->device copies, and kernel execution throughput. These
+// isolate the simulated-device layer underneath the DAC offload stack.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace {
+
+using namespace dac;
+
+gpusim::Device& device() {
+  static gpusim::Device* dev = [] {
+    gpusim::DeviceConfig cfg;
+    cfg.memory_bytes = 256u << 20;
+    cfg.time_scale = 0.0;  // measure the implementation, not the cost model
+    auto* d = new gpusim::Device(cfg);
+    gpusim::register_builtin_kernels(*d);
+    return d;
+  }();
+  return *dev;
+}
+
+void BM_MemAllocFree(benchmark::State& state) {
+  auto& dev = device();
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto ptr = dev.mem_alloc(size);
+    dev.mem_free(ptr);
+    benchmark::DoNotOptimize(ptr);
+  }
+}
+BENCHMARK(BM_MemAllocFree)->Arg(256)->Arg(4096)->Arg(1 << 20);
+
+void BM_AllocFragmentation(benchmark::State& state) {
+  auto& dev = device();
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<gpusim::DevicePtr> ptrs;
+    ptrs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) ptrs.push_back(dev.mem_alloc(4096));
+    // Free every other block first to force coalescing work.
+    for (int i = 0; i < n; i += 2) {
+      dev.mem_free(ptrs[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 1; i < n; i += 2) {
+      dev.mem_free(ptrs[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+BENCHMARK(BM_AllocFragmentation)->Arg(64)->Arg(512);
+
+void BM_MemcpyH2D(benchmark::State& state) {
+  auto& dev = device();
+  const auto size = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> host(size);
+  auto ptr = dev.mem_alloc(size);
+  for (auto _ : state) {
+    dev.memcpy_h2d(ptr, host.data(), size);
+  }
+  dev.mem_free(ptr);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_MemcpyH2D)->Arg(4096)->Arg(1 << 20)->Arg(16 << 20);
+
+void BM_KernelVectorAdd(benchmark::State& state) {
+  auto& dev = device();
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto bytes = n * sizeof(double);
+  auto a = dev.mem_alloc(bytes);
+  auto b = dev.mem_alloc(bytes);
+  auto c = dev.mem_alloc(bytes);
+  dac::util::ByteWriter w;
+  w.put<std::uint64_t>(c);
+  w.put<std::uint64_t>(a);
+  w.put<std::uint64_t>(b);
+  w.put<std::uint64_t>(n);
+  const auto args = w.bytes();
+  for (auto _ : state) {
+    dev.launch("vector_add", {1, 1, 1}, {256, 1, 1}, args);
+  }
+  dev.mem_free(a);
+  dev.mem_free(b);
+  dev.mem_free(c);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelVectorAdd)->Arg(1024)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_KernelMatmul(benchmark::State& state) {
+  auto& dev = device();
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto bytes = n * n * sizeof(double);
+  auto a = dev.mem_alloc(bytes);
+  auto b = dev.mem_alloc(bytes);
+  auto c = dev.mem_alloc(bytes);
+  dac::util::ByteWriter w;
+  w.put<std::uint64_t>(c);
+  w.put<std::uint64_t>(a);
+  w.put<std::uint64_t>(b);
+  w.put<std::uint64_t>(n);
+  w.put<std::uint64_t>(n);
+  w.put<std::uint64_t>(n);
+  const auto args = w.bytes();
+  for (auto _ : state) {
+    dev.launch("matmul", {1, 1, 1}, {64, 1, 1}, args);
+  }
+  dev.mem_free(a);
+  dev.mem_free(b);
+  dev.mem_free(c);
+}
+BENCHMARK(BM_KernelMatmul)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

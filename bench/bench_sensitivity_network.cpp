@@ -1,0 +1,86 @@
+// Sensitivity study S1: how the reproduced quantities depend on the modeled
+// interconnect latency — the main free parameter of the substitution (see
+// DESIGN.md §2). For a 4x range of per-hop latency around the calibrated
+// value, the *shapes* the paper reports must be invariant even though the
+// absolute numbers move: AC_Init stays daemon-startup-dominated, and the
+// dynamic request stays batch-system-dominated.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "core/cluster.hpp"
+
+using namespace dac;
+
+namespace {
+
+struct Point {
+  double init_wait = 0.0;
+  double init_connect = 0.0;
+  double dyn_batch = 0.0;
+  double dyn_mpi = 0.0;
+};
+
+Point measure(std::chrono::microseconds latency, int trials) {
+  auto config = core::DacClusterConfig::paper_testbed(1, 6);
+  config.network.latency = latency;
+  core::DacCluster cluster(config);
+
+  bench::Slot<Point> slot;
+  cluster.register_program("sens", [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    rmlib::InitTiming t;
+    (void)s.ac_init(&t);
+    auto got = s.ac_get(3);
+    Point p;
+    p.init_wait = t.waiting_s;
+    p.init_connect = t.connect_s;
+    if (got.granted) {
+      p.dyn_batch = got.batch_s;
+      p.dyn_mpi = got.mpi_s;
+      s.ac_free(got.client_id);
+    }
+    s.ac_finalize();
+    slot.put(p);
+  });
+
+  util::Samples wait;
+  util::Samples connect;
+  util::Samples batch;
+  util::Samples mpi;
+  for (int t = 0; t < trials; ++t) {
+    const auto id = cluster.submit_program("sens", 1, 2);
+    auto p = slot.take(std::chrono::milliseconds(120'000));
+    if (!p || !cluster.wait_job(id, std::chrono::milliseconds(60'000))) {
+      std::fprintf(stderr, "trial failed\n");
+      std::exit(1);
+    }
+    wait.add(p->init_wait);
+    connect.add(p->init_connect);
+    batch.add(p->dyn_batch);
+    mpi.add(p->dyn_mpi);
+  }
+  return Point{wait.mean(), connect.mean(), batch.mean(), mpi.mean()};
+}
+
+}  // namespace
+
+int main() {
+  const int trials = std::max(3, bench::trials() / 2);
+  bench::print_title(
+      "Sensitivity S1: per-hop network latency (calibrated value: 200 us)",
+      "AC_Init(x=2) split and AC_Get(3) split vs. latency; mean over " +
+          std::to_string(trials) + " trials");
+  bench::print_columns({"latency[us]", "init-wait[s]", "init-conn[s]",
+                        "dyn-batch[s]", "dyn-mpi[s]"});
+  for (const int us : {50, 200, 800}) {
+    const auto p = measure(std::chrono::microseconds(us), trials);
+    bench::print_row({std::to_string(us), bench::cell(p.init_wait),
+                      bench::cell(p.init_connect), bench::cell(p.dyn_batch),
+                      bench::cell(p.dyn_mpi)});
+  }
+  std::printf(
+      "\nExpected shape: absolute costs grow with latency, but the"
+      " orderings the paper reports are latency-invariant — waiting >>"
+      " connect, batch >> MPI.\n");
+  return 0;
+}

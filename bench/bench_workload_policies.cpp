@@ -1,0 +1,107 @@
+// Scheduler-policy comparison on a replayed synthetic workload: the same
+// 40-job trace (mixed widths, runtimes and owners, Poisson arrivals) is
+// replayed under FIFO, priority and EASY backfill, reporting the schedule
+// metrics Maui-class schedulers are judged by. Complements ablation A4's
+// hand-wedged queue with a statistically generated mix.
+#include <cstdio>
+#include <thread>
+
+#include "bench/harness.hpp"
+#include "core/cluster.hpp"
+#include "util/clock.hpp"
+#include "workload/workload.hpp"
+
+using namespace dac;
+
+namespace {
+
+std::vector<workload::GeneratedJob> make_trace() {
+  workload::WorkloadConfig wc;
+  wc.seed = 20130701;  // deterministic: same trace for every policy
+  wc.job_count = 40;
+  wc.arrival_rate_hz = 120.0;
+
+  workload::JobTemplate narrow;
+  narrow.name = "narrow";
+  narrow.nodes = 1;
+  narrow.runtime = std::chrono::milliseconds(30);
+  narrow.walltime = std::chrono::milliseconds(60);
+  narrow.weight = 6.0;
+
+  workload::JobTemplate wide;
+  wide.name = "wide";
+  wide.owner = "bob";
+  wide.nodes = 3;
+  wide.runtime = std::chrono::milliseconds(80);
+  wide.walltime = std::chrono::milliseconds(140);
+  wide.weight = 2.0;
+
+  workload::JobTemplate full;
+  full.name = "full";
+  full.owner = "carol";
+  full.nodes = 4;
+  full.runtime = std::chrono::milliseconds(50);
+  full.walltime = std::chrono::milliseconds(100);
+  full.weight = 1.0;
+
+  wc.mix = {narrow, wide, full};
+  return workload::WorkloadGenerator(wc).generate();
+}
+
+workload::ScheduleMetrics run_policy(
+    maui::Policy policy, const std::vector<workload::GeneratedJob>& trace) {
+  auto config = core::DacClusterConfig::fast();
+  config.compute_nodes = 4;
+  config.accel_nodes = 1;
+  config.policy = policy;
+  core::DacCluster cluster(config);
+
+  auto client = cluster.client();
+  std::vector<torque::JobId> ids;
+  util::Stopwatch clock;
+  for (const auto& j : trace) {
+    const double lead = j.arrival_s - clock.elapsed_seconds();
+    if (lead > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(lead));
+    }
+    auto spec = workload::to_spec(j, core::kSleepProgram);
+    spec.resources.ppn = 8;  // whole-node jobs
+    ids.push_back(client.submit(spec));
+  }
+  for (const auto id : ids) {
+    if (!cluster.wait_job(id, std::chrono::milliseconds(120'000))) {
+      std::fprintf(stderr, "job %llu did not complete\n",
+                   static_cast<unsigned long long>(id));
+      std::exit(1);
+    }
+  }
+  return workload::analyze(client.stat_jobs(), config.compute_nodes);
+}
+
+}  // namespace
+
+int main() {
+  const auto trace = make_trace();
+  bench::print_title(
+      "Workload replay: scheduling policies on one 40-job trace",
+      "4 compute nodes; narrow/wide/full-width mix, Poisson arrivals");
+  bench::print_columns(
+      {"policy", "makespan[s]", "mean-wait[s]", "max-wait[s]", "util"});
+
+  const std::vector<std::pair<std::string, maui::Policy>> policies = {
+      {"fifo", maui::Policy::kFifo},
+      {"priority", maui::Policy::kPriority},
+      {"backfill", maui::Policy::kBackfill},
+  };
+  for (const auto& [name, policy] : policies) {
+    const auto m = run_policy(policy, trace);
+    bench::print_row({name, bench::cell(m.makespan_s),
+                      bench::cell(m.mean_wait_s), bench::cell(m.max_wait_s),
+                      bench::cell(m.node_utilization)});
+  }
+  std::printf(
+      "\nExpected shape: FIFO head-of-line blocking inflates waits when a"
+      " wide job wedges; priority reorders but can still idle nodes;"
+      " backfill recovers utilization and cuts the mean wait.\n");
+  return 0;
+}

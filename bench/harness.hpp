@@ -1,0 +1,110 @@
+// Shared harness for the figure-reproduction benchmarks: fixed-trial runs
+// (the paper reports means over 10 trials), paper-style table output, and
+// small synchronization helpers to coordinate the benchmark driver with job
+// programs running inside the virtual cluster.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace dac::bench {
+
+inline int trials() {
+  if (const char* env = std::getenv("DACSCHED_BENCH_TRIALS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 10;  // the paper's trial count
+}
+
+inline void print_title(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+}
+
+inline void print_columns(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%-16s", "----");
+  std::printf("\n");
+}
+
+inline std::string cell(double mean, double stddev) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f±%.4f", mean, stddev);
+  return buf;
+}
+
+inline std::string cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+inline void print_row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+}
+
+// A one-shot gate: job programs block in wait() until the driver opens it.
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void reset() {
+    std::lock_guard lock(mu_);
+    open_ = false;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// A typed rendezvous slot: the program deposits a measurement, the driver
+// collects it.
+template <typename T>
+class Slot {
+ public:
+  void put(T value) {
+    {
+      std::lock_guard lock(mu_);
+      value_ = std::move(value);
+    }
+    cv_.notify_all();
+  }
+  std::optional<T> take(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    if (!cv_.wait_for(lock, timeout, [&] { return value_.has_value(); })) {
+      return std::nullopt;
+    }
+    auto v = std::move(value_);
+    value_.reset();
+    return v;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::optional<T> value_;
+};
+
+}  // namespace dac::bench

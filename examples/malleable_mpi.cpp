@@ -1,0 +1,95 @@
+// Malleable MPI application (the generalization the paper sketches in §V,
+// comparing with Cera et al.'s OAR work): a running job asks the batch
+// system for additional *compute nodes* at runtime, spawns MPI worker
+// processes on them with MPI_Comm_spawn, computes with the enlarged world,
+// and shrinks back — the same dynamic-request machinery network-attached
+// accelerators use, pointed at the compute pool.
+#include <cstdio>
+#include <numeric>
+
+#include "core/cluster.hpp"
+
+using namespace dac;
+
+int main() {
+  auto config = core::DacClusterConfig::paper_testbed(4, 3);
+  core::DacCluster cluster(config);
+
+  // The worker executable spawned onto dynamically granted nodes: receives
+  // a slice of work, reduces it, and reports to the parent.
+  cluster.runtime().register_executable(
+      "malleable.worker", [](minimpi::Proc& p, const util::Bytes&) {
+        auto& parent = *p.parent_comm();
+        auto task = p.recv(parent, 0, 1);
+        util::ByteReader r(task.data);
+        auto values = r.get_vector<double>();
+        const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+        util::ByteWriter w;
+        w.put<double>(sum);
+        p.send(parent, 0, 2, std::move(w).take());
+        p.disconnect(parent);
+      });
+
+  cluster.register_program("malleable", [](core::JobContext& ctx) {
+    // Phase 1: the job runs on its single static compute node.
+    std::vector<double> data(9000);
+    std::iota(data.begin(), data.end(), 1.0);
+    std::printf("[job] phase 1 on %d compute node(s)\n", ctx.num_nodes());
+
+    // Phase 2: ask the batch system for two more compute nodes.
+    auto grant = ctx.grow_compute(2);
+    if (!grant.granted) {
+      std::printf("[job] grow_compute(2) rejected; continuing solo\n");
+      const double total = std::accumulate(data.begin(), data.end(), 0.0);
+      std::printf("[job] solo sum = %.0f\n", total);
+      return;
+    }
+    std::printf("[job] granted %zu node(s): ", grant.hosts.size());
+    for (const auto& h : grant.hosts) std::printf("%s ", h.c_str());
+    std::printf("(client id %llu)\n",
+                static_cast<unsigned long long>(grant.client_id));
+
+    // Spawn one worker per granted node and scatter slices of the data.
+    auto inter = ctx.spawn_workers("malleable.worker", {}, grant.nodes,
+                                   ctx.mpi().self(), 0, grant.client_id);
+    const std::size_t slice = data.size() / grant.nodes.size();
+    for (std::size_t w = 0; w < grant.nodes.size(); ++w) {
+      util::ByteWriter msg;
+      msg.put_vector<double>(std::vector<double>(
+          data.begin() + static_cast<std::ptrdiff_t>(w * slice),
+          w + 1 == grant.nodes.size()
+              ? data.end()
+              : data.begin() + static_cast<std::ptrdiff_t>((w + 1) * slice)));
+      ctx.mpi().send(inter, static_cast<int>(w), 1, std::move(msg).take());
+    }
+    double total = 0.0;
+    for (std::size_t w = 0; w < grant.nodes.size(); ++w) {
+      auto r = ctx.mpi().recv(inter, minimpi::kAnySource, 2);
+      util::ByteReader rd(r.data);
+      total += rd.get<double>();
+    }
+    ctx.mpi().disconnect(inter);
+
+    const double expect = 9000.0 * 9001.0 / 2.0;
+    std::printf("[job] distributed sum = %.0f (expected %.0f)\n", total,
+                expect);
+
+    // Phase 3: shrink back; the nodes return to the pool.
+    ctx.release_compute(grant.client_id);
+    std::printf("[job] released the extra nodes\n");
+  });
+
+  const auto id = cluster.submit_program("malleable", /*nodes=*/1,
+                                         /*acpn=*/0);
+  std::printf("submitted malleable job %llu on a 4-compute-node cluster\n",
+              static_cast<unsigned long long>(id));
+  if (!cluster.wait_job(id)) {
+    std::fprintf(stderr, "job did not complete\n");
+    return 1;
+  }
+  // All compute nodes must be free again.
+  int used = 0;
+  for (const auto& n : cluster.client().stat_nodes()) used += n.used;
+  std::printf("job complete; %d slot(s) still in use (expected 0)\n", used);
+  return used == 0 ? 0 : 1;
+}

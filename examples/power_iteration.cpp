@@ -1,0 +1,120 @@
+// Power iteration on remote accelerators: the dominant eigenvalue of a
+// matrix is computed by repeated offloaded matrix-vector products, with the
+// row blocks of the matrix distributed across the job's accelerators — the
+// "offload multiple kernels in parallel to a set of network-attached
+// accelerators" usage the paper's introduction motivates. The matrix blocks
+// are uploaded once; only the (small) vector moves per iteration, so the
+// compute/communication ratio grows with the matrix.
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+using namespace dac;
+
+namespace {
+
+constexpr std::uint64_t kN = 256;    // matrix dimension
+constexpr int kIterations = 30;
+constexpr int kAccels = 2;           // row blocks
+
+// A symmetric matrix with a known dominant eigenvalue: A = 2I + ones/N has
+// eigenvalues {3, 2, 2, ...} (ones/N has eigenvalue 1 on the all-ones
+// vector and 0 elsewhere).
+std::vector<double> make_matrix() {
+  std::vector<double> a(kN * kN, 1.0 / static_cast<double>(kN));
+  for (std::uint64_t i = 0; i < kN; ++i) a[i * kN + i] += 2.0;
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  core::DacCluster cluster(core::DacClusterConfig::paper_testbed(1, 3));
+
+  cluster.register_program("power_iteration", [](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    auto handles = s.ac_init();
+    std::printf("[job] %zu accelerator(s) attached\n", handles.size());
+
+    const auto a = make_matrix();
+    const std::uint64_t rows_per = kN / kAccels;
+
+    // Upload each accelerator's row block once; allocate vector buffers.
+    struct Block {
+      rmlib::AcHandle ac;
+      gpusim::DevicePtr mat, vec, out;
+      std::uint64_t rows;
+      dacc::KernelHandle kernel;
+    };
+    std::vector<Block> blocks;
+    for (int b = 0; b < kAccels; ++b) {
+      Block blk;
+      blk.ac = handles[static_cast<std::size_t>(b)];
+      blk.rows = b + 1 == kAccels ? kN - rows_per * b : rows_per;
+      const auto mat_bytes = blk.rows * kN * sizeof(double);
+      blk.mat = s.ac_mem_alloc(blk.ac, mat_bytes);
+      blk.vec = s.ac_mem_alloc(blk.ac, kN * sizeof(double));
+      blk.out = s.ac_mem_alloc(blk.ac, blk.rows * sizeof(double));
+      s.ac_memcpy_h2d(
+          blk.ac, blk.mat,
+          std::as_bytes(std::span(a.data() + b * rows_per * kN,
+                                  blk.rows * kN)));
+      blk.kernel = s.ac_kernel_create(blk.ac, "matmul");
+      blocks.push_back(blk);
+    }
+
+    std::vector<double> v(kN, 1.0);
+    double lambda = 0.0;
+    for (int iter = 0; iter < kIterations; ++iter) {
+      // Send the current vector to every accelerator and launch the block
+      // products; all kernels run concurrently on their devices.
+      for (auto& blk : blocks) {
+        s.ac_memcpy_h2d(blk.ac, blk.vec, std::as_bytes(std::span(v)));
+        util::ByteWriter args;
+        args.put<std::uint64_t>(blk.out);
+        args.put<std::uint64_t>(blk.mat);
+        args.put<std::uint64_t>(blk.vec);
+        args.put<std::uint64_t>(blk.rows);  // m
+        args.put<std::uint64_t>(kN);        // k
+        args.put<std::uint64_t>(1);         // n
+        s.ac_kernel_set_args(blk.ac, blk.kernel, std::move(args).take());
+        s.ac_kernel_run(blk.ac, blk.kernel, {1, 1, 1}, {64, 1, 1});
+      }
+      // Collect the block results and normalize on the host.
+      std::vector<double> next(kN);
+      std::uint64_t row = 0;
+      for (auto& blk : blocks) {
+        auto out = s.ac_memcpy_d2h(blk.ac, blk.out,
+                                   blk.rows * sizeof(double));
+        std::memcpy(next.data() + row, out.data(), out.size());
+        row += blk.rows;
+      }
+      double norm = 0.0;
+      for (double x : next) norm += x * x;
+      norm = std::sqrt(norm);
+      for (double& x : next) x /= norm;
+      lambda = norm;  // ||A v|| with unit v approaches the eigenvalue
+      v = std::move(next);
+    }
+
+    std::printf("[job] dominant eigenvalue ~= %.6f (exact 3.0), error %.2e\n",
+                lambda, std::abs(lambda - 3.0));
+    for (auto& blk : blocks) {
+      s.ac_mem_free(blk.ac, blk.mat);
+      s.ac_mem_free(blk.ac, blk.vec);
+      s.ac_mem_free(blk.ac, blk.out);
+    }
+    s.ac_finalize();
+  });
+
+  const auto id = cluster.submit_program("power_iteration", 1, kAccels);
+  if (!cluster.wait_job(id)) {
+    std::fprintf(stderr, "job did not complete\n");
+    return 1;
+  }
+  std::printf("done\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "arm/arm.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace dac::arm {
+
+namespace {
+const util::Logger kLog("arm");
+}
+
+PrototypeArm::PrototypeArm(vnet::Node& node, std::vector<PoolEntry> pool)
+    : node_(node), endpoint_(node.open_endpoint()) {
+  pool_.reserve(pool.size());
+  for (auto& e : pool) pool_.push_back(Slot{std::move(e), 0});
+}
+
+void PrototypeArm::run(vnet::Process& proc) {
+  proc.adopt_mailbox(endpoint_->mailbox_weak());
+  kLog.info("prototype ARM up with {} accelerator(s)", pool_.size());
+  while (auto msg = endpoint_->recv()) {
+    util::ByteReader r(msg->payload);
+    util::ByteWriter reply;
+    switch (msg->type) {
+      case kArmAlloc: {
+        const auto count = r.get<std::int32_t>();
+        std::vector<std::size_t> free_idx;
+        for (std::size_t i = 0;
+             i < pool_.size() &&
+             static_cast<int>(free_idx.size()) < count;
+             ++i) {
+          if (pool_[i].held_by == 0) free_idx.push_back(i);
+        }
+        if (count <= 0 || static_cast<int>(free_idx.size()) < count) {
+          reply.put_bool(false);
+          reply.put<std::uint64_t>(0);
+          reply.put<std::uint32_t>(0);
+        } else {
+          const auto set = next_set_++;
+          reply.put_bool(true);
+          reply.put<std::uint64_t>(set);
+          reply.put<std::uint32_t>(static_cast<std::uint32_t>(count));
+          for (auto i : free_idx) {
+            pool_[i].held_by = set;
+            reply.put<std::int32_t>(pool_[i].entry.node);
+            reply.put_string(pool_[i].entry.hostname);
+          }
+          sets_[set] = std::move(free_idx);
+        }
+        break;
+      }
+      case kArmFree: {
+        const auto set = r.get<std::uint64_t>();
+        if (auto it = sets_.find(set); it != sets_.end()) {
+          for (auto i : it->second) pool_[i].held_by = 0;
+          sets_.erase(it);
+          reply.put_bool(true);
+        } else {
+          reply.put_bool(false);
+        }
+        break;
+      }
+      case kArmStatus: {
+        int free = 0;
+        for (const auto& s : pool_) free += s.held_by == 0 ? 1 : 0;
+        reply.put<std::int32_t>(static_cast<std::int32_t>(pool_.size()));
+        reply.put<std::int32_t>(free);
+        reply.put<std::int32_t>(static_cast<std::int32_t>(sets_.size()));
+        break;
+      }
+      default:
+        kLog.warn("ARM: unknown request type {}", msg->type);
+        continue;
+    }
+    endpoint_->send(msg->from, kArmReply, std::move(reply).take());
+  }
+}
+
+util::Bytes ArmClient::call(std::uint32_t type, util::Bytes body) {
+  auto ep = node_.open_endpoint();
+  ep->send(arm_, type, std::move(body));
+  auto reply = ep->recv_for(std::chrono::milliseconds(10'000));
+  if (!reply || reply->type != kArmReply) {
+    throw util::ProtocolError("ARM call timed out");
+  }
+  return std::move(reply->payload);
+}
+
+ArmAllocation ArmClient::alloc(int count) {
+  util::ByteWriter w;
+  w.put<std::int32_t>(count);
+  auto payload = call(kArmAlloc, std::move(w).take());
+  util::ByteReader r(payload);
+  ArmAllocation out;
+  out.granted = r.get_bool();
+  out.set_id = r.get<std::uint64_t>();
+  const auto n = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.nodes.push_back(r.get<std::int32_t>());
+    out.hostnames.push_back(r.get_string());
+  }
+  return out;
+}
+
+void ArmClient::free_set(std::uint64_t set_id) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(set_id);
+  auto payload = call(kArmFree, std::move(w).take());
+  util::ByteReader r(payload);
+  if (!r.get_bool()) {
+    throw util::ProtocolError("ARM: unknown set id " +
+                              std::to_string(set_id));
+  }
+}
+
+ArmPoolStatus ArmClient::status() {
+  auto payload = call(kArmStatus, {});
+  util::ByteReader r(payload);
+  ArmPoolStatus s;
+  s.total = r.get<std::int32_t>();
+  s.free = r.get<std::int32_t>();
+  s.sets_outstanding = r.get<std::int32_t>();
+  return s;
+}
+
+}  // namespace dac::arm

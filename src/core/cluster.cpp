@@ -1,0 +1,228 @@
+#include "core/cluster.hpp"
+
+#include <thread>
+
+#include "dacc/daemon.hpp"
+#include "torque/rpc.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace dac::core {
+
+namespace {
+const util::Logger kLog("dac_cluster");
+}
+
+DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
+  vnet::ClusterTopology topo;
+  topo.node_count = config_.total_nodes();
+  topo.network = config_.network;
+  topo.process_start_delay = std::chrono::microseconds(0);
+  topo.hostnames.push_back("head");
+  for (std::size_t i = 0; i < config_.compute_nodes; ++i) {
+    topo.hostnames.push_back("cn" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < config_.accel_nodes; ++i) {
+    topo.hostnames.push_back("ac" + std::to_string(i));
+  }
+  cluster_ = std::make_unique<vnet::Cluster>(std::move(topo));
+  runtime_ = std::make_unique<minimpi::Runtime>(*cluster_);
+  devices_ = std::make_unique<dacc::DeviceManager>(config_.device);
+
+  dacc::register_daemon_executables(*runtime_, *devices_);
+  register_builtin_executables();
+
+  // Boot the head-node daemons.
+  server_ = std::make_unique<torque::PbsServer>(head(), config_.timing);
+  daemons_.push_back(head().spawn(
+      {.name = "pbs_server"},
+      [this](vnet::Process& proc) { server_->run(proc); }));
+
+  maui::SchedulerConfig sched;
+  sched.server = server_->address();
+  sched.policy = config_.policy;
+  sched.weights = config_.weights;
+  sched.timing = config_.timing;
+  sched.dynamic_first = config_.dynamic_first;
+  sched.dyn_owner_pool_cap = config_.dyn_owner_pool_cap;
+  scheduler_ = std::make_unique<maui::MauiScheduler>(head(), sched);
+  daemons_.push_back(head().spawn(
+      {.name = "maui"},
+      [this](vnet::Process& proc) { scheduler_->run(proc); }));
+
+  // Boot one pbs_mom per worker node.
+  for (std::size_t i = 1; i < cluster_->size(); ++i) {
+    auto& node = cluster_->node(i);
+    torque::MomConfig mc;
+    mc.kind = i <= config_.compute_nodes ? torque::NodeKind::kCompute
+                                         : torque::NodeKind::kAccelerator;
+    mc.np = mc.kind == torque::NodeKind::kCompute ? 8 : 1;
+    mc.server = server_->address();
+    mc.timing = config_.timing;
+    mc.enforce_walltime = config_.enforce_walltime;
+    auto mom = std::make_unique<torque::PbsMom>(node, mc, *runtime_, tasks_);
+    auto* mom_ptr = mom.get();
+    moms_.push_back(std::move(mom));
+    daemons_.push_back(node.spawn(
+        {.name = "pbs_mom"},
+        [mom_ptr](vnet::Process& proc) { mom_ptr->run(proc); }));
+  }
+
+  // Wait until every mom registered so the first submission can schedule.
+  auto ifl = client();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ifl.stat_nodes().size() < cluster_->size() - 1) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw util::ProtocolError("DacCluster: moms did not register in time");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  kLog.info("DAC cluster up: {} compute, {} accelerator node(s)",
+            config_.compute_nodes, config_.accel_nodes);
+}
+
+DacCluster::~DacCluster() { shutdown(); }
+
+void DacCluster::fail_node(std::size_t cluster_index) {
+  if (cluster_index == 0 || cluster_index >= cluster_->size()) {
+    throw std::invalid_argument("fail_node: not a worker node");
+  }
+  cluster_->node(cluster_index).stop_all_processes();
+  kLog.warn("injected failure on '{}'",
+            cluster_->node(cluster_index).hostname());
+}
+
+void DacCluster::recover_node(std::size_t cluster_index) {
+  if (cluster_index == 0 || cluster_index >= cluster_->size()) {
+    throw std::invalid_argument("recover_node: not a worker node");
+  }
+  auto* mom = moms_.at(cluster_index - 1).get();
+  auto& node = cluster_->node(cluster_index);
+  daemons_.push_back(node.spawn(
+      {.name = "pbs_mom"},
+      [mom](vnet::Process& proc) { mom->run(proc); }));
+  kLog.info("mom on '{}' restarted", node.hostname());
+}
+
+void DacCluster::shutdown() {
+  if (down_) return;
+  down_ = true;
+  cluster_->shutdown();
+}
+
+vnet::Node& DacCluster::compute_node(std::size_t i) {
+  return cluster_->node(1 + i);
+}
+
+vnet::Node& DacCluster::accel_node(std::size_t i) {
+  return cluster_->node(1 + config_.compute_nodes + i);
+}
+
+const vnet::Address& DacCluster::server_address() const {
+  return server_->address();
+}
+
+maui::SchedulerStatsSnapshot DacCluster::scheduler_stats() const {
+  return scheduler_->stats();
+}
+
+void DacCluster::register_program(const std::string& name,
+                                  JobProgram program) {
+  std::lock_guard lock(programs_mu_);
+  programs_[name] = std::move(program);
+}
+
+torque::Ifl DacCluster::client() {
+  return torque::Ifl(head(), server_->address());
+}
+
+torque::JobId DacCluster::submit(const torque::JobSpec& spec) {
+  return client().submit(spec);
+}
+
+torque::JobId DacCluster::submit_program(const std::string& program,
+                                         int nodes, int acpn,
+                                         util::Bytes args,
+                                         std::chrono::milliseconds walltime) {
+  torque::JobSpec spec;
+  spec.name = program;
+  spec.program = program;
+  spec.program_args = std::move(args);
+  spec.resources.nodes = nodes;
+  spec.resources.acpn = acpn;
+  spec.resources.walltime = walltime;
+  return submit(spec);
+}
+
+std::optional<torque::JobInfo> DacCluster::wait_job(
+    torque::JobId id, std::chrono::milliseconds timeout) {
+  auto info =
+      client().wait_for_state(id, torque::JobState::kComplete, timeout);
+  if (info && info->state == torque::JobState::kComplete) return info;
+  return std::nullopt;
+}
+
+rmlib::AcSessionConfig DacCluster::session_base() const {
+  rmlib::AcSessionConfig base;
+  base.server = server_->address();
+  base.spawned_daemon_start_delay =
+      config_.timing.spawned_daemon_start_delay;
+  base.transfer = config_.transfer;
+  base.tasks = const_cast<torque::TaskRegistry*>(&tasks_);
+  return base;
+}
+
+void DacCluster::register_builtin_executables() {
+  // The job wrapper: deserializes the launch info, runs the registered
+  // program, and reports TASK_DONE to the mother superior (which triggers
+  // job teardown once every rank finished).
+  runtime_->register_executable(
+      kJobWrapperExe, [this](minimpi::Proc& proc, const util::Bytes& args) {
+        util::ByteReader r(args);
+        auto info = torque::get_launch_info(r);
+        const auto job = info.job;
+        const auto ms = info.ms_mom;
+        const auto rank = proc.rank();
+
+        JobProgram program;
+        {
+          std::lock_guard lock(programs_mu_);
+          if (auto it = programs_.find(info.program);
+              it != programs_.end()) {
+            program = it->second;
+          }
+        }
+        if (program) {
+          try {
+            JobContext ctx(proc, std::move(info), session_base());
+            program(ctx);
+          } catch (const util::StoppedError&) {
+            return;  // killed; the mom handles cleanup
+          } catch (const std::exception& e) {
+            kLog.error("job {} rank {}: program failed: {}", job, rank,
+                       e.what());
+          }
+        } else {
+          kLog.error("job {}: unknown program '{}'", job, info.program);
+        }
+
+        util::ByteWriter done;
+        done.put<std::uint64_t>(job);
+        done.put<std::int32_t>(rank);
+        auto ep = proc.process().open_endpoint();
+        torque::rpc::notify(*ep, ms, torque::MsgType::kTaskDone,
+                            std::move(done).take());
+      });
+
+  register_program(kSleepProgram, [](JobContext& ctx) {
+    util::ByteReader r(ctx.info().program_args);
+    const auto ms = r.remaining() >= sizeof(std::uint64_t)
+                        ? r.get<std::uint64_t>()
+                        : 10;
+    interruptible_sleep(ctx, std::chrono::milliseconds(ms));
+  });
+  register_program(kNoopProgram, [](JobContext&) {});
+}
+
+}  // namespace dac::core

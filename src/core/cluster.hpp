@@ -1,0 +1,108 @@
+// DacCluster: the whole system in one object. Builds the virtual cluster
+// (head node + compute nodes + accelerator nodes), boots pbs_server, the
+// Maui scheduler and a pbs_mom per node, registers the DAC daemon
+// executables and the job wrapper, and offers the client surface (submit,
+// stat, wait) plus accessors for benchmarks and tests.
+//
+// This is the paper's testbed in a constructor call:
+//
+//   auto cluster = dac::core::DacCluster(DacClusterConfig::paper_testbed());
+//   cluster.register_program("my_app", [](JobContext& ctx) { ... });
+//   auto id = cluster.submit_program("my_app", /*nodes=*/1, /*acpn=*/3);
+//   cluster.wait_job(id);
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/job_context.hpp"
+#include "dacc/device_manager.hpp"
+#include "maui/scheduler.hpp"
+#include "minimpi/runtime.hpp"
+#include "torque/ifl.hpp"
+#include "torque/mom.hpp"
+#include "torque/server.hpp"
+#include "torque/task_registry.hpp"
+#include "vnet/cluster.hpp"
+
+namespace dac::core {
+
+inline constexpr const char* kJobWrapperExe = "dac.jobwrapper";
+// Built-in job programs.
+inline constexpr const char* kSleepProgram = "dac.sleep";  // args: u64 ms
+inline constexpr const char* kNoopProgram = "dac.noop";
+
+class DacCluster {
+ public:
+  explicit DacCluster(DacClusterConfig config);
+  ~DacCluster();
+
+  DacCluster(const DacCluster&) = delete;
+  DacCluster& operator=(const DacCluster&) = delete;
+
+  // ---- topology access -------------------------------------------------
+  [[nodiscard]] const DacClusterConfig& config() const { return config_; }
+  [[nodiscard]] vnet::Cluster& vcluster() { return *cluster_; }
+  [[nodiscard]] vnet::Node& head() { return cluster_->node(0); }
+  [[nodiscard]] vnet::Node& compute_node(std::size_t i);
+  [[nodiscard]] vnet::Node& accel_node(std::size_t i);
+  [[nodiscard]] minimpi::Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] torque::TaskRegistry& tasks() { return tasks_; }
+  [[nodiscard]] dacc::DeviceManager& devices() { return *devices_; }
+  [[nodiscard]] const vnet::Address& server_address() const;
+  [[nodiscard]] maui::SchedulerStatsSnapshot scheduler_stats() const;
+
+  // ---- job programs -------------------------------------------------------
+  void register_program(const std::string& name, JobProgram program);
+
+  // ---- client surface (qsub/qstat equivalents) ---------------------------
+  [[nodiscard]] torque::Ifl client();  // an IFL client bound to the head
+  torque::JobId submit(const torque::JobSpec& spec);
+  // Convenience: submit a registered program with the given geometry.
+  torque::JobId submit_program(
+      const std::string& program, int nodes, int acpn,
+      util::Bytes args = {},
+      std::chrono::milliseconds walltime = std::chrono::milliseconds(60'000));
+  // Blocks until the job completes; returns the final info (nullopt on
+  // timeout).
+  std::optional<torque::JobInfo> wait_job(
+      torque::JobId id,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(60'000));
+
+  // ---- failure injection (fault-tolerance extension) -------------------
+  // Simulates a node crash: every process on the node (mom, daemons, job
+  // tasks) stops. The server marks the node down once heartbeats go stale.
+  void fail_node(std::size_t cluster_index);
+  // Restarts the node's mom; it re-registers and the node comes back up.
+  void recover_node(std::size_t cluster_index);
+
+  // Stops every daemon and the fabric. Also run by the destructor.
+  void shutdown();
+
+ private:
+  void register_builtin_executables();
+  rmlib::AcSessionConfig session_base() const;
+
+  DacClusterConfig config_;
+  std::unique_ptr<vnet::Cluster> cluster_;
+  std::unique_ptr<minimpi::Runtime> runtime_;
+  std::unique_ptr<dacc::DeviceManager> devices_;
+  torque::TaskRegistry tasks_;
+
+  std::unique_ptr<torque::PbsServer> server_;
+  std::unique_ptr<maui::MauiScheduler> scheduler_;
+  std::vector<std::unique_ptr<torque::PbsMom>> moms_;
+  std::vector<vnet::ProcessPtr> daemons_;
+
+  std::mutex programs_mu_;
+  std::map<std::string, JobProgram> programs_;
+  bool down_ = false;
+};
+
+}  // namespace dac::core

@@ -1,0 +1,38 @@
+// The back-end accelerator daemon (paper Figure 3): receives computation
+// requests over MPI and executes them on the node's (simulated) GPU through
+// the driver API. Two entry points are registered with the MPI runtime:
+//
+//   "dac.acdaemon"          — static path: the daemon world synchronizes,
+//                             rank 0 publishes the job/CN port, the world
+//                             accepts the compute node's connection and
+//                             merges (compute node low -> rank 0).
+//   "dac.acdaemon.spawned"  — dynamic path: started via MPI_Comm_spawn by
+//                             the resource-management library; merges with
+//                             the parent (compute node + existing daemons).
+//
+// After the merge both variants enter the same serve loop, which also
+// handles the lifecycle control messages that later AC_Get / AC_Free /
+// AC_Finalize calls require of *existing* daemons (collective spawn
+// participation, set release, shutdown).
+#pragma once
+
+#include <string>
+
+#include "dacc/device_manager.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace dac::dacc {
+
+inline constexpr const char* kStaticDaemonExe = "dac.acdaemon";
+inline constexpr const char* kSpawnedDaemonExe = "dac.acdaemon.spawned";
+
+// Registers both daemon executables. `devices` must outlive the runtime.
+void register_daemon_executables(minimpi::Runtime& runtime,
+                                 DeviceManager& devices);
+
+// The serve loop, exposed for tests: processes requests on `merged` (the
+// daemon is rank `merged.rank`, the compute node rank 0) until shutdown or
+// release. Used internally by both daemon entries.
+void serve(minimpi::Proc& proc, minimpi::Comm merged, gpusim::Device& device);
+
+}  // namespace dac::dacc

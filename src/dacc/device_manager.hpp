@@ -1,0 +1,42 @@
+// One simulated GPU per accelerator node, created lazily with the built-in
+// kernels registered. The daemon executables look their node's device up
+// here — the analogue of cuInit + cuDeviceGet on the accelerator host.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "gpusim/device.hpp"
+#include "vnet/message.hpp"
+
+namespace dac::dacc {
+
+class DeviceManager {
+ public:
+  explicit DeviceManager(gpusim::DeviceConfig config = {})
+      : config_(std::move(config)) {}
+
+  DeviceManager(const DeviceManager&) = delete;
+  DeviceManager& operator=(const DeviceManager&) = delete;
+
+  gpusim::Device& device_for(vnet::NodeId node) {
+    std::lock_guard lock(mu_);
+    auto it = devices_.find(node);
+    if (it == devices_.end()) {
+      auto dev = std::make_unique<gpusim::Device>(config_);
+      gpusim::register_builtin_kernels(*dev);
+      it = devices_.emplace(node, std::move(dev)).first;
+    }
+    return *it->second;
+  }
+
+  [[nodiscard]] const gpusim::DeviceConfig& config() const { return config_; }
+
+ private:
+  gpusim::DeviceConfig config_;
+  std::mutex mu_;
+  std::map<vnet::NodeId, std::unique_ptr<gpusim::Device>> devices_;
+};
+
+}  // namespace dac::dacc

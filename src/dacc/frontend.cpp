@@ -1,0 +1,183 @@
+#include "dacc/frontend.hpp"
+
+#include <algorithm>
+
+namespace dac::dacc::frontend {
+
+namespace {
+
+using minimpi::Comm;
+using minimpi::Proc;
+
+Status check(util::ByteReader& r, const char* op) {
+  const auto s = r.get_enum<Status>();
+  if (s != Status::kSuccess) {
+    throw AcError(s, std::string(op) + " failed: " +
+                         gpusim::driver::status_name(s));
+  }
+  return s;
+}
+
+util::ByteReader roundtrip(Proc& proc, const Comm& comm, int rank, int tag,
+                           util::Bytes payload, util::Bytes& storage) {
+  proc.send(comm, rank, tag, std::move(payload));
+  auto reply = proc.recv(comm, rank, reply_tag(tag));
+  storage = std::move(reply.data);
+  return util::ByteReader(storage);
+}
+
+}  // namespace
+
+gpusim::DevicePtr mem_alloc(Proc& proc, const Comm& comm, int rank,
+                            std::uint64_t size) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(size);
+  util::Bytes storage;
+  auto r = roundtrip(proc, comm, rank, kOpMemAlloc, std::move(w).take(),
+                     storage);
+  check(r, "acMemAlloc");
+  return r.get<std::uint64_t>();
+}
+
+void mem_free(Proc& proc, const Comm& comm, int rank, gpusim::DevicePtr ptr) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(ptr);
+  util::Bytes storage;
+  auto r = roundtrip(proc, comm, rank, kOpMemFree, std::move(w).take(),
+                     storage);
+  check(r, "acMemFree");
+}
+
+void memcpy_h2d(Proc& proc, const Comm& comm, int rank, gpusim::DevicePtr dst,
+                std::span<const std::byte> src, const TransferOptions& opts) {
+  const std::size_t chunk = std::max<std::size_t>(1, opts.chunk_bytes);
+  std::size_t offset = 0;
+  do {
+    const std::size_t n = std::min(chunk, src.size() - offset);
+    const bool last = offset + n >= src.size();
+    ChunkHeader hdr;
+    hdr.dptr = dst;
+    hdr.offset = offset;
+    hdr.last = last;
+    hdr.ack_each = !opts.pipelined;
+    util::ByteWriter w;
+    put_chunk_header(w, hdr);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(n));
+    w.put_raw(src.data() + offset, n);
+    proc.send(comm, rank, kOpMemcpyH2D, std::move(w).take());
+    if (hdr.ack_each && !last) {
+      // Unpipelined: wait for the per-chunk ack before sending the next.
+      auto reply = proc.recv(comm, rank, reply_tag(kOpMemcpyH2D));
+      util::ByteReader r(reply.data);
+      check(r, "acMemCpy(h2d)");
+    }
+    offset += n;
+  } while (offset < src.size());
+  // Final (or only) acknowledgement.
+  auto reply = proc.recv(comm, rank, reply_tag(kOpMemcpyH2D));
+  util::ByteReader r(reply.data);
+  check(r, "acMemCpy(h2d)");
+}
+
+util::Bytes memcpy_d2h(Proc& proc, const Comm& comm, int rank,
+                       gpusim::DevicePtr src, std::uint64_t size,
+                       const TransferOptions& opts) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(src);
+  w.put<std::uint64_t>(size);
+  w.put<std::uint64_t>(opts.chunk_bytes);
+  proc.send(comm, rank, kOpMemcpyD2H, std::move(w).take());
+
+  util::Bytes out(size);
+  while (true) {
+    auto reply = proc.recv(comm, rank, reply_tag(kOpMemcpyD2H));
+    util::ByteReader r(reply.data);
+    check(r, "acMemCpy(d2h)");
+    const auto offset = r.get<std::uint64_t>();
+    const bool last = r.get_bool();
+    const auto data = r.get_bytes();
+    if (offset + data.size() > out.size()) {
+      throw AcError(Status::kInvalidValue,
+                    "acMemCpy(d2h): chunk out of bounds");
+    }
+    std::copy(data.begin(), data.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+    if (last) break;
+  }
+  return out;
+}
+
+KernelHandle kernel_create(Proc& proc, const Comm& comm, int rank,
+                           const std::string& name) {
+  util::ByteWriter w;
+  w.put_string(name);
+  util::Bytes storage;
+  auto r = roundtrip(proc, comm, rank, kOpKernelCreate, std::move(w).take(),
+                     storage);
+  check(r, "acKernelCreate");
+  return r.get<std::uint32_t>();
+}
+
+void kernel_set_args(Proc& proc, const Comm& comm, int rank,
+                     KernelHandle kernel, util::Bytes args) {
+  util::ByteWriter w;
+  w.put<std::uint32_t>(kernel);
+  w.put_bytes(args);
+  util::Bytes storage;
+  auto r = roundtrip(proc, comm, rank, kOpKernelSetArgs, std::move(w).take(),
+                     storage);
+  check(r, "acKernelSetArgs");
+}
+
+void kernel_run(Proc& proc, const Comm& comm, int rank, KernelHandle kernel,
+                gpusim::Dim3 grid, gpusim::Dim3 block) {
+  util::ByteWriter w;
+  w.put<std::uint32_t>(kernel);
+  w.put<std::uint32_t>(grid.x);
+  w.put<std::uint32_t>(grid.y);
+  w.put<std::uint32_t>(grid.z);
+  w.put<std::uint32_t>(block.x);
+  w.put<std::uint32_t>(block.y);
+  w.put<std::uint32_t>(block.z);
+  util::Bytes storage;
+  auto r = roundtrip(proc, comm, rank, kOpKernelRun, std::move(w).take(),
+                     storage);
+  check(r, "acKernelRun");
+}
+
+void stencil_run(Proc& proc, const Comm& comm, int first,
+                 const std::vector<gpusim::DevicePtr>& fields,
+                 std::uint64_t n, std::uint32_t iterations,
+                 double boundary_left, double boundary_right) {
+  const int k = static_cast<int>(fields.size());
+  // Dispatch to every participant before waiting: the daemons synchronize
+  // among themselves through the halo exchange.
+  for (int i = 0; i < k; ++i) {
+    util::ByteWriter w;
+    w.put<std::uint64_t>(fields[static_cast<std::size_t>(i)]);
+    w.put<std::uint64_t>(n);
+    w.put<std::int32_t>(i == 0 ? -1 : first + i - 1);
+    w.put<std::int32_t>(i + 1 == k ? -1 : first + i + 1);
+    w.put<std::uint32_t>(iterations);
+    w.put<double>(boundary_left);
+    w.put<double>(boundary_right);
+    proc.send(comm, first + i, kOpStencilRun, std::move(w).take());
+  }
+  for (int i = 0; i < k; ++i) {
+    auto reply = proc.recv(comm, first + i, reply_tag(kOpStencilRun));
+    util::ByteReader r(reply.data);
+    check(r, "acStencilRun");
+  }
+}
+
+DeviceInfo device_info(Proc& proc, const Comm& comm, int rank) {
+  util::Bytes storage;
+  auto r = roundtrip(proc, comm, rank, kOpDeviceInfo, {}, storage);
+  check(r, "acDeviceInfo");
+  DeviceInfo info;
+  info.name = r.get_string();
+  info.bytes_free = r.get<std::uint64_t>();
+  return info;
+}
+
+}  // namespace dac::dacc::frontend

@@ -1,0 +1,69 @@
+// Front-end of the computation API (paper Figure 3): translates calls into
+// requests to the back-end daemon identified by its rank in the merged
+// communicator, and blocks for the reply. The resource-management library
+// wraps these with the handle-based acMemAlloc/acMemCpy/acKernel* surface of
+// Listing 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "dacc/protocol.hpp"
+#include "minimpi/proc.hpp"
+
+namespace dac::dacc {
+
+// A computation-API failure (daemon returned a non-success driver status).
+class AcError : public std::runtime_error {
+ public:
+  AcError(Status status, const std::string& what)
+      : std::runtime_error(what), status_(status) {}
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+using KernelHandle = std::uint32_t;
+
+namespace frontend {
+
+gpusim::DevicePtr mem_alloc(minimpi::Proc& proc, const minimpi::Comm& comm,
+                            int rank, std::uint64_t size);
+void mem_free(minimpi::Proc& proc, const minimpi::Comm& comm, int rank,
+              gpusim::DevicePtr ptr);
+
+// Host-to-device copy, chunked per `opts` (pipelined by default).
+void memcpy_h2d(minimpi::Proc& proc, const minimpi::Comm& comm, int rank,
+                gpusim::DevicePtr dst, std::span<const std::byte> src,
+                const TransferOptions& opts = {});
+util::Bytes memcpy_d2h(minimpi::Proc& proc, const minimpi::Comm& comm,
+                       int rank, gpusim::DevicePtr src, std::uint64_t size,
+                       const TransferOptions& opts = {});
+
+KernelHandle kernel_create(minimpi::Proc& proc, const minimpi::Comm& comm,
+                           int rank, const std::string& name);
+void kernel_set_args(minimpi::Proc& proc, const minimpi::Comm& comm, int rank,
+                     KernelHandle kernel, util::Bytes args);
+void kernel_run(minimpi::Proc& proc, const minimpi::Comm& comm, int rank,
+                KernelHandle kernel, gpusim::Dim3 grid, gpusim::Dim3 block);
+
+struct DeviceInfo {
+  std::string name;
+  std::uint64_t bytes_free = 0;
+};
+DeviceInfo device_info(minimpi::Proc& proc, const minimpi::Comm& comm,
+                       int rank);
+
+// Cooperative 1D Jacobi run across daemon ranks [first, first + k): each
+// rank holds a slab of `n` doubles at `fields[i]`; daemons exchange halos
+// with their neighbours directly (paper §I) while the compute node only
+// dispatches and waits. Fixed boundary values close the domain ends.
+void stencil_run(minimpi::Proc& proc, const minimpi::Comm& comm, int first,
+                 const std::vector<gpusim::DevicePtr>& fields,
+                 std::uint64_t n, std::uint32_t iterations,
+                 double boundary_left, double boundary_right);
+
+}  // namespace frontend
+}  // namespace dac::dacc

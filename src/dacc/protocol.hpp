@@ -1,0 +1,77 @@
+// Wire protocol between the DAC front-end (compute node) and the back-end
+// accelerator daemons, spoken over the merged MPI communicator in which the
+// compute node holds rank 0 and each accelerator a unique rank >= 1 (the
+// paper's handle). Tags >= kOpReplyBase are replies; control tags drive the
+// dynamic-set lifecycle (spawn participation, set release, shutdown).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpusim/device.hpp"
+#include "gpusim/driver.hpp"
+#include "util/bytes.hpp"
+
+namespace dac::dacc {
+
+// Request tags (compute node -> daemon).
+inline constexpr int kOpMemAlloc = 10;
+inline constexpr int kOpMemFree = 11;
+inline constexpr int kOpMemcpyH2D = 12;   // chunked; see ChunkHeader
+inline constexpr int kOpMemcpyD2H = 13;
+inline constexpr int kOpKernelCreate = 14;
+inline constexpr int kOpKernelSetArgs = 15;
+inline constexpr int kOpKernelRun = 16;
+inline constexpr int kOpDeviceInfo = 17;
+// Cooperative stencil: all daemons run iterations of a 1D Jacobi step over
+// their local slab, exchanging halo cells directly with their neighbour
+// daemons over MPI — the paper's "kernels that communicate directly with
+// each other without involving the host" (§I). The compute node dispatches
+// the op to every participant, then collects one completion reply each.
+inline constexpr int kOpStencilRun = 18;
+// Daemon-to-daemon halo traffic on the merged communicator.
+inline constexpr int kTagHalo = 95;
+
+// Control tags (lifecycle; no device interaction).
+inline constexpr int kCtlPrepSpawn = 30;   // participate in comm_spawn+merge
+inline constexpr int kCtlRelease = 31;     // release the newest dynamic set
+inline constexpr int kCtlShutdown = 32;    // AC_Finalize
+
+inline constexpr int kOpReplyBase = 100;
+inline constexpr int reply_tag(int op) { return kOpReplyBase + op; }
+
+// Every reply starts with a status byte (gpusim driver status).
+using Status = gpusim::driver::Status;
+
+// H2D transfers are split into chunks. With pipelining the front-end streams
+// all chunks and the daemon acknowledges only the final one; without, every
+// chunk is acknowledged before the next is sent (ablation A1).
+struct ChunkHeader {
+  std::uint64_t dptr = 0;
+  std::uint64_t offset = 0;
+  bool last = true;
+  bool ack_each = false;
+};
+
+inline void put_chunk_header(util::ByteWriter& w, const ChunkHeader& h) {
+  w.put<std::uint64_t>(h.dptr);
+  w.put<std::uint64_t>(h.offset);
+  w.put_bool(h.last);
+  w.put_bool(h.ack_each);
+}
+
+inline ChunkHeader get_chunk_header(util::ByteReader& r) {
+  ChunkHeader h;
+  h.dptr = r.get<std::uint64_t>();
+  h.offset = r.get<std::uint64_t>();
+  h.last = r.get_bool();
+  h.ack_each = r.get_bool();
+  return h;
+}
+
+struct TransferOptions {
+  std::size_t chunk_bytes = 256u << 10;  // 256 KiB
+  bool pipelined = true;
+};
+
+}  // namespace dac::dacc

@@ -1,0 +1,154 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace dac::gpusim {
+
+namespace {
+const util::Logger kLog("gpusim");
+}
+
+Device::Device(DeviceConfig config)
+    : config_(std::move(config)), arena_(config_.memory_bytes) {
+  free_list_.push_back(Block{0, arena_.size()});
+}
+
+DevicePtr Device::mem_alloc(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  // Align to 256 bytes like real device allocators.
+  constexpr std::size_t kAlign = 256;
+  bytes = (bytes + kAlign - 1) / kAlign * kAlign;
+
+  std::lock_guard lock(mu_);
+  for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
+    if (it->size < bytes) continue;
+    const std::size_t offset = it->offset;
+    if (it->size == bytes) {
+      free_list_.erase(it);
+    } else {
+      it->offset += bytes;
+      it->size -= bytes;
+    }
+    allocated_[offset] = bytes;
+    ++stats_.allocs;
+    stats_.bytes_in_use += bytes;
+    stats_.peak_bytes_in_use =
+        std::max(stats_.peak_bytes_in_use, stats_.bytes_in_use);
+    return offset;
+  }
+  throw DeviceError("out of device memory: requested " +
+                    std::to_string(bytes) + " bytes");
+}
+
+void Device::mem_free(DevicePtr ptr) {
+  std::lock_guard lock(mu_);
+  auto it = allocated_.find(static_cast<std::size_t>(ptr));
+  if (it == allocated_.end()) {
+    throw DeviceError("mem_free: invalid device pointer " +
+                      std::to_string(ptr));
+  }
+  const Block freed{it->first, it->second};
+  stats_.bytes_in_use -= freed.size;
+  ++stats_.frees;
+  allocated_.erase(it);
+
+  // Insert sorted and coalesce with neighbours.
+  auto pos = std::lower_bound(
+      free_list_.begin(), free_list_.end(), freed,
+      [](const Block& a, const Block& b) { return a.offset < b.offset; });
+  pos = free_list_.insert(pos, freed);
+  // Coalesce with next.
+  if (auto next = std::next(pos); next != free_list_.end() &&
+                                  pos->offset + pos->size == next->offset) {
+    pos->size += next->size;
+    free_list_.erase(next);
+  }
+  // Coalesce with previous.
+  if (pos != free_list_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->offset + prev->size == pos->offset) {
+      prev->size += pos->size;
+      free_list_.erase(pos);
+    }
+  }
+}
+
+std::size_t Device::bytes_free() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& b : free_list_) total += b.size;
+  return total;
+}
+
+std::byte* Device::at(DevicePtr ptr, std::size_t bytes) {
+  if (ptr == kNullPtr || ptr + bytes > arena_.size()) {
+    throw DeviceError("device access out of bounds: ptr=" +
+                      std::to_string(ptr) + " len=" + std::to_string(bytes));
+  }
+  return arena_.data() + ptr;
+}
+
+void Device::memcpy_h2d(DevicePtr dst, const void* src, std::size_t bytes) {
+  std::memcpy(at(dst, bytes), src, bytes);
+  std::lock_guard lock(mu_);
+  stats_.bytes_copied_in += bytes;
+}
+
+void Device::memcpy_d2h(void* dst, DevicePtr src, std::size_t bytes) {
+  std::memcpy(dst, at(src, bytes), bytes);
+  std::lock_guard lock(mu_);
+  stats_.bytes_copied_out += bytes;
+}
+
+void Device::memcpy_d2d(DevicePtr dst, DevicePtr src, std::size_t bytes) {
+  std::memmove(at(dst, bytes), at(src, bytes), bytes);
+}
+
+void Device::memset_d(DevicePtr dst, std::byte value, std::size_t bytes) {
+  std::fill_n(at(dst, bytes), bytes, value);
+}
+
+void Device::register_kernel(const std::string& name, Kernel kernel) {
+  if (!kernel.fn) throw DeviceError("register_kernel: null function");
+  std::lock_guard lock(mu_);
+  kernels_[name] = std::move(kernel);
+}
+
+bool Device::has_kernel(const std::string& name) const {
+  std::lock_guard lock(mu_);
+  return kernels_.contains(name);
+}
+
+void Device::launch(const std::string& name, Dim3 grid, Dim3 block,
+                    const util::Bytes& args) {
+  Kernel kernel;
+  {
+    std::lock_guard lock(mu_);
+    auto it = kernels_.find(name);
+    if (it == kernels_.end()) {
+      throw DeviceError("launch: unknown kernel '" + name + "'");
+    }
+    kernel = it->second;
+    ++stats_.kernels_launched;
+  }
+  KernelContext ctx(*this, grid, block, args);
+  kernel.fn(ctx);
+  if (kernel.cost && config_.time_scale > 0.0) {
+    const auto cost = kernel.cost(ctx);
+    const auto scaled = std::chrono::nanoseconds(static_cast<long long>(
+        static_cast<double>(cost.count()) * config_.time_scale));
+    if (scaled.count() > 0) std::this_thread::sleep_for(scaled);
+  }
+  kLog.trace("kernel '{}' <<<{},{}>>> done", name, grid.total(),
+             block.total());
+}
+
+DeviceStats Device::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace dac::gpusim

@@ -1,0 +1,69 @@
+#include "gpusim/driver.hpp"
+
+#include "util/logging.hpp"
+
+namespace dac::gpusim::driver {
+
+namespace {
+const util::Logger kLog("gpusim.driver");
+
+template <typename Fn>
+Status guard(Fn&& fn) {
+  try {
+    fn();
+    return Status::kSuccess;
+  } catch (const DeviceError& e) {
+    kLog.debug("driver call failed: {}", e.what());
+    const std::string what = e.what();
+    if (what.find("out of device memory") != std::string::npos) {
+      return Status::kOutOfMemory;
+    }
+    if (what.find("unknown kernel") != std::string::npos) {
+      return Status::kNotFound;
+    }
+    return Status::kInvalidValue;
+  } catch (const std::exception& e) {
+    kLog.warn("driver call failed unexpectedly: {}", e.what());
+    return Status::kUnknown;
+  }
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kSuccess: return "success";
+    case Status::kOutOfMemory: return "out_of_memory";
+    case Status::kInvalidValue: return "invalid_value";
+    case Status::kNotFound: return "not_found";
+    case Status::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Status mem_alloc(Device& dev, std::size_t bytes, DevicePtr* out) {
+  if (out == nullptr) return Status::kInvalidValue;
+  return guard([&] { *out = dev.mem_alloc(bytes); });
+}
+
+Status mem_free(Device& dev, DevicePtr ptr) {
+  return guard([&] { dev.mem_free(ptr); });
+}
+
+Status memcpy_h2d(Device& dev, DevicePtr dst, const void* src,
+                  std::size_t bytes) {
+  if (src == nullptr && bytes > 0) return Status::kInvalidValue;
+  return guard([&] { dev.memcpy_h2d(dst, src, bytes); });
+}
+
+Status memcpy_d2h(Device& dev, void* dst, DevicePtr src, std::size_t bytes) {
+  if (dst == nullptr && bytes > 0) return Status::kInvalidValue;
+  return guard([&] { dev.memcpy_d2h(dst, src, bytes); });
+}
+
+Status launch_kernel(Device& dev, const std::string& name, Dim3 grid,
+                     Dim3 block, const util::Bytes& args) {
+  return guard([&] { dev.launch(name, grid, block, args); });
+}
+
+}  // namespace dac::gpusim::driver

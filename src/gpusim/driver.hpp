@@ -1,0 +1,31 @@
+// Thin driver-level API over gpusim::Device, mirroring the CUDA driver API
+// surface the paper's back-end daemon uses (cuMemAlloc / cuMemcpy* /
+// cuLaunchKernel). Status codes instead of exceptions, because the daemon
+// must translate failures into protocol error replies rather than die.
+#pragma once
+
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace dac::gpusim::driver {
+
+enum class Status : int {
+  kSuccess = 0,
+  kOutOfMemory = 1,
+  kInvalidValue = 2,
+  kNotFound = 3,
+  kUnknown = 4,
+};
+
+[[nodiscard]] const char* status_name(Status s);
+
+Status mem_alloc(Device& dev, std::size_t bytes, DevicePtr* out);
+Status mem_free(Device& dev, DevicePtr ptr);
+Status memcpy_h2d(Device& dev, DevicePtr dst, const void* src,
+                  std::size_t bytes);
+Status memcpy_d2h(Device& dev, void* dst, DevicePtr src, std::size_t bytes);
+Status launch_kernel(Device& dev, const std::string& name, Dim3 grid,
+                     Dim3 block, const util::Bytes& args);
+
+}  // namespace dac::gpusim::driver

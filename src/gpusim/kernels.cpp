@@ -1,0 +1,148 @@
+// Built-in compute kernels. Argument convention: serialized with ByteWriter
+// in the order documented per kernel; buffers are DevicePtr (u64) and sizes
+// are u64. Each kernel has a simple cost model proportional to its work so
+// latency-hiding experiments see realistic compute/communication ratios.
+#include "gpusim/device.hpp"
+
+namespace dac::gpusim {
+
+namespace {
+
+std::chrono::nanoseconds per_element_cost(std::uint64_t elements,
+                                          double ns_per_element) {
+  return std::chrono::nanoseconds(
+      static_cast<long long>(static_cast<double>(elements) * ns_per_element));
+}
+
+// args: dst(u64), a(u64), b(u64), n(u64) — dst[i] = a[i] + b[i]
+void vector_add(KernelContext& ctx) {
+  auto r = ctx.arg_reader();
+  const auto dst = r.get<std::uint64_t>();
+  const auto a = r.get<std::uint64_t>();
+  const auto b = r.get<std::uint64_t>();
+  const auto n = r.get<std::uint64_t>();
+  auto* pd = ctx.span<double>(dst, n);
+  const auto* pa = ctx.span<double>(a, n);
+  const auto* pb = ctx.span<double>(b, n);
+  for (std::uint64_t i = 0; i < n; ++i) pd[i] = pa[i] + pb[i];
+}
+
+// args: y(u64), x(u64), alpha(f64), n(u64) — y[i] += alpha * x[i]
+void saxpy(KernelContext& ctx) {
+  auto r = ctx.arg_reader();
+  const auto y = r.get<std::uint64_t>();
+  const auto x = r.get<std::uint64_t>();
+  const auto alpha = r.get<double>();
+  const auto n = r.get<std::uint64_t>();
+  auto* py = ctx.span<double>(y, n);
+  const auto* px = ctx.span<double>(x, n);
+  for (std::uint64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+// args: out(u64, 1 double), a(u64), b(u64), n(u64) — out = dot(a, b)
+void dot(KernelContext& ctx) {
+  auto r = ctx.arg_reader();
+  const auto out = r.get<std::uint64_t>();
+  const auto a = r.get<std::uint64_t>();
+  const auto b = r.get<std::uint64_t>();
+  const auto n = r.get<std::uint64_t>();
+  const auto* pa = ctx.span<double>(a, n);
+  const auto* pb = ctx.span<double>(b, n);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) acc += pa[i] * pb[i];
+  *ctx.span<double>(out, 1) = acc;
+}
+
+// args: c(u64), a(u64), b(u64), m(u64), k(u64), n(u64)
+// C[m x n] = A[m x k] * B[k x n], row-major
+void matmul(KernelContext& ctx) {
+  auto r = ctx.arg_reader();
+  const auto c = r.get<std::uint64_t>();
+  const auto a = r.get<std::uint64_t>();
+  const auto b = r.get<std::uint64_t>();
+  const auto m = r.get<std::uint64_t>();
+  const auto k = r.get<std::uint64_t>();
+  const auto n = r.get<std::uint64_t>();
+  auto* pc = ctx.span<double>(c, m * n);
+  const auto* pa = ctx.span<double>(a, m * k);
+  const auto* pb = ctx.span<double>(b, k * n);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    for (std::uint64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::uint64_t t = 0; t < k; ++t) {
+        acc += pa[i * k + t] * pb[t * n + j];
+      }
+      pc[i * n + j] = acc;
+    }
+  }
+}
+
+// args: out(u64, 1 double), src(u64), n(u64) — out = sum(src)
+void reduce_sum(KernelContext& ctx) {
+  auto r = ctx.arg_reader();
+  const auto out = r.get<std::uint64_t>();
+  const auto src = r.get<std::uint64_t>();
+  const auto n = r.get<std::uint64_t>();
+  const auto* ps = ctx.span<double>(src, n);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) acc += ps[i];
+  *ctx.span<double>(out, 1) = acc;
+}
+
+// args: dst(u64), value(f64), n(u64) — dst[i] = value
+void fill(KernelContext& ctx) {
+  auto r = ctx.arg_reader();
+  const auto dst = r.get<std::uint64_t>();
+  const auto value = r.get<double>();
+  const auto n = r.get<std::uint64_t>();
+  auto* pd = ctx.span<double>(dst, n);
+  for (std::uint64_t i = 0; i < n; ++i) pd[i] = value;
+}
+
+std::uint64_t last_u64_arg(const KernelContext& ctx, int index_from_start) {
+  auto r = ctx.arg_reader();
+  std::uint64_t v = 0;
+  for (int i = 0; i <= index_from_start; ++i) v = r.get<std::uint64_t>();
+  return v;
+}
+
+}  // namespace
+
+void register_builtin_kernels(Device& device) {
+  device.register_kernel(
+      "vector_add",
+      Kernel{vector_add, [](const KernelContext& ctx) {
+               return per_element_cost(last_u64_arg(ctx, 3), 0.5);
+             }});
+  device.register_kernel("saxpy", Kernel{saxpy, [](const KernelContext& ctx) {
+                                           auto r = ctx.arg_reader();
+                                           (void)r.get<std::uint64_t>();
+                                           (void)r.get<std::uint64_t>();
+                                           (void)r.get<double>();
+                                           return per_element_cost(
+                                               r.get<std::uint64_t>(), 0.5);
+                                         }});
+  device.register_kernel("dot", Kernel{dot, [](const KernelContext& ctx) {
+                                         return per_element_cost(
+                                             last_u64_arg(ctx, 3), 1.0);
+                                       }});
+  device.register_kernel(
+      "matmul", Kernel{matmul, [](const KernelContext& ctx) {
+                         auto r = ctx.arg_reader();
+                         (void)r.get<std::uint64_t>();
+                         (void)r.get<std::uint64_t>();
+                         (void)r.get<std::uint64_t>();
+                         const auto m = r.get<std::uint64_t>();
+                         const auto k = r.get<std::uint64_t>();
+                         const auto n = r.get<std::uint64_t>();
+                         return per_element_cost(m * k * n, 0.2);
+                       }});
+  device.register_kernel(
+      "reduce_sum", Kernel{reduce_sum, [](const KernelContext& ctx) {
+                             return per_element_cost(last_u64_arg(ctx, 2),
+                                                     0.5);
+                           }});
+  device.register_kernel("fill", Kernel{fill, nullptr});
+}
+
+}  // namespace dac::gpusim

@@ -1,0 +1,77 @@
+#include "gpusim/stream.hpp"
+
+namespace dac::gpusim {
+
+Stream::Stream(Device& device) : device_(device) {
+  worker_ = std::thread([this] {
+    while (auto op = queue_.pop()) {
+      try {
+        (*op)();
+      } catch (...) {
+        std::lock_guard lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        std::lock_guard lock(mu_);
+        --pending_;
+      }
+      cv_.notify_all();
+    }
+  });
+}
+
+Stream::~Stream() {
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> op) {
+  {
+    std::lock_guard lock(mu_);
+    ++pending_;
+  }
+  if (!queue_.push(std::move(op))) {
+    std::lock_guard lock(mu_);
+    --pending_;
+    throw DeviceError("stream is shut down");
+  }
+}
+
+void Stream::memcpy_h2d_async(DevicePtr dst, const void* src,
+                              std::size_t bytes) {
+  memcpy_h2d_async(dst, util::to_bytes(src, bytes));
+}
+
+void Stream::memcpy_h2d_async(DevicePtr dst, util::Bytes data) {
+  enqueue([this, dst, data = std::move(data)] {
+    device_.memcpy_h2d(dst, data.data(), data.size());
+  });
+}
+
+void Stream::memcpy_d2h_async(void* dst, DevicePtr src, std::size_t bytes) {
+  enqueue([this, dst, src, bytes] { device_.memcpy_d2h(dst, src, bytes); });
+}
+
+void Stream::launch_async(std::string kernel, Dim3 grid, Dim3 block,
+                          util::Bytes args) {
+  enqueue([this, kernel = std::move(kernel), grid, block,
+           args = std::move(args)] {
+    device_.launch(kernel, grid, block, args);
+  });
+}
+
+void Stream::record(Event event) {
+  enqueue([event] { event.fire(); });
+}
+
+void Stream::synchronize() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return pending_ == 0; });
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace dac::gpusim

@@ -1,0 +1,105 @@
+// Streams and events: in-order asynchronous work queues on a simulated
+// device, mirroring cuStream/cuEvent. These are what the latency-hiding
+// techniques the paper invokes (double buffering, overlapping transfers
+// with kernel execution, §I/§II-C) are built from on the accelerator side.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "gpusim/device.hpp"
+#include "util/queue.hpp"
+
+namespace dac::gpusim {
+
+// Completion marker recordable into a stream. wait() blocks until every
+// operation enqueued before the record completed.
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  void wait() const {
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  [[nodiscard]] bool query() const {
+    std::lock_guard lock(state_->mu);
+    return state_->done;
+  }
+
+  // Completion timestamp; only meaningful after wait()/query() succeeded.
+  [[nodiscard]] std::chrono::steady_clock::time_point when() const {
+    std::lock_guard lock(state_->mu);
+    return state_->when;
+  }
+
+  // Seconds between two completed events.
+  static double elapsed_seconds(const Event& start, const Event& stop) {
+    return std::chrono::duration<double>(stop.when() - start.when()).count();
+  }
+
+ private:
+  friend class Stream;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::chrono::steady_clock::time_point when;
+  };
+
+  void fire() const {
+    {
+      std::lock_guard lock(state_->mu);
+      state_->done = true;
+      state_->when = std::chrono::steady_clock::now();
+    }
+    state_->cv.notify_all();
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+// An in-order asynchronous queue on one device. Operations run on the
+// stream's worker thread; different streams overlap.
+class Stream {
+ public:
+  explicit Stream(Device& device);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  // The source buffer is copied at enqueue time (no lifetime requirement).
+  void memcpy_h2d_async(DevicePtr dst, const void* src, std::size_t bytes);
+  void memcpy_h2d_async(DevicePtr dst, util::Bytes data);
+  // `dst` must stay valid until the stream reaches this operation.
+  void memcpy_d2h_async(void* dst, DevicePtr src, std::size_t bytes);
+  void launch_async(std::string kernel, Dim3 grid, Dim3 block,
+                    util::Bytes args);
+  void record(Event event);
+
+  // Blocks until every enqueued operation completed. Rethrows the first
+  // DeviceError raised by an async operation, if any.
+  void synchronize();
+
+  [[nodiscard]] Device& device() { return device_; }
+
+ private:
+  void enqueue(std::function<void()> op);
+
+  Device& device_;
+  util::BlockingQueue<std::function<void()>> queue_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr error_;
+
+  std::thread worker_;
+};
+
+}  // namespace dac::gpusim

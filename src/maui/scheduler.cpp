@@ -1,0 +1,415 @@
+#include "maui/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "torque/rpc.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace dac::maui {
+
+namespace {
+const util::Logger kLog("maui");
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double walltime_s(const torque::JobInfo& job) {
+  return std::chrono::duration<double>(job.spec.resources.walltime).count();
+}
+
+}  // namespace
+
+MauiScheduler::MauiScheduler(vnet::Node& node, SchedulerConfig config)
+    : node_(node), config_(std::move(config)) {}
+
+SchedulerStatsSnapshot MauiScheduler::stats() const {
+  SchedulerStatsSnapshot s;
+  s.cycles = cycles_.load();
+  s.jobs_started = jobs_started_.load();
+  s.dyn_granted = dyn_granted_.load();
+  s.dyn_rejected = dyn_rejected_.load();
+  s.dyn_capped = dyn_capped_.load();
+  s.backfilled = backfilled_.load();
+  return s;
+}
+
+void MauiScheduler::run(vnet::Process& proc) {
+  auto wake_ep = proc.open_endpoint();
+
+  util::ByteWriter reg;
+  reg.put<std::int32_t>(wake_ep->address().node);
+  reg.put<std::int32_t>(wake_ep->address().port);
+  try {
+    (void)torque::rpc::call(proc, config_.server, torque::MsgType::kRegisterScheduler,
+                    std::move(reg).take());
+  } catch (const util::StoppedError&) {
+    return;
+  }
+  kLog.info("maui registered with server, policy {}",
+            static_cast<int>(config_.policy));
+
+  while (!proc.stop_requested()) {
+    try {
+      cycle(proc);
+    } catch (const util::StoppedError&) {
+      break;
+    } catch (const std::exception& e) {
+      kLog.error("scheduling cycle failed: {}", e.what());
+    }
+    // Sleep until the next poll interval or an earlier wake; coalesce any
+    // backlog of wake notifications into one cycle.
+    auto msg = wake_ep->recv_for(config_.timing.sched_cycle_interval);
+    if (!msg && wake_ep->closed()) break;
+    while (wake_ep->try_recv()) {
+    }
+  }
+  kLog.info("maui shutting down");
+}
+
+void MauiScheduler::cycle(vnet::Process& proc) {
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+
+  auto queue_reply = torque::rpc::call(proc, config_.server,
+                               torque::MsgType::kGetQueue, {});
+  util::ByteReader qr(queue_reply);
+  const auto snap = torque::get_queue_snapshot(qr);
+
+  auto nodes_reply = torque::rpc::call(proc, config_.server,
+                               torque::MsgType::kGetNodes, {});
+  util::ByteReader nr(nodes_reply);
+  const auto count = nr.get<std::uint32_t>();
+  std::vector<NodeView> view;
+  view.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto st = torque::get_node_status(nr);
+    if (!st.up) continue;  // down nodes are not allocatable
+    view.push_back(NodeView{st.hostname, st.kind, st.free_slots()});
+  }
+  std::sort(view.begin(), view.end(),
+            [](const NodeView& a, const NodeView& b) {
+              return a.hostname < b.hostname;
+            });
+
+  decay_fairshare(snap.now);
+
+  if (config_.dynamic_first) service_dynamic(proc, snap, view);
+  schedule_static(proc, snap, view);
+  if (!config_.dynamic_first) service_dynamic(proc, snap, view);
+}
+
+void MauiScheduler::service_dynamic(vnet::Process& proc,
+                                    const torque::QueueSnapshot& snap,
+                                    std::vector<NodeView>& nodes) {
+  // Fairshare cap inputs: the accelerator pool size and each owner's
+  // current accelerator holdings (static + dynamic), from the snapshot.
+  int pool = 0;
+  for (const auto& n : nodes) {
+    if (n.kind == torque::NodeKind::kAccelerator) ++pool;
+  }
+  std::map<std::string, int> holdings;
+  std::map<torque::JobId, const torque::JobInfo*> job_by_id;
+  for (const auto& j : snap.jobs) {
+    job_by_id[j.id] = &j;
+    if (j.state == torque::JobState::kRunning ||
+        j.state == torque::JobState::kDynQueued) {
+      holdings[j.spec.owner] += static_cast<int>(j.accel_hosts.size()) +
+                                static_cast<int>(j.dyn_accel_hosts.size());
+    }
+  }
+
+  // Strictly FIFO, one at a time — the serialization the paper's Figure 9
+  // observes across concurrent requesters.
+  for (const auto& d : snap.dyn) {
+    const auto pickup = steady_ns();
+    const auto work = config_.timing.sched_dyn_base_cost +
+                      d.count * config_.timing.sched_per_node_cost;
+    if (work.count() > 0) std::this_thread::sleep_for(work);
+
+    // Fairshare cap: reject a grant that would push one owner above its
+    // share of the accelerator pool (the paper's future-work fairness
+    // policy; only applied to accelerator requests).
+    bool capped = false;
+    if (config_.dyn_owner_pool_cap < 1.0 &&
+        d.kind == torque::NodeKind::kAccelerator) {
+      if (auto it = job_by_id.find(d.job); it != job_by_id.end()) {
+        const auto& owner = it->second->spec.owner;
+        const double after = holdings[owner] + d.min_count;
+        if (after > config_.dyn_owner_pool_cap * pool) capped = true;
+      }
+    }
+    // Try the full request; if the pool is short but the requester accepts
+    // fewer (min_count < count), grant what is available — the partial
+    // allocation extension (paper future work, §VI).
+    // Compute-node grants (malleability) must hand out nodes the job does
+    // not already occupy; temporarily hide its own hosts from the view.
+    std::vector<NodeView> filtered;
+    std::vector<NodeView>* pool_view = &nodes;
+    if (d.kind == torque::NodeKind::kCompute) {
+      const auto it = job_by_id.find(d.job);
+      filtered.reserve(nodes.size());
+      for (const auto& n : nodes) {
+        const bool held =
+            it != job_by_id.end() &&
+            (std::find(it->second->compute_hosts.begin(),
+                       it->second->compute_hosts.end(),
+                       n.hostname) != it->second->compute_hosts.end() ||
+             std::find(it->second->dyn_accel_hosts.begin(),
+                       it->second->dyn_accel_hosts.end(),
+                       n.hostname) != it->second->dyn_accel_hosts.end());
+        if (!held) filtered.push_back(n);
+      }
+      pool_view = &filtered;
+    }
+
+    auto hosts = capped ? std::vector<std::string>{}
+                        : try_allocate_dyn(*pool_view, d.kind, d.count);
+    if (hosts.empty() && !capped && d.min_count < d.count) {
+      int free = 0;
+      for (const auto& n : *pool_view) {
+        if (n.kind == d.kind && n.free >= 1) ++free;
+      }
+      if (free >= d.min_count) {
+        hosts = try_allocate_dyn(*pool_view, d.kind, free);
+      }
+    }
+    util::ByteWriter w;
+    w.put<std::uint64_t>(d.dyn_id);
+    w.put<std::uint64_t>(pickup);
+    try {
+      if (static_cast<int>(hosts.size()) >= d.min_count) {
+        w.put_string_vector(hosts);
+        (void)torque::rpc::call(proc, config_.server, torque::MsgType::kRunDyn,
+                        std::move(w).take());
+        dyn_granted_.fetch_add(1, std::memory_order_relaxed);
+        if (auto it = job_by_id.find(d.job); it != job_by_id.end()) {
+          holdings[it->second->spec.owner] +=
+              static_cast<int>(hosts.size());
+        }
+      } else {
+        (void)torque::rpc::call(proc, config_.server, torque::MsgType::kRejectDyn,
+                        std::move(w).take());
+        dyn_rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (capped) dyn_capped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const torque::rpc::CallError& e) {
+      kLog.warn("dyn {} decision not applied: {}", d.dyn_id, e.what());
+    }
+  }
+}
+
+double MauiScheduler::priority_of(const torque::JobInfo& job,
+                                  double now) const {
+  const auto& w = config_.weights;
+  double p = w.qos * job.spec.priority +
+             w.queue_time * std::max(0.0, now - job.submit_time);
+  if (w.fairshare > 0.0) {
+    if (auto it = usage_.find(job.spec.owner); it != usage_.end()) {
+      p -= w.fairshare * it->second;
+    }
+  }
+  return p;
+}
+
+void MauiScheduler::decay_fairshare(double now) {
+  if (last_decay_s_ < 0.0) {
+    last_decay_s_ = now;
+    return;
+  }
+  const double dt = now - last_decay_s_;
+  last_decay_s_ = now;
+  if (dt <= 0.0 || config_.weights.fairshare_halflife <= 0.0) return;
+  const double factor =
+      std::exp2(-dt / config_.weights.fairshare_halflife);
+  for (auto& [owner, usage] : usage_) usage *= factor;
+}
+
+MauiScheduler::Allocation MauiScheduler::try_allocate(
+    std::vector<NodeView>& nodes, const torque::ResourceRequest& req) const {
+  Allocation alloc;
+  std::vector<std::size_t> compute_idx;
+  std::vector<std::size_t> accel_idx;
+  for (std::size_t i = 0;
+       i < nodes.size() &&
+       (static_cast<int>(compute_idx.size()) < req.nodes ||
+        static_cast<int>(accel_idx.size()) < req.total_accelerators());
+       ++i) {
+    const auto& n = nodes[i];
+    if (n.kind == torque::NodeKind::kCompute &&
+        static_cast<int>(compute_idx.size()) < req.nodes &&
+        n.free >= req.ppn) {
+      compute_idx.push_back(i);
+    } else if (n.kind == torque::NodeKind::kAccelerator &&
+               static_cast<int>(accel_idx.size()) <
+                   req.total_accelerators() &&
+               n.free >= 1) {
+      accel_idx.push_back(i);
+    }
+  }
+  if (static_cast<int>(compute_idx.size()) < req.nodes ||
+      static_cast<int>(accel_idx.size()) < req.total_accelerators()) {
+    return alloc;  // not ok
+  }
+  for (auto i : compute_idx) {
+    nodes[i].free -= req.ppn;
+    alloc.compute.push_back(nodes[i].hostname);
+  }
+  for (auto i : accel_idx) {
+    nodes[i].free -= 1;
+    alloc.accel.push_back(nodes[i].hostname);
+  }
+  alloc.ok = true;
+  return alloc;
+}
+
+std::vector<std::string> MauiScheduler::try_allocate_dyn(
+    std::vector<NodeView>& nodes, torque::NodeKind kind, int count) const {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0;
+       i < nodes.size() && static_cast<int>(idx.size()) < count; ++i) {
+    if (nodes[i].kind == kind && nodes[i].free >= 1) {
+      idx.push_back(i);
+    }
+  }
+  if (static_cast<int>(idx.size()) < count) return {};
+  std::vector<std::string> hosts;
+  for (auto i : idx) {
+    nodes[i].free -= 1;
+    hosts.push_back(nodes[i].hostname);
+  }
+  return hosts;
+}
+
+bool MauiScheduler::send_run_job(vnet::Process& proc, torque::JobId id,
+                                 const Allocation& alloc) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put_string_vector(alloc.compute);
+  w.put_string_vector(alloc.accel);
+  try {
+    (void)torque::rpc::call(proc, config_.server, torque::MsgType::kRunJob,
+                    std::move(w).take());
+  } catch (const torque::rpc::CallError& e) {
+    kLog.warn("run_job {} not applied: {}", id, e.what());
+    return false;
+  }
+  jobs_started_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MauiScheduler::schedule_static(vnet::Process& proc,
+                                    const torque::QueueSnapshot& snap,
+                                    std::vector<NodeView>& nodes) {
+  std::vector<const torque::JobInfo*> queued;
+  std::vector<const torque::JobInfo*> running;
+  for (const auto& j : snap.jobs) {
+    if (j.state == torque::JobState::kQueued) queued.push_back(&j);
+    if (j.state == torque::JobState::kRunning ||
+        j.state == torque::JobState::kDynQueued) {
+      running.push_back(&j);
+    }
+  }
+  if (queued.empty()) return;
+
+  // Prioritization phase: Maui evaluates every queued job each cycle (this
+  // per-job cost is what delays a mid-cycle dynamic request — Figure 8).
+  if (config_.timing.sched_job_eval_cost.count() > 0) {
+    std::this_thread::sleep_for(queued.size() *
+                                config_.timing.sched_job_eval_cost);
+  }
+
+  switch (config_.policy) {
+    case Policy::kFifo:
+      std::sort(queued.begin(), queued.end(),
+                [](const torque::JobInfo* a, const torque::JobInfo* b) {
+                  return a->submit_time != b->submit_time
+                             ? a->submit_time < b->submit_time
+                             : a->id < b->id;
+                });
+      break;
+    case Policy::kPriority:
+    case Policy::kBackfill:
+      std::sort(queued.begin(), queued.end(),
+                [&](const torque::JobInfo* a, const torque::JobInfo* b) {
+                  const double pa = priority_of(*a, snap.now);
+                  const double pb = priority_of(*b, snap.now);
+                  return pa != pb ? pa > pb : a->id < b->id;
+                });
+      break;
+  }
+
+  bool blocked = false;
+  double shadow_time = 0.0;  // absolute server time the blocked job can start
+
+  for (const auto* job : queued) {
+    if (proc.stop_requested()) throw util::StoppedError();
+    if (!blocked) {
+      auto alloc = try_allocate(nodes, job->spec.resources);
+      if (alloc.ok) {
+        if (send_run_job(proc, job->id, alloc)) {
+          usage_[job->spec.owner] +=
+              job->spec.resources.nodes * walltime_s(*job);
+        }
+        continue;
+      }
+      if (config_.policy != Policy::kBackfill) {
+        if (config_.policy == Policy::kFifo) return;  // strict FIFO blocks
+        continue;  // priority: skip, try the next job
+      }
+      // EASY backfill: reserve for this job and compute its shadow time
+      // from the running jobs' walltime estimates.
+      blocked = true;
+      std::vector<std::pair<double, const torque::JobInfo*>> ends;
+      ends.reserve(running.size());
+      for (const auto* rj : running) {
+        const double start =
+            rj->start_time >= 0.0 ? rj->start_time : snap.now;
+        ends.emplace_back(start + walltime_s(*rj), rj);
+      }
+      std::sort(ends.begin(), ends.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      auto future = nodes;  // copy of the current free view
+      shadow_time = snap.now + 3600.0;  // fallback horizon
+      for (const auto& [end_time, rj] : ends) {
+        // Return the finished job's slots to the view.
+        for (auto& n : future) {
+          const auto held_compute =
+              std::find(rj->compute_hosts.begin(), rj->compute_hosts.end(),
+                        n.hostname) != rj->compute_hosts.end();
+          if (held_compute) n.free += rj->spec.resources.ppn;
+          const auto held_accel =
+              std::find(rj->accel_hosts.begin(), rj->accel_hosts.end(),
+                        n.hostname) != rj->accel_hosts.end() ||
+              std::find(rj->dyn_accel_hosts.begin(),
+                        rj->dyn_accel_hosts.end(),
+                        n.hostname) != rj->dyn_accel_hosts.end();
+          if (held_accel) n.free += 1;
+        }
+        auto probe = future;
+        if (try_allocate(probe, job->spec.resources).ok) {
+          shadow_time = end_time;
+          break;
+        }
+      }
+      continue;
+    }
+    // Backfill candidates behind the reservation: run only if they fit now
+    // and finish before the shadow time (conservative EASY).
+    if (snap.now + walltime_s(*job) > shadow_time) continue;
+    auto alloc = try_allocate(nodes, job->spec.resources);
+    if (!alloc.ok) continue;
+    if (send_run_job(proc, job->id, alloc)) {
+      usage_[job->spec.owner] +=
+          job->spec.resources.nodes * walltime_s(*job);
+      backfilled_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace dac::maui

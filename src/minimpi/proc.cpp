@@ -1,0 +1,380 @@
+#include "minimpi/proc.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace dac::minimpi {
+
+namespace {
+
+const util::Logger kLog("minimpi");
+
+// Internal tags used by collectives on a communicator's collective context.
+constexpr int kTagBarrierArrive = 1;
+constexpr int kTagBarrierGo = 2;
+constexpr int kTagBcast = 3;
+constexpr int kTagGather = 4;
+constexpr int kTagScatter = 5;
+
+template <typename T>
+T apply_op(T a, T b, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return a + b;
+    case ReduceOp::kMin: return std::min(a, b);
+    case ReduceOp::kMax: return std::max(a, b);
+  }
+  return a;
+}
+
+}  // namespace
+
+Proc::Proc(Runtime& runtime, vnet::Process& process,
+           std::unique_ptr<vnet::Endpoint> endpoint, Comm world,
+           std::optional<Comm> parent)
+    : runtime_(runtime),
+      process_(process),
+      endpoint_(std::move(endpoint)),
+      world_(std::move(world)),
+      parent_(std::move(parent)) {
+  self_.context = runtime_.allocate_context();
+  self_.local.members = {endpoint_->address()};
+  self_.rank = 0;
+}
+
+std::unique_ptr<Proc> Proc::make_singleton(Runtime& runtime,
+                                           vnet::Process& process) {
+  auto endpoint = process.open_endpoint();
+  Comm world;
+  world.context = runtime.allocate_context();
+  world.local.members = {endpoint->address()};
+  world.rank = 0;
+  return std::make_unique<Proc>(runtime, process, std::move(endpoint),
+                                std::move(world), std::nullopt);
+}
+
+// ---- point-to-point ------------------------------------------------------
+
+void Proc::send(const Comm& comm, int dst, int tag, util::Bytes data) {
+  send_raw(comm.peer(dst), comm.context, comm.rank, tag, std::move(data));
+}
+
+void Proc::send_control(const vnet::Address& to, int tag, util::Bytes data) {
+  send_raw(to, kControlContext, -1, tag, std::move(data));
+}
+
+void Proc::send_raw(const vnet::Address& to, std::uint32_t context,
+                    int src_rank, int tag, util::Bytes data) {
+  util::ByteWriter w;
+  w.put<std::uint32_t>(context);
+  w.put<std::int32_t>(src_rank);
+  w.put<std::int32_t>(tag);
+  w.put_bytes(data);
+  endpoint_->send(to, kMpiMessageType, std::move(w).take());
+}
+
+Proc::Stored Proc::parse(vnet::Message&& msg) {
+  util::ByteReader r(msg.payload);
+  Stored s;
+  s.context = r.get<std::uint32_t>();
+  s.src_rank = r.get<std::int32_t>();
+  s.tag = r.get<std::int32_t>();
+  s.data = r.get_bytes();
+  s.from = msg.from;
+  return s;
+}
+
+Proc::Stored Proc::recv_stored(
+    const std::function<bool(const Stored&)>& pred) {
+  while (true) {
+    for (auto it = store_.begin(); it != store_.end(); ++it) {
+      if (pred(*it)) {
+        Stored s = std::move(*it);
+        store_.erase(it);
+        return s;
+      }
+    }
+    auto msg = endpoint_->recv();
+    if (!msg) throw util::StoppedError();
+    if (msg->type != kMpiMessageType) {
+      kLog.warn("MPI endpoint received non-MPI message type {}", msg->type);
+      continue;
+    }
+    store_.push_back(parse(std::move(*msg)));
+  }
+}
+
+std::optional<Proc::Stored> Proc::recv_stored_for(
+    const std::function<bool(const Stored&)>& pred,
+    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    for (auto it = store_.begin(); it != store_.end(); ++it) {
+      if (pred(*it)) {
+        Stored s = std::move(*it);
+        store_.erase(it);
+        return s;
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    auto msg = endpoint_->recv_for(std::max(remaining,
+                                            std::chrono::milliseconds(1)));
+    if (!msg) {
+      if (endpoint_->closed()) throw util::StoppedError();
+      continue;  // timeout slice; loop re-checks the deadline
+    }
+    if (msg->type != kMpiMessageType) continue;
+    store_.push_back(parse(std::move(*msg)));
+  }
+}
+
+namespace {
+auto match(std::uint32_t context, int src, int tag) {
+  return [context, src, tag](const Proc::Stored& s) {
+    return s.context == context && (src == kAnySource || s.src_rank == src) &&
+           (tag == kAnyTag || s.tag == tag);
+  };
+}
+}  // namespace
+
+RecvResult Proc::recv(const Comm& comm, int src, int tag) {
+  auto s = recv_stored(match(comm.context, src, tag));
+  return RecvResult{s.src_rank, s.tag, std::move(s.data)};
+}
+
+std::optional<RecvResult> Proc::recv_for(const Comm& comm, int src, int tag,
+                                         std::chrono::milliseconds timeout) {
+  auto s = recv_stored_for(match(comm.context, src, tag), timeout);
+  if (!s) return std::nullopt;
+  return RecvResult{s->src_rank, s->tag, std::move(s->data)};
+}
+
+bool Proc::iprobe(const Comm& comm, int src, int tag) {
+  // Drain whatever already arrived, then scan the store.
+  while (auto msg = endpoint_->try_recv()) {
+    if (msg->type == kMpiMessageType) store_.push_back(parse(std::move(*msg)));
+  }
+  const auto pred = match(comm.context, src, tag);
+  return std::any_of(store_.begin(), store_.end(), pred);
+}
+
+// ---- collectives -----------------------------------------------------------
+
+void Proc::barrier(const Comm& comm) {
+  barrier_on(comm.local, comm.rank, comm.context | kCollectiveBit);
+}
+
+void Proc::barrier_on(const Group& group, int my_pos, std::uint32_t context) {
+  const int n = group.size();
+  if (n <= 1) return;
+  if (my_pos == 0) {
+    for (int r = 1; r < n; ++r) {
+      (void)recv_stored(match(context, r, kTagBarrierArrive));
+    }
+    for (int r = 1; r < n; ++r) {
+      send_raw(group.members[static_cast<std::size_t>(r)], context, 0,
+               kTagBarrierGo, {});
+    }
+  } else {
+    send_raw(group.members[0], context, my_pos, kTagBarrierArrive, {});
+    (void)recv_stored(match(context, 0, kTagBarrierGo));
+  }
+}
+
+void Proc::bcast(const Comm& comm, int root, util::Bytes& data) {
+  const auto ctx = comm.context | kCollectiveBit;
+  if (comm.size() <= 1) return;
+  if (comm.rank == root) {
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == root) continue;
+      send_raw(comm.local.members[static_cast<std::size_t>(r)], ctx, root,
+               kTagBcast, data);
+    }
+  } else {
+    auto s = recv_stored(match(ctx, root, kTagBcast));
+    data = std::move(s.data);
+  }
+}
+
+std::vector<util::Bytes> Proc::gather(const Comm& comm, int root,
+                                      const util::Bytes& contribution) {
+  const auto ctx = comm.context | kCollectiveBit;
+  if (comm.rank != root) {
+    send_raw(comm.local.members[static_cast<std::size_t>(root)], ctx,
+             comm.rank, kTagGather, contribution);
+    return {};
+  }
+  std::vector<util::Bytes> out(static_cast<std::size_t>(comm.size()));
+  out[static_cast<std::size_t>(root)] = contribution;
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == root) continue;
+    auto s = recv_stored(match(ctx, r, kTagGather));
+    out[static_cast<std::size_t>(r)] = std::move(s.data);
+  }
+  return out;
+}
+
+std::vector<util::Bytes> Proc::allgather(const Comm& comm,
+                                         const util::Bytes& contribution) {
+  auto gathered = gather(comm, 0, contribution);
+  util::Bytes packed;
+  if (comm.rank == 0) {
+    util::ByteWriter w;
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(gathered.size()));
+    for (const auto& b : gathered) w.put_bytes(b);
+    packed = std::move(w).take();
+  }
+  bcast(comm, 0, packed);
+  if (comm.rank == 0) return gathered;
+  util::ByteReader r(packed);
+  const auto n = r.get<std::uint32_t>();
+  std::vector<util::Bytes> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.get_bytes());
+  return out;
+}
+
+namespace {
+template <typename T>
+T allreduce_impl(Proc& proc, const Comm& comm, T value, ReduceOp op) {
+  util::ByteWriter w;
+  w.put<T>(value);
+  auto gathered = proc.gather(comm, 0, std::move(w).take());
+  util::Bytes result_buf;
+  if (comm.rank == 0) {
+    T acc = value;
+    bool first = true;
+    for (const auto& b : gathered) {
+      util::ByteReader r(b);
+      const T x = r.get<T>();
+      acc = first ? x : apply_op(acc, x, op);
+      first = false;
+    }
+    util::ByteWriter rw;
+    rw.put<T>(acc);
+    result_buf = std::move(rw).take();
+  }
+  proc.bcast(comm, 0, result_buf);
+  util::ByteReader r(result_buf);
+  return r.get<T>();
+}
+}  // namespace
+
+util::Bytes Proc::scatter(const Comm& comm, int root,
+                          const std::vector<util::Bytes>& parts) {
+  const auto ctx = comm.context | kCollectiveBit;
+  if (comm.rank == root) {
+    if (parts.size() != static_cast<std::size_t>(comm.size())) {
+      throw std::invalid_argument("scatter: need one part per rank");
+    }
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == root) continue;
+      send_raw(comm.local.members[static_cast<std::size_t>(r)], ctx, root,
+               kTagScatter, parts[static_cast<std::size_t>(r)]);
+    }
+    return parts[static_cast<std::size_t>(root)];
+  }
+  auto s = recv_stored(match(ctx, root, kTagScatter));
+  return std::move(s.data);
+}
+
+RecvResult Proc::sendrecv(const Comm& comm, int dst, int send_tag,
+                          util::Bytes data, int src, int recv_tag) {
+  // Sends never block in this implementation, so send-then-recv is
+  // deadlock-free even for symmetric exchanges.
+  send(comm, dst, send_tag, std::move(data));
+  return recv(comm, src, recv_tag);
+}
+
+Proc::Request Proc::irecv(const Comm& comm, int src, int tag) {
+  Request req;
+  req.proc_ = this;
+  req.context_ = comm.context;
+  req.src_ = src;
+  req.tag_ = tag;
+  return req;
+}
+
+bool Proc::Request::test() {
+  if (result_) return true;
+  if (proc_ == nullptr) return false;
+  // Drain whatever already arrived, then scan the store for a match.
+  while (auto msg = proc_->endpoint_->try_recv()) {
+    if (msg->type == kMpiMessageType) {
+      proc_->store_.push_back(parse(std::move(*msg)));
+    }
+  }
+  const auto pred = match(context_, src_, tag_);
+  for (auto it = proc_->store_.begin(); it != proc_->store_.end(); ++it) {
+    if (pred(*it)) {
+      result_ = RecvResult{it->src_rank, it->tag, std::move(it->data)};
+      proc_->store_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+RecvResult Proc::Request::wait() {
+  if (!result_) {
+    auto s = proc_->recv_stored(match(context_, src_, tag_));
+    result_ = RecvResult{s.src_rank, s.tag, std::move(s.data)};
+  }
+  return take();
+}
+
+RecvResult Proc::Request::take() {
+  auto r = std::move(*result_);
+  result_ = RecvResult{r.source, r.tag, {}};  // keep done() true
+  return r;
+}
+
+std::vector<double> Proc::allreduce(const Comm& comm,
+                                    const std::vector<double>& values,
+                                    ReduceOp op) {
+  if (comm.size() <= 1) return values;
+  util::ByteWriter w;
+  w.put_vector<double>(values);
+  auto gathered = gather(comm, 0, std::move(w).take());
+  util::Bytes result_buf;
+  if (comm.rank == 0) {
+    std::vector<double> acc;
+    for (const auto& b : gathered) {
+      util::ByteReader r(b);
+      auto v = r.get_vector<double>();
+      if (acc.empty()) {
+        acc = std::move(v);
+      } else {
+        if (v.size() != acc.size()) {
+          throw std::invalid_argument("allreduce: length mismatch");
+        }
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          acc[i] = apply_op(acc[i], v[i], op);
+        }
+      }
+    }
+    util::ByteWriter rw;
+    rw.put_vector<double>(acc);
+    result_buf = std::move(rw).take();
+  }
+  bcast(comm, 0, result_buf);
+  util::ByteReader r(result_buf);
+  return r.get_vector<double>();
+}
+
+double Proc::allreduce(const Comm& comm, double value, ReduceOp op) {
+  if (comm.size() <= 1) return value;
+  return allreduce_impl(*this, comm, value, op);
+}
+
+std::int64_t Proc::allreduce(const Comm& comm, std::int64_t value,
+                             ReduceOp op) {
+  if (comm.size() <= 1) return value;
+  return allreduce_impl(*this, comm, value, op);
+}
+
+}  // namespace dac::minimpi

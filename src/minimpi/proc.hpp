@@ -1,0 +1,189 @@
+// Proc: the per-process view of the mini-MPI library. One Proc lives in each
+// MPI process (thread) and provides tagged point-to-point messaging,
+// collectives, and the MPI-2 dynamic process management surface the paper's
+// resource-management library is built on: open_port / comm_accept /
+// comm_connect (static allocation), comm_spawn + intercomm_merge (dynamic
+// allocation), and comm_disconnect (accelerator release).
+//
+// MPI processes in this codebase are single-threaded by convention; a Proc
+// must only be used from its owning process thread.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "minimpi/runtime.hpp"
+#include "minimpi/types.hpp"
+#include "vnet/node.hpp"
+
+namespace dac::minimpi {
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+class Proc {
+ public:
+  // Normally constructed by Runtime::launch_*; public for tests and for
+  // singleton processes (e.g. a compute-node job script) that want an MPI
+  // identity without a world launch.
+  Proc(Runtime& runtime, vnet::Process& process,
+       std::unique_ptr<vnet::Endpoint> endpoint, Comm world,
+       std::optional<Comm> parent);
+
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  // Creates a standalone singleton Proc for `process` (world of size 1).
+  static std::unique_ptr<Proc> make_singleton(Runtime& runtime,
+                                              vnet::Process& process);
+
+  [[nodiscard]] Runtime& runtime() { return runtime_; }
+  [[nodiscard]] vnet::Process& process() { return process_; }
+  [[nodiscard]] Comm& world() { return world_; }
+  [[nodiscard]] const Comm& self() const { return self_; }
+  [[nodiscard]] int rank() const { return world_.rank; }
+  [[nodiscard]] int size() const { return world_.size(); }
+  [[nodiscard]] const vnet::Address& address() const {
+    return endpoint_->address();
+  }
+  // Intercommunicator with the spawner, if this world was comm_spawn'ed.
+  [[nodiscard]] std::optional<Comm>& parent_comm() { return parent_; }
+
+  // ---- point-to-point -------------------------------------------------
+  void send(const Comm& comm, int dst, int tag, util::Bytes data);
+  // Raw send on the control context (DPM handshakes; used by the runtime's
+  // spawn wrapper for INIT_DONE).
+  void send_control(const vnet::Address& to, int tag, util::Bytes data);
+  // Blocks until a matching message arrives. Throws util::StoppedError if
+  // the process is killed while waiting.
+  RecvResult recv(const Comm& comm, int src = kAnySource, int tag = kAnyTag);
+  std::optional<RecvResult> recv_for(const Comm& comm, int src, int tag,
+                                     std::chrono::milliseconds timeout);
+  [[nodiscard]] bool iprobe(const Comm& comm, int src = kAnySource,
+                            int tag = kAnyTag);
+
+  // ---- collectives (intra-communicators) -------------------------------
+  void barrier(const Comm& comm);
+  // On the root, `data` is the input; on other ranks it receives the result.
+  void bcast(const Comm& comm, int root, util::Bytes& data);
+  // Root receives size() buffers in rank order; others get an empty vector.
+  std::vector<util::Bytes> gather(const Comm& comm, int root,
+                                  const util::Bytes& contribution);
+  std::vector<util::Bytes> allgather(const Comm& comm,
+                                     const util::Bytes& contribution);
+  // On the root, `parts` must have size() entries (rank order); every rank
+  // returns its own part.
+  util::Bytes scatter(const Comm& comm, int root,
+                      const std::vector<util::Bytes>& parts);
+  double allreduce(const Comm& comm, double value, ReduceOp op);
+  std::int64_t allreduce(const Comm& comm, std::int64_t value, ReduceOp op);
+  // Element-wise reduction over equal-length vectors.
+  std::vector<double> allreduce(const Comm& comm,
+                                const std::vector<double>& values,
+                                ReduceOp op);
+  // Combined send+recv, deadlock-free between pairs.
+  RecvResult sendrecv(const Comm& comm, int dst, int send_tag,
+                      util::Bytes data, int src, int recv_tag);
+
+  // ---- nonblocking operations -----------------------------------------
+  // Sends in this implementation never block, so isend == send; provided
+  // for symmetry with MPI code.
+  void isend(const Comm& comm, int dst, int tag, util::Bytes data) {
+    send(comm, dst, tag, std::move(data));
+  }
+  // Posts a receive; completion is observed through the returned request.
+  // Requests belong to this Proc and must be completed (wait / successful
+  // test) on the owning process thread, in any order.
+  class Request {
+   public:
+    Request() = default;
+    // Nonblocking completion check; idempotent once satisfied.
+    [[nodiscard]] bool test();
+    // Blocks until the message arrives.
+    RecvResult wait();
+    [[nodiscard]] bool done() const { return result_.has_value(); }
+    // Valid after done(); take() moves the payload out.
+    RecvResult take();
+
+   private:
+    friend class Proc;
+    Proc* proc_ = nullptr;
+    std::uint32_t context_ = kControlContext;
+    int src_ = kAnySource;
+    int tag_ = kAnyTag;
+    std::optional<RecvResult> result_;
+  };
+  Request irecv(const Comm& comm, int src = kAnySource, int tag = kAnyTag);
+
+  // ---- dynamic process management ---------------------------------------
+  // Publishes this process's address under a fresh unique port name.
+  std::string open_port();
+  // Publishes under a caller-chosen name (the paper's "port file").
+  void publish_port(const std::string& name);
+
+  // Collective over `comm`. The root waits for one connect request on
+  // `port`; returns the inter-communicator with the connecting group.
+  Comm comm_accept(const std::string& port, const Comm& comm, int root);
+  // Collective over `comm`. The root must resolve `port` (retrying until
+  // `timeout` for the accept side to publish); returns the intercomm.
+  Comm comm_connect(const std::string& port, const Comm& comm, int root,
+                    std::chrono::milliseconds timeout =
+                        std::chrono::milliseconds(10000));
+
+  // Collective over `comm`: launches `n = placement.size()` processes of
+  // `executable` and returns the inter-communicator with them. The root
+  // performs the launch and blocks until every child has initialized (sent
+  // INIT_DONE), as MPI_Comm_spawn does. If `handle_out` is non-null the
+  // root stores the world handle there (needed to join/stop children).
+  Comm comm_spawn(const Comm& comm, int root, const std::string& executable,
+                  const util::Bytes& args,
+                  const std::vector<vnet::NodeId>& placement,
+                  WorldHandle* handle_out = nullptr,
+                  const LaunchOptions& opts = {});
+
+  // Collective over the intercomm (both groups). Orders the low group
+  // (high == false) before the high group, as MPI_Intercomm_merge.
+  Comm intercomm_merge(const Comm& intercomm, bool high);
+
+  // Collective: synchronizes both sides, after which the communicator must
+  // not be used.
+  void disconnect(const Comm& comm);
+
+  // A received-but-unmatched message. Public so matching predicates can be
+  // written outside the class; not part of the stable API.
+  struct Stored {
+    std::uint32_t context;
+    int src_rank;
+    int tag;
+    vnet::Address from;
+    util::Bytes data;
+  };
+
+ private:
+  void send_raw(const vnet::Address& to, std::uint32_t context, int src_rank,
+                int tag, util::Bytes data);
+  // Pulls from the endpoint into the store until `pred` matches; returns the
+  // matching entry. Throws util::StoppedError when the endpoint closes.
+  Stored recv_stored(const std::function<bool(const Stored&)>& pred);
+  std::optional<Stored> recv_stored_for(
+      const std::function<bool(const Stored&)>& pred,
+      std::chrono::milliseconds timeout);
+  static Stored parse(vnet::Message&& msg);
+
+  // Collective-context view of a communicator (or of an intercomm treated as
+  // the future merged intracomm for merge/disconnect synchronization).
+  void barrier_on(const Group& group, int my_pos, std::uint32_t context);
+
+  Runtime& runtime_;
+  vnet::Process& process_;
+  std::unique_ptr<vnet::Endpoint> endpoint_;
+  Comm world_;
+  Comm self_;
+  std::optional<Comm> parent_;
+  std::deque<Stored> store_;
+};
+
+}  // namespace dac::minimpi

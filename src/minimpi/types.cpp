@@ -1,0 +1,26 @@
+#include "minimpi/types.hpp"
+
+namespace dac::minimpi {
+
+void put_group(util::ByteWriter& w, const Group& g) {
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(g.members.size()));
+  for (const auto& a : g.members) {
+    w.put<std::int32_t>(a.node);
+    w.put<std::int32_t>(a.port);
+  }
+}
+
+Group get_group(util::ByteReader& r) {
+  const auto n = r.get<std::uint32_t>();
+  Group g;
+  g.members.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    vnet::Address a;
+    a.node = r.get<std::int32_t>();
+    a.port = r.get<std::int32_t>();
+    g.members.push_back(a);
+  }
+  return g;
+}
+
+}  // namespace dac::minimpi

@@ -1,0 +1,78 @@
+// Core types of the mini-MPI substrate: groups, communicators, receive
+// results, and the wire constants shared by proc.cpp / collectives /
+// dynamic process management. Semantics follow the MPI primitives the
+// paper's resource-management library is defined in terms of.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "vnet/message.hpp"
+
+namespace dac::minimpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+// vnet Message.type for all MPI traffic.
+inline constexpr std::uint32_t kMpiMessageType = 0x4D504900;  // "MPI\0"
+
+// Context id space. 0 is the control context used by DPM handshakes
+// (connect/accept, spawn INIT_DONE). User communicators get even ids >= 16;
+// id+1 is reserved for the communicator derived by intercomm_merge. The high
+// bit separates collective traffic from point-to-point on the same
+// communicator, as real MPI implementations do.
+inline constexpr std::uint32_t kControlContext = 0;
+inline constexpr std::uint32_t kCollectiveBit = 0x8000'0000u;
+inline constexpr std::uint32_t kFirstUserContext = 16;
+
+// Internal tags on the control context.
+inline constexpr int kTagConnectReq = 1;
+inline constexpr int kTagConnectAck = 2;
+inline constexpr int kTagConnectNack = 3;
+inline constexpr int kTagInitDone = 4;
+
+struct Group {
+  std::vector<vnet::Address> members;  // rank order
+
+  [[nodiscard]] int size() const { return static_cast<int>(members.size()); }
+  [[nodiscard]] int rank_of(const vnet::Address& addr) const {
+    for (int r = 0; r < size(); ++r) {
+      if (members[static_cast<std::size_t>(r)] == addr) return r;
+    }
+    return -1;
+  }
+};
+
+// A communicator. For an intra-communicator `remote` is empty and ranks
+// address `local`; for an inter-communicator sends/recvs address the remote
+// group, as in MPI.
+struct Comm {
+  std::uint32_t context = kControlContext;
+  Group local;
+  Group remote;
+  int rank = -1;  // my rank within `local`
+
+  [[nodiscard]] bool is_inter() const { return !remote.members.empty(); }
+  [[nodiscard]] int size() const { return local.size(); }
+  [[nodiscard]] int remote_size() const { return remote.size(); }
+  [[nodiscard]] const vnet::Address& peer(int dst_rank) const {
+    const auto& g = is_inter() ? remote : local;
+    return g.members[static_cast<std::size_t>(dst_rank)];
+  }
+};
+
+struct RecvResult {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  util::Bytes data;
+};
+
+// Serialization helpers for groups (used in DPM handshakes and by higher
+// layers that ship communicator membership in job payloads).
+void put_group(util::ByteWriter& w, const Group& g);
+Group get_group(util::ByteReader& r);
+
+}  // namespace dac::minimpi

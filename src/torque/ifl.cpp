@@ -1,0 +1,113 @@
+#include "torque/ifl.hpp"
+
+#include <thread>
+
+#include "torque/rpc.hpp"
+
+namespace dac::torque {
+
+Ifl::Ifl(vnet::Node& node, vnet::Address server)
+    : node_(node), server_(server) {}
+
+Ifl::Ifl(vnet::Process& proc, vnet::Address server)
+    : node_(proc.node()), proc_(&proc), server_(server) {}
+
+util::Bytes Ifl::call(MsgType type, util::Bytes body,
+                      std::chrono::milliseconds timeout) {
+  if (proc_ != nullptr) {
+    return rpc::call(*proc_, server_, type, std::move(body), timeout);
+  }
+  return rpc::call(node_, server_, type, std::move(body), timeout);
+}
+
+JobId Ifl::submit(const JobSpec& spec) {
+  util::ByteWriter w;
+  put_job_spec(w, spec);
+  auto reply = call(MsgType::kSubmit, std::move(w).take(),
+                    rpc::kDefaultTimeout);
+  util::ByteReader r(reply);
+  return r.get<std::uint64_t>();
+}
+
+std::vector<JobInfo> Ifl::stat_jobs() {
+  auto reply = call(MsgType::kStatJobs, {}, rpc::kDefaultTimeout);
+  util::ByteReader r(reply);
+  const auto n = r.get<std::uint32_t>();
+  std::vector<JobInfo> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_job_info(r));
+  return out;
+}
+
+std::optional<JobInfo> Ifl::stat_job(JobId id) {
+  for (auto& j : stat_jobs()) {
+    if (j.id == id) return j;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeStatus> Ifl::stat_nodes() {
+  auto reply = call(MsgType::kStatNodes, {}, rpc::kDefaultTimeout);
+  util::ByteReader r(reply);
+  const auto n = r.get<std::uint32_t>();
+  std::vector<NodeStatus> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(get_node_status(r));
+  return out;
+}
+
+void Ifl::alter_job(JobId id, const Alter& alter) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put_bool(alter.priority.has_value());
+  if (alter.priority) w.put<std::int32_t>(*alter.priority);
+  w.put_bool(alter.walltime.has_value());
+  if (alter.walltime) w.put<std::int64_t>(alter.walltime->count());
+  w.put_bool(alter.name.has_value());
+  if (alter.name) w.put_string(*alter.name);
+  (void)call(MsgType::kAlterJob, std::move(w).take(), rpc::kDefaultTimeout);
+}
+
+void Ifl::delete_job(JobId id) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  (void)call(MsgType::kDeleteJob, std::move(w).take(), rpc::kDefaultTimeout);
+}
+
+DynGetReply Ifl::dynget(JobId id, int count, int min_count, NodeKind kind,
+                        std::chrono::milliseconds timeout) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put<std::int32_t>(count);
+  w.put<std::int32_t>(min_count);
+  w.put_enum(kind);
+  auto reply = call(MsgType::kDynGet, std::move(w).take(), timeout);
+  util::ByteReader r(reply);
+  return get_dynget_reply(r);
+}
+
+void Ifl::dynfree(JobId id, std::uint64_t client_id) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put<std::uint64_t>(client_id);
+  (void)call(MsgType::kDynFree, std::move(w).take(), rpc::kDefaultTimeout);
+}
+
+std::optional<JobInfo> Ifl::wait_for_state(JobId id, JobState state,
+                                           std::chrono::milliseconds timeout,
+                                           std::chrono::milliseconds poll) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto info = stat_job(id);
+    if (info) {
+      if (info->state == state) return info;
+      const bool terminal = info->state == JobState::kComplete ||
+                            info->state == JobState::kCancelled;
+      if (terminal) return info;
+    }
+    std::this_thread::sleep_for(poll);
+  }
+  return std::nullopt;
+}
+
+}  // namespace dac::torque

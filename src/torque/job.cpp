@@ -1,0 +1,81 @@
+#include "torque/job.hpp"
+
+namespace dac::torque {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "Q";
+    case JobState::kDynQueued: return "DQ";
+    case JobState::kRunning: return "R";
+    case JobState::kExiting: return "E";
+    case JobState::kComplete: return "C";
+    case JobState::kCancelled: return "X";
+  }
+  return "?";
+}
+
+void put_resource_request(util::ByteWriter& w, const ResourceRequest& r) {
+  w.put<std::int32_t>(r.nodes);
+  w.put<std::int32_t>(r.ppn);
+  w.put<std::int32_t>(r.acpn);
+  w.put<std::int64_t>(r.walltime.count());
+}
+
+ResourceRequest get_resource_request(util::ByteReader& r) {
+  ResourceRequest out;
+  out.nodes = r.get<std::int32_t>();
+  out.ppn = r.get<std::int32_t>();
+  out.acpn = r.get<std::int32_t>();
+  out.walltime = std::chrono::milliseconds(r.get<std::int64_t>());
+  return out;
+}
+
+void put_job_spec(util::ByteWriter& w, const JobSpec& s) {
+  w.put_string(s.name);
+  w.put_string(s.owner);
+  w.put_string(s.program);
+  w.put_bytes(s.program_args);
+  put_resource_request(w, s.resources);
+  w.put<std::int32_t>(s.priority);
+}
+
+JobSpec get_job_spec(util::ByteReader& r) {
+  JobSpec out;
+  out.name = r.get_string();
+  out.owner = r.get_string();
+  out.program = r.get_string();
+  out.program_args = r.get_bytes();
+  out.resources = get_resource_request(r);
+  out.priority = r.get<std::int32_t>();
+  return out;
+}
+
+void put_job_info(util::ByteWriter& w, const JobInfo& j) {
+  w.put<std::uint64_t>(j.id);
+  put_job_spec(w, j.spec);
+  w.put_enum(j.state);
+  w.put_string_vector(j.compute_hosts);
+  w.put_string_vector(j.accel_hosts);
+  w.put_string_vector(j.dyn_accel_hosts);
+  w.put<double>(j.submit_time);
+  w.put<double>(j.start_time);
+  w.put<double>(j.end_time);
+  w.put<std::int32_t>(j.exit_status);
+}
+
+JobInfo get_job_info(util::ByteReader& r) {
+  JobInfo out;
+  out.id = r.get<std::uint64_t>();
+  out.spec = get_job_spec(r);
+  out.state = r.get_enum<JobState>();
+  out.compute_hosts = r.get_string_vector();
+  out.accel_hosts = r.get_string_vector();
+  out.dyn_accel_hosts = r.get_string_vector();
+  out.submit_time = r.get<double>();
+  out.start_time = r.get<double>();
+  out.end_time = r.get<double>();
+  out.exit_status = r.get<std::int32_t>();
+  return out;
+}
+
+}  // namespace dac::torque

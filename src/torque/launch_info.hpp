@@ -1,0 +1,68 @@
+// What the mother superior hands to each rank of a starting job script: the
+// job identity, the program to run, the batch environment (server and MS
+// addresses) and the statically allocated host sets. The core job wrapper
+// deserializes this and builds the JobContext the user program sees.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "torque/job.hpp"
+#include "torque/server.hpp"
+
+namespace dac::torque {
+
+struct JobLaunchInfo {
+  JobId job = kInvalidJob;
+  std::string program;
+  util::Bytes program_args;
+  int nodes = 1;
+  int ppn = 1;
+  int acpn = 0;
+  vnet::Address server;
+  vnet::Address ms_mom;
+  std::vector<HostRef> compute_hosts;
+  // Static accelerator hosts, k * acpn entries; the slice
+  // [i*acpn, (i+1)*acpn) belongs to compute node i.
+  std::vector<HostRef> accel_hosts;
+};
+
+inline void put_launch_info(util::ByteWriter& w, const JobLaunchInfo& info) {
+  w.put<std::uint64_t>(info.job);
+  w.put_string(info.program);
+  w.put_bytes(info.program_args);
+  w.put<std::int32_t>(info.nodes);
+  w.put<std::int32_t>(info.ppn);
+  w.put<std::int32_t>(info.acpn);
+  w.put<std::int32_t>(info.server.node);
+  w.put<std::int32_t>(info.server.port);
+  w.put<std::int32_t>(info.ms_mom.node);
+  w.put<std::int32_t>(info.ms_mom.port);
+  put_host_refs(w, info.compute_hosts);
+  put_host_refs(w, info.accel_hosts);
+}
+
+inline JobLaunchInfo get_launch_info(util::ByteReader& r) {
+  JobLaunchInfo info;
+  info.job = r.get<std::uint64_t>();
+  info.program = r.get_string();
+  info.program_args = r.get_bytes();
+  info.nodes = r.get<std::int32_t>();
+  info.ppn = r.get<std::int32_t>();
+  info.acpn = r.get<std::int32_t>();
+  info.server.node = r.get<std::int32_t>();
+  info.server.port = r.get<std::int32_t>();
+  info.ms_mom.node = r.get<std::int32_t>();
+  info.ms_mom.port = r.get<std::int32_t>();
+  info.compute_hosts = get_host_refs(r);
+  info.accel_hosts = get_host_refs(r);
+  return info;
+}
+
+// Port name under which the static accelerator daemons of compute node
+// `cn_index` of `job` publish their root address (the paper's "port file").
+inline std::string static_ac_port_name(JobId job, int cn_index) {
+  return "acport-" + std::to_string(job) + "-" + std::to_string(cn_index);
+}
+
+}  // namespace dac::torque

@@ -1,0 +1,428 @@
+#include "torque/mom.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace dac::torque {
+
+namespace {
+const util::Logger kLog("pbs_mom");
+
+util::Bytes job_id_body(JobId id) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  return std::move(w).take();
+}
+}  // namespace
+
+PbsMom::PbsMom(vnet::Node& node, MomConfig config, minimpi::Runtime& runtime,
+               TaskRegistry& tasks)
+    : node_(node), config_(std::move(config)), runtime_(runtime),
+      tasks_(tasks) {}
+
+void PbsMom::apply_join_cost() const {
+  if (config_.timing.mom_join_cost.count() > 0) {
+    std::this_thread::sleep_for(config_.timing.mom_join_cost);
+  }
+}
+
+void PbsMom::notify_server(MsgType type, util::Bytes body) {
+  rpc::notify(*endpoint_, config_.server, type, std::move(body));
+}
+
+void PbsMom::run(vnet::Process& proc) {
+  endpoint_ = proc.open_endpoint();
+
+  NodeStatus status;
+  status.hostname = node_.hostname();
+  status.node_id = node_.id();
+  status.kind = config_.kind;
+  status.np = config_.np;
+  status.mom_addr = endpoint_->address();
+  util::ByteWriter w;
+  put_node_status(w, status);
+  try {
+    (void)rpc::call(proc, config_.server, MsgType::kRegisterNode,
+                    std::move(w).take());
+  } catch (const util::StoppedError&) {
+    return;
+  }
+  kLog.info("mom on '{}' registered", node_.hostname());
+
+  util::ByteWriter hb;
+  hb.put_string(node_.hostname());
+  const auto heartbeat_body = hb.bytes();
+  auto last_heartbeat = std::chrono::steady_clock::now();
+  const auto heartbeat_due = [&] {
+    return std::chrono::steady_clock::now() - last_heartbeat >=
+           config_.timing.mom_heartbeat_interval;
+  };
+  const auto send_heartbeat = [&] {
+    rpc::notify(*endpoint_, config_.server, MsgType::kMomHeartbeat,
+                heartbeat_body);
+    last_heartbeat = std::chrono::steady_clock::now();
+  };
+
+  while (true) {
+    auto msg = endpoint_->recv_for(config_.timing.mom_heartbeat_interval);
+    if (!msg) {
+      if (endpoint_->closed()) break;
+      // Idle: report liveness to the server (fault-tolerance extension)
+      // and enforce walltime limits on jobs we mother-superior.
+      send_heartbeat();
+      enforce_walltime(proc);
+      continue;
+    }
+    try {
+      dispatch(proc, rpc::parse_request(*msg));
+    } catch (const util::StoppedError&) {
+      break;
+    } catch (const std::exception& e) {
+      kLog.error("mom '{}': dispatch failed: {}", node_.hostname(), e.what());
+    }
+    // A busy mom must not look dead: keep heartbeating between messages.
+    if (heartbeat_due()) send_heartbeat();
+  }
+}
+
+void PbsMom::dispatch(vnet::Process& proc, const rpc::Request& req) {
+  switch (req.type) {
+    case MsgType::kMomRunJob: return on_run_job(proc, req);
+    case MsgType::kMomDynAdd: return on_dyn_add(proc, req);
+    case MsgType::kMomRelease: return on_release(proc, req);
+    case MsgType::kMomKillJob: return on_kill_job(proc, req);
+    case MsgType::kTaskDone: return on_task_done(proc, req);
+    case MsgType::kJoinJob: return on_join(req);
+    case MsgType::kDynJoinJob: return on_dynjoin(req);
+    case MsgType::kDisjoinJob: return on_disjoin(req);
+    case MsgType::kJobUpdate: return on_job_update(req);
+    default:
+      rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
+                       "mom: unknown request type");
+  }
+}
+
+// --------------------------------------------------------- mother superior
+
+void PbsMom::on_run_job(vnet::Process& proc, const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  MomJob job;
+  job.info = get_job_info(r);
+  job.hosts = get_host_refs(r);
+  job.is_ms = true;
+  job.started = std::chrono::steady_clock::now();
+  const auto id = job.info.id;
+  kLog.info("MS '{}': starting job {}", node_.hostname(), id);
+
+  // 1. JOIN_JOB with every other mom of the job (paper Figure 5).
+  util::ByteWriter join_body;
+  put_job_info(join_body, job.info);
+  put_host_refs(join_body, job.hosts);
+  const auto join_bytes = join_body.bytes();
+  for (const auto& h : job.hosts) {
+    if (h.node == node_.id()) continue;
+    (void)rpc::call(proc, h.mom, MsgType::kJoinJob, join_bytes);
+  }
+
+  const int k = job.info.spec.resources.nodes;
+  const int acpn = job.info.spec.resources.acpn;
+
+  // 2. Start the accelerator daemons: one MPI world per compute node's
+  // accelerator set, publishing the per-CN port (paper §III-C).
+  for (int cn = 0; cn < k && acpn > 0; ++cn) {
+    std::vector<vnet::NodeId> placement;
+    util::ByteWriter args;
+    args.put_string(static_ac_port_name(id, cn));
+    args.put<std::uint64_t>(id);
+    for (int a = 0; a < acpn; ++a) {
+      const auto& ref =
+          job.hosts[static_cast<std::size_t>(k + cn * acpn + a)];
+      placement.push_back(ref.node);
+    }
+    minimpi::LaunchOptions opts;
+    opts.proc_name = "acdaemon-j" + std::to_string(id);
+    opts.start_delay = config_.timing.static_daemon_start_delay;
+    opts.start_stagger = config_.timing.static_daemon_start_stagger;
+    auto handle = runtime_.launch_world(config_.ac_daemon_exe, placement,
+                                        std::move(args).take(), opts);
+    for (std::size_t i = 0; i < handle.processes.size(); ++i) {
+      tasks_.add(id, placement[i], handle.processes[i]);
+    }
+  }
+
+  // 3. Start the job script on the compute nodes.
+  JobLaunchInfo launch;
+  launch.job = id;
+  launch.program = job.info.spec.program;
+  launch.program_args = job.info.spec.program_args;
+  launch.nodes = k;
+  launch.ppn = job.info.spec.resources.ppn;
+  launch.acpn = acpn;
+  launch.server = config_.server;
+  launch.ms_mom = endpoint_->address();
+  launch.compute_hosts.assign(job.hosts.begin(),
+                              job.hosts.begin() + k);
+  launch.accel_hosts.assign(job.hosts.begin() + k, job.hosts.end());
+
+  std::vector<vnet::NodeId> cn_placement;
+  for (int i = 0; i < k; ++i) {
+    cn_placement.push_back(job.hosts[static_cast<std::size_t>(i)].node);
+  }
+  util::ByteWriter wargs;
+  put_launch_info(wargs, launch);
+  minimpi::LaunchOptions jopts;
+  jopts.proc_name = "job" + std::to_string(id);
+  jopts.start_delay = config_.timing.job_start_delay;
+  jopts.env = {{"PBS_JOBID", std::to_string(id)}};
+  auto handle = runtime_.launch_world(config_.job_wrapper_exe, cn_placement,
+                                      std::move(wargs).take(), jopts);
+  for (std::size_t i = 0; i < handle.processes.size(); ++i) {
+    tasks_.add(id, cn_placement[i], handle.processes[i]);
+  }
+
+  jobs_[id] = std::move(job);
+  notify_server(MsgType::kJobStarted, job_id_body(id));
+}
+
+void PbsMom::on_dyn_add(vnet::Process& proc, const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  const auto dyn_id = r.get<std::uint64_t>();
+  const auto client_id = r.get<std::uint64_t>();
+  auto new_hosts = get_host_refs(r);
+
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    kLog.warn("MS '{}': dyn add for unknown job {}", node_.hostname(),
+              job_id);
+    return;
+  }
+  auto& job = it->second;
+
+  // DYNJOIN_JOB with each newly allocated accelerator mom (paper Figure 6).
+  util::ByteWriter body;
+  body.put<std::uint64_t>(job_id);
+  body.put<std::uint64_t>(client_id);
+  put_host_refs(body, new_hosts);
+  const auto body_bytes = body.bytes();
+  for (const auto& h : new_hosts) {
+    if (h.node == node_.id()) continue;  // our own record is updated below
+    (void)rpc::call(proc, h.mom, MsgType::kDynJoinJob, body_bytes);
+  }
+
+  // Update the existing moms' databases with the addition.
+  for (const auto& h : job.hosts) {
+    if (h.node == node_.id()) continue;
+    rpc::notify(*endpoint_, h.mom, MsgType::kJobUpdate, body_bytes);
+  }
+
+  job.dyn_sets[client_id] = new_hosts;
+  job.hosts.insert(job.hosts.end(), new_hosts.begin(), new_hosts.end());
+
+  util::ByteWriter done;
+  done.put<std::uint64_t>(dyn_id);
+  notify_server(MsgType::kMsDynReady, std::move(done).take());
+}
+
+void PbsMom::on_release(vnet::Process& proc, const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  const auto client_id = r.get<std::uint64_t>();
+  auto hosts = get_host_refs(r);
+
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  auto& job = it->second;
+
+  // DISJOIN_JOB: the departing moms kill any remaining daemon tasks and
+  // drop their membership (paper §III-D).
+  util::ByteWriter body;
+  body.put<std::uint64_t>(job_id);
+  body.put<std::uint64_t>(client_id);
+  const auto body_bytes = body.bytes();
+  for (const auto& h : hosts) {
+    if (h.node == node_.id()) {
+      // Releasing a set that includes this (mother superior) node: handle
+      // locally instead of calling ourselves.
+      tasks_.kill_node_tasks(job_id, node_.id(), client_id);
+      continue;
+    }
+    (void)rpc::call(proc, h.mom, MsgType::kDisjoinJob, body_bytes);
+  }
+
+  // Drop the released hosts from the job's membership (at most one entry
+  // per released host, so a node the job also holds statically survives)
+  // and tell the others.
+  for (const auto& g : hosts) {
+    auto it2 = std::find_if(job.hosts.begin(), job.hosts.end(),
+                            [&](const HostRef& h) {
+                              return h.hostname == g.hostname;
+                            });
+    if (it2 != job.hosts.end()) job.hosts.erase(it2);
+  }
+  job.dyn_sets.erase(client_id);
+  util::ByteWriter upd;
+  upd.put<std::uint64_t>(job_id);
+  upd.put<std::uint64_t>(client_id);
+  put_host_refs(upd, hosts);
+  for (const auto& h : job.hosts) {
+    if (h.node == node_.id()) continue;
+    rpc::notify(*endpoint_, h.mom, MsgType::kJobUpdate, upd.bytes());
+  }
+
+  util::ByteWriter done;
+  done.put<std::uint64_t>(job_id);
+  done.put<std::uint64_t>(client_id);
+  notify_server(MsgType::kMsReleaseDone, std::move(done).take());
+}
+
+void PbsMom::on_kill_job(vnet::Process& proc, const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    // Not the MS (or unknown): kill whatever runs locally.
+    tasks_.kill_node_tasks(job_id, node_.id());
+    return;
+  }
+  teardown_job(proc, it->second, /*kill_tasks=*/true);
+  jobs_.erase(it);
+}
+
+void PbsMom::on_task_done(vnet::Process& proc, const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  const auto rank = r.get<std::int32_t>();
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  auto& job = it->second;
+  ++job.tasks_done;
+  kLog.debug("MS '{}': job {} rank {} done ({}/{})", node_.hostname(), job_id,
+             rank, job.tasks_done, job.info.spec.resources.nodes);
+  if (job.tasks_done < job.info.spec.resources.nodes) return;
+  teardown_job(proc, job, /*kill_tasks=*/true);
+  util::ByteWriter w;
+  w.put<std::uint64_t>(job_id);
+  w.put<std::int32_t>(kExitOk);
+  notify_server(MsgType::kJobComplete, std::move(w).take());
+  jobs_.erase(it);
+}
+
+void PbsMom::enforce_walltime(vnet::Process& proc) {
+  if (!config_.enforce_walltime) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    auto& job = it->second;
+    const bool over =
+        job.is_ms && job.info.spec.resources.walltime.count() > 0 &&
+        now - job.started > job.info.spec.resources.walltime;
+    if (!over) {
+      ++it;
+      continue;
+    }
+    const auto id = job.info.id;
+    kLog.warn("MS '{}': job {} exceeded its walltime, killing it",
+              node_.hostname(), id);
+    teardown_job(proc, job, /*kill_tasks=*/true);
+    util::ByteWriter w;
+    w.put<std::uint64_t>(id);
+    w.put<std::int32_t>(kExitWalltime);
+    notify_server(MsgType::kJobComplete, std::move(w).take());
+    it = jobs_.erase(it);
+  }
+}
+
+void PbsMom::teardown_job(vnet::Process& proc, MomJob& job, bool kill_tasks) {
+  const auto id = job.info.id;
+  util::ByteWriter body;
+  body.put<std::uint64_t>(id);
+  body.put<std::uint64_t>(0);  // client id 0: whole job
+  const auto body_bytes = body.bytes();
+  for (const auto& h : job.hosts) {
+    if (h.node == node_.id()) continue;
+    try {
+      (void)rpc::call(proc, h.mom, MsgType::kDisjoinJob, body_bytes);
+    } catch (const std::exception& e) {
+      kLog.warn("MS '{}': DISJOIN to '{}' failed: {}", node_.hostname(),
+                h.hostname, e.what());
+    }
+  }
+  if (kill_tasks) tasks_.kill_node_tasks(id, node_.id());
+  kLog.info("MS '{}': job {} torn down", node_.hostname(), id);
+}
+
+// ------------------------------------------------------------------ sister
+
+void PbsMom::on_join(const rpc::Request& req) {
+  apply_join_cost();
+  util::ByteReader r(req.body);
+  MomJob job;
+  job.info = get_job_info(r);
+  job.hosts = get_host_refs(r);
+  job.is_ms = false;
+  kLog.debug("mom '{}': joined job {}", node_.hostname(), job.info.id);
+  jobs_[job.info.id] = std::move(job);
+  rpc::reply_ok(*endpoint_, req);
+}
+
+void PbsMom::on_dynjoin(const rpc::Request& req) {
+  apply_join_cost();
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  const auto client_id = r.get<std::uint64_t>();
+  auto hosts = get_host_refs(r);
+  auto& job = jobs_[job_id];  // may create a thin record on a new accel mom
+  job.info.id = job_id;
+  job.dyn_sets[client_id] = hosts;
+  kLog.debug("mom '{}': DYNJOIN job {} set {}", node_.hostname(), job_id,
+             client_id);
+  rpc::reply_ok(*endpoint_, req);
+}
+
+void PbsMom::on_disjoin(const rpc::Request& req) {
+  apply_join_cost();
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  const auto client_id = r.get<std::uint64_t>();
+  // Kill the tasks of this job still running here: all of them for a full
+  // disjoin (client 0), only the released set's otherwise — a shared
+  // compute node must not lose the job script itself.
+  tasks_.kill_node_tasks(job_id, node_.id(), client_id);
+  auto it = jobs_.find(job_id);
+  if (it != jobs_.end()) {
+    if (client_id == 0) {
+      jobs_.erase(it);
+    } else {
+      it->second.dyn_sets.erase(client_id);
+    }
+  }
+  kLog.debug("mom '{}': DISJOIN job {} (set {})", node_.hostname(), job_id,
+             client_id);
+  rpc::reply_ok(*endpoint_, req);
+}
+
+void PbsMom::on_job_update(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  const auto client_id = r.get<std::uint64_t>();
+  auto hosts = get_host_refs(r);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  auto& job = it->second;
+  if (job.dyn_sets.contains(client_id)) {
+    // Already known: this update is a release of that set.
+    std::erase_if(job.hosts, [&](const HostRef& h) {
+      return std::any_of(hosts.begin(), hosts.end(), [&](const HostRef& g) {
+        return g.hostname == h.hostname;
+      });
+    });
+    job.dyn_sets.erase(client_id);
+  } else {
+    job.dyn_sets[client_id] = hosts;
+    job.hosts.insert(job.hosts.end(), hosts.begin(), hosts.end());
+  }
+}
+
+}  // namespace dac::torque

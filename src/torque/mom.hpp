@@ -1,0 +1,89 @@
+// The pbs_mom daemon: one per node (compute and accelerator nodes alike).
+// Implements the paper's protocols: as mother superior it JOINs the sister
+// moms, starts the accelerator daemons and the job script, handles dynamic
+// additions (DYNJOIN_JOB) and releases (DISJOIN_JOB), and reports job
+// start/completion to the server. As a sister it tracks membership and kills
+// its local tasks when disassociated.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minimpi/runtime.hpp"
+#include "torque/batch_config.hpp"
+#include "torque/launch_info.hpp"
+#include "torque/node_db.hpp"
+#include "torque/protocol.hpp"
+#include "torque/rpc.hpp"
+#include "torque/task_registry.hpp"
+#include "vnet/node.hpp"
+
+namespace dac::torque {
+
+struct MomConfig {
+  NodeKind kind = NodeKind::kCompute;
+  int np = 8;  // slots advertised to the server
+  vnet::Address server;
+  BatchTiming timing;
+  // The mother superior kills jobs exceeding their requested walltime.
+  bool enforce_walltime = true;
+  // Executable names (registered with the MPI runtime by higher layers).
+  std::string ac_daemon_exe = "dac.acdaemon";
+  std::string job_wrapper_exe = "dac.jobwrapper";
+};
+
+class PbsMom {
+ public:
+  PbsMom(vnet::Node& node, MomConfig config, minimpi::Runtime& runtime,
+         TaskRegistry& tasks);
+
+  PbsMom(const PbsMom&) = delete;
+  PbsMom& operator=(const PbsMom&) = delete;
+
+  // Daemon loop: registers with the server, then serves until stopped.
+  void run(vnet::Process& proc);
+
+ private:
+  struct MomJob {
+    JobInfo info;
+    std::vector<HostRef> hosts;  // every host of the job (computes first)
+    bool is_ms = false;
+    int tasks_done = 0;
+    std::map<std::uint64_t, std::vector<HostRef>> dyn_sets;  // client-id
+    // Local start time, for walltime enforcement by the mother superior.
+    std::chrono::steady_clock::time_point started;
+  };
+
+  void dispatch(vnet::Process& proc, const rpc::Request& req);
+
+  // Mother-superior duties.
+  void on_run_job(vnet::Process& proc, const rpc::Request& req);
+  void on_dyn_add(vnet::Process& proc, const rpc::Request& req);
+  void on_release(vnet::Process& proc, const rpc::Request& req);
+  void on_kill_job(vnet::Process& proc, const rpc::Request& req);
+  void on_task_done(vnet::Process& proc, const rpc::Request& req);
+  void teardown_job(vnet::Process& proc, MomJob& job, bool kill_tasks);
+
+  // Sister duties.
+  void on_join(const rpc::Request& req);
+  void on_dynjoin(const rpc::Request& req);
+  void on_disjoin(const rpc::Request& req);
+  void on_job_update(const rpc::Request& req);
+
+  void apply_join_cost() const;
+  void notify_server(MsgType type, util::Bytes body);
+  // Kills jobs that exceeded their requested walltime (MS duty); runs on
+  // the idle heartbeat tick.
+  void enforce_walltime(vnet::Process& proc);
+
+  vnet::Node& node_;
+  MomConfig config_;
+  minimpi::Runtime& runtime_;
+  TaskRegistry& tasks_;
+  std::unique_ptr<vnet::Endpoint> endpoint_;  // created in run()
+  std::map<JobId, MomJob> jobs_;
+};
+
+}  // namespace dac::torque

@@ -1,0 +1,129 @@
+#include "torque/node_db.hpp"
+
+#include <algorithm>
+
+namespace dac::torque {
+
+void put_node_status(util::ByteWriter& w, const NodeStatus& n) {
+  w.put_string(n.hostname);
+  w.put<std::int32_t>(n.node_id);
+  w.put_enum(n.kind);
+  w.put<std::int32_t>(n.np);
+  w.put<std::int32_t>(n.used);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(n.jobs.size()));
+  for (const auto j : n.jobs) w.put<std::uint64_t>(j);
+  w.put<std::int32_t>(n.mom_addr.node);
+  w.put<std::int32_t>(n.mom_addr.port);
+  w.put_bool(n.up);
+}
+
+NodeStatus get_node_status(util::ByteReader& r) {
+  NodeStatus n;
+  n.hostname = r.get_string();
+  n.node_id = r.get<std::int32_t>();
+  n.kind = r.get_enum<NodeKind>();
+  n.np = r.get<std::int32_t>();
+  n.used = r.get<std::int32_t>();
+  const auto count = r.get<std::uint32_t>();
+  n.jobs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    n.jobs.push_back(r.get<std::uint64_t>());
+  }
+  n.mom_addr.node = r.get<std::int32_t>();
+  n.mom_addr.port = r.get<std::int32_t>();
+  n.up = r.get_bool();
+  return n;
+}
+
+void NodeDb::upsert(NodeStatus status) {
+  auto it = nodes_.find(status.hostname);
+  if (it == nodes_.end()) {
+    Entry e;
+    e.status = std::move(status);
+    nodes_.emplace(e.status.hostname, std::move(e));
+    return;
+  }
+  // Refresh identity fields but keep current assignments. A re-registering
+  // mom also brings the node back up.
+  it->second.status.node_id = status.node_id;
+  it->second.status.kind = status.kind;
+  it->second.status.np = status.np;
+  it->second.status.mom_addr = status.mom_addr;
+  it->second.status.up = true;
+}
+
+const NodeStatus* NodeDb::find(const std::string& hostname) const {
+  auto it = nodes_.find(hostname);
+  return it == nodes_.end() ? nullptr : &it->second.status;
+}
+
+std::vector<NodeStatus> NodeDb::snapshot() const {
+  std::vector<NodeStatus> out;
+  out.reserve(nodes_.size());
+  for (const auto& [name, e] : nodes_) out.push_back(e.status);
+  return out;
+}
+
+bool NodeDb::assign(const std::string& hostname, JobId job, int slots) {
+  auto it = nodes_.find(hostname);
+  if (it == nodes_.end()) return false;
+  auto& e = it->second;
+  if (e.status.free_slots() < slots) return false;
+  e.status.used += slots;
+  e.held[job] += slots;
+  if (std::find(e.status.jobs.begin(), e.status.jobs.end(), job) ==
+      e.status.jobs.end()) {
+    e.status.jobs.push_back(job);
+  }
+  return true;
+}
+
+void NodeDb::release(const std::string& hostname, JobId job) {
+  auto it = nodes_.find(hostname);
+  if (it == nodes_.end()) return;
+  auto& e = it->second;
+  auto held = e.held.find(job);
+  if (held == e.held.end()) return;
+  e.status.used -= held->second;
+  e.held.erase(held);
+  std::erase(e.status.jobs, job);
+}
+
+void NodeDb::release_all(JobId job) {
+  for (auto& [name, e] : nodes_) {
+    auto held = e.held.find(job);
+    if (held == e.held.end()) continue;
+    e.status.used -= held->second;
+    e.held.erase(held);
+    std::erase(e.status.jobs, job);
+  }
+}
+
+std::optional<vnet::Address> NodeDb::mom_of(const std::string& hostname) const {
+  if (const auto* n = find(hostname); n != nullptr) return n->mom_addr;
+  return std::nullopt;
+}
+
+void NodeDb::heartbeat(const std::string& hostname, double now) {
+  auto it = nodes_.find(hostname);
+  if (it == nodes_.end()) return;
+  it->second.last_seen = now;
+  it->second.status.up = true;
+}
+
+std::vector<std::string> NodeDb::refresh_liveness(double now,
+                                                  double stale_after) {
+  std::vector<std::string> went_down;
+  for (auto& [name, e] : nodes_) {
+    const bool alive = now - e.last_seen < stale_after;
+    if (e.status.up && !alive) {
+      e.status.up = false;
+      went_down.push_back(name);
+    } else if (!e.status.up && alive) {
+      e.status.up = true;
+    }
+  }
+  return went_down;
+}
+
+}  // namespace dac::torque

@@ -1,0 +1,73 @@
+// The server's node database: every mom registers its host here, and the
+// server tracks which jobs hold slots on which hosts. Accelerator nodes are
+// exclusive (one job at a time); compute nodes have ppn slots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "torque/job.hpp"
+#include "util/bytes.hpp"
+#include "vnet/message.hpp"
+
+namespace dac::torque {
+
+enum class NodeKind : std::uint8_t { kCompute = 0, kAccelerator = 1 };
+
+struct NodeStatus {
+  std::string hostname;
+  vnet::NodeId node_id = vnet::kInvalidNode;
+  NodeKind kind = NodeKind::kCompute;
+  int np = 1;    // total slots (cores for compute; 1 for an accelerator)
+  int used = 0;  // slots currently assigned
+  std::vector<JobId> jobs;  // jobs holding slots here
+  vnet::Address mom_addr;
+  bool up = true;  // false once heartbeats go stale (fault tolerance)
+
+  [[nodiscard]] int free_slots() const { return np - used; }
+};
+
+void put_node_status(util::ByteWriter& w, const NodeStatus& n);
+NodeStatus get_node_status(util::ByteReader& r);
+
+// Not thread-safe: owned and accessed only by the single-threaded server.
+class NodeDb {
+ public:
+  // Adds or refreshes a node record (mom registration).
+  void upsert(NodeStatus status);
+
+  [[nodiscard]] const NodeStatus* find(const std::string& hostname) const;
+  [[nodiscard]] std::vector<NodeStatus> snapshot() const;
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  // Assigns `slots` slots on `hostname` to `job`; false if unknown host or
+  // not enough free slots.
+  bool assign(const std::string& hostname, JobId job, int slots);
+  // Releases all slots `job` holds on `hostname`.
+  void release(const std::string& hostname, JobId job);
+  // Releases everything `job` holds anywhere.
+  void release_all(JobId job);
+
+  [[nodiscard]] std::optional<vnet::Address> mom_of(
+      const std::string& hostname) const;
+
+  // ---- liveness (fault-tolerance extension) ----------------------------
+  // Records a heartbeat for `hostname` at time `now` (server seconds).
+  void heartbeat(const std::string& hostname, double now);
+  // Marks nodes whose last heartbeat is older than `stale_after` seconds as
+  // down and fresher ones as up; returns hostnames that changed to down.
+  std::vector<std::string> refresh_liveness(double now, double stale_after);
+
+ private:
+  struct Entry {
+    NodeStatus status;
+    std::map<JobId, int> held;  // job -> slots held
+    double last_seen = 0.0;     // server seconds of the last heartbeat
+  };
+  std::map<std::string, Entry> nodes_;
+};
+
+}  // namespace dac::torque

@@ -1,0 +1,25 @@
+#include "torque/protocol.hpp"
+
+namespace dac::torque {
+
+void put_dynget_reply(util::ByteWriter& w, const DynGetReply& r) {
+  w.put_bool(r.granted);
+  w.put<std::uint64_t>(r.client_id);
+  w.put_string_vector(r.hosts);
+  w.put_vector<std::int32_t>(r.host_nodes);
+  w.put<double>(r.queue_wait_seconds);
+  w.put<double>(r.service_seconds);
+}
+
+DynGetReply get_dynget_reply(util::ByteReader& r) {
+  DynGetReply out;
+  out.granted = r.get_bool();
+  out.client_id = r.get<std::uint64_t>();
+  out.hosts = r.get_string_vector();
+  out.host_nodes = r.get_vector<std::int32_t>();
+  out.queue_wait_seconds = r.get<double>();
+  out.service_seconds = r.get<double>();
+  return out;
+}
+
+}  // namespace dac::torque

@@ -1,0 +1,94 @@
+// Wire protocol of the batch system. All batch traffic uses vnet messages
+// with these type codes and a [request-id, body] envelope so callers can
+// match replies. The message names deliberately mirror the paper's protocol
+// vocabulary: JOIN_JOB, DYNJOIN_JOB, DISJOIN_JOB, pbs_dynget, pbs_dynfree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "vnet/message.hpp"
+
+namespace dac::torque {
+
+// vnet Message.type values. Grouped by conversation.
+enum class MsgType : std::uint32_t {
+  // client / mom / scheduler -> server
+  kSubmit = 0x5430'0001,      // JobSpec -> job id
+  kStatJobs,                  // -> vector<JobInfo>
+  kStatNodes,                 // -> vector<NodeStatus>
+  kDeleteJob,                 // job id -> ok
+  kAlterJob,                  // job id + attribute updates (qalter)
+  kDynGet,                    // job id, count, collective -> DynGetReply
+  kDynFree,                   // job id, client id -> ok
+  kRegisterNode,              // NodeStatus (from mom at startup)
+  kRegisterScheduler,         // scheduler endpoint announces itself
+  kJobStarted,                // MS -> server: job id
+  kJobComplete,               // MS -> server: job id
+  kMsDynReady,                // MS -> server: dynjoin finished (req id)
+  kMsReleaseDone,             // MS -> server: disjoin finished (client id)
+
+  // scheduler <-> server
+  kSchedWake = 0x5430'0100,   // server -> scheduler: queue changed
+  kGetQueue,                  // scheduler -> server -> QueueSnapshot
+  kGetNodes,                  // scheduler -> server -> vector<NodeStatus>
+  kRunJob,                    // scheduler -> server: job id + host lists
+  kRunDyn,                    // scheduler -> server: dyn req id + hosts
+  kRejectDyn,                 // scheduler -> server: dyn req id
+
+  // server -> mom
+  kMomRunJob = 0x5430'0200,   // full job info; recipient becomes MS
+  kMomDynAdd,                 // MS: job id, client id, new accel hosts
+  kMomRelease,                // MS: job id, client id, hosts to disjoin
+  kMomKillJob,                // any mom: job id
+
+  // mom <-> mom (the paper's join protocol)
+  kJoinJob = 0x5430'0300,     // MS -> sister: job info
+  kJoinAck,
+  kDynJoinJob,                // MS -> new accel mom: job id, client id
+  kDynJoinAck,
+  kDisjoinJob,                // MS -> departing mom: job id, client id
+  kDisjoinAck,
+  kJobUpdate,                 // MS -> existing sisters: updated host set
+
+  // job task wrapper -> mom
+  kTaskDone = 0x5430'0400,    // rank finished: job id, rank
+
+  // mom -> server, periodic liveness (fault-tolerance extension)
+  kMomHeartbeat = 0x5430'0450,  // hostname
+
+  // generic reply envelope
+  kReply = 0x5430'0500,
+};
+
+inline constexpr std::uint32_t as_u32(MsgType t) {
+  return static_cast<std::uint32_t>(t);
+}
+
+// Reply status codes carried in the reply envelope.
+enum class ReplyCode : std::uint8_t {
+  kOk = 0,
+  kError = 1,          // generic failure; message string follows
+  kRejected = 2,       // dynamic request rejected (not enough resources)
+  kUnknownJob = 3,
+  kBadRequest = 4,
+};
+
+// Result of pbs_dynget: either rejected, or the set of allocated accelerator
+// hosts plus the client-id identifying the set (paper §III-D). The server
+// also reports its queue-wait and service time split so the benchmark
+// harness can reproduce the stacked bars of Figures 7(b)/8.
+struct DynGetReply {
+  bool granted = false;
+  std::uint64_t client_id = 0;
+  std::vector<std::string> hosts;        // accelerator hostnames
+  std::vector<std::int32_t> host_nodes;  // vnet node ids, same order
+  double queue_wait_seconds = 0.0;   // arrival -> scheduler pickup
+  double service_seconds = 0.0;      // scheduler pickup -> reply sent
+};
+
+void put_dynget_reply(util::ByteWriter& w, const DynGetReply& r);
+DynGetReply get_dynget_reply(util::ByteReader& r);
+
+}  // namespace dac::torque

@@ -1,0 +1,72 @@
+// Request/reply envelope used by all batch-system conversations.
+//
+// Request payload:  [u64 request-id][body...]        Message.type = MsgType
+// Reply payload:    [u64 request-id][u8 code][body]  Message.type = kReply
+//
+// Callers open a fresh ephemeral endpoint per call (like a TCP connection to
+// the server), so a daemon's main endpoint never sees stray replies.
+// Daemon-side helpers parse requests and send replies on the daemon's own
+// endpoint.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "torque/protocol.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "vnet/node.hpp"
+
+namespace dac::torque::rpc {
+
+inline constexpr auto kDefaultTimeout = std::chrono::milliseconds(30'000);
+
+// Thrown when the callee replied with a non-ok code.
+class CallError : public util::ProtocolError {
+ public:
+  CallError(ReplyCode code, const std::string& what)
+      : util::ProtocolError(what), code_(code) {}
+  [[nodiscard]] ReplyCode code() const { return code_; }
+
+ private:
+  ReplyCode code_;
+};
+
+// Blocking call from a process context (killable: the ephemeral endpoint is
+// adopted by the process, so request_stop unblocks it).
+util::Bytes call(vnet::Process& proc, const vnet::Address& to, MsgType type,
+                 util::Bytes body,
+                 std::chrono::milliseconds timeout = kDefaultTimeout);
+
+// Blocking call from a non-process context (client commands, tests).
+util::Bytes call(vnet::Node& node, const vnet::Address& to, MsgType type,
+                 util::Bytes body,
+                 std::chrono::milliseconds timeout = kDefaultTimeout);
+
+// Fire-and-forget request (no reply expected), from any endpoint.
+void notify(vnet::Endpoint& ep, const vnet::Address& to, MsgType type,
+            util::Bytes body);
+
+// ---- callee side ----------------------------------------------------------
+
+struct Request {
+  std::uint64_t id = 0;
+  vnet::Address from;
+  MsgType type{};
+  util::Bytes body;
+};
+
+// Parses an incoming request message.
+Request parse_request(const vnet::Message& msg);
+
+void reply_ok(vnet::Endpoint& ep, const Request& req, util::Bytes body = {});
+void reply_ok_to(vnet::Endpoint& ep, const vnet::Address& to,
+                 std::uint64_t request_id, util::Bytes body = {});
+void reply_error(vnet::Endpoint& ep, const Request& req, ReplyCode code,
+                 const std::string& message);
+void reply_error_to(vnet::Endpoint& ep, const vnet::Address& to,
+                    std::uint64_t request_id, ReplyCode code,
+                    const std::string& message);
+
+}  // namespace dac::torque::rpc

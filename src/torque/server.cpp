@@ -1,0 +1,691 @@
+#include "torque/server.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace dac::torque {
+
+namespace {
+const util::Logger kLog("pbs_server");
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+void put_host_refs(util::ByteWriter& w, const std::vector<HostRef>& hosts) {
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(hosts.size()));
+  for (const auto& h : hosts) {
+    w.put_string(h.hostname);
+    w.put<std::int32_t>(h.node);
+    w.put<std::int32_t>(h.mom.node);
+    w.put<std::int32_t>(h.mom.port);
+  }
+}
+
+std::vector<HostRef> get_host_refs(util::ByteReader& r) {
+  const auto n = r.get<std::uint32_t>();
+  std::vector<HostRef> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    HostRef h;
+    h.hostname = r.get_string();
+    h.node = r.get<std::int32_t>();
+    h.mom.node = r.get<std::int32_t>();
+    h.mom.port = r.get<std::int32_t>();
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+void put_queue_snapshot(util::ByteWriter& w, const QueueSnapshot& s) {
+  w.put<double>(s.now);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(s.jobs.size()));
+  for (const auto& j : s.jobs) put_job_info(w, j);
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(s.dyn.size()));
+  for (const auto& d : s.dyn) {
+    w.put<std::uint64_t>(d.dyn_id);
+    w.put<std::uint64_t>(d.job);
+    w.put<std::int32_t>(d.count);
+    w.put<std::int32_t>(d.min_count);
+    w.put_enum(d.kind);
+    w.put<double>(d.arrival);
+  }
+}
+
+QueueSnapshot get_queue_snapshot(util::ByteReader& r) {
+  QueueSnapshot s;
+  s.now = r.get<double>();
+  const auto nj = r.get<std::uint32_t>();
+  s.jobs.reserve(nj);
+  for (std::uint32_t i = 0; i < nj; ++i) s.jobs.push_back(get_job_info(r));
+  const auto nd = r.get<std::uint32_t>();
+  s.dyn.reserve(nd);
+  for (std::uint32_t i = 0; i < nd; ++i) {
+    DynQueueEntry d;
+    d.dyn_id = r.get<std::uint64_t>();
+    d.job = r.get<std::uint64_t>();
+    d.count = r.get<std::int32_t>();
+    d.min_count = r.get<std::int32_t>();
+    d.kind = r.get_enum<NodeKind>();
+    d.arrival = r.get<double>();
+    s.dyn.push_back(d);
+  }
+  return s;
+}
+
+PbsServer::PbsServer(vnet::Node& node, BatchTiming timing)
+    : node_(node),
+      timing_(timing),
+      endpoint_(node.open_endpoint()),
+      start_(std::chrono::steady_clock::now()) {}
+
+double PbsServer::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void PbsServer::run(vnet::Process& proc) {
+  proc.adopt_mailbox(endpoint_->mailbox_weak());
+  kLog.info("pbs_server up at {}", endpoint_->address().str());
+  while (auto msg = endpoint_->recv()) {
+    if (timing_.server_service_cost.count() > 0) {
+      std::this_thread::sleep_for(timing_.server_service_cost);
+    }
+    try {
+      dispatch(rpc::parse_request(*msg));
+    } catch (const std::exception& e) {
+      kLog.error("request dispatch failed: {}", e.what());
+    }
+  }
+  kLog.info("pbs_server shutting down");
+}
+
+void PbsServer::dispatch(const rpc::Request& req) {
+  switch (req.type) {
+    case MsgType::kSubmit: return on_submit(req);
+    case MsgType::kStatJobs: return on_stat_jobs(req);
+    case MsgType::kStatNodes: return on_stat_nodes(req);
+    case MsgType::kDeleteJob: return on_delete_job(req);
+    case MsgType::kAlterJob: return on_alter_job(req);
+    case MsgType::kDynGet: return on_dynget(req);
+    case MsgType::kDynFree: return on_dynfree(req);
+    case MsgType::kRegisterNode: return on_register_node(req);
+    case MsgType::kMomHeartbeat: {
+      util::ByteReader r(req.body);
+      nodes_.heartbeat(r.get_string(), now_s());
+      return;
+    }
+    case MsgType::kRegisterScheduler: return on_register_scheduler(req);
+    case MsgType::kJobStarted: return on_job_started(req);
+    case MsgType::kJobComplete: return on_job_complete(req);
+    case MsgType::kMsDynReady: return;  // informational
+    case MsgType::kMsReleaseDone: return on_ms_release_done(req);
+    case MsgType::kGetQueue: return on_get_queue(req);
+    case MsgType::kGetNodes: return on_get_nodes(req);
+    case MsgType::kRunJob: return on_run_job(req);
+    case MsgType::kRunDyn: return on_run_dyn(req);
+    case MsgType::kRejectDyn: return on_reject_dyn(req);
+    default:
+      rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
+                       "unknown request type");
+  }
+}
+
+void PbsServer::wake_scheduler() {
+  if (!scheduler_known_) return;
+  rpc::notify(*endpoint_, scheduler_, MsgType::kSchedWake, {});
+}
+
+std::vector<HostRef> PbsServer::host_refs(
+    const std::vector<std::string>& hostnames) const {
+  std::vector<HostRef> out;
+  out.reserve(hostnames.size());
+  for (const auto& h : hostnames) {
+    const NodeStatus* n = nodes_.find(h);
+    HostRef ref;
+    ref.hostname = h;
+    if (n != nullptr) {
+      ref.node = n->node_id;
+      ref.mom = n->mom_addr;
+    }
+    out.push_back(std::move(ref));
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- clients
+
+void PbsServer::on_submit(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  JobRecord rec;
+  rec.info.id = next_job_id_++;
+  rec.info.spec = get_job_spec(r);
+  rec.info.state = JobState::kQueued;
+  rec.info.submit_time = now_s();
+  const auto id = rec.info.id;
+  jobs_.emplace(id, std::move(rec));
+  kLog.info("job {} '{}' queued ({} nodes, acpn {})", id,
+            jobs_[id].info.spec.name, jobs_[id].info.spec.resources.nodes,
+            jobs_[id].info.spec.resources.acpn);
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  rpc::reply_ok(*endpoint_, req, std::move(w).take());
+  wake_scheduler();
+}
+
+void PbsServer::on_stat_jobs(const rpc::Request& req) {
+  util::ByteWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(jobs_.size()));
+  for (const auto& [id, rec] : jobs_) put_job_info(w, rec.info);
+  rpc::reply_ok(*endpoint_, req, std::move(w).take());
+}
+
+void PbsServer::on_stat_nodes(const rpc::Request& req) {
+  const double stale =
+      timing_.heartbeat_stale_factor *
+      std::chrono::duration<double>(timing_.mom_heartbeat_interval).count();
+  for (const auto& host : nodes_.refresh_liveness(now_s(), stale)) {
+    kLog.warn("node '{}' marked down (stale heartbeat)", host);
+    fail_jobs_on(host);
+  }
+  util::ByteWriter w;
+  const auto snap = nodes_.snapshot();
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(snap.size()));
+  for (const auto& n : snap) put_node_status(w, n);
+  rpc::reply_ok(*endpoint_, req, std::move(w).take());
+}
+
+void PbsServer::fail_jobs_on(const std::string& hostname) {
+  // A compute node died: jobs it mother-superiors (or computes for) cannot
+  // finish; fail them and free whatever they held elsewhere. Accelerator
+  // nodes are not fatal to the job — the application notices through its
+  // communicator and the hosts are released with the job.
+  for (auto& [id, rec] : jobs_) {
+    if (rec.info.state != JobState::kRunning &&
+        rec.info.state != JobState::kDynQueued) {
+      continue;
+    }
+    const auto& hosts = rec.info.compute_hosts;
+    if (std::find(hosts.begin(), hosts.end(), hostname) == hosts.end()) {
+      continue;
+    }
+    kLog.warn("failing job {}: compute node '{}' went down", id, hostname);
+    if (rec.ms_valid) {
+      util::ByteWriter w;
+      w.put<std::uint64_t>(id);
+      rpc::notify(*endpoint_, rec.ms, MsgType::kMomKillJob,
+                  std::move(w).take());
+      rec.ms_valid = false;
+    }
+    nodes_.release_all(id);
+    rec.info.state = JobState::kCancelled;
+    rec.info.exit_status = kExitKilled;
+    rec.info.end_time = now_s();
+    if (rec.dyn_active != 0) {
+      if (auto dit = dyn_.find(rec.dyn_active); dit != dyn_.end()) {
+        DynGetReply reply;  // rejected: the job is gone
+        finish_dyn(dit->second, reply);
+      }
+    }
+    wake_scheduler();
+  }
+}
+
+void PbsServer::on_delete_job(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto id = r.get<std::uint64_t>();
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob, "no such job");
+    return;
+  }
+  auto& rec = it->second;
+  if (rec.info.state == JobState::kRunning ||
+      rec.info.state == JobState::kDynQueued) {
+    if (rec.ms_valid) {
+      util::ByteWriter w;
+      w.put<std::uint64_t>(id);
+      rpc::notify(*endpoint_, rec.ms, MsgType::kMomKillJob, std::move(w).take());
+    }
+    nodes_.release_all(id);
+  }
+  rec.info.state = JobState::kCancelled;
+  rec.info.end_time = now_s();
+  rpc::reply_ok(*endpoint_, req);
+  wake_scheduler();
+}
+
+void PbsServer::on_alter_job(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto id = r.get<std::uint64_t>();
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob, "no such job");
+    return;
+  }
+  auto& rec = it->second;
+  if (rec.info.state != JobState::kQueued) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
+                     "qalter: job is not queued");
+    return;
+  }
+  if (r.get_bool()) rec.info.spec.priority = r.get<std::int32_t>();
+  if (r.get_bool()) {
+    rec.info.spec.resources.walltime =
+        std::chrono::milliseconds(r.get<std::int64_t>());
+  }
+  if (r.get_bool()) rec.info.spec.name = r.get_string();
+  kLog.info("job {} altered", id);
+  rpc::reply_ok(*endpoint_, req);
+  wake_scheduler();
+}
+
+void PbsServer::on_dynget(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  const auto count = r.get<std::int32_t>();
+  // Older callers omit min_count; default to all-or-nothing.
+  const auto min_count = r.remaining() >= sizeof(std::int32_t)
+                             ? r.get<std::int32_t>()
+                             : count;
+  const auto kind = r.remaining() >= sizeof(std::uint8_t)
+                        ? r.get_enum<NodeKind>()
+                        : NodeKind::kAccelerator;
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob,
+                     "dynget: no such job");
+    return;
+  }
+  if (it->second.info.state != JobState::kRunning &&
+      it->second.info.state != JobState::kDynQueued) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
+                     "dynget: job not running");
+    return;
+  }
+  if (count <= 0 || min_count <= 0 || min_count > count) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
+                     "dynget: need 0 < min_count <= count");
+    return;
+  }
+  auto& rec = it->second;
+
+  DynRecord dyn;
+  dyn.id = next_dyn_id_++;
+  dyn.job = job_id;
+  dyn.count = count;
+  dyn.min_count = min_count;
+  dyn.kind = kind;
+  dyn.reply_to = req.from;
+  dyn.reply_req_id = req.id;
+  dyn.arrival_ns = steady_ns();
+  dyn.arrival_s = now_s();
+  const auto dyn_id = dyn.id;
+  dyn_.emplace(dyn_id, dyn);
+
+  // The paper's server services one dynamic request at a time per job;
+  // later requests wait at the server (§III-D).
+  if (rec.dyn_active != 0) {
+    rec.dyn_waiting.push_back(dyn_id);
+    kLog.debug("dyn {} for job {} waits behind dyn {}", dyn_id, job_id,
+               rec.dyn_active);
+    return;
+  }
+  rec.dyn_active = dyn_id;
+  rec.info.state = JobState::kDynQueued;
+  dyn_.at(dyn_id).active = true;
+  dyn_fifo_.push_back(dyn_id);
+  kLog.info("job {} dynqueued: +{} accelerators (dyn {})", job_id, count,
+            dyn_id);
+  wake_scheduler();
+}
+
+void PbsServer::activate_next_dyn(JobRecord& job) {
+  job.dyn_active = 0;
+  if (job.info.state == JobState::kDynQueued) {
+    job.info.state = JobState::kRunning;
+  }
+  while (!job.dyn_waiting.empty()) {
+    const auto next_id = job.dyn_waiting.front();
+    job.dyn_waiting.pop_front();
+    auto it = dyn_.find(next_id);
+    if (it == dyn_.end()) continue;
+    job.dyn_active = next_id;
+    job.info.state = JobState::kDynQueued;
+    it->second.active = true;
+    dyn_fifo_.push_back(next_id);
+    wake_scheduler();
+    return;
+  }
+}
+
+void PbsServer::finish_dyn(DynRecord& dyn, const DynGetReply& reply) {
+  util::ByteWriter w;
+  put_dynget_reply(w, reply);
+  rpc::reply_ok_to(*endpoint_, dyn.reply_to, dyn.reply_req_id,
+                   std::move(w).take());
+  std::erase(dyn_fifo_, dyn.id);
+  auto job_it = jobs_.find(dyn.job);
+  const auto dyn_id = dyn.id;
+  if (job_it != jobs_.end()) activate_next_dyn(job_it->second);
+  dyn_.erase(dyn_id);
+}
+
+void PbsServer::on_dynfree(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  const auto client_id = r.get<std::uint64_t>();
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob, "no such job");
+    return;
+  }
+  auto& rec = it->second;
+  auto set = rec.dyn_sets.find(client_id);
+  if (set == rec.dyn_sets.end()) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
+                     "dynfree: unknown client id");
+    return;
+  }
+  // Positive reply first; disassociation proceeds while the application
+  // continues (paper §III-D).
+  rpc::reply_ok(*endpoint_, req);
+  if (rec.ms_valid) {
+    util::ByteWriter w;
+    w.put<std::uint64_t>(job_id);
+    w.put<std::uint64_t>(client_id);
+    put_host_refs(w, host_refs(set->second));
+    rpc::notify(*endpoint_, rec.ms, MsgType::kMomRelease, std::move(w).take());
+  } else {
+    // No mother superior (already exiting): free directly.
+    for (const auto& h : set->second) nodes_.release(h, job_id);
+    std::erase_if(rec.info.dyn_accel_hosts, [&](const std::string& h) {
+      return std::find(set->second.begin(), set->second.end(), h) !=
+             set->second.end();
+    });
+    rec.dyn_sets.erase(set);
+    wake_scheduler();
+  }
+}
+
+void PbsServer::on_ms_release_done(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto job_id = r.get<std::uint64_t>();
+  const auto client_id = r.get<std::uint64_t>();
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  auto& rec = it->second;
+  auto set = rec.dyn_sets.find(client_id);
+  if (set == rec.dyn_sets.end()) return;
+  for (const auto& h : set->second) nodes_.release(h, job_id);
+  std::erase_if(rec.info.dyn_accel_hosts, [&](const std::string& h) {
+    return std::find(set->second.begin(), set->second.end(), h) !=
+           set->second.end();
+  });
+  rec.dyn_sets.erase(set);
+  kLog.info("job {} released dynamic set {}", job_id, client_id);
+  wake_scheduler();
+}
+
+void PbsServer::on_register_node(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  auto status = get_node_status(r);
+  kLog.info("node '{}' registered ({}, np {})", status.hostname,
+            status.kind == NodeKind::kCompute ? "compute" : "accelerator",
+            status.np);
+  const auto hostname = status.hostname;
+  nodes_.upsert(std::move(status));
+  nodes_.heartbeat(hostname, now_s());
+  rpc::reply_ok(*endpoint_, req);
+}
+
+void PbsServer::on_register_scheduler(const rpc::Request& req) {
+  // The body carries the scheduler's long-lived endpoint (req.from is the
+  // ephemeral rpc endpoint of the registration call).
+  util::ByteReader r(req.body);
+  scheduler_.node = r.get<std::int32_t>();
+  scheduler_.port = r.get<std::int32_t>();
+  scheduler_known_ = true;
+  kLog.info("scheduler registered at {}", scheduler_.str());
+  rpc::reply_ok(*endpoint_, req);
+  wake_scheduler();
+}
+
+void PbsServer::on_job_started(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto id = r.get<std::uint64_t>();
+  if (auto it = jobs_.find(id); it != jobs_.end()) {
+    it->second.info.start_time = now_s();
+    kLog.info("job {} started", id);
+  }
+}
+
+void PbsServer::on_job_complete(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto id = r.get<std::uint64_t>();
+  const auto exit_status = r.remaining() >= sizeof(std::int32_t)
+                               ? r.get<std::int32_t>()
+                               : kExitOk;
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  auto& rec = it->second;
+  nodes_.release_all(id);
+  rec.info.state = JobState::kComplete;
+  rec.info.exit_status = exit_status;
+  rec.info.end_time = now_s();
+  rec.ms_valid = false;
+  // Fail any dynamic request still pending for the departed job.
+  if (rec.dyn_active != 0) {
+    if (auto dit = dyn_.find(rec.dyn_active); dit != dyn_.end()) {
+      DynGetReply reply;  // rejected
+      finish_dyn(dit->second, reply);
+    }
+  }
+  kLog.info("job {} complete", id);
+  wake_scheduler();
+}
+
+// ------------------------------------------------------------- scheduler
+
+void PbsServer::on_get_queue(const rpc::Request& req) {
+  QueueSnapshot snap;
+  snap.now = now_s();
+  snap.jobs.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) snap.jobs.push_back(rec.info);
+  for (const auto dyn_id : dyn_fifo_) {
+    const auto& d = dyn_.at(dyn_id);
+    snap.dyn.push_back(DynQueueEntry{d.id, d.job, d.count, d.min_count,
+                                     d.kind, d.arrival_s});
+  }
+  util::ByteWriter w;
+  put_queue_snapshot(w, snap);
+  rpc::reply_ok(*endpoint_, req, std::move(w).take());
+}
+
+void PbsServer::on_get_nodes(const rpc::Request& req) {
+  on_stat_nodes(req);
+}
+
+void PbsServer::on_run_job(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto id = r.get<std::uint64_t>();
+  auto compute_hosts = r.get_string_vector();
+  auto accel_hosts = r.get_string_vector();
+
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.info.state != JobState::kQueued) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob,
+                     "run_job: job not queued");
+    return;
+  }
+  auto& rec = it->second;
+
+  // Apply the allocation; back out if the scheduler raced a release.
+  std::vector<std::pair<std::string, int>> applied;
+  bool ok = true;
+  for (const auto& h : compute_hosts) {
+    if (nodes_.assign(h, id, rec.info.spec.resources.ppn)) {
+      applied.emplace_back(h, rec.info.spec.resources.ppn);
+    } else {
+      ok = false;
+      break;
+    }
+  }
+  for (const auto& h : accel_hosts) {
+    if (!ok) break;
+    if (nodes_.assign(h, id, 1)) {
+      applied.emplace_back(h, 1);
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    for (const auto& [h, slots] : applied) nodes_.release(h, id);
+    rpc::reply_error(*endpoint_, req, ReplyCode::kError,
+                     "run_job: allocation conflict");
+    return;
+  }
+
+  rec.info.compute_hosts = compute_hosts;
+  rec.info.accel_hosts = accel_hosts;
+  rec.info.state = JobState::kRunning;
+  rpc::reply_ok(*endpoint_, req);
+
+  if (rec.info.spec.program.empty()) {
+    // Load-only job (no script): completes immediately.
+    rec.info.start_time = now_s();
+    rec.info.state = JobState::kComplete;
+    rec.info.end_time = now_s();
+    nodes_.release_all(id);
+    wake_scheduler();
+    return;
+  }
+
+  const auto ms = nodes_.mom_of(compute_hosts.front());
+  if (!ms) {
+    kLog.error("job {}: no mom for mother superior host '{}'", id,
+               compute_hosts.front());
+    return;
+  }
+  rec.ms = *ms;
+  rec.ms_valid = true;
+
+  // Full host list: compute nodes first, then accelerators (paper: the MS is
+  // always a compute node).
+  std::vector<std::string> all_hosts = compute_hosts;
+  all_hosts.insert(all_hosts.end(), accel_hosts.begin(), accel_hosts.end());
+  util::ByteWriter w;
+  put_job_info(w, rec.info);
+  put_host_refs(w, host_refs(all_hosts));
+  rpc::notify(*endpoint_, rec.ms, MsgType::kMomRunJob, std::move(w).take());
+  kLog.info("job {} sent to mother superior {}", id,
+            compute_hosts.front());
+}
+
+void PbsServer::on_run_dyn(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto dyn_id = r.get<std::uint64_t>();
+  const auto pickup_ns = r.get<std::uint64_t>();
+  auto hosts = r.get_string_vector();
+
+  auto dit = dyn_.find(dyn_id);
+  if (dit == dyn_.end()) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
+                     "run_dyn: unknown dyn request");
+    return;
+  }
+  auto& dyn = dit->second;
+  auto jit = jobs_.find(dyn.job);
+  if (jit == jobs_.end()) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob,
+                     "run_dyn: job vanished");
+    return;
+  }
+  auto& rec = jit->second;
+
+  std::vector<std::pair<std::string, int>> applied;
+  bool ok = hosts.size() >= static_cast<std::size_t>(dyn.min_count) &&
+            hosts.size() <= static_cast<std::size_t>(dyn.count);
+  for (const auto& h : hosts) {
+    if (!ok) break;
+    if (nodes_.assign(h, dyn.job, 1)) {
+      applied.emplace_back(h, 1);
+    } else {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    for (const auto& [h, slots] : applied) nodes_.release(h, dyn.job);
+    rpc::reply_error(*endpoint_, req, ReplyCode::kError,
+                     "run_dyn: allocation conflict");
+    DynGetReply reply;  // rejected
+    reply.queue_wait_seconds =
+        static_cast<double>(pickup_ns - dyn.arrival_ns) * 1e-9;
+    finish_dyn(dyn, reply);
+    return;
+  }
+  rpc::reply_ok(*endpoint_, req);
+
+  const auto client_id = next_client_id_++;
+  rec.dyn_sets[client_id] = hosts;
+  rec.info.dyn_accel_hosts.insert(rec.info.dyn_accel_hosts.end(),
+                                  hosts.begin(), hosts.end());
+
+  const auto refs = host_refs(hosts);
+
+  // Forward the addition to the mother superior first, then answer the
+  // compute node with the client-id — the paper's ordering (§III-D).
+  if (rec.ms_valid) {
+    util::ByteWriter w;
+    w.put<std::uint64_t>(dyn.job);
+    w.put<std::uint64_t>(dyn_id);
+    w.put<std::uint64_t>(client_id);
+    put_host_refs(w, refs);
+    rpc::notify(*endpoint_, rec.ms, MsgType::kMomDynAdd, std::move(w).take());
+  }
+
+  DynGetReply reply;
+  reply.granted = true;
+  reply.client_id = client_id;
+  for (const auto& ref : refs) {
+    reply.hosts.push_back(ref.hostname);
+    reply.host_nodes.push_back(ref.node);
+  }
+  const auto done_ns = steady_ns();
+  reply.queue_wait_seconds =
+      static_cast<double>(pickup_ns - dyn.arrival_ns) * 1e-9;
+  reply.service_seconds = static_cast<double>(done_ns - pickup_ns) * 1e-9;
+  kLog.info("dyn {} for job {} granted: {} accelerator(s), client id {}",
+            dyn_id, dyn.job, reply.hosts.size(), client_id);
+  finish_dyn(dyn, reply);
+}
+
+void PbsServer::on_reject_dyn(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  const auto dyn_id = r.get<std::uint64_t>();
+  const auto pickup_ns = r.get<std::uint64_t>();
+  auto dit = dyn_.find(dyn_id);
+  if (dit == dyn_.end()) {
+    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
+                     "reject_dyn: unknown dyn request");
+    return;
+  }
+  rpc::reply_ok(*endpoint_, req);
+  auto& dyn = dit->second;
+  DynGetReply reply;  // granted = false
+  const auto done_ns = steady_ns();
+  reply.queue_wait_seconds =
+      static_cast<double>(pickup_ns - dyn.arrival_ns) * 1e-9;
+  reply.service_seconds = static_cast<double>(done_ns - pickup_ns) * 1e-9;
+  kLog.info("dyn {} for job {} rejected by scheduler", dyn_id, dyn.job);
+  finish_dyn(dyn, reply);
+}
+
+}  // namespace dac::torque

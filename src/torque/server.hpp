@@ -1,0 +1,148 @@
+// The pbs_server daemon: owns the job table and node database, dispatches
+// client (IFL) requests, relays scheduler decisions to mother-superior moms,
+// and implements the paper's dynamic-allocation extensions — the DYNQUEUED
+// job state, serialized per-job dynamic requests, client-ids for dynamic
+// accelerator sets, and the forward-then-reply ordering of §III-D.
+//
+// The server is single-threaded by design (one request at a time), which is
+// the serialization point the paper's Figure 9 measures.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "torque/batch_config.hpp"
+#include "torque/job.hpp"
+#include "torque/node_db.hpp"
+#include "torque/protocol.hpp"
+#include "torque/rpc.hpp"
+#include "vnet/node.hpp"
+
+namespace dac::torque {
+
+// Host reference shipped inside MOM_RUN_JOB / MOM_DYN_ADD so moms can reach
+// each other and the RM library knows spawn placements.
+struct HostRef {
+  std::string hostname;
+  vnet::NodeId node = vnet::kInvalidNode;
+  vnet::Address mom;
+};
+
+void put_host_refs(util::ByteWriter& w, const std::vector<HostRef>& hosts);
+std::vector<HostRef> get_host_refs(util::ByteReader& r);
+
+// A dynamic request as the scheduler sees it in the queue snapshot.
+struct DynQueueEntry {
+  std::uint64_t dyn_id = 0;
+  JobId job = kInvalidJob;
+  int count = 0;      // requested
+  int min_count = 0;  // smallest acceptable grant (== count: all-or-nothing)
+  NodeKind kind = NodeKind::kAccelerator;  // pool to allocate from
+  double arrival = 0.0;  // server seconds; FIFO order for the scheduler
+};
+
+// What GET_QUEUE returns to the scheduler.
+struct QueueSnapshot {
+  double now = 0.0;                   // server clock, for backfill horizons
+  std::vector<JobInfo> jobs;          // every known job, all states
+  std::vector<DynQueueEntry> dyn;     // active dynamic requests, FIFO
+};
+
+void put_queue_snapshot(util::ByteWriter& w, const QueueSnapshot& s);
+QueueSnapshot get_queue_snapshot(util::ByteReader& r);
+
+class PbsServer {
+ public:
+  // Opens the server endpoint on `node` immediately so the address is known
+  // before any mom or client starts; run() must then be invoked inside a
+  // process on that node.
+  PbsServer(vnet::Node& node, BatchTiming timing);
+
+  PbsServer(const PbsServer&) = delete;
+  PbsServer& operator=(const PbsServer&) = delete;
+
+  [[nodiscard]] const vnet::Address& address() const {
+    return endpoint_->address();
+  }
+
+  // The daemon loop; returns when the owning process is stopped.
+  void run(vnet::Process& proc);
+
+ private:
+  struct DynRecord {
+    std::uint64_t id = 0;
+    JobId job = kInvalidJob;
+    int count = 0;
+    int min_count = 0;
+    NodeKind kind = NodeKind::kAccelerator;
+    vnet::Address reply_to;
+    std::uint64_t reply_req_id = 0;
+    std::uint64_t arrival_ns = 0;   // steady clock, for the timing split
+    double arrival_s = 0.0;         // server seconds, for FIFO display
+    bool active = false;            // visible to the scheduler
+  };
+
+  struct JobRecord {
+    JobInfo info;
+    vnet::Address ms;  // mother superior's mom
+    bool ms_valid = false;
+    std::map<std::uint64_t, std::vector<std::string>> dyn_sets;  // client-id
+    std::deque<std::uint64_t> dyn_waiting;  // queued dyn request ids
+    std::uint64_t dyn_active = 0;           // currently serviced dyn id
+  };
+
+  void dispatch(const rpc::Request& req);
+
+  // IFL / mom-facing handlers.
+  void on_submit(const rpc::Request& req);
+  void on_stat_jobs(const rpc::Request& req);
+  void on_stat_nodes(const rpc::Request& req);
+  void on_delete_job(const rpc::Request& req);
+  void on_alter_job(const rpc::Request& req);
+  void on_dynget(const rpc::Request& req);
+  void on_dynfree(const rpc::Request& req);
+  void on_register_node(const rpc::Request& req);
+  void on_register_scheduler(const rpc::Request& req);
+  void on_job_started(const rpc::Request& req);
+  void on_job_complete(const rpc::Request& req);
+  void on_ms_release_done(const rpc::Request& req);
+
+  // Scheduler-facing handlers.
+  void on_get_queue(const rpc::Request& req);
+  void on_get_nodes(const rpc::Request& req);
+  void on_run_job(const rpc::Request& req);
+  void on_run_dyn(const rpc::Request& req);
+  void on_reject_dyn(const rpc::Request& req);
+
+  void wake_scheduler();
+  // Fails running jobs that depend on a dead compute node (FT extension).
+  void fail_jobs_on(const std::string& hostname);
+  void activate_next_dyn(JobRecord& job);
+  void finish_dyn(DynRecord& dyn, const DynGetReply& reply);
+  [[nodiscard]] double now_s() const;
+  [[nodiscard]] std::vector<HostRef> host_refs(
+      const std::vector<std::string>& hostnames) const;
+
+  vnet::Node& node_;
+  BatchTiming timing_;
+  std::unique_ptr<vnet::Endpoint> endpoint_;
+  std::chrono::steady_clock::time_point start_;
+
+  NodeDb nodes_;
+  std::map<JobId, JobRecord> jobs_;
+  std::map<std::uint64_t, DynRecord> dyn_;
+  std::deque<std::uint64_t> dyn_fifo_;  // active dyn ids, FIFO
+
+  vnet::Address scheduler_;
+  bool scheduler_known_ = false;
+
+  JobId next_job_id_ = 1;
+  std::uint64_t next_dyn_id_ = 1;
+  std::uint64_t next_client_id_ = 1;
+};
+
+}  // namespace dac::torque

@@ -1,0 +1,11 @@
+#include "util/bytes.hpp"
+
+namespace dac::util {
+
+Bytes to_bytes(const void* data, std::size_t n) {
+  Bytes b(n);
+  if (n > 0) std::memcpy(b.data(), data, n);
+  return b;
+}
+
+}  // namespace dac::util

@@ -1,0 +1,45 @@
+// Time helpers: a steady-clock stopwatch used by the benchmark harness to
+// split phase timings (e.g. Figure 7's waiting-vs-connect decomposition).
+#pragma once
+
+#include <chrono>
+
+namespace dac::util {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] Duration elapsed() const { return Clock::now() - start_; }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(elapsed()).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(elapsed()).count();
+  }
+
+  // Returns the lap time and restarts the watch; used for phase splits.
+  [[nodiscard]] double lap_seconds() {
+    const auto now = Clock::now();
+    const double dt = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return dt;
+  }
+
+ private:
+  TimePoint start_;
+};
+
+inline double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace dac::util

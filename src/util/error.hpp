@@ -1,0 +1,25 @@
+// Shared exception types. StoppedError is thrown by blocking receive paths
+// when their endpoint is closed by a cooperative kill (Process::request_stop)
+// — daemon entry functions let it unwind and the process runner swallows it,
+// mirroring a daemon exiting on SIGTERM.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dac::util {
+
+class StoppedError : public std::runtime_error {
+ public:
+  StoppedError() : std::runtime_error("process stop requested") {}
+  explicit StoppedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Protocol-level failure: a request/reply exchange produced an error reply or
+// a malformed message. Carries enough context to diagnose the daemon pair.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace dac::util

@@ -1,0 +1,41 @@
+// Tiny std::format stand-in (libstdc++ 12 does not ship <format>): each "{}"
+// in the format string is replaced by the next argument rendered through
+// operator<<. Surplus placeholders are left verbatim; surplus arguments are
+// appended — both are visible in the log rather than silently dropped.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dac::util {
+
+namespace detail {
+
+inline void format_impl(std::ostringstream& out, std::string_view fmt) {
+  out << fmt;
+}
+
+template <typename T, typename... Rest>
+void format_impl(std::ostringstream& out, std::string_view fmt, T&& first,
+                 Rest&&... rest) {
+  const auto pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    out << fmt << " " << first;
+    (void)std::initializer_list<int>{((out << " " << rest), 0)...};
+    return;
+  }
+  out << fmt.substr(0, pos) << first;
+  format_impl(out, fmt.substr(pos + 2), std::forward<Rest>(rest)...);
+}
+
+}  // namespace detail
+
+template <typename... Args>
+std::string format(std::string_view fmt, Args&&... args) {
+  std::ostringstream out;
+  detail::format_impl(out, fmt, std::forward<Args>(args)...);
+  return out.str();
+}
+
+}  // namespace dac::util

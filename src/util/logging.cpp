@@ -1,0 +1,69 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dac::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  if (const char* env = std::getenv("DACSCHED_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::kWarn;
+}()};
+
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo:  return "info ";
+    case LogLevel::kWarn:  return "warn ";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff:   return "off  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view component,
+              std::string_view msg) {
+  using namespace std::chrono;
+  const auto now = steady_clock::now().time_since_epoch();
+  const auto ms = duration_cast<milliseconds>(now).count();
+  std::lock_guard lock(g_io_mutex);
+  std::fprintf(stderr, "%9lld.%03lld [%s] [%.*s] %.*s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace detail
+
+}  // namespace dac::util

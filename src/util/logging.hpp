@@ -1,0 +1,63 @@
+// Minimal leveled, thread-safe logger. Every daemon in the virtual cluster
+// logs through this; the level is process-global and settable from the
+// DACSCHED_LOG environment variable (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/format.hpp"
+
+namespace dac::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component, std::string_view msg);
+}
+
+// Component-scoped logger so lines read like
+//   [info ] [pbs_server] job 12 queued
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  template <typename... Args>
+  void trace(std::string_view fmt, Args&&... args) const {
+    log(LogLevel::kTrace, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(std::string_view fmt, Args&&... args) const {
+    log(LogLevel::kDebug, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(std::string_view fmt, Args&&... args) const {
+    log(LogLevel::kInfo, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(std::string_view fmt, Args&&... args) const {
+    log(LogLevel::kWarn, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(std::string_view fmt, Args&&... args) const {
+    log(LogLevel::kError, fmt, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+ private:
+  template <typename... Args>
+  void log(LogLevel level, std::string_view fmt, Args&&... args) const {
+    if (level < log_level()) return;
+    detail::log_line(level, component_,
+                     util::format(fmt, std::forward<Args>(args)...));
+  }
+
+  std::string component_;
+};
+
+}  // namespace dac::util

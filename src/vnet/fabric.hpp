@@ -1,0 +1,97 @@
+// The message fabric: central delivery engine of the virtual cluster.
+// Endpoints register a mailbox under an (node, port) address; send() charges
+// the NetworkModel delay and a background thread delivers the message into
+// the destination mailbox when its deadline passes. Messages to unregistered
+// addresses are dropped, like packets to a dead host.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+
+#include "util/queue.hpp"
+#include "vnet/message.hpp"
+#include "vnet/network_model.hpp"
+
+namespace dac::vnet {
+
+using Mailbox = util::BlockingQueue<Message>;
+using MailboxPtr = std::shared_ptr<Mailbox>;
+
+class Fabric {
+ public:
+  explicit Fabric(NetworkModel model);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Registers `box` under `addr`; replaces any previous registration.
+  void register_mailbox(const Address& addr, MailboxPtr box);
+  void unregister_mailbox(const Address& addr);
+
+  // Queues `msg` for delivery after the modeled network delay.
+  void send(Message msg);
+
+  // Stops the delivery thread; undelivered messages are dropped.
+  void shutdown();
+
+  [[nodiscard]] const NetworkModel& model() const { return model_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t messages_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    std::chrono::steady_clock::time_point deliver_at;
+    std::uint64_t seq;  // FIFO tie-break for equal deadlines
+    Message msg;
+
+    friend bool operator>(const Pending& a, const Pending& b) {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void delivery_loop();
+  void deliver(Message msg);
+
+  NetworkModel model_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  // Per (from, to) pair: last scheduled delivery time. Deliveries between a
+  // pair of endpoints are FIFO regardless of message size, modeling a
+  // stream transport (and matching MPI's per-pair ordering guarantee).
+  std::map<std::pair<Address, Address>,
+           std::chrono::steady_clock::time_point>
+      pair_last_;
+  // Per source node: when its NIC finishes the current transmission.
+  std::map<NodeId, std::chrono::steady_clock::time_point> link_free_;
+  std::uint64_t next_seq_ = 0;
+  bool stop_ = false;
+
+  std::mutex boxes_mu_;
+  std::map<Address, MailboxPtr> boxes_;
+
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+
+  std::thread thread_;
+};
+
+}  // namespace dac::vnet

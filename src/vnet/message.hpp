@@ -1,0 +1,37 @@
+// Wire-level message of the virtual cluster fabric. Every interaction between
+// daemons in this system — MPI traffic, TORQUE server/mom RPCs, scheduler
+// queries — is one of these. The `type` field is interpreted by the layer
+// that owns the receiving endpoint (minimpi tags, torque request codes, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace dac::vnet {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+struct Address {
+  NodeId node = kInvalidNode;
+  std::int32_t port = -1;
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  [[nodiscard]] bool valid() const { return node != kInvalidNode && port >= 0; }
+  [[nodiscard]] std::string str() const {
+    return std::to_string(node) + ":" + std::to_string(port);
+  }
+};
+
+struct Message {
+  Address from;
+  Address to;
+  std::uint32_t type = 0;
+  util::Bytes payload;
+};
+
+}  // namespace dac::vnet

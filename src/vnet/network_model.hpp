@@ -1,0 +1,28 @@
+// Cost model of the simulated interconnect. The fabric charges each message
+// a base per-hop latency plus a size-proportional serialization term; traffic
+// that stays on one node pays only the loopback latency. These three knobs
+// (plus the per-process start delay in ClusterConfig) are the calibration
+// surface for reproducing the paper's absolute timing ranges.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace dac::vnet {
+
+struct NetworkModel {
+  std::chrono::microseconds latency{200};          // per-message, cross-node
+  std::chrono::microseconds loopback_latency{20};  // same-node delivery
+  double bytes_per_second = 1.0e9;                 // link bandwidth
+
+  [[nodiscard]] std::chrono::nanoseconds delay(std::size_t payload_bytes,
+                                               bool same_node) const {
+    using namespace std::chrono;
+    if (same_node) return duration_cast<nanoseconds>(loopback_latency);
+    const auto wire = nanoseconds(static_cast<long long>(
+        static_cast<double>(payload_bytes) / bytes_per_second * 1e9));
+    return duration_cast<nanoseconds>(latency) + wire;
+  }
+};
+
+}  // namespace dac::vnet

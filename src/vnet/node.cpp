@@ -1,0 +1,177 @@
+#include "vnet/node.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace dac::vnet {
+
+namespace {
+const util::Logger kLog("vnet");
+}
+
+// ---------------------------------------------------------------- Endpoint
+
+Endpoint::Endpoint(Fabric& fabric, Address addr)
+    : fabric_(fabric), addr_(addr), box_(std::make_shared<Mailbox>()) {
+  fabric_.register_mailbox(addr_, box_);
+}
+
+Endpoint::~Endpoint() {
+  fabric_.unregister_mailbox(addr_);
+  box_->close();
+}
+
+void Endpoint::send(const Address& to, std::uint32_t type,
+                    util::Bytes payload) {
+  fabric_.send(Message{addr_, to, type, std::move(payload)});
+}
+
+std::optional<Message> Endpoint::recv() { return box_->pop(); }
+
+std::optional<Message> Endpoint::recv_for(std::chrono::milliseconds timeout) {
+  return box_->pop_for(timeout);
+}
+
+std::optional<Message> Endpoint::try_recv() { return box_->try_pop(); }
+
+void Endpoint::close() { box_->close(); }
+
+bool Endpoint::closed() const { return box_->closed(); }
+
+// ----------------------------------------------------------------- Process
+
+Process::Process(Node& node, std::uint64_t pid, SpawnOptions opts, Entry entry)
+    : node_(node), pid_(pid), name_(std::move(opts.name)),
+      env_(std::move(opts.env)) {
+  const auto delay = opts.start_delay.value_or(node.default_start_delay());
+  thread_ = std::thread([this, entry = std::move(entry), delay]() mutable {
+    run(std::move(entry), delay);
+  });
+}
+
+Process::~Process() { join(); }
+
+void Process::run(Entry entry, std::chrono::microseconds start_delay) {
+  if (start_delay.count() > 0) std::this_thread::sleep_for(start_delay);
+  if (!stop_requested()) {
+    try {
+      entry(*this);
+    } catch (const util::StoppedError&) {
+      // Cooperative kill while blocked in recv: normal daemon shutdown.
+    } catch (const std::exception& e) {
+      kLog.error("process '{}' (pid {}) died: {}", name_, pid_, e.what());
+    }
+  }
+  finished_.store(true, std::memory_order_release);
+}
+
+std::unique_ptr<Endpoint> Process::open_endpoint() {
+  auto ep =
+      std::make_unique<Endpoint>(node_.fabric(), node_.allocate_address());
+  {
+    std::lock_guard lock(eps_mu_);
+    if (stop_.load(std::memory_order_acquire)) {
+      ep->close();
+    } else {
+      owned_boxes_.push_back(ep->mailbox_weak());
+    }
+  }
+  return ep;
+}
+
+void Process::adopt_mailbox(std::weak_ptr<Mailbox> box) {
+  std::lock_guard lock(eps_mu_);
+  if (stop_.load(std::memory_order_acquire)) {
+    if (auto b = box.lock()) b->close();
+    return;
+  }
+  owned_boxes_.push_back(std::move(box));
+}
+
+std::optional<std::string> Process::getenv(const std::string& key) const {
+  std::lock_guard lock(env_mu_);
+  if (auto it = env_.find(key); it != env_.end()) return it->second;
+  return std::nullopt;
+}
+
+void Process::setenv(const std::string& key, std::string value) {
+  std::lock_guard lock(env_mu_);
+  env_[key] = std::move(value);
+}
+
+void Process::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  std::lock_guard lock(eps_mu_);
+  for (auto& weak : owned_boxes_) {
+    if (auto box = weak.lock()) box->close();
+  }
+}
+
+void Process::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+// -------------------------------------------------------------------- Node
+
+Node::Node(NodeId id, std::string name, Fabric& fabric,
+           std::chrono::microseconds default_start_delay)
+    : id_(id), name_(std::move(name)), fabric_(fabric),
+      default_start_delay_(default_start_delay) {}
+
+Node::~Node() { stop_all_processes(); }
+
+std::unique_ptr<Endpoint> Node::open_endpoint() {
+  return std::make_unique<Endpoint>(fabric_, allocate_address());
+}
+
+Address Node::allocate_address() {
+  return Address{id_, next_port_.fetch_add(1, std::memory_order_relaxed)};
+}
+
+ProcessPtr Node::spawn(SpawnOptions opts, Process::Entry entry) {
+  const auto pid = next_pid_.fetch_add(1, std::memory_order_relaxed);
+  auto proc = ProcessPtr(new Process(*this, pid, std::move(opts),
+                                     std::move(entry)));
+  std::lock_guard lock(procs_mu_);
+  procs_[pid] = proc;
+  return proc;
+}
+
+std::vector<ProcessPtr> Node::processes() const {
+  std::lock_guard lock(procs_mu_);
+  std::vector<ProcessPtr> out;
+  out.reserve(procs_.size());
+  for (const auto& [pid, p] : procs_) out.push_back(p);
+  return out;
+}
+
+ProcessPtr Node::find_process(std::uint64_t pid) const {
+  std::lock_guard lock(procs_mu_);
+  if (auto it = procs_.find(pid); it != procs_.end()) return it->second;
+  return nullptr;
+}
+
+void Node::stop_all_processes() {
+  std::vector<ProcessPtr> procs;
+  {
+    std::lock_guard lock(procs_mu_);
+    for (auto& [pid, p] : procs_) procs.push_back(p);
+    procs_.clear();
+  }
+  for (auto& p : procs) p->request_stop();
+  for (auto& p : procs) p->join();
+}
+
+void Node::reap() {
+  std::lock_guard lock(procs_mu_);
+  for (auto it = procs_.begin(); it != procs_.end();) {
+    if (it->second->finished()) {
+      it->second->join();
+      it = procs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dac::vnet

@@ -1,0 +1,175 @@
+// Virtual cluster nodes and the processes (daemons, job scripts, accelerator
+// back-ends) that run on them. A Process is a thread pinned to a node with
+// its own environment block and a cooperative stop token: request_stop()
+// closes the process's endpoints so its blocking recv() loops drain and
+// return, which is how a pbs_mom "kills the tasks" of a departing job.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vnet/fabric.hpp"
+#include "vnet/message.hpp"
+
+namespace dac::vnet {
+
+class Node;
+class Process;
+
+// RAII handle to a fabric address: registers a mailbox on construction and
+// unregisters + closes it on destruction. All daemon communication goes
+// through endpoints.
+class Endpoint {
+ public:
+  Endpoint(Fabric& fabric, Address addr);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  [[nodiscard]] const Address& address() const { return addr_; }
+
+  void send(const Address& to, std::uint32_t type, util::Bytes payload);
+
+  // Blocks; nullopt once the endpoint is closed and drained.
+  std::optional<Message> recv();
+  std::optional<Message> recv_for(std::chrono::milliseconds timeout);
+  std::optional<Message> try_recv();
+
+  // Closes the mailbox: pending messages remain poppable, new sends drop.
+  void close();
+  [[nodiscard]] bool closed() const;
+
+  // Weak handle used by the owning Process to close this endpoint on kill.
+  [[nodiscard]] std::weak_ptr<Mailbox> mailbox_weak() const { return box_; }
+
+ private:
+  Fabric& fabric_;
+  Address addr_;
+  MailboxPtr box_;
+};
+
+struct SpawnOptions {
+  std::string name = "proc";
+  // If set, overrides the node's default process start delay (models daemon
+  // startup cost — dominant in the paper's Figure 7(a) waiting time).
+  std::optional<std::chrono::microseconds> start_delay;
+  std::map<std::string, std::string> env;
+};
+
+// A process: one thread bound to a node. Entry functions receive the Process
+// and use it to open endpoints, read env, and check for stop requests.
+class Process {
+ public:
+  using Entry = std::function<void(Process&)>;
+
+  ~Process();
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] Node& node() const { return node_; }
+  [[nodiscard]] std::uint64_t pid() const { return pid_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // Opens a fabric endpoint owned by this process; closed on request_stop().
+  std::unique_ptr<Endpoint> open_endpoint();
+
+  // Registers an endpoint created elsewhere (e.g. by an MPI runtime before
+  // the process thread starts) so request_stop() also closes it.
+  void adopt_mailbox(std::weak_ptr<Mailbox> box);
+
+  [[nodiscard]] std::optional<std::string> getenv(const std::string& key) const;
+  void setenv(const std::string& key, std::string value);
+
+  [[nodiscard]] bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+  // Cooperative kill: sets the stop flag and closes all owned endpoints.
+  void request_stop();
+
+  [[nodiscard]] bool finished() const {
+    return finished_.load(std::memory_order_acquire);
+  }
+  void join();
+
+ private:
+  friend class Node;
+  Process(Node& node, std::uint64_t pid, SpawnOptions opts, Entry entry);
+  void run(Entry entry, std::chrono::microseconds start_delay);
+
+  Node& node_;
+  std::uint64_t pid_;
+  std::string name_;
+
+  mutable std::mutex env_mu_;
+  std::map<std::string, std::string> env_;
+
+  std::mutex eps_mu_;
+  std::vector<std::weak_ptr<Mailbox>> owned_boxes_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> finished_{false};
+  std::thread thread_;
+};
+
+using ProcessPtr = std::shared_ptr<Process>;
+
+class Node {
+ public:
+  Node(NodeId id, std::string name, Fabric& fabric,
+       std::chrono::microseconds default_start_delay);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& hostname() const { return name_; }
+  [[nodiscard]] Fabric& fabric() const { return fabric_; }
+  [[nodiscard]] std::chrono::microseconds default_start_delay() const {
+    return default_start_delay_;
+  }
+
+  // Allocates a fresh port on this node (for non-process client endpoints,
+  // e.g. test drivers acting as qsub).
+  std::unique_ptr<Endpoint> open_endpoint();
+  Address allocate_address();
+
+  // Starts a process on this node. The entry runs after the (simulated)
+  // process start delay.
+  ProcessPtr spawn(SpawnOptions opts, Process::Entry entry);
+
+  [[nodiscard]] std::vector<ProcessPtr> processes() const;
+  [[nodiscard]] ProcessPtr find_process(std::uint64_t pid) const;
+
+  // Requests stop on all processes (optionally filtered by name prefix) and
+  // joins them.
+  void stop_all_processes();
+  // Drops finished processes from the table.
+  void reap();
+
+ private:
+  friend class Process;
+
+  NodeId id_;
+  std::string name_;
+  Fabric& fabric_;
+  std::chrono::microseconds default_start_delay_;
+
+  std::atomic<std::int32_t> next_port_{0};
+  std::atomic<std::uint64_t> next_pid_{1};
+
+  mutable std::mutex procs_mu_;
+  std::map<std::uint64_t, ProcessPtr> procs_;
+};
+
+}  // namespace dac::vnet

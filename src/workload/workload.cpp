@@ -1,0 +1,129 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dac::workload {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (config_.mix.empty()) config_.mix.push_back(JobTemplate{});
+}
+
+std::vector<GeneratedJob> WorkloadGenerator::generate() {
+  std::exponential_distribution<double> gap(config_.arrival_rate_hz);
+  std::vector<double> weights;
+  weights.reserve(config_.mix.size());
+  for (const auto& t : config_.mix) weights.push_back(t.weight);
+  std::discrete_distribution<std::size_t> pick(weights.begin(),
+                                               weights.end());
+
+  std::vector<GeneratedJob> out;
+  out.reserve(config_.job_count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < config_.job_count; ++i) {
+    t += gap(rng_);
+    GeneratedJob job;
+    job.arrival_s = t;
+    job.tmpl = config_.mix[pick(rng_)];
+    if (job.tmpl.name == "synthetic") {
+      job.tmpl.name = "synthetic-" + std::to_string(i);
+    }
+    out.push_back(std::move(job));
+  }
+  return out;
+}
+
+torque::JobSpec to_spec(const GeneratedJob& job,
+                        const std::string& sleep_program) {
+  torque::JobSpec spec;
+  spec.name = job.tmpl.name;
+  spec.owner = job.tmpl.owner;
+  spec.program = sleep_program;
+  util::ByteWriter w;
+  w.put<std::uint64_t>(
+      static_cast<std::uint64_t>(job.tmpl.runtime.count()));
+  spec.program_args = std::move(w).take();
+  spec.resources.nodes = job.tmpl.nodes;
+  spec.resources.acpn = job.tmpl.acpn;
+  spec.resources.walltime = job.tmpl.walltime;
+  spec.priority = job.tmpl.priority;
+  return spec;
+}
+
+std::string to_trace(const std::vector<GeneratedJob>& jobs) {
+  std::ostringstream out;
+  out << "# arrival_s,name,owner,nodes,acpn,runtime_ms,walltime_ms,priority\n";
+  for (const auto& j : jobs) {
+    out << j.arrival_s << ',' << j.tmpl.name << ',' << j.tmpl.owner << ','
+        << j.tmpl.nodes << ',' << j.tmpl.acpn << ','
+        << j.tmpl.runtime.count() << ',' << j.tmpl.walltime.count() << ','
+        << j.tmpl.priority << '\n';
+  }
+  return out.str();
+}
+
+std::vector<GeneratedJob> from_trace(const std::string& trace) {
+  std::vector<GeneratedJob> out;
+  std::istringstream in(trace);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ls(line);
+    GeneratedJob job;
+    std::string field;
+    std::getline(ls, field, ',');
+    job.arrival_s = std::stod(field);
+    std::getline(ls, job.tmpl.name, ',');
+    std::getline(ls, job.tmpl.owner, ',');
+    std::getline(ls, field, ',');
+    job.tmpl.nodes = std::stoi(field);
+    std::getline(ls, field, ',');
+    job.tmpl.acpn = std::stoi(field);
+    std::getline(ls, field, ',');
+    job.tmpl.runtime = std::chrono::milliseconds(std::stoll(field));
+    std::getline(ls, field, ',');
+    job.tmpl.walltime = std::chrono::milliseconds(std::stoll(field));
+    std::getline(ls, field, ',');
+    job.tmpl.priority = std::stoi(field);
+    out.push_back(std::move(job));
+  }
+  return out;
+}
+
+ScheduleMetrics analyze(const std::vector<torque::JobInfo>& jobs,
+                        std::size_t compute_nodes) {
+  ScheduleMetrics m;
+  double first_submit = -1.0;
+  double last_end = 0.0;
+  double wait_sum = 0.0;
+  double turnaround_sum = 0.0;
+  double busy_node_seconds = 0.0;
+  for (const auto& j : jobs) {
+    if (j.state != torque::JobState::kComplete) continue;
+    if (j.start_time < 0.0 || j.end_time < 0.0) continue;
+    ++m.completed;
+    if (first_submit < 0.0 || j.submit_time < first_submit) {
+      first_submit = j.submit_time;
+    }
+    last_end = std::max(last_end, j.end_time);
+    const double wait = j.start_time - j.submit_time;
+    wait_sum += wait;
+    m.max_wait_s = std::max(m.max_wait_s, wait);
+    turnaround_sum += j.end_time - j.submit_time;
+    busy_node_seconds +=
+        j.spec.resources.nodes * (j.end_time - j.start_time);
+  }
+  if (m.completed == 0) return m;
+  m.makespan_s = last_end - first_submit;
+  m.mean_wait_s = wait_sum / static_cast<double>(m.completed);
+  m.mean_turnaround_s = turnaround_sum / static_cast<double>(m.completed);
+  if (m.makespan_s > 0.0 && compute_nodes > 0) {
+    m.node_utilization =
+        busy_node_seconds /
+        (static_cast<double>(compute_nodes) * m.makespan_s);
+  }
+  return m;
+}
+
+}  // namespace dac::workload

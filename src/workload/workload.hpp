@@ -1,0 +1,79 @@
+// Synthetic workload generation and schedule analysis. The paper's Figure 8
+// loads the scheduler with batches of qsub requests; the backfill/fairshare
+// ablations need full mixed workloads with arrival processes. Everything is
+// deterministic from the seed.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "torque/job.hpp"
+
+namespace dac::workload {
+
+// One class of jobs in a mix.
+struct JobTemplate {
+  std::string name = "synthetic";
+  std::string owner = "user";
+  int nodes = 1;
+  int acpn = 0;
+  std::chrono::milliseconds runtime{50};    // actual execution time
+  std::chrono::milliseconds walltime{100};  // user estimate (backfill input)
+  int priority = 0;
+  double weight = 1.0;  // relative frequency in the mix
+};
+
+struct GeneratedJob {
+  double arrival_s = 0.0;  // offset from workload start
+  JobTemplate tmpl;
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 42;
+  std::size_t job_count = 20;
+  double arrival_rate_hz = 50.0;  // Poisson arrivals
+  std::vector<JobTemplate> mix;   // empty -> single default template
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  // Generates job_count arrivals sorted by time.
+  std::vector<GeneratedJob> generate();
+
+ private:
+  WorkloadConfig config_;
+  std::mt19937_64 rng_;
+};
+
+// Builds the JobSpec that realizes a generated job using the built-in sleep
+// program (program args = runtime in ms).
+torque::JobSpec to_spec(const GeneratedJob& job,
+                        const std::string& sleep_program);
+
+// ---- trace format ---------------------------------------------------------
+// One line per job: arrival_s,name,owner,nodes,acpn,runtime_ms,walltime_ms,
+// priority. Round-trips through strings for record/replay.
+std::string to_trace(const std::vector<GeneratedJob>& jobs);
+std::vector<GeneratedJob> from_trace(const std::string& trace);
+
+// ---- schedule metrics -------------------------------------------------------
+struct ScheduleMetrics {
+  std::size_t completed = 0;
+  double makespan_s = 0.0;        // first submit -> last completion
+  double mean_wait_s = 0.0;       // submit -> start
+  double max_wait_s = 0.0;
+  double mean_turnaround_s = 0.0; // submit -> completion
+  double node_utilization = 0.0;  // busy node-seconds / available
+};
+
+// Analyzes completed jobs from qstat output. `compute_nodes` is the cluster
+// size for the utilization denominator.
+ScheduleMetrics analyze(const std::vector<torque::JobInfo>& jobs,
+                        std::size_t compute_nodes);
+
+}  // namespace dac::workload

@@ -1,0 +1,86 @@
+#include "core/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dac::core {
+namespace {
+
+torque::JobInfo make_job(torque::JobId id, torque::JobState state) {
+  torque::JobInfo j;
+  j.id = id;
+  j.spec.name = "myjob";
+  j.spec.owner = "alice";
+  j.spec.resources.nodes = 2;
+  j.state = state;
+  j.submit_time = 1.0;
+  j.start_time = 2.5;
+  j.end_time = 4.0;
+  j.accel_hosts = {"ac0", "ac1"};
+  j.dyn_accel_hosts = {"ac2"};
+  return j;
+}
+
+TEST(Cli, QstatContainsJobFields) {
+  const auto s = render_qstat({make_job(7, torque::JobState::kComplete)});
+  EXPECT_NE(s.find("Job ID"), std::string::npos);
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("myjob"), std::string::npos);
+  EXPECT_NE(s.find("alice"), std::string::npos);
+  EXPECT_NE(s.find("C"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);  // queue wait
+  // 2 static + 1 dynamic accelerators.
+  EXPECT_NE(s.find(" 3"), std::string::npos);
+}
+
+TEST(Cli, QstatUnstartedJobShowsDashes) {
+  auto j = make_job(1, torque::JobState::kQueued);
+  j.start_time = -1.0;
+  j.end_time = -1.0;
+  const auto s = render_qstat({j});
+  EXPECT_NE(s.find("Q"), std::string::npos);
+  EXPECT_NE(s.find("-"), std::string::npos);
+}
+
+TEST(Cli, QstatEmptyHasOnlyHeader) {
+  const auto s = render_qstat({});
+  EXPECT_NE(s.find("Job ID"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+TEST(Cli, QstatTruncatesLongNames) {
+  auto j = make_job(1, torque::JobState::kRunning);
+  j.spec.name = std::string(64, 'x');
+  const auto s = render_qstat({j});
+  EXPECT_EQ(s.find(std::string(16, 'x')), std::string::npos);
+}
+
+TEST(Cli, PbsnodesShowsKindsAndState) {
+  torque::NodeStatus cn;
+  cn.hostname = "cn0";
+  cn.kind = torque::NodeKind::kCompute;
+  cn.np = 8;
+  cn.used = 3;
+  cn.jobs = {4, 5};
+  torque::NodeStatus ac;
+  ac.hostname = "ac0";
+  ac.kind = torque::NodeKind::kAccelerator;
+  ac.np = 1;
+  ac.up = false;
+  const auto s = render_pbsnodes({cn, ac});
+  EXPECT_NE(s.find("compute"), std::string::npos);
+  EXPECT_NE(s.find("accelerator"), std::string::npos);
+  EXPECT_NE(s.find("3/8"), std::string::npos);
+  EXPECT_NE(s.find("4,5"), std::string::npos);
+  EXPECT_NE(s.find("down"), std::string::npos);
+  EXPECT_NE(s.find("up"), std::string::npos);
+}
+
+TEST(Cli, PbsnodesIdleNodeShowsDash) {
+  torque::NodeStatus n;
+  n.hostname = "cn0";
+  const auto s = render_pbsnodes({n});
+  EXPECT_NE(s.find("-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dac::core

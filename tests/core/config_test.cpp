@@ -1,0 +1,52 @@
+// Configuration profiles: the fast and paper-testbed profiles must stay
+// internally consistent (these values calibrate every benchmark).
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dac::core {
+namespace {
+
+TEST(Config, FastProfileIsQuick) {
+  const auto c = DacClusterConfig::fast();
+  EXPECT_LE(c.timing.server_service_cost.count(), 1000);
+  EXPECT_LE(c.timing.sched_job_eval_cost.count(), 1000);
+  EXPECT_EQ(c.device.time_scale, 0.0);
+  EXPECT_EQ(c.total_nodes(), 1 + c.compute_nodes + c.accel_nodes);
+}
+
+TEST(Config, PaperTestbedMatchesPaperTopology) {
+  const auto c = DacClusterConfig::paper_testbed();
+  // 8 nodes: 1 head + 1 CN + 6 ACs (the Figure 7 setup).
+  EXPECT_EQ(c.total_nodes(), 8u);
+  EXPECT_EQ(c.compute_nodes, 1u);
+  EXPECT_EQ(c.accel_nodes, 6u);
+}
+
+TEST(Config, PaperTestbedCustomSplit) {
+  const auto c = DacClusterConfig::paper_testbed(3, 4);
+  EXPECT_EQ(c.total_nodes(), 8u);  // still the paper's 8 nodes
+  EXPECT_EQ(c.compute_nodes, 3u);
+}
+
+TEST(Config, CalibratedTimingOrdering) {
+  const auto t = torque::BatchTiming::calibrated();
+  // The calibration relies on these orderings (see DESIGN.md):
+  // static daemons stagger (Fig 7a growth) and start slower than spawned
+  // ones; per-request dynamic work exceeds a single job evaluation.
+  EXPECT_GT(t.static_daemon_start_delay.count(), 0);
+  EXPECT_GT(t.static_daemon_start_stagger.count(), 0);
+  EXPECT_GT(t.sched_dyn_base_cost, t.sched_job_eval_cost);
+  EXPECT_GT(t.mom_heartbeat_interval.count(), 0);
+  EXPECT_GT(t.heartbeat_stale_factor, 1);
+}
+
+TEST(Config, DynamicFirstDefaultsOnLikeThePaper) {
+  EXPECT_TRUE(DacClusterConfig::fast().dynamic_first);
+  EXPECT_TRUE(DacClusterConfig::paper_testbed().dynamic_first);
+  // The fairshare cap is off by default (paper behaviour).
+  EXPECT_GE(DacClusterConfig::fast().dyn_owner_pool_cap, 1.0);
+}
+
+}  // namespace
+}  // namespace dac::core

@@ -1,0 +1,134 @@
+// JobContext tests: the environment a job program sees — launch info, PBS
+// environment variables, per-rank identity, MPI world, and the IFL client
+// from inside a job.
+#include "core/job_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "core/cluster.hpp"
+
+namespace dac::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+class JobContextTest : public ::testing::Test {
+ protected:
+  JobContextTest() : cluster_([] {
+    auto c = DacClusterConfig::fast();
+    c.compute_nodes = 2;
+    c.accel_nodes = 2;
+    return c;
+  }()) {}
+
+  DacCluster cluster_;
+};
+
+TEST_F(JobContextTest, LaunchInfoDescribesTheJob) {
+  std::atomic<bool> ok{false};
+  torque::JobId submitted = 0;
+  cluster_.register_program("info", [&](JobContext& ctx) {
+    const auto& info = ctx.info();
+    ok = info.job == submitted && info.nodes == 1 && info.acpn == 2 &&
+         info.compute_hosts.size() == 1 && info.accel_hosts.size() == 2 &&
+         info.program == "info";
+  });
+  submitted = cluster_.submit_program("info", 1, 2);
+  ASSERT_TRUE(cluster_.wait_job(submitted, 30'000ms).has_value());
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(JobContextTest, PbsJobidEnvironmentVariable) {
+  std::atomic<bool> ok{false};
+  torque::JobId submitted = 0;
+  cluster_.register_program("env", [&](JobContext& ctx) {
+    const auto v = ctx.mpi().process().getenv("PBS_JOBID");
+    ok = v.has_value() && *v == std::to_string(submitted);
+  });
+  submitted = cluster_.submit_program("env", 1, 0);
+  ASSERT_TRUE(cluster_.wait_job(submitted, 30'000ms).has_value());
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(JobContextTest, RanksMatchComputeNodeOrder) {
+  std::mutex mu;
+  std::map<int, std::string> rank_to_host;
+  cluster_.register_program("ranks", [&](JobContext& ctx) {
+    std::lock_guard lock(mu);
+    rank_to_host[ctx.rank()] =
+        ctx.info().compute_hosts[static_cast<std::size_t>(ctx.rank())]
+            .hostname;
+    EXPECT_EQ(ctx.num_nodes(), 2);
+  });
+  const auto id = cluster_.submit_program("ranks", 2, 0);
+  ASSERT_TRUE(cluster_.wait_job(id, 30'000ms).has_value());
+  ASSERT_EQ(rank_to_host.size(), 2u);
+  EXPECT_NE(rank_to_host[0], rank_to_host[1]);
+}
+
+TEST_F(JobContextTest, IflUsableInsideJob) {
+  std::atomic<bool> ok{false};
+  torque::JobId submitted = 0;
+  cluster_.register_program("qstat_inside", [&](JobContext& ctx) {
+    auto self = ctx.ifl().stat_job(submitted);
+    ok = self.has_value() && self->state == torque::JobState::kRunning;
+  });
+  submitted = cluster_.submit_program("qstat_inside", 1, 0);
+  ASSERT_TRUE(cluster_.wait_job(submitted, 30'000ms).has_value());
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(JobContextTest, WorldCollectivesAcrossComputeNodes) {
+  std::atomic<std::int64_t> seen{0};
+  cluster_.register_program("world", [&](JobContext& ctx) {
+    const auto sum = ctx.mpi().allreduce(
+        ctx.world(), static_cast<std::int64_t>(ctx.rank() + 1),
+        minimpi::ReduceOp::kSum);
+    if (ctx.rank() == 0) seen = sum;
+  });
+  const auto id = cluster_.submit_program("world", 2, 0);
+  ASSERT_TRUE(cluster_.wait_job(id, 30'000ms).has_value());
+  EXPECT_EQ(seen, 3);
+}
+
+TEST_F(JobContextTest, UnknownProgramCompletesWithoutCrash) {
+  torque::JobSpec spec;
+  spec.name = "ghost";
+  spec.program = "no_such_program";
+  spec.resources.nodes = 1;
+  const auto id = cluster_.submit(spec);
+  auto info = cluster_.wait_job(id, 30'000ms);
+  ASSERT_TRUE(info.has_value());  // wrapper logs the error and completes
+  for (const auto& n : cluster_.client().stat_nodes()) {
+    EXPECT_EQ(n.used, 0) << n.hostname;
+  }
+}
+
+TEST_F(JobContextTest, InterruptibleSleepThrowsOnKill) {
+  std::atomic<bool> threw{false};
+  std::atomic<bool> started{false};
+  cluster_.register_program("sleeper", [&](JobContext& ctx) {
+    started = true;
+    try {
+      interruptible_sleep(ctx, 30'000ms);
+    } catch (const util::StoppedError&) {
+      threw = true;
+      throw;  // propagate like a killed process would
+    }
+  });
+  const auto id = cluster_.submit_program("sleeper", 1, 0);
+  while (!started) std::this_thread::sleep_for(1ms);
+  cluster_.client().delete_job(id);
+  // qdel kills the tasks; the sleep must notice promptly.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!threw && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace dac::core

@@ -1,0 +1,131 @@
+// Cooperative stencil tests: daemons exchanging halo cells directly with
+// each other over MPI (paper §I's "kernels that communicate directly with
+// each other"), verified against a host-side reference computation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dacc/daemon.hpp"
+#include "dacc/frontend.hpp"
+#include "dacc/protocol.hpp"
+#include "vnet/cluster.hpp"
+
+namespace dac::dacc {
+namespace {
+
+using minimpi::Comm;
+using minimpi::Proc;
+
+// Host reference: the same Jacobi smoothing over the full domain.
+std::vector<double> reference(std::vector<double> u, std::uint32_t iters,
+                              double bl, double br) {
+  std::vector<double> next(u.size());
+  for (std::uint32_t it = 0; it < iters; ++it) {
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const double l = i == 0 ? bl : u[i - 1];
+      const double r = i + 1 == u.size() ? br : u[i + 1];
+      next[i] = 0.5 * (l + r);
+    }
+    u = next;
+  }
+  return u;
+}
+
+class StencilTest : public ::testing::Test {
+ protected:
+  StencilTest()
+      : cluster_([] {
+          vnet::ClusterTopology t;
+          t.node_count = 6;
+          t.network.latency = std::chrono::microseconds(30);
+          t.process_start_delay = std::chrono::microseconds(0);
+          return t;
+        }()),
+        runtime_(cluster_) {
+    register_daemon_executables(runtime_, devices_);
+  }
+
+  void run(int daemons, std::uint64_t slab, std::uint32_t iters) {
+    static std::atomic<int> counter{500};
+    const auto port = "st-" + std::to_string(counter.fetch_add(1));
+    std::vector<vnet::NodeId> placement;
+    for (int i = 0; i < daemons; ++i) placement.push_back(1 + i);
+    util::ByteWriter args;
+    args.put_string(port);
+    args.put<std::uint64_t>(1);
+    auto world = runtime_.launch_world(kStaticDaemonExe, placement,
+                                       std::move(args).take());
+
+    std::atomic<bool> ok{false};
+    runtime_.register_executable(
+        "stencil_cn",
+        [&, port, daemons, slab, iters](Proc& p, const util::Bytes&) {
+          Comm inter = p.comm_connect(port, p.self(), 0);
+          Comm merged = p.intercomm_merge(inter, false);
+
+          const auto total = slab * static_cast<std::uint64_t>(daemons);
+          std::vector<double> init(total, 0.0);
+          for (std::uint64_t i = total / 3; i < 2 * total / 3; ++i) {
+            init[i] = 100.0;  // a hot block in the middle
+          }
+          const double bl = 1.0;
+          const double br = -1.0;
+
+          // Upload slabs.
+          std::vector<gpusim::DevicePtr> fields;
+          for (int d = 0; d < daemons; ++d) {
+            const auto ptr = frontend::mem_alloc(p, merged, 1 + d,
+                                                 slab * sizeof(double));
+            frontend::memcpy_h2d(
+                p, merged, 1 + d, ptr,
+                std::as_bytes(std::span(init.data() + d * slab, slab)));
+            fields.push_back(ptr);
+          }
+
+          frontend::stencil_run(p, merged, 1, fields, slab, iters, bl, br);
+
+          // Gather and compare with the host reference.
+          const auto expect = reference(init, iters, bl, br);
+          bool good = true;
+          for (int d = 0; d < daemons && good; ++d) {
+            auto back = frontend::memcpy_d2h(
+                p, merged, 1 + d, fields[static_cast<std::size_t>(d)],
+                slab * sizeof(double));
+            const auto* v = reinterpret_cast<const double*>(back.data());
+            for (std::uint64_t i = 0; i < slab; ++i) {
+              if (std::abs(v[i] - expect[d * slab + i]) > 1e-9) {
+                good = false;
+                break;
+              }
+            }
+          }
+          ok = good;
+          for (int r = 1; r < merged.size(); ++r) {
+            p.send(merged, r, kCtlShutdown, {});
+          }
+          p.barrier(merged);
+        });
+    auto cn = runtime_.launch_world("stencil_cn", {5}, {});
+    cn.join();
+    world.join();
+    EXPECT_TRUE(ok) << daemons << " daemons, slab " << slab << ", iters "
+                    << iters;
+  }
+
+  vnet::Cluster cluster_;
+  minimpi::Runtime runtime_;
+  DeviceManager devices_;
+};
+
+TEST_F(StencilTest, SingleDaemonMatchesReference) { run(1, 32, 5); }
+
+TEST_F(StencilTest, TwoDaemonsExchangeHalos) { run(2, 24, 8); }
+
+TEST_F(StencilTest, FourDaemonsLongRun) { run(4, 16, 25); }
+
+TEST_F(StencilTest, OneCellSlabs) { run(3, 1, 4); }
+
+TEST_F(StencilTest, ZeroIterationsIsIdentity) { run(2, 16, 0); }
+
+}  // namespace
+}  // namespace dac::dacc

@@ -1,0 +1,168 @@
+// Edge cases of the chunked transfer protocol: degenerate chunk sizes,
+// exact-multiple and off-by-one payloads, large streamed D2H, and traffic to
+// several daemons interleaved on one communicator.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dacc/daemon.hpp"
+#include "dacc/frontend.hpp"
+#include "dacc/protocol.hpp"
+#include "vnet/cluster.hpp"
+
+namespace dac::dacc {
+namespace {
+
+using minimpi::Comm;
+using minimpi::Proc;
+
+class TransferEdgeTest : public ::testing::Test {
+ protected:
+  TransferEdgeTest()
+      : cluster_([] {
+          vnet::ClusterTopology t;
+          t.node_count = 5;
+          t.network.latency = std::chrono::microseconds(30);
+          t.network.bytes_per_second = 5e9;
+          t.process_start_delay = std::chrono::microseconds(0);
+          return t;
+        }()),
+        runtime_(cluster_) {
+    register_daemon_executables(runtime_, devices_);
+  }
+
+  void with_daemons(int n, std::function<void(Proc&, Comm&)> body) {
+    static std::atomic<int> counter{100};
+    const auto port = "edge-port-" + std::to_string(counter.fetch_add(1));
+    std::vector<vnet::NodeId> placement;
+    for (int i = 0; i < n; ++i) placement.push_back(1 + i);
+    util::ByteWriter args;
+    args.put_string(port);
+    args.put<std::uint64_t>(1);
+    auto daemons = runtime_.launch_world(kStaticDaemonExe, placement,
+                                         std::move(args).take());
+    runtime_.register_executable(
+        "edge_cn", [&body, port](Proc& p, const util::Bytes&) {
+          Comm inter = p.comm_connect(port, p.self(), 0);
+          Comm merged = p.intercomm_merge(inter, false);
+          body(p, merged);
+          for (int r = 1; r < merged.size(); ++r) {
+            p.send(merged, r, kCtlShutdown, {});
+          }
+          p.barrier(merged);
+        });
+    auto cn = runtime_.launch_world("edge_cn", {4}, {});
+    cn.join();
+    daemons.join();
+  }
+
+  // Fills a buffer with a position-dependent pattern and round-trips it.
+  void roundtrip_pattern(Proc& p, Comm& c, std::size_t bytes,
+                         const TransferOptions& opts) {
+    util::Bytes host(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      host[i] = static_cast<std::byte>((i * 13 + 7) % 251);
+    }
+    const auto ptr = frontend::mem_alloc(p, c, 1, bytes ? bytes : 1);
+    frontend::memcpy_h2d(p, c, 1, ptr, host, opts);
+    auto back = frontend::memcpy_d2h(p, c, 1, ptr, bytes, opts);
+    ASSERT_EQ(back.size(), bytes);
+    for (std::size_t i = 0; i < bytes; i += 311) {
+      ASSERT_EQ(back[i], host[i]) << "mismatch at byte " << i;
+    }
+    frontend::mem_free(p, c, 1, ptr);
+  }
+
+  vnet::Cluster cluster_;
+  minimpi::Runtime runtime_;
+  DeviceManager devices_;
+};
+
+TEST_F(TransferEdgeTest, ExactChunkMultiple) {
+  with_daemons(1, [&](Proc& p, Comm& c) {
+    TransferOptions opts;
+    opts.chunk_bytes = 1024;
+    roundtrip_pattern(p, c, 4 * 1024, opts);  // exactly 4 chunks
+  });
+}
+
+TEST_F(TransferEdgeTest, OffByOneSizes) {
+  with_daemons(1, [&](Proc& p, Comm& c) {
+    TransferOptions opts;
+    opts.chunk_bytes = 1024;
+    roundtrip_pattern(p, c, 4 * 1024 - 1, opts);
+    roundtrip_pattern(p, c, 4 * 1024 + 1, opts);
+    roundtrip_pattern(p, c, 1, opts);
+  });
+}
+
+TEST_F(TransferEdgeTest, TinyChunks) {
+  with_daemons(1, [&](Proc& p, Comm& c) {
+    TransferOptions opts;
+    opts.chunk_bytes = 7;  // pathological: many tiny chunks
+    roundtrip_pattern(p, c, 999, opts);
+  });
+}
+
+TEST_F(TransferEdgeTest, ChunkLargerThanPayload) {
+  with_daemons(1, [&](Proc& p, Comm& c) {
+    TransferOptions opts;
+    opts.chunk_bytes = 1 << 20;
+    roundtrip_pattern(p, c, 100, opts);  // single chunk
+  });
+}
+
+TEST_F(TransferEdgeTest, LargeStreamedD2H) {
+  with_daemons(1, [&](Proc& p, Comm& c) {
+    TransferOptions opts;
+    opts.chunk_bytes = 64 << 10;
+    roundtrip_pattern(p, c, 3u << 20, opts);  // 3 MiB, 48 chunks back
+  });
+}
+
+TEST_F(TransferEdgeTest, UnpipelinedMatchesPipelined) {
+  with_daemons(1, [&](Proc& p, Comm& c) {
+    TransferOptions piped;
+    piped.chunk_bytes = 2048;
+    piped.pipelined = true;
+    TransferOptions acked = piped;
+    acked.pipelined = false;
+    roundtrip_pattern(p, c, 10'000, piped);
+    roundtrip_pattern(p, c, 10'000, acked);
+  });
+}
+
+TEST_F(TransferEdgeTest, InterleavedTrafficToMultipleDaemons) {
+  with_daemons(3, [&](Proc& p, Comm& c) {
+    // Start pipelined uploads to all three daemons before collecting any
+    // acknowledgement order-sensitive replies; per-daemon tag matching must
+    // keep streams apart.
+    std::vector<gpusim::DevicePtr> ptrs;
+    std::vector<util::Bytes> payloads;
+    for (int rank = 1; rank <= 3; ++rank) {
+      const std::size_t bytes = 4096 * static_cast<std::size_t>(rank);
+      util::Bytes host(bytes);
+      for (std::size_t i = 0; i < bytes; ++i) {
+        host[i] = static_cast<std::byte>((i + rank) % 251);
+      }
+      const auto ptr = frontend::mem_alloc(p, c, rank, bytes);
+      TransferOptions opts;
+      opts.chunk_bytes = 512;
+      frontend::memcpy_h2d(p, c, rank, ptr, host, opts);
+      ptrs.push_back(ptr);
+      payloads.push_back(std::move(host));
+    }
+    for (int rank = 1; rank <= 3; ++rank) {
+      const auto& expect = payloads[static_cast<std::size_t>(rank - 1)];
+      auto back = frontend::memcpy_d2h(
+          p, c, rank, ptrs[static_cast<std::size_t>(rank - 1)],
+          expect.size());
+      ASSERT_EQ(back, expect) << "daemon " << rank;
+      frontend::mem_free(p, c, rank,
+                         ptrs[static_cast<std::size_t>(rank - 1)]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace dac::dacc

@@ -1,0 +1,176 @@
+#include "gpusim/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace dac::gpusim {
+namespace {
+
+DeviceConfig timed_config(double scale) {
+  DeviceConfig c;
+  c.memory_bytes = 4 << 20;
+  c.time_scale = scale;
+  return c;
+}
+
+class StreamTest : public ::testing::Test {
+ protected:
+  StreamTest() : dev_(timed_config(0.0)) { register_builtin_kernels(dev_); }
+  Device dev_;
+};
+
+TEST_F(StreamTest, AsyncOpsRunInOrder) {
+  Stream stream(dev_);
+  constexpr std::uint64_t kN = 256;
+  const auto bytes = kN * sizeof(double);
+  auto a = dev_.mem_alloc(bytes);
+  auto b = dev_.mem_alloc(bytes);
+  auto c = dev_.mem_alloc(bytes);
+  std::vector<double> ha(kN, 2.0);
+  std::vector<double> hb(kN, 3.0);
+  std::vector<double> hc(kN, 0.0);
+
+  stream.memcpy_h2d_async(a, ha.data(), bytes);
+  stream.memcpy_h2d_async(b, hb.data(), bytes);
+  util::ByteWriter args;
+  args.put<std::uint64_t>(c);
+  args.put<std::uint64_t>(a);
+  args.put<std::uint64_t>(b);
+  args.put<std::uint64_t>(kN);
+  stream.launch_async("vector_add", {1, 1, 1}, {256, 1, 1},
+                      std::move(args).take());
+  stream.memcpy_d2h_async(hc.data(), c, bytes);
+  stream.synchronize();
+
+  for (std::uint64_t i = 0; i < kN; i += 31) EXPECT_DOUBLE_EQ(hc[i], 5.0);
+  dev_.mem_free(a);
+  dev_.mem_free(b);
+  dev_.mem_free(c);
+}
+
+TEST_F(StreamTest, SourceBufferCopiedAtEnqueue) {
+  Stream stream(dev_);
+  auto p = dev_.mem_alloc(sizeof(double));
+  {
+    double v = 42.0;
+    stream.memcpy_h2d_async(p, &v, sizeof(v));
+    v = -1.0;  // must not affect the in-flight copy
+  }
+  stream.synchronize();
+  double out = 0.0;
+  dev_.memcpy_d2h(&out, p, sizeof(out));
+  EXPECT_DOUBLE_EQ(out, 42.0);
+  dev_.mem_free(p);
+}
+
+TEST_F(StreamTest, EventsFireInOrder) {
+  Stream stream(dev_);
+  Event e1;
+  Event e2;
+  stream.record(e1);
+  stream.record(e2);
+  stream.synchronize();
+  EXPECT_TRUE(e1.query());
+  EXPECT_TRUE(e2.query());
+  EXPECT_GE(Event::elapsed_seconds(e1, e2), 0.0);
+}
+
+TEST_F(StreamTest, EventWaitBlocksUntilReached) {
+  Device slow(timed_config(1.0));
+  slow.register_kernel("pause",
+                       Kernel{[](KernelContext&) {},
+                              [](const KernelContext&) {
+                                return std::chrono::nanoseconds(30'000'000);
+                              }});
+  Stream stream(slow);
+  Event done;
+  stream.launch_async("pause", {1, 1, 1}, {1, 1, 1}, {});
+  stream.record(done);
+  EXPECT_FALSE(done.query());
+  done.wait();
+  EXPECT_TRUE(done.query());
+}
+
+TEST_F(StreamTest, AsyncErrorSurfacesAtSynchronize) {
+  Stream stream(dev_);
+  stream.launch_async("no_such_kernel", {1, 1, 1}, {1, 1, 1}, {});
+  EXPECT_THROW(stream.synchronize(), DeviceError);
+  // The stream keeps working afterwards.
+  Event ok;
+  stream.record(ok);
+  stream.synchronize();
+  EXPECT_TRUE(ok.query());
+}
+
+TEST_F(StreamTest, TwoStreamsOverlap) {
+  // Two kernels of 40 ms each: sequential = 80 ms, overlapped < 70 ms.
+  Device slow(timed_config(1.0));
+  slow.register_kernel("pause",
+                       Kernel{[](KernelContext&) {},
+                              [](const KernelContext&) {
+                                return std::chrono::nanoseconds(40'000'000);
+                              }});
+  Stream s1(slow);
+  Stream s2(slow);
+  util::Stopwatch w;
+  s1.launch_async("pause", {1, 1, 1}, {1, 1, 1}, {});
+  s2.launch_async("pause", {1, 1, 1}, {1, 1, 1}, {});
+  s1.synchronize();
+  s2.synchronize();
+  EXPECT_LT(w.elapsed_seconds(), 0.070);
+}
+
+TEST_F(StreamTest, SynchronizeOnEmptyStream) {
+  Stream stream(dev_);
+  stream.synchronize();  // no-op
+}
+
+TEST_F(StreamTest, DoubleBuffering) {
+  // The latency-hiding pattern the paper appeals to: upload chunk i+1 while
+  // chunk i computes — verify correctness of the interleaved schedule.
+  Stream upload(dev_);
+  Stream compute(dev_);
+  constexpr std::uint64_t kChunk = 128;
+  const auto bytes = kChunk * sizeof(double);
+  auto buf0 = dev_.mem_alloc(bytes);
+  auto buf1 = dev_.mem_alloc(bytes);
+  auto acc = dev_.mem_alloc(sizeof(double));
+
+  util::ByteWriter fill0;
+  fill0.put<std::uint64_t>(acc);
+  fill0.put<double>(0.0);
+  fill0.put<std::uint64_t>(1);
+  dev_.launch("fill", {1, 1, 1}, {1, 1, 1}, fill0.bytes());
+
+  double total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const auto buf = i % 2 == 0 ? buf0 : buf1;
+    std::vector<double> chunk(kChunk, static_cast<double>(i + 1));
+    upload.memcpy_h2d_async(buf, chunk.data(), bytes);
+    Event uploaded;
+    upload.record(uploaded);
+    uploaded.wait();  // compute stream may only start after the upload
+
+    util::ByteWriter args;
+    args.put<std::uint64_t>(acc);
+    args.put<std::uint64_t>(buf);
+    args.put<std::uint64_t>(kChunk);
+    // reduce_sum overwrites; accumulate on the host side for the check.
+    compute.launch_async("reduce_sum", {1, 1, 1}, {1, 1, 1},
+                         std::move(args).take());
+    compute.synchronize();
+    double v = 0.0;
+    dev_.memcpy_d2h(&v, acc, sizeof(v));
+    total += v;
+  }
+  EXPECT_DOUBLE_EQ(total, 128.0 * (1 + 2 + 3 + 4));
+  dev_.mem_free(buf0);
+  dev_.mem_free(buf1);
+  dev_.mem_free(acc);
+}
+
+}  // namespace
+}  // namespace dac::gpusim

@@ -1,0 +1,96 @@
+// Priority-policy details: queue-time aging lifts long-waiting jobs over
+// fresher high-QoS ones, and backfill reservations clear when the blocking
+// job's resources release.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace dac::maui {
+namespace {
+
+using namespace std::chrono_literals;
+using core::DacCluster;
+using core::DacClusterConfig;
+
+torque::JobSpec sleep_job(const std::string& name, int nodes, int ms,
+                          int walltime_ms, int priority = 0) {
+  torque::JobSpec spec;
+  spec.name = name;
+  spec.program = core::kSleepProgram;
+  util::ByteWriter w;
+  w.put<std::uint64_t>(static_cast<std::uint64_t>(ms));
+  spec.program_args = std::move(w).take();
+  spec.resources.nodes = nodes;
+  spec.resources.ppn = 8;
+  spec.resources.walltime = std::chrono::milliseconds(walltime_ms);
+  spec.priority = priority;
+  return spec;
+}
+
+double start_of(DacCluster& cluster, torque::JobId id) {
+  auto info = cluster.client().stat_job(id);
+  return info ? info->start_time : -1.0;
+}
+
+TEST(Aging, QueueTimeLiftsOldJobs) {
+  auto config = DacClusterConfig::fast();
+  config.compute_nodes = 1;
+  config.policy = Policy::kPriority;
+  // Strong aging: 1 second of waiting beats 0.05 QoS points.
+  config.weights.queue_time = 100.0;
+  config.weights.qos = 1.0;
+  DacCluster cluster(config);
+
+  auto holder = cluster.submit(sleep_job("hold", 1, 200, 400));
+  ASSERT_TRUE(cluster.client().wait_for_state(
+      holder, torque::JobState::kRunning, 10'000ms));
+  // The old low-QoS job waits a while before the fresh high-QoS arrives.
+  auto old_low = cluster.submit(sleep_job("old", 1, 10, 30, /*priority=*/0));
+  std::this_thread::sleep_for(100ms);
+  auto new_high = cluster.submit(sleep_job("new", 1, 10, 30, /*priority=*/5));
+  ASSERT_TRUE(cluster.wait_job(old_low, 30'000ms).has_value());
+  ASSERT_TRUE(cluster.wait_job(new_high, 30'000ms).has_value());
+  EXPECT_LT(start_of(cluster, old_low), start_of(cluster, new_high));
+}
+
+TEST(Aging, BlockedWideJobEventuallyRuns) {
+  // Under backfill, the reservation must not starve: once the running job
+  // ends, the wide job starts even while narrow jobs keep arriving.
+  auto config = DacClusterConfig::fast();
+  config.compute_nodes = 2;
+  config.policy = Policy::kBackfill;
+  DacCluster cluster(config);
+
+  auto runner = cluster.submit(sleep_job("r", 1, 120, 150));
+  ASSERT_TRUE(cluster.client().wait_for_state(
+      runner, torque::JobState::kRunning, 10'000ms));
+  auto wide = cluster.submit(sleep_job("wide", 2, 20, 40));
+  // A stream of narrow jobs tries to sneak in continuously.
+  std::vector<torque::JobId> narrow;
+  for (int i = 0; i < 5; ++i) {
+    narrow.push_back(cluster.submit(sleep_job("n", 1, 15, 25)));
+  }
+  auto info = cluster.wait_job(wide, 30'000ms);
+  ASSERT_TRUE(info.has_value());
+  for (const auto id : narrow) {
+    ASSERT_TRUE(cluster.wait_job(id, 30'000ms).has_value());
+  }
+}
+
+TEST(Aging, PriorityPolicySkipsBlockedAndRunsSmaller) {
+  // Unlike strict FIFO, the priority policy does not block the whole queue
+  // behind an unsatisfiable job.
+  auto config = DacClusterConfig::fast();
+  config.compute_nodes = 1;
+  config.policy = Policy::kPriority;
+  DacCluster cluster(config);
+
+  auto impossible = cluster.submit(sleep_job("big", 64, 10, 20));
+  auto small = cluster.submit(sleep_job("small", 1, 10, 20));
+  ASSERT_TRUE(cluster.wait_job(small, 30'000ms).has_value());
+  // The impossible job is still queued; clean it up.
+  cluster.client().delete_job(impossible);
+}
+
+}  // namespace
+}  // namespace dac::maui

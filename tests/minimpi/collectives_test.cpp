@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "mpi_test_util.hpp"
+
+namespace dac::minimpi {
+namespace {
+
+using testing::MpiTest;
+
+TEST_F(MpiTest, BarrierSynchronizes) {
+  // Every rank increments before the barrier; after the barrier all ranks
+  // must observe the full count.
+  std::atomic<int> before{0};
+  std::atomic<int> violations{0};
+  run_world(4, [&](Proc& p, const util::Bytes&) {
+    ++before;
+    p.barrier(p.world());
+    if (before.load() != 4) ++violations;
+  });
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_F(MpiTest, BarrierSizeOneIsNoop) {
+  run_world(1, [&](Proc& p, const util::Bytes&) { p.barrier(p.world()); });
+}
+
+TEST_F(MpiTest, RepeatedBarriersDoNotCrosstalk) {
+  std::atomic<int> done{0};
+  run_world(3, [&](Proc& p, const util::Bytes&) {
+    for (int i = 0; i < 10; ++i) p.barrier(p.world());
+    ++done;
+  });
+  EXPECT_EQ(done, 3);
+}
+
+TEST_F(MpiTest, BcastFromRoot) {
+  std::atomic<int> ok{0};
+  run_world(4, [&](Proc& p, const util::Bytes&) {
+    util::Bytes data;
+    if (p.rank() == 2) {
+      util::ByteWriter w;
+      w.put_string("broadcast");
+      data = std::move(w).take();
+    }
+    p.bcast(p.world(), 2, data);
+    util::ByteReader r(data);
+    if (r.get_string() == "broadcast") ++ok;
+  });
+  EXPECT_EQ(ok, 4);
+}
+
+TEST_F(MpiTest, SequentialBcastsKeepOrder) {
+  std::atomic<int> ok{0};
+  run_world(3, [&](Proc& p, const util::Bytes&) {
+    for (int i = 0; i < 5; ++i) {
+      util::Bytes data;
+      if (p.rank() == 0) {
+        util::ByteWriter w;
+        w.put<std::int32_t>(i);
+        // Vary the size so a non-FIFO fabric would reorder.
+        w.put_raw(std::string(static_cast<std::size_t>((5 - i)) * 1000, 'x')
+                      .data(),
+                  static_cast<std::size_t>(5 - i) * 1000);
+        data = std::move(w).take();
+      }
+      p.bcast(p.world(), 0, data);
+      util::ByteReader r(data);
+      if (r.get<std::int32_t>() != i) return;  // order violated; don't count
+    }
+    ++ok;
+  });
+  EXPECT_EQ(ok, 3);
+}
+
+TEST_F(MpiTest, GatherCollectsInRankOrder) {
+  std::atomic<bool> ok{false};
+  run_world(4, [&](Proc& p, const util::Bytes&) {
+    util::ByteWriter w;
+    w.put<std::int32_t>(p.rank() * 11);
+    auto gathered = p.gather(p.world(), 0, w.bytes());
+    if (p.rank() == 0) {
+      bool good = gathered.size() == 4;
+      for (int i = 0; good && i < 4; ++i) {
+        util::ByteReader r(gathered[static_cast<std::size_t>(i)]);
+        good = r.get<std::int32_t>() == i * 11;
+      }
+      ok = good;
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(MpiTest, GatherToNonZeroRoot) {
+  std::atomic<bool> ok{false};
+  run_world(3, [&](Proc& p, const util::Bytes&) {
+    util::ByteWriter w;
+    w.put<std::int32_t>(p.rank());
+    auto gathered = p.gather(p.world(), 2, w.bytes());
+    if (p.rank() == 2) ok = gathered.size() == 3;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(MpiTest, AllgatherEveryRankGetsAll) {
+  std::atomic<int> ok{0};
+  run_world(3, [&](Proc& p, const util::Bytes&) {
+    util::ByteWriter w;
+    w.put<std::int32_t>(p.rank() + 100);
+    auto all = p.allgather(p.world(), w.bytes());
+    bool good = all.size() == 3;
+    for (int i = 0; good && i < 3; ++i) {
+      util::ByteReader r(all[static_cast<std::size_t>(i)]);
+      good = r.get<std::int32_t>() == i + 100;
+    }
+    if (good) ++ok;
+  });
+  EXPECT_EQ(ok, 3);
+}
+
+TEST_F(MpiTest, AllreduceSumDouble) {
+  std::atomic<int> ok{0};
+  run_world(4, [&](Proc& p, const util::Bytes&) {
+    const double result =
+        p.allreduce(p.world(), static_cast<double>(p.rank()), ReduceOp::kSum);
+    if (result == 0.0 + 1.0 + 2.0 + 3.0) ++ok;
+  });
+  EXPECT_EQ(ok, 4);
+}
+
+TEST_F(MpiTest, AllreduceMinMaxInt) {
+  std::atomic<int> ok{0};
+  run_world(4, [&](Proc& p, const util::Bytes&) {
+    const auto lo = p.allreduce(p.world(),
+                                static_cast<std::int64_t>(p.rank() * 5 + 3),
+                                ReduceOp::kMin);
+    const auto hi = p.allreduce(p.world(),
+                                static_cast<std::int64_t>(p.rank() * 5 + 3),
+                                ReduceOp::kMax);
+    if (lo == 3 && hi == 18) ++ok;
+  });
+  EXPECT_EQ(ok, 4);
+}
+
+TEST_F(MpiTest, AllreduceSingleRank) {
+  run_world(1, [&](Proc& p, const util::Bytes&) {
+    EXPECT_EQ(p.allreduce(p.world(), 7.5, ReduceOp::kSum), 7.5);
+  });
+}
+
+TEST_F(MpiTest, MixedCollectivesAndP2p) {
+  // Interleave collectives with user p2p traffic on the same communicator;
+  // the collective context bit must keep them separate.
+  std::atomic<int> ok{0};
+  run_world(2, [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) {
+      util::ByteWriter w;
+      w.put<std::int32_t>(1);
+      p.send(p.world(), 1, 5, w.bytes());
+      p.barrier(p.world());
+      auto r = p.recv(p.world(), 1, 6);
+      util::ByteReader rd(r.data);
+      if (rd.get<std::int32_t>() == 2) ++ok;
+    } else {
+      p.barrier(p.world());
+      auto r = p.recv(p.world(), 0, 5);
+      util::ByteReader rd(r.data);
+      if (rd.get<std::int32_t>() == 1) ++ok;
+      util::ByteWriter w;
+      w.put<std::int32_t>(2);
+      p.send(p.world(), 0, 6, w.bytes());
+    }
+  });
+  EXPECT_EQ(ok, 2);
+}
+
+}  // namespace
+}  // namespace dac::minimpi

@@ -1,0 +1,105 @@
+// Additional DPM coverage: port reuse across sequential accepts, connect
+// from a multi-rank world, and spawn placement repetition (several ranks on
+// one node).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mpi_test_util.hpp"
+#include "util/error.hpp"
+
+namespace dac::minimpi {
+namespace {
+
+using testing::MpiTest;
+
+TEST_F(MpiTest, SequentialAcceptsOnOnePort) {
+  // One acceptor serves two connectors in turn on the same port name, like
+  // a daemon accepting clients one by one.
+  std::atomic<int> served{0};
+  runtime_.register_executable("acceptor", [&](Proc& p, const util::Bytes&) {
+    p.publish_port("reuse-port");
+    for (int i = 0; i < 2; ++i) {
+      Comm inter = p.comm_accept("reuse-port", p.world(), 0);
+      auto r = p.recv(inter, 0, 1);
+      p.send(inter, 0, 2, std::move(r.data));
+      ++served;
+    }
+  });
+  runtime_.register_executable("client", [&](Proc& p, const util::Bytes&) {
+    Comm inter = p.comm_connect("reuse-port", p.world(), 0);
+    util::ByteWriter w;
+    w.put<std::int32_t>(p.process().node().id());
+    p.send(inter, 0, 1, std::move(w).take());
+    (void)p.recv(inter, 0, 2);
+  });
+  auto acceptor = runtime_.launch_world("acceptor", {0}, {});
+  auto c1 = runtime_.launch_world("client", {1}, {});
+  c1.join();
+  auto c2 = runtime_.launch_world("client", {2}, {});
+  c2.join();
+  acceptor.join();
+  EXPECT_EQ(served, 2);
+}
+
+TEST_F(MpiTest, MultiRankWorldConnects) {
+  // A 2-rank world connects to a 2-rank world: intercomm 2x2, merge -> 4.
+  std::atomic<int> ok{0};
+  runtime_.register_executable("accept2", [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) p.publish_port("p22");
+    Comm inter = p.comm_accept("p22", p.world(), 0);
+    Comm merged = p.intercomm_merge(inter, true);
+    if (merged.size() == 4 && merged.rank >= 2) ++ok;
+  });
+  runtime_.register_executable("connect2", [&](Proc& p, const util::Bytes&) {
+    Comm inter = p.comm_connect("p22", p.world(), 0);
+    Comm merged = p.intercomm_merge(inter, false);
+    if (merged.size() == 4 && merged.rank == p.rank()) ++ok;
+  });
+  auto a = runtime_.launch_world("accept2", {0, 1}, {});
+  auto c = runtime_.launch_world("connect2", {2, 3}, {});
+  a.join();
+  c.join();
+  EXPECT_EQ(ok, 4);
+}
+
+TEST_F(MpiTest, SpawnSeveralRanksOnOneNode) {
+  std::atomic<int> children{0};
+  runtime_.register_executable("kid", [&](Proc& p, const util::Bytes&) {
+    ++children;
+    EXPECT_EQ(p.size(), 3);
+    p.intercomm_merge(*p.parent_comm(), true);
+  });
+  runtime_.register_executable("parent", [&](Proc& p, const util::Bytes&) {
+    WorldHandle h;
+    // All three children on node 1.
+    Comm inter = p.comm_spawn(p.world(), 0, "kid", {}, {1, 1, 1}, &h);
+    Comm merged = p.intercomm_merge(inter, false);
+    EXPECT_EQ(merged.size(), 4);
+    h.join();
+  });
+  runtime_.launch_world("parent", {0}, {}).join();
+  EXPECT_EQ(children, 3);
+}
+
+TEST_F(MpiTest, ClosePortPreventsLookup) {
+  runtime_.publish_port("temp", {0, 0});
+  EXPECT_TRUE(runtime_.lookup_port("temp").has_value());
+  runtime_.close_port("temp");
+  EXPECT_FALSE(runtime_.lookup_port("temp").has_value());
+  runtime_.close_port("temp");  // idempotent
+}
+
+TEST_F(MpiTest, WorldHandleStopKillsChildren) {
+  runtime_.register_executable("immortal", [](Proc& p, const util::Bytes&) {
+    (void)p.recv(p.world(), kAnySource, 1);  // blocks forever
+  });
+  auto h = runtime_.launch_world("immortal", {0, 1, 2}, {});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  h.stop();
+  h.join();
+  for (const auto& proc : h.processes) EXPECT_TRUE(proc->finished());
+}
+
+}  // namespace
+}  // namespace dac::minimpi

@@ -1,0 +1,331 @@
+// Tests for the MPI-2 dynamic process management surface — the primitives
+// the paper's AC_Init (ports + accept/connect + merge) and AC_Get
+// (spawn + merge) are built from.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "mpi_test_util.hpp"
+#include "util/error.hpp"
+
+namespace dac::minimpi {
+namespace {
+
+using testing::MpiTest;
+using namespace std::chrono_literals;
+
+util::Bytes bytes_of(int v) {
+  util::ByteWriter w;
+  w.put<std::int32_t>(v);
+  return std::move(w).take();
+}
+
+int int_of(const util::Bytes& b) {
+  util::ByteReader r(b);
+  return r.get<std::int32_t>();
+}
+
+// ---------------------------------------------------------------- ports
+
+TEST_F(MpiTest, OpenPortNamesAreUnique) {
+  run_world(1, [&](Proc& p, const util::Bytes&) {
+    EXPECT_NE(p.open_port(), p.open_port());
+  });
+}
+
+TEST_F(MpiTest, PublishAndLookupPort) {
+  run_world(1, [&](Proc& p, const util::Bytes&) {
+    p.publish_port("my-port");
+    auto addr = p.runtime().lookup_port("my-port");
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(*addr, p.address());
+    p.runtime().close_port("my-port");
+    EXPECT_FALSE(p.runtime().lookup_port("my-port").has_value());
+  });
+}
+
+// --------------------------------------------------- connect / accept
+
+// The paper's static-allocation topology: a daemon world (the accelerator
+// set) accepts, a singleton compute-node process connects.
+TEST_F(MpiTest, ConnectAcceptSingletonToWorld) {
+  std::atomic<bool> cn_ok{false};
+  std::atomic<int> daemons_ok{0};
+
+  runtime_.register_executable("daemons", [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) p.publish_port("acport");
+    Comm inter = p.comm_accept("acport", p.world(), 0);
+    if (inter.remote_size() == 1 && inter.size() == 3) ++daemons_ok;
+    // Echo a message from the compute node.
+    if (p.rank() == 0) {
+      auto r = p.recv(inter, 0, 1);
+      p.send(inter, 0, 2, std::move(r.data));
+    }
+  });
+  runtime_.register_executable("cn", [&](Proc& p, const util::Bytes&) {
+    Comm inter = p.comm_connect("acport", p.world(), 0);
+    if (inter.remote_size() != 3) return;
+    p.send(inter, 0, 1, bytes_of(77));
+    auto r = p.recv(inter, 0, 2);
+    cn_ok = int_of(r.data) == 77;
+  });
+
+  auto daemons = runtime_.launch_world("daemons", {1, 2, 3}, {});
+  auto cn = runtime_.launch_world("cn", {0}, {});
+  daemons.join();
+  cn.join();
+  EXPECT_TRUE(cn_ok);
+  EXPECT_EQ(daemons_ok, 3);
+}
+
+TEST_F(MpiTest, ConnectWaitsForLatePublish) {
+  std::atomic<bool> ok{false};
+  runtime_.register_executable("late_acceptor",
+                               [&](Proc& p, const util::Bytes&) {
+    std::this_thread::sleep_for(50ms);  // publish late
+    p.publish_port("lateport");
+    (void)p.comm_accept("lateport", p.world(), 0);
+  });
+  runtime_.register_executable("connector", [&](Proc& p, const util::Bytes&) {
+    Comm inter = p.comm_connect("lateport", p.world(), 0, 5000ms);
+    ok = inter.remote_size() == 1;
+  });
+  auto a = runtime_.launch_world("late_acceptor", {1}, {});
+  auto c = runtime_.launch_world("connector", {0}, {});
+  a.join();
+  c.join();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(MpiTest, ConnectTimesOutOnMissingPort) {
+  std::atomic<bool> threw{false};
+  runtime_.register_executable("connector", [&](Proc& p, const util::Bytes&) {
+    try {
+      (void)p.comm_connect("ghost-port", p.world(), 0, 50ms);
+    } catch (const util::ProtocolError&) {
+      threw = true;
+    }
+  });
+  auto c = runtime_.launch_world("connector", {0}, {});
+  c.join();
+  EXPECT_TRUE(threw);
+}
+
+// --------------------------------------------------------------- merge
+
+TEST_F(MpiTest, MergeAfterConnectOrdersLowFirst) {
+  // CN (connect side, low) must get rank 0; daemons ranks 1..3 — exactly
+  // the paper's handle numbering.
+  std::atomic<bool> cn_ok{false};
+  std::mutex mu;
+  std::vector<int> daemon_ranks;
+
+  runtime_.register_executable("daemons", [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) p.publish_port("mergeport");
+    Comm inter = p.comm_accept("mergeport", p.world(), 0);
+    Comm merged = p.intercomm_merge(inter, /*high=*/true);
+    {
+      std::lock_guard lock(mu);
+      daemon_ranks.push_back(merged.rank);
+    }
+    EXPECT_EQ(merged.size(), 4);
+  });
+  runtime_.register_executable("cn", [&](Proc& p, const util::Bytes&) {
+    Comm inter = p.comm_connect("mergeport", p.world(), 0);
+    Comm merged = p.intercomm_merge(inter, /*high=*/false);
+    cn_ok = merged.rank == 0 && merged.size() == 4;
+  });
+
+  auto daemons = runtime_.launch_world("daemons", {1, 2, 3}, {});
+  auto cn = runtime_.launch_world("cn", {0}, {});
+  daemons.join();
+  cn.join();
+  EXPECT_TRUE(cn_ok);
+  std::sort(daemon_ranks.begin(), daemon_ranks.end());
+  EXPECT_EQ(daemon_ranks, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(MpiTest, MergedCommCarriesTraffic) {
+  std::atomic<int> sum_at_cn{0};
+  runtime_.register_executable("daemons", [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) p.publish_port("tport");
+    Comm inter = p.comm_accept("tport", p.world(), 0);
+    Comm merged = p.intercomm_merge(inter, true);
+    p.send(merged, 0, 1, bytes_of(merged.rank));
+  });
+  runtime_.register_executable("cn", [&](Proc& p, const util::Bytes&) {
+    Comm inter = p.comm_connect("tport", p.world(), 0);
+    Comm merged = p.intercomm_merge(inter, false);
+    int sum = 0;
+    for (int i = 0; i < 2; ++i) {
+      auto r = p.recv(merged, kAnySource, 1);
+      sum += int_of(r.data);
+    }
+    sum_at_cn = sum;
+  });
+  auto daemons = runtime_.launch_world("daemons", {1, 2}, {});
+  auto cn = runtime_.launch_world("cn", {0}, {});
+  daemons.join();
+  cn.join();
+  EXPECT_EQ(sum_at_cn, 1 + 2);  // daemon merged-ranks 1 and 2
+}
+
+// --------------------------------------------------------------- spawn
+
+TEST_F(MpiTest, SpawnCreatesChildrenWithParentComm) {
+  std::atomic<int> children_with_parent{0};
+  std::atomic<bool> parent_ok{false};
+
+  runtime_.register_executable("child", [&](Proc& p, const util::Bytes&) {
+    auto& parent = p.parent_comm();
+    if (parent.has_value() && parent->remote_size() == 1) {
+      ++children_with_parent;
+    }
+    // Child worlds are their own COMM_WORLD, per the paper (§III-D).
+    EXPECT_EQ(p.size(), 2);
+  });
+  runtime_.register_executable("parent", [&](Proc& p, const util::Bytes&) {
+    WorldHandle children;
+    Comm inter = p.comm_spawn(p.world(), 0, "child", {}, {2, 3}, &children);
+    parent_ok = inter.remote_size() == 2;
+    children.join();
+  });
+
+  auto parent = runtime_.launch_world("parent", {0}, {});
+  parent.join();
+  EXPECT_TRUE(parent_ok);
+  EXPECT_EQ(children_with_parent, 2);
+}
+
+TEST_F(MpiTest, SpawnMergeProducesPaperRankLayout) {
+  // Parent (1 proc) spawns 2 children and merges low: parent rank 0,
+  // children ranks 1, 2 — matching AC_Get's x+1..x+y numbering for x=0.
+  std::atomic<bool> parent_ok{false};
+  std::mutex mu;
+  std::vector<int> child_ranks;
+
+  runtime_.register_executable("child", [&](Proc& p, const util::Bytes&) {
+    Comm merged = p.intercomm_merge(*p.parent_comm(), /*high=*/true);
+    std::lock_guard lock(mu);
+    child_ranks.push_back(merged.rank);
+  });
+  runtime_.register_executable("parent", [&](Proc& p, const util::Bytes&) {
+    WorldHandle children;
+    Comm inter = p.comm_spawn(p.world(), 0, "child", {}, {1, 2}, &children);
+    Comm merged = p.intercomm_merge(inter, /*high=*/false);
+    parent_ok = merged.rank == 0 && merged.size() == 3;
+    children.join();
+  });
+
+  auto parent = runtime_.launch_world("parent", {0}, {});
+  parent.join();
+  EXPECT_TRUE(parent_ok);
+  std::sort(child_ranks.begin(), child_ranks.end());
+  EXPECT_EQ(child_ranks, (std::vector<int>{1, 2}));
+}
+
+TEST_F(MpiTest, SpawnArgsReachChildren) {
+  std::atomic<int> ok{0};
+  runtime_.register_executable("child", [&](Proc& p, const util::Bytes& args) {
+    if (int_of(args) == 31337) ++ok;
+    p.intercomm_merge(*p.parent_comm(), true);
+  });
+  runtime_.register_executable("parent", [&](Proc& p, const util::Bytes&) {
+    WorldHandle children;
+    Comm inter =
+        p.comm_spawn(p.world(), 0, "child", bytes_of(31337), {1}, &children);
+    p.intercomm_merge(inter, false);
+    children.join();
+  });
+  runtime_.launch_world("parent", {0}, {}).join();
+  EXPECT_EQ(ok, 1);
+}
+
+TEST_F(MpiTest, SpawnFromMultiRankParent) {
+  // comm_spawn is collective: a 2-rank parent world spawns 2 children; all
+  // four merge into one intracomm of size 4.
+  std::atomic<int> sizes_ok{0};
+  runtime_.register_executable("child", [&](Proc& p, const util::Bytes&) {
+    Comm merged = p.intercomm_merge(*p.parent_comm(), true);
+    if (merged.size() == 4 && merged.rank >= 2) ++sizes_ok;
+  });
+  runtime_.register_executable("parent", [&](Proc& p, const util::Bytes&) {
+    WorldHandle children;
+    Comm inter = p.comm_spawn(p.world(), 0, "child", {}, {2, 3},
+                              p.rank() == 0 ? &children : nullptr);
+    Comm merged = p.intercomm_merge(inter, false);
+    if (merged.size() == 4 && merged.rank == p.rank()) ++sizes_ok;
+    if (p.rank() == 0) children.join();
+  });
+  runtime_.launch_world("parent", {0, 1}, {}).join();
+  EXPECT_EQ(sizes_ok, 4);
+}
+
+TEST_F(MpiTest, SequentialSpawnsGrowTheSet) {
+  // AC_Get twice: merge after each spawn; ranks keep extending (1..x, then
+  // x+1..x+y) as the paper describes.
+  std::atomic<bool> ok{false};
+  runtime_.register_executable("child", [&](Proc& p, const util::Bytes&) {
+    Comm merged = p.intercomm_merge(*p.parent_comm(), true);
+    // Children of the first spawn also participate in the second spawn.
+    util::Bytes round_buf;
+    p.bcast(merged, 0, round_buf);
+    if (int_of(round_buf) == 1) {
+      WorldHandle ignored;
+      Comm inter2 = p.comm_spawn(merged, 0, "child2", {}, {},  // placement
+                                 nullptr);
+      (void)p.intercomm_merge(inter2, false);
+    }
+  });
+  runtime_.register_executable("child2", [&](Proc& p, const util::Bytes&) {
+    (void)p.intercomm_merge(*p.parent_comm(), true);
+  });
+  runtime_.register_executable("parent", [&](Proc& p, const util::Bytes&) {
+    WorldHandle c1;
+    Comm inter1 = p.comm_spawn(p.world(), 0, "child", {}, {1, 2}, &c1);
+    Comm merged1 = p.intercomm_merge(inter1, false);
+    util::Bytes round = bytes_of(1);
+    p.bcast(merged1, 0, round);
+
+    WorldHandle c2;
+    Comm inter2 = p.comm_spawn(merged1, 0, "child2", {}, {3}, &c2);
+    Comm merged2 = p.intercomm_merge(inter2, false);
+    ok = merged2.size() == 4 && merged2.rank == 0;
+    c2.join();
+    c1.join();
+  });
+  runtime_.launch_world("parent", {0}, {}).join();
+  EXPECT_TRUE(ok);
+}
+
+// ----------------------------------------------------------- disconnect
+
+TEST_F(MpiTest, DisconnectIntercommBothSides) {
+  std::atomic<int> done{0};
+  runtime_.register_executable("child", [&](Proc& p, const util::Bytes&) {
+    p.disconnect(*p.parent_comm());
+    ++done;
+  });
+  runtime_.register_executable("parent", [&](Proc& p, const util::Bytes&) {
+    WorldHandle children;
+    Comm inter = p.comm_spawn(p.world(), 0, "child", {}, {1, 2}, &children);
+    p.disconnect(inter);
+    ++done;
+    children.join();
+  });
+  runtime_.launch_world("parent", {0}, {}).join();
+  EXPECT_EQ(done, 3);
+}
+
+TEST_F(MpiTest, DisconnectIntracomm) {
+  std::atomic<int> done{0};
+  run_world(3, [&](Proc& p, const util::Bytes&) {
+    p.disconnect(p.world());
+    ++done;
+  });
+  EXPECT_EQ(done, 3);
+}
+
+}  // namespace
+}  // namespace dac::minimpi

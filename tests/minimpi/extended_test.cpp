@@ -1,0 +1,204 @@
+// Tests for the extended mini-MPI surface (scatter, sendrecv, vector
+// allreduce) plus randomized stress tests of the p2p and collective layers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+
+#include "mpi_test_util.hpp"
+
+namespace dac::minimpi {
+namespace {
+
+using testing::MpiTest;
+
+TEST_F(MpiTest, ScatterDistributesParts) {
+  std::atomic<int> ok{0};
+  run_world(3, [&](Proc& p, const util::Bytes&) {
+    std::vector<util::Bytes> parts;
+    if (p.rank() == 0) {
+      for (int r = 0; r < 3; ++r) {
+        util::ByteWriter w;
+        w.put<std::int32_t>(r * 100);
+        parts.push_back(std::move(w).take());
+      }
+    }
+    auto mine = p.scatter(p.world(), 0, parts);
+    util::ByteReader r(mine);
+    if (r.get<std::int32_t>() == p.rank() * 100) ++ok;
+  });
+  EXPECT_EQ(ok, 3);
+}
+
+TEST_F(MpiTest, ScatterWrongPartCountThrows) {
+  std::atomic<bool> threw{false};
+  run_world(2, [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) {
+      try {
+        (void)p.scatter(p.world(), 0, {util::Bytes{}});  // needs 2
+      } catch (const std::invalid_argument&) {
+        threw = true;
+        // Unblock rank 1 which waits for its part.
+        (void)p.scatter(p.world(), 0, {util::Bytes{}, util::Bytes{}});
+      }
+    } else {
+      (void)p.scatter(p.world(), 0, {});
+    }
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(MpiTest, SendrecvSymmetricExchange) {
+  std::atomic<int> ok{0};
+  run_world(2, [&](Proc& p, const util::Bytes&) {
+    const int other = 1 - p.rank();
+    util::ByteWriter w;
+    w.put<std::int32_t>(p.rank() + 10);
+    auto r = p.sendrecv(p.world(), other, 5, std::move(w).take(), other, 5);
+    util::ByteReader rd(r.data);
+    if (rd.get<std::int32_t>() == other + 10) ++ok;
+  });
+  EXPECT_EQ(ok, 2);
+}
+
+TEST_F(MpiTest, SendrecvRingShift) {
+  std::atomic<int> ok{0};
+  run_world(4, [&](Proc& p, const util::Bytes&) {
+    const int next = (p.rank() + 1) % 4;
+    const int prev = (p.rank() + 3) % 4;
+    util::ByteWriter w;
+    w.put<std::int32_t>(p.rank());
+    auto r = p.sendrecv(p.world(), next, 1, std::move(w).take(), prev, 1);
+    util::ByteReader rd(r.data);
+    if (rd.get<std::int32_t>() == prev) ++ok;
+  });
+  EXPECT_EQ(ok, 4);
+}
+
+TEST_F(MpiTest, VectorAllreduceSum) {
+  std::atomic<int> ok{0};
+  run_world(3, [&](Proc& p, const util::Bytes&) {
+    std::vector<double> mine{static_cast<double>(p.rank()), 1.0,
+                             static_cast<double>(-p.rank())};
+    auto out = p.allreduce(p.world(), mine, ReduceOp::kSum);
+    if (out == std::vector<double>{3.0, 3.0, -3.0}) ++ok;
+  });
+  EXPECT_EQ(ok, 3);
+}
+
+TEST_F(MpiTest, VectorAllreduceMax) {
+  std::atomic<int> ok{0};
+  run_world(3, [&](Proc& p, const util::Bytes&) {
+    std::vector<double> mine{static_cast<double>(p.rank())};
+    auto out = p.allreduce(p.world(), mine, ReduceOp::kMax);
+    if (out == std::vector<double>{2.0}) ++ok;
+  });
+  EXPECT_EQ(ok, 3);
+}
+
+TEST_F(MpiTest, VectorAllreduceSingleRank) {
+  run_world(1, [&](Proc& p, const util::Bytes&) {
+    std::vector<double> v{1.5, 2.5};
+    EXPECT_EQ(p.allreduce(p.world(), v, ReduceOp::kSum), v);
+  });
+}
+
+// ---- stress: randomized traffic must neither deadlock nor corrupt -------
+
+TEST_F(MpiTest, StressRandomP2pTraffic) {
+  // Every rank sends 50 messages with random payload sizes to random peers
+  // and receives exactly the messages addressed to it (counted via a final
+  // allreduce), with payload checksums intact.
+  constexpr int kRanks = 4;
+  constexpr int kMsgs = 50;
+  std::atomic<int> good{0};
+  run_world(kRanks, [&](Proc& p, const util::Bytes&) {
+    std::mt19937 rng(1234u + static_cast<unsigned>(p.rank()));
+    std::uniform_int_distribution<int> peer_dist(0, kRanks - 1);
+    std::uniform_int_distribution<std::size_t> size_dist(0, 4096);
+
+    std::vector<std::int64_t> sent_to(kRanks, 0);
+    for (int i = 0; i < kMsgs; ++i) {
+      const int peer = peer_dist(rng);
+      const auto n = size_dist(rng);
+      util::Bytes payload(n);
+      for (std::size_t b = 0; b < n; ++b) {
+        payload[b] = static_cast<std::byte>((b * 7 + i) % 251);
+      }
+      util::ByteWriter w;
+      w.put<std::uint32_t>(static_cast<std::uint32_t>(i));
+      w.put_bytes(payload);
+      p.send(p.world(), peer, 77, std::move(w).take());
+      ++sent_to[static_cast<std::size_t>(peer)];
+    }
+
+    // Everyone learns how many messages to expect.
+    std::vector<double> sent_d(sent_to.begin(), sent_to.end());
+    auto totals = p.allreduce(p.world(), sent_d, ReduceOp::kSum);
+    const auto expect =
+        static_cast<int>(totals[static_cast<std::size_t>(p.rank())]);
+
+    bool all_good = true;
+    for (int i = 0; i < expect; ++i) {
+      auto r = p.recv(p.world(), kAnySource, 77);
+      util::ByteReader rd(r.data);
+      const auto seq = rd.get<std::uint32_t>();
+      const auto payload = rd.get_bytes();
+      for (std::size_t b = 0; b < payload.size(); ++b) {
+        if (payload[b] != static_cast<std::byte>((b * 7 + seq) % 251)) {
+          all_good = false;
+          break;
+        }
+      }
+    }
+    p.barrier(p.world());
+    if (all_good) ++good;
+  });
+  EXPECT_EQ(good, kRanks);
+}
+
+TEST_F(MpiTest, StressCollectiveSequence) {
+  // A long randomized-but-identical sequence of mixed collectives on every
+  // rank; any ordering bug deadlocks or corrupts.
+  std::atomic<int> done{0};
+  run_world(4, [&](Proc& p, const util::Bytes&) {
+    std::mt19937 rng(99);  // same seed everywhere -> same op sequence
+    for (int i = 0; i < 40; ++i) {
+      switch (rng() % 4) {
+        case 0:
+          p.barrier(p.world());
+          break;
+        case 1: {
+          util::Bytes data;
+          if (p.rank() == static_cast<int>(rng() % 4)) {
+            util::ByteWriter w;
+            w.put<std::int32_t>(i);
+            data = std::move(w).take();
+          }
+          const int root = static_cast<int>(rng() % 4);
+          // Re-derive the root consistently: consume one more value.
+          (void)root;
+          p.bcast(p.world(), 0, data);
+          break;
+        }
+        case 2: {
+          util::ByteWriter w;
+          w.put<std::int32_t>(p.rank() + i);
+          (void)p.gather(p.world(), i % 4, w.bytes());
+          break;
+        }
+        case 3: {
+          const auto v = p.allreduce(
+              p.world(), static_cast<std::int64_t>(i), ReduceOp::kMax);
+          if (v != i) return;  // corruption: don't count this rank as done
+          break;
+        }
+      }
+    }
+    ++done;
+  });
+  EXPECT_EQ(done, 4);
+}
+
+}  // namespace
+}  // namespace dac::minimpi

@@ -1,0 +1,42 @@
+// Shared fixture for mini-MPI tests: a small fast-network cluster plus a
+// runtime, and helpers to run an MPI world to completion.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "minimpi/proc.hpp"
+#include "minimpi/runtime.hpp"
+#include "vnet/cluster.hpp"
+
+namespace dac::minimpi::testing {
+
+inline vnet::ClusterTopology fast_topology(std::size_t nodes = 6) {
+  vnet::ClusterTopology t;
+  t.node_count = nodes;
+  t.network.latency = std::chrono::microseconds(50);
+  t.network.loopback_latency = std::chrono::microseconds(5);
+  t.network.bytes_per_second = 5e9;
+  t.process_start_delay = std::chrono::microseconds(100);
+  return t;
+}
+
+class MpiTest : public ::testing::Test {
+ protected:
+  MpiTest() : cluster_(fast_topology()), runtime_(cluster_) {}
+
+  // Runs `entry` as a world over nodes [0, n) and joins it.
+  void run_world(int n, MpiEntry entry, const util::Bytes& args = {}) {
+    runtime_.register_executable("test_exe", std::move(entry));
+    std::vector<vnet::NodeId> placement;
+    for (int i = 0; i < n; ++i) placement.push_back(i);
+    auto handle = runtime_.launch_world("test_exe", placement, args);
+    handle.join();
+  }
+
+  vnet::Cluster cluster_;
+  Runtime runtime_;
+};
+
+}  // namespace dac::minimpi::testing

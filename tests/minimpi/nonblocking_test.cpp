@@ -1,0 +1,114 @@
+// Nonblocking operations: irecv request lifecycle, out-of-order completion,
+// and the compute-while-waiting pattern they enable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mpi_test_util.hpp"
+
+namespace dac::minimpi {
+namespace {
+
+using testing::MpiTest;
+using namespace std::chrono_literals;
+
+util::Bytes bytes_of(int v) {
+  util::ByteWriter w;
+  w.put<std::int32_t>(v);
+  return std::move(w).take();
+}
+
+int int_of(const util::Bytes& b) {
+  util::ByteReader r(b);
+  return r.get<std::int32_t>();
+}
+
+TEST_F(MpiTest, IrecvWaitDeliversMessage) {
+  std::atomic<int> got{0};
+  run_world(2, [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) {
+      p.isend(p.world(), 1, 5, bytes_of(321));
+    } else {
+      auto req = p.irecv(p.world(), 0, 5);
+      auto r = req.wait();
+      got = int_of(r.data);
+      EXPECT_TRUE(req.done());
+    }
+  });
+  EXPECT_EQ(got, 321);
+}
+
+TEST_F(MpiTest, TestIsFalseBeforeArrival) {
+  std::atomic<bool> early{true};
+  std::atomic<bool> late{false};
+  run_world(2, [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 1) {
+      auto req = p.irecv(p.world(), 0, 7);
+      early = req.test();  // nothing sent yet
+      // Handshake: tell rank 0 to send now.
+      p.send(p.world(), 0, 1, {});
+      // Poll until it lands.
+      while (!req.test()) std::this_thread::sleep_for(1ms);
+      late = true;
+      EXPECT_EQ(int_of(req.take().data), 9);
+    } else {
+      (void)p.recv(p.world(), 1, 1);
+      p.isend(p.world(), 1, 7, bytes_of(9));
+    }
+  });
+  EXPECT_FALSE(early);
+  EXPECT_TRUE(late);
+}
+
+TEST_F(MpiTest, RequestsCompleteOutOfOrder) {
+  std::atomic<bool> ok{false};
+  run_world(2, [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) {
+      p.isend(p.world(), 1, 2, bytes_of(22));  // tag 2 first
+      p.isend(p.world(), 1, 1, bytes_of(11));
+    } else {
+      auto r1 = p.irecv(p.world(), 0, 1);
+      auto r2 = p.irecv(p.world(), 0, 2);
+      // Wait on tag 1 first even though tag 2 was sent first.
+      const int v1 = int_of(r1.wait().data);
+      const int v2 = int_of(r2.wait().data);
+      ok = v1 == 11 && v2 == 22;
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(MpiTest, ComputeWhileWaiting) {
+  // The latency-hiding pattern: post the receive, do local work, then wait.
+  std::atomic<bool> ok{false};
+  run_world(2, [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) {
+      std::this_thread::sleep_for(10ms);  // the remote data takes a while
+      p.isend(p.world(), 1, 3, bytes_of(5));
+    } else {
+      auto req = p.irecv(p.world(), 0, 3);
+      long local = 0;
+      for (int i = 0; i < 100000; ++i) local += i % 7;  // overlap work
+      const int remote = int_of(req.wait().data);
+      ok = remote == 5 && local > 0;
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(MpiTest, TestIdempotentAfterCompletion) {
+  run_world(2, [&](Proc& p, const util::Bytes&) {
+    if (p.rank() == 0) {
+      p.isend(p.world(), 1, 4, bytes_of(1));
+    } else {
+      auto req = p.irecv(p.world(), 0, 4);
+      (void)req.wait();
+      EXPECT_TRUE(req.test());
+      EXPECT_TRUE(req.test());
+      EXPECT_TRUE(req.done());
+    }
+  });
+}
+
+}  // namespace
+}  // namespace dac::minimpi

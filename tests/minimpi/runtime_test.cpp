@@ -1,0 +1,114 @@
+// Runtime-level tests: context allocation, executable registry, launch
+// options (env propagation, start stagger), and world handle bookkeeping.
+#include "minimpi/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "minimpi/proc.hpp"
+#include "vnet/cluster.hpp"
+
+namespace dac::minimpi {
+namespace {
+
+using namespace std::chrono_literals;
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest()
+      : cluster_([] {
+          vnet::ClusterTopology t;
+          t.node_count = 4;
+          t.network.latency = std::chrono::microseconds(50);
+          t.process_start_delay = std::chrono::microseconds(0);
+          return t;
+        }()),
+        runtime_(cluster_) {}
+
+  vnet::Cluster cluster_;
+  Runtime runtime_;
+};
+
+TEST_F(RuntimeTest, ContextIdsAreUniqueAndEven) {
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    const auto ctx = runtime_.allocate_context();
+    EXPECT_EQ(ctx % 2, 0u);  // odd ids are reserved for merge derivatives
+    EXPECT_LT(ctx, kCollectiveBit);
+    EXPECT_TRUE(seen.insert(ctx).second);
+  }
+}
+
+TEST_F(RuntimeTest, ExecutableRegistry) {
+  EXPECT_FALSE(runtime_.has_executable("x"));
+  runtime_.register_executable("x", [](Proc&, const util::Bytes&) {});
+  EXPECT_TRUE(runtime_.has_executable("x"));
+  // Re-registration replaces (latest wins).
+  std::atomic<int> which{0};
+  runtime_.register_executable("x",
+                               [&](Proc&, const util::Bytes&) { which = 2; });
+  runtime_.launch_world("x", {0}, {}).join();
+  EXPECT_EQ(which, 2);
+}
+
+TEST_F(RuntimeTest, EnvPropagatesToAllRanks) {
+  std::atomic<int> ok{0};
+  runtime_.register_executable("env", [&](Proc& p, const util::Bytes&) {
+    if (p.process().getenv("FLAVOR").value_or("") == "dac") ++ok;
+  });
+  LaunchOptions opts;
+  opts.env = {{"FLAVOR", "dac"}};
+  runtime_.launch_world("env", {0, 1, 2}, {}, opts).join();
+  EXPECT_EQ(ok, 3);
+}
+
+TEST_F(RuntimeTest, StartStaggerDelaysHigherRanks) {
+  std::mutex mu;
+  std::vector<std::pair<int, std::chrono::steady_clock::time_point>> starts;
+  runtime_.register_executable("stagger", [&](Proc& p, const util::Bytes&) {
+    std::lock_guard lock(mu);
+    starts.emplace_back(p.rank(), std::chrono::steady_clock::now());
+  });
+  LaunchOptions opts;
+  opts.start_delay = std::chrono::microseconds(1000);
+  opts.start_stagger = std::chrono::microseconds(20'000);
+  runtime_.launch_world("stagger", {0, 1, 2}, {}, opts).join();
+  ASSERT_EQ(starts.size(), 3u);
+  std::sort(starts.begin(), starts.end());
+  // Rank 2 starts >= ~40 ms after rank 0.
+  const auto gap = starts[2].second - starts[0].second;
+  EXPECT_GE(gap, 30ms);
+}
+
+TEST_F(RuntimeTest, WorldHandleDescribesWorld) {
+  runtime_.register_executable("noop", [](Proc&, const util::Bytes&) {});
+  auto h = runtime_.launch_world("noop", {1, 2}, {});
+  EXPECT_EQ(h.group.size(), 2);
+  EXPECT_EQ(h.processes.size(), 2u);
+  EXPECT_EQ(h.group.members[0].node, 1);
+  EXPECT_EQ(h.group.members[1].node, 2);
+  h.join();
+}
+
+TEST_F(RuntimeTest, GroupRankOf) {
+  Group g;
+  g.members = {{1, 0}, {2, 5}};
+  EXPECT_EQ(g.rank_of({2, 5}), 1);
+  EXPECT_EQ(g.rank_of({9, 9}), -1);
+}
+
+TEST_F(RuntimeTest, SingletonProcHasSelfWorld) {
+  std::atomic<bool> ok{false};
+  auto p = cluster_.node(0).spawn({.name = "solo"}, [&](vnet::Process& proc) {
+    auto mpi = Proc::make_singleton(runtime_, proc);
+    ok = mpi->size() == 1 && mpi->rank() == 0 &&
+         mpi->world().context != kControlContext;
+  });
+  p->join();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace dac::minimpi

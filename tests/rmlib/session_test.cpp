@@ -1,0 +1,289 @@
+// AcSession (the resource-management library) semantics: the paper's rank
+// numbering, set-wise release rules, rejection handling, collective calls,
+// and error paths — exercised through the full batch system.
+#include "rmlib/ac_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/cluster.hpp"
+#include "util/error.hpp"
+
+namespace dac::rmlib {
+namespace {
+
+using namespace std::chrono_literals;
+
+class AcSessionTest : public ::testing::Test {
+ protected:
+  AcSessionTest() : cluster_([] {
+    auto c = core::DacClusterConfig::fast();
+    c.compute_nodes = 2;
+    c.accel_nodes = 5;
+    return c;
+  }()) {}
+
+  // Runs `body` inside a single-CN job with `acpn` static accelerators and
+  // waits for completion.
+  void run_job(int acpn, std::function<void(core::JobContext&)> body,
+               int nodes = 1) {
+    static std::atomic<int> counter{0};
+    const auto name = "t" + std::to_string(counter.fetch_add(1));
+    cluster_.register_program(name, std::move(body));
+    const auto id = cluster_.submit_program(name, nodes, acpn);
+    ASSERT_TRUE(cluster_.wait_job(id, 30'000ms).has_value());
+  }
+
+  core::DacCluster cluster_;
+};
+
+TEST_F(AcSessionTest, DoubleInitThrows) {
+  std::atomic<bool> threw{false};
+  run_job(0, [&](core::JobContext& ctx) {
+    (void)ctx.session().ac_init();
+    try {
+      (void)ctx.session().ac_init();
+    } catch (const util::ProtocolError&) {
+      threw = true;
+    }
+    ctx.session().ac_finalize();
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(AcSessionTest, GetBeforeInitThrows) {
+  std::atomic<bool> threw{false};
+  run_job(0, [&](core::JobContext& ctx) {
+    try {
+      (void)ctx.session().ac_get(1);
+    } catch (const util::ProtocolError&) {
+      threw = true;
+    }
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(AcSessionTest, InvalidHandleThrows) {
+  std::atomic<int> threw{0};
+  run_job(1, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    try {
+      (void)s.ac_mem_alloc(AcHandle{}, 16);  // invalid rank
+    } catch (const util::ProtocolError&) {
+      ++threw;
+    }
+    try {
+      (void)s.ac_mem_alloc(AcHandle{99}, 16);  // out of range
+    } catch (const util::ProtocolError&) {
+      ++threw;
+    }
+    s.ac_finalize();
+  });
+  EXPECT_EQ(threw, 2);
+}
+
+TEST_F(AcSessionTest, RankNumberingAcrossGrowth) {
+  // Paper §III-D: static 1..x, first dynamic set x+1..x+y, next set after.
+  std::atomic<bool> ok{false};
+  run_job(2, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    auto statics = s.ac_init();
+    ASSERT_EQ(statics.size(), 2u);
+    EXPECT_EQ(statics[0].rank, 1);
+    EXPECT_EQ(statics[1].rank, 2);
+    auto g1 = s.ac_get(1);
+    ASSERT_TRUE(g1.granted);
+    EXPECT_EQ(g1.handles[0].rank, 3);
+    auto g2 = s.ac_get(2);
+    ASSERT_TRUE(g2.granted);
+    EXPECT_EQ(g2.handles[0].rank, 4);
+    EXPECT_EQ(g2.handles[1].rank, 5);
+    EXPECT_EQ(s.accelerator_count(), 5);
+    // LIFO release restores the previous layout.
+    s.ac_free(g2.client_id);
+    EXPECT_EQ(s.accelerator_count(), 3);
+    s.ac_free(g1.client_id);
+    EXPECT_EQ(s.accelerator_count(), 2);
+    s.ac_finalize();
+    ok = true;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(AcSessionTest, NonLifoFreeThrows) {
+  std::atomic<bool> threw{false};
+  run_job(0, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    auto g1 = s.ac_get(1);
+    auto g2 = s.ac_get(1);
+    ASSERT_TRUE(g1.granted && g2.granted);
+    try {
+      s.ac_free(g1.client_id);  // not the newest set
+    } catch (const util::ProtocolError&) {
+      threw = true;
+    }
+    s.ac_free(g2.client_id);
+    s.ac_free(g1.client_id);
+    s.ac_finalize();
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(AcSessionTest, SurvivorsServeAfterRelease) {
+  std::atomic<bool> ok{false};
+  run_job(1, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    auto statics = s.ac_init();
+    auto g1 = s.ac_get(2);
+    ASSERT_TRUE(g1.granted);
+    // Exercise a dynamic accelerator, then free the set.
+    const auto p = s.ac_mem_alloc(g1.handles[0], 64);
+    s.ac_mem_free(g1.handles[0], p);
+    s.ac_free(g1.client_id);
+    // The static accelerator must still respond.
+    const auto q = s.ac_mem_alloc(statics[0], 64);
+    s.ac_mem_free(statics[0], q);
+    // And we can grow again after a release.
+    auto g2 = s.ac_get(1);
+    ASSERT_TRUE(g2.granted);
+    EXPECT_EQ(g2.handles[0].rank, 2);
+    s.ac_free(g2.client_id);
+    s.ac_finalize();
+    ok = true;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(AcSessionTest, RejectionLeavesSessionUsable) {
+  std::atomic<bool> ok{false};
+  run_job(1, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    auto statics = s.ac_init();
+    auto got = s.ac_get(100);  // far more than the pool
+    EXPECT_FALSE(got.granted);
+    EXPECT_EQ(s.accelerator_count(), 1);
+    const auto p = s.ac_mem_alloc(statics[0], 32);
+    s.ac_mem_free(statics[0], p);
+    s.ac_finalize();
+    ok = true;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(AcSessionTest, FinalizeIsIdempotentAndDestructorSafe) {
+  run_job(1, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    s.ac_finalize();
+    s.ac_finalize();  // second call is a no-op
+  });
+  // Separate job: never finalizes explicitly; the session destructor must.
+  run_job(1, [&](core::JobContext& ctx) { (void)ctx.session().ac_init(); });
+  for (const auto& n : cluster_.client().stat_nodes()) {
+    EXPECT_EQ(n.used, 0) << n.hostname;
+  }
+}
+
+TEST_F(AcSessionTest, PartialGrantWhenPoolShort) {
+  // Pool has 5 accelerators, 2 held statically by this job -> 3 free.
+  std::atomic<int> got_count{-1};
+  run_job(2, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    auto got = s.ac_get(/*count=*/5, /*min_count=*/2);
+    got_count = got.granted ? static_cast<int>(got.handles.size()) : 0;
+    if (got.granted) {
+      // The partial set is fully usable.
+      const auto p = s.ac_mem_alloc(got.handles.back(), 64);
+      s.ac_mem_free(got.handles.back(), p);
+      s.ac_free(got.client_id);
+    }
+    s.ac_finalize();
+  });
+  EXPECT_EQ(got_count, 3);
+}
+
+TEST_F(AcSessionTest, PartialRejectedBelowMin) {
+  std::atomic<int> outcome{-1};
+  run_job(2, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    // 3 free, but we insist on at least 4: must reject.
+    auto got = s.ac_get(/*count=*/6, /*min_count=*/4);
+    outcome = got.granted ? 1 : 0;
+    s.ac_finalize();
+  });
+  EXPECT_EQ(outcome, 0);
+}
+
+TEST_F(AcSessionTest, BadMinCountErrors) {
+  std::atomic<bool> threw{false};
+  run_job(0, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    try {
+      (void)s.ac_get(2, 3);  // min > count
+    } catch (const torque::rpc::CallError&) {
+      threw = true;
+    }
+    s.ac_finalize();
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(AcSessionTest, CollectiveGetAllOrNothing) {
+  std::atomic<int> rejected{0};
+  run_job(0, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    // 2 CNs x 3 accelerators = 6 > 5 in the pool: must reject everywhere.
+    auto got = s.ac_get_collective(ctx.world(), 3);
+    if (!got.granted) ++rejected;
+    EXPECT_EQ(s.accelerator_count(), 0);
+    s.ac_finalize();
+  }, /*nodes=*/2);
+  EXPECT_EQ(rejected, 2);
+}
+
+TEST_F(AcSessionTest, CollectiveGetSplitsSlices) {
+  std::atomic<int> ok{0};
+  run_job(0, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    const int want = ctx.rank() == 0 ? 1 : 2;
+    auto got = s.ac_get_collective(ctx.world(), want);
+    ASSERT_TRUE(got.granted);
+    EXPECT_EQ(static_cast<int>(got.handles.size()), want);
+    EXPECT_EQ(s.accelerator_count(), want);
+    // Each node's accelerators respond on its own communicator.
+    const auto p = s.ac_mem_alloc(got.handles[0], 16);
+    s.ac_mem_free(got.handles[0], p);
+    s.ac_free_collective(ctx.world(), got.client_id);
+    s.ac_finalize();
+    ++ok;
+  }, /*nodes=*/2);
+  EXPECT_EQ(ok, 2);
+}
+
+TEST_F(AcSessionTest, ZeroCountCollectiveParticipation) {
+  std::atomic<int> ok{0};
+  run_job(0, [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    // Only rank 1 wants accelerators; rank 0 still participates.
+    const int want = ctx.rank() == 0 ? 0 : 2;
+    auto got = s.ac_get_collective(ctx.world(), want);
+    ASSERT_TRUE(got.granted);
+    EXPECT_EQ(static_cast<int>(got.handles.size()), want);
+    s.ac_free_collective(ctx.world(), got.client_id);
+    s.ac_finalize();
+    ++ok;
+  }, /*nodes=*/2);
+  EXPECT_EQ(ok, 2);
+}
+
+}  // namespace
+}  // namespace dac::rmlib

@@ -1,0 +1,182 @@
+// pbs_mom unit tests: the sister-side protocol (JOIN_JOB / DYNJOIN_JOB /
+// DISJOIN_JOB / JOB_UPDATE) driven directly with synthetic requests against
+// a fake server, without a scheduler or mother superior.
+#include "torque/mom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "minimpi/runtime.hpp"
+#include "vnet/cluster.hpp"
+
+namespace dac::torque {
+namespace {
+
+using namespace std::chrono_literals;
+
+class MomTest : public ::testing::Test {
+ protected:
+  MomTest()
+      : cluster_([] {
+          vnet::ClusterTopology t;
+          t.node_count = 3;
+          t.network.latency = std::chrono::microseconds(50);
+          t.process_start_delay = std::chrono::microseconds(0);
+          return t;
+        }()),
+        runtime_(cluster_) {
+    // Fake server: replies ok to registrations and remembers the mom's
+    // long-lived endpoint address from the registration payload.
+    server_ep_ = cluster_.node(0).open_endpoint();
+    server_proc_ = cluster_.node(0).spawn(
+        {.name = "fake_server"}, [this](vnet::Process& proc) {
+          proc.adopt_mailbox(server_ep_->mailbox_weak());
+          while (auto msg = server_ep_->recv()) {
+            auto req = rpc::parse_request(*msg);
+            if (req.type == MsgType::kRegisterNode) {
+              util::ByteReader r(req.body);
+              const auto st = get_node_status(r);
+              {
+                std::lock_guard lock(mu_);
+                mom_addr_ = st.mom_addr;
+                registered_ = true;
+              }
+              rpc::reply_ok(*server_ep_, req);
+            }
+          }
+        });
+
+    MomConfig mc;
+    mc.kind = NodeKind::kAccelerator;
+    mc.np = 1;
+    mc.server = server_ep_->address();
+    mc.timing = BatchTiming::fast();
+    mom_ = std::make_unique<PbsMom>(cluster_.node(1), mc, runtime_, tasks_);
+    mom_proc_ = cluster_.node(1).spawn(
+        {.name = "pbs_mom"},
+        [this](vnet::Process& proc) { mom_->run(proc); });
+
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::lock_guard lock(mu_);
+      if (registered_) break;
+    }
+  }
+
+  ~MomTest() override { cluster_.shutdown(); }
+
+  vnet::Address mom_addr() {
+    std::lock_guard lock(mu_);
+    return mom_addr_;
+  }
+
+  util::Bytes join_body(JobId id) {
+    JobInfo j;
+    j.id = id;
+    j.spec.name = "j";
+    util::ByteWriter w;
+    put_job_info(w, j);
+    put_host_refs(w, {{"cn0", 2, {2, 0}}, {"ac0", 1, mom_addr()}});
+    return std::move(w).take();
+  }
+
+  util::Bytes set_body(JobId job, std::uint64_t client) {
+    util::ByteWriter w;
+    w.put<std::uint64_t>(job);
+    w.put<std::uint64_t>(client);
+    put_host_refs(w, {{"ac0", 1, mom_addr()}});
+    return std::move(w).take();
+  }
+
+  vnet::Cluster cluster_;
+  minimpi::Runtime runtime_;
+  TaskRegistry tasks_;
+  std::unique_ptr<vnet::Endpoint> server_ep_;
+  vnet::ProcessPtr server_proc_;
+  std::unique_ptr<PbsMom> mom_;
+  vnet::ProcessPtr mom_proc_;
+
+  std::mutex mu_;
+  bool registered_ = false;
+  vnet::Address mom_addr_;
+};
+
+TEST_F(MomTest, RegistersWithServer) {
+  EXPECT_TRUE(mom_addr().valid());
+}
+
+TEST_F(MomTest, JoinJobAcks) {
+  auto reply = rpc::call(cluster_.node(2), mom_addr(), MsgType::kJoinJob,
+                         join_body(7));
+  EXPECT_TRUE(reply.empty());  // plain ok
+}
+
+TEST_F(MomTest, DynJoinThenDisjoinAck) {
+  (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kJoinJob,
+                  join_body(8));
+  (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDynJoinJob,
+                  set_body(8, 42));
+  (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDisjoinJob,
+                  set_body(8, 42));
+}
+
+TEST_F(MomTest, DisjoinKillsOnlyThatSetsTasks) {
+  std::atomic<bool> base_killed{false};
+  std::atomic<bool> set_killed{false};
+  auto spawn_task = [&](std::atomic<bool>& flag, std::uint64_t set) {
+    std::atomic<bool> started{false};
+    auto p = cluster_.node(1).spawn({.name = "task"},
+                                    [&flag, &started](vnet::Process& proc) {
+      auto ep = proc.open_endpoint();
+      started = true;
+      while (auto m = ep->recv()) {
+      }
+      flag = true;
+    });
+    while (!started) std::this_thread::sleep_for(100us);
+    tasks_.add(9, cluster_.node(1).id(), p, set);
+  };
+  spawn_task(base_killed, 0);   // base job task
+  spawn_task(set_killed, 77);   // dynamic-set task
+
+  (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kJoinJob,
+                  join_body(9));
+  // Set-scoped disjoin: only the set-77 task dies.
+  (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDisjoinJob,
+                  set_body(9, 77));
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (!set_killed && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(set_killed);
+  EXPECT_FALSE(base_killed);
+
+  // Full disjoin (client 0): the base task dies too.
+  (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDisjoinJob,
+                  set_body(9, 0));
+  while (!base_killed && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(base_killed);
+}
+
+TEST_F(MomTest, JobUpdateNeedsNoAck) {
+  (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kJoinJob,
+                  join_body(10));
+  auto ep = cluster_.node(2).open_endpoint();
+  rpc::notify(*ep, mom_addr(), MsgType::kJobUpdate, set_body(10, 5));
+  // The mom stays healthy: a later call still works.
+  (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDisjoinJob,
+                  set_body(10, 0));
+}
+
+TEST_F(MomTest, UnknownRequestTypeErrors) {
+  EXPECT_THROW((void)rpc::call(cluster_.node(2), mom_addr(),
+                               MsgType::kRunJob, {}),
+               rpc::CallError);
+}
+
+}  // namespace
+}  // namespace dac::torque

@@ -1,0 +1,112 @@
+#include "torque/node_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dac::torque {
+namespace {
+
+NodeStatus make_node(const std::string& name, NodeKind kind, int np) {
+  NodeStatus n;
+  n.hostname = name;
+  n.node_id = 1;
+  n.kind = kind;
+  n.np = np;
+  n.mom_addr = {1, 0};
+  return n;
+}
+
+TEST(NodeDb, UpsertAndFind) {
+  NodeDb db;
+  db.upsert(make_node("cn0", NodeKind::kCompute, 8));
+  ASSERT_NE(db.find("cn0"), nullptr);
+  EXPECT_EQ(db.find("cn0")->np, 8);
+  EXPECT_EQ(db.find("ghost"), nullptr);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(NodeDb, UpsertRefreshKeepsAssignments) {
+  NodeDb db;
+  db.upsert(make_node("cn0", NodeKind::kCompute, 8));
+  ASSERT_TRUE(db.assign("cn0", 1, 4));
+  auto refreshed = make_node("cn0", NodeKind::kCompute, 16);
+  db.upsert(refreshed);
+  EXPECT_EQ(db.find("cn0")->np, 16);
+  EXPECT_EQ(db.find("cn0")->used, 4);  // assignment survived
+}
+
+TEST(NodeDb, AssignRespectsCapacity) {
+  NodeDb db;
+  db.upsert(make_node("cn0", NodeKind::kCompute, 8));
+  EXPECT_TRUE(db.assign("cn0", 1, 6));
+  EXPECT_FALSE(db.assign("cn0", 2, 4));  // only 2 free
+  EXPECT_TRUE(db.assign("cn0", 2, 2));
+  EXPECT_EQ(db.find("cn0")->free_slots(), 0);
+}
+
+TEST(NodeDb, AssignUnknownHostFails) {
+  NodeDb db;
+  EXPECT_FALSE(db.assign("ghost", 1, 1));
+}
+
+TEST(NodeDb, ReleasePerHost) {
+  NodeDb db;
+  db.upsert(make_node("cn0", NodeKind::kCompute, 8));
+  ASSERT_TRUE(db.assign("cn0", 1, 3));
+  ASSERT_TRUE(db.assign("cn0", 2, 2));
+  db.release("cn0", 1);
+  EXPECT_EQ(db.find("cn0")->used, 2);
+  EXPECT_EQ(db.find("cn0")->jobs, (std::vector<JobId>{2}));
+  db.release("cn0", 99);  // unknown job: no-op
+  EXPECT_EQ(db.find("cn0")->used, 2);
+}
+
+TEST(NodeDb, ReleaseAllAcrossHosts) {
+  NodeDb db;
+  db.upsert(make_node("cn0", NodeKind::kCompute, 8));
+  db.upsert(make_node("ac0", NodeKind::kAccelerator, 1));
+  ASSERT_TRUE(db.assign("cn0", 1, 2));
+  ASSERT_TRUE(db.assign("ac0", 1, 1));
+  db.release_all(1);
+  EXPECT_EQ(db.find("cn0")->used, 0);
+  EXPECT_EQ(db.find("ac0")->used, 0);
+}
+
+TEST(NodeDb, MultipleAssignmentsSameJobAccumulate) {
+  NodeDb db;
+  db.upsert(make_node("cn0", NodeKind::kCompute, 8));
+  ASSERT_TRUE(db.assign("cn0", 1, 2));
+  ASSERT_TRUE(db.assign("cn0", 1, 2));
+  EXPECT_EQ(db.find("cn0")->used, 4);
+  EXPECT_EQ(db.find("cn0")->jobs.size(), 1u);  // listed once
+  db.release("cn0", 1);
+  EXPECT_EQ(db.find("cn0")->used, 0);
+}
+
+TEST(NodeDb, AcceleratorExclusivity) {
+  NodeDb db;
+  db.upsert(make_node("ac0", NodeKind::kAccelerator, 1));
+  EXPECT_TRUE(db.assign("ac0", 1, 1));
+  EXPECT_FALSE(db.assign("ac0", 2, 1));
+}
+
+TEST(NodeDb, MomOf) {
+  NodeDb db;
+  auto n = make_node("cn0", NodeKind::kCompute, 8);
+  n.mom_addr = {3, 14};
+  db.upsert(n);
+  ASSERT_TRUE(db.mom_of("cn0").has_value());
+  EXPECT_EQ(*db.mom_of("cn0"), (vnet::Address{3, 14}));
+  EXPECT_FALSE(db.mom_of("ghost").has_value());
+}
+
+TEST(NodeDb, SnapshotIsCopy) {
+  NodeDb db;
+  db.upsert(make_node("cn0", NodeKind::kCompute, 8));
+  auto snap = db.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  snap[0].used = 99;
+  EXPECT_EQ(db.find("cn0")->used, 0);
+}
+
+}  // namespace
+}  // namespace dac::torque

@@ -1,0 +1,342 @@
+// pbs_server unit tests: drive the server directly through the IFL and a
+// hand-rolled fake scheduler, without moms or a real Maui. Covers queueing,
+// the DYNQUEUED state machine, per-job dynamic-request serialization, and
+// the scheduler-facing allocation protocol.
+#include "torque/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "torque/ifl.hpp"
+#include "vnet/cluster.hpp"
+
+namespace dac::torque {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : cluster_([] {
+          vnet::ClusterTopology t;
+          t.node_count = 3;
+          t.network.latency = std::chrono::microseconds(50);
+          t.process_start_delay = std::chrono::microseconds(0);
+          return t;
+        }()) {
+    auto timing = BatchTiming::fast();
+    timing.server_service_cost = std::chrono::microseconds(0);
+    server_ = std::make_unique<PbsServer>(cluster_.node(0), timing);
+    server_proc_ = cluster_.node(0).spawn(
+        {.name = "pbs_server"},
+        [this](vnet::Process& proc) { server_->run(proc); });
+  }
+
+  Ifl client() { return Ifl(cluster_.node(1), server_->address()); }
+
+  JobId submit_simple(const std::string& program = "") {
+    JobSpec spec;
+    spec.name = "t";
+    spec.program = program;
+    return client().submit(spec);
+  }
+
+  void register_node(const std::string& name, NodeKind kind, int np,
+                     vnet::Address mom) {
+    NodeStatus st;
+    st.hostname = name;
+    st.node_id = mom.node;
+    st.kind = kind;
+    st.np = np;
+    st.mom_addr = mom;
+    util::ByteWriter w;
+    put_node_status(w, st);
+    (void)rpc::call(cluster_.node(1), server_->address(),
+                    MsgType::kRegisterNode, std::move(w).take());
+  }
+
+  // Submits a job with a program and marks it running via a scheduler-style
+  // RUN_JOB (the fake mom address just drops the MOM_RUN_JOB notify).
+  JobId start_running_job() {
+    const auto id = submit_simple("app");
+    util::ByteWriter w;
+    w.put<std::uint64_t>(id);
+    w.put_string_vector({"cn0"});
+    w.put_string_vector({});
+    (void)rpc::call(cluster_.node(2), server_->address(), MsgType::kRunJob,
+                    std::move(w).take());
+    return id;
+  }
+
+  QueueSnapshot get_queue(vnet::Node& from) {
+    auto reply = rpc::call(from, server_->address(), MsgType::kGetQueue, {});
+    util::ByteReader r(reply);
+    return get_queue_snapshot(r);
+  }
+
+  vnet::Cluster cluster_;
+  std::unique_ptr<PbsServer> server_;
+  vnet::ProcessPtr server_proc_;
+};
+
+TEST_F(ServerTest, SubmitAssignsIncreasingIds) {
+  const auto a = submit_simple();
+  const auto b = submit_simple();
+  EXPECT_GT(a, 0u);
+  EXPECT_EQ(b, a + 1);
+}
+
+TEST_F(ServerTest, StatJobsShowsQueued) {
+  const auto id = submit_simple();
+  auto info = client().stat_job(id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->state, JobState::kQueued);
+  EXPECT_GE(info->submit_time, 0.0);
+}
+
+TEST_F(ServerTest, DeleteQueuedJobCancels) {
+  const auto id = submit_simple();
+  client().delete_job(id);
+  auto info = client().stat_job(id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->state, JobState::kCancelled);
+}
+
+TEST_F(ServerTest, DeleteUnknownJobErrors) {
+  EXPECT_THROW(client().delete_job(424242), rpc::CallError);
+}
+
+TEST_F(ServerTest, DynGetOnUnknownJobErrors) {
+  EXPECT_THROW((void)client().dynget(999, 1), rpc::CallError);
+}
+
+TEST_F(ServerTest, DynGetWithBadCountErrors) {
+  register_node("cn0", NodeKind::kCompute, 8, {1, 50});
+  const auto id = start_running_job();
+  EXPECT_THROW((void)client().dynget(id, 0), rpc::CallError);
+  EXPECT_THROW((void)client().dynget(id, -3), rpc::CallError);
+}
+
+TEST_F(ServerTest, DynGetOnQueuedJobErrors) {
+  const auto id = submit_simple("app");  // queued, never scheduled
+  EXPECT_THROW((void)client().dynget(id, 1), rpc::CallError);
+}
+
+TEST_F(ServerTest, AlterQueuedJobUpdatesAttributes) {
+  const auto id = submit_simple("app");
+  Ifl::Alter alter;
+  alter.priority = 9;
+  alter.walltime = std::chrono::milliseconds(12345);
+  alter.name = "renamed";
+  client().alter_job(id, alter);
+  auto info = client().stat_job(id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->spec.priority, 9);
+  EXPECT_EQ(info->spec.resources.walltime.count(), 12345);
+  EXPECT_EQ(info->spec.name, "renamed");
+}
+
+TEST_F(ServerTest, AlterPartialOnlyChangesSetFields) {
+  const auto id = submit_simple("app");
+  Ifl::Alter alter;
+  alter.priority = 3;
+  client().alter_job(id, alter);
+  auto info = client().stat_job(id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->spec.priority, 3);
+  EXPECT_EQ(info->spec.name, "t");  // untouched
+}
+
+TEST_F(ServerTest, AlterRunningJobErrors) {
+  register_node("cn9", NodeKind::kCompute, 8, {1, 50});
+  const auto id = submit_simple("app");
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put_string_vector({"cn9"});
+  w.put_string_vector({});
+  (void)rpc::call(cluster_.node(2), server_->address(), MsgType::kRunJob,
+                  std::move(w).take());
+  Ifl::Alter alter;
+  alter.priority = 1;
+  EXPECT_THROW(client().alter_job(id, alter), rpc::CallError);
+}
+
+TEST_F(ServerTest, AlterUnknownJobErrors) {
+  Ifl::Alter alter;
+  alter.priority = 1;
+  EXPECT_THROW(client().alter_job(999, alter), rpc::CallError);
+}
+
+TEST_F(ServerTest, DynFreeUnknownClientErrors) {
+  const auto id = submit_simple();
+  EXPECT_THROW(client().dynfree(id, 77), rpc::CallError);
+}
+
+TEST_F(ServerTest, NodeRegistrationVisibleInStat) {
+  register_node("cn0", NodeKind::kCompute, 8, {1, 50});
+  register_node("ac0", NodeKind::kAccelerator, 1, {2, 50});
+  auto nodes = client().stat_nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+}
+
+TEST_F(ServerTest, SchedulerWakeOnSubmit) {
+  // Register a fake scheduler and expect a wake after a submission.
+  auto sched_ep = cluster_.node(1).open_endpoint();
+  util::ByteWriter reg;
+  reg.put<std::int32_t>(sched_ep->address().node);
+  reg.put<std::int32_t>(sched_ep->address().port);
+  (void)rpc::call(cluster_.node(1), server_->address(),
+                  MsgType::kRegisterScheduler, std::move(reg).take());
+  // Registration itself triggers one wake; drain it.
+  (void)sched_ep->recv_for(1000ms);
+  (void)submit_simple();
+  auto wake = sched_ep->recv_for(1000ms);
+  ASSERT_TRUE(wake.has_value());
+  EXPECT_EQ(wake->type, as_u32(MsgType::kSchedWake));
+}
+
+TEST_F(ServerTest, QueueSnapshotContainsDynEntries) {
+  register_node("cn0", NodeKind::kCompute, 8, {1, 50});
+  register_node("ac0", NodeKind::kAccelerator, 1, {2, 50});
+  const auto id = start_running_job();
+
+  // Issue a dynget from a helper thread (it blocks); then inspect the
+  // queue from here.
+  std::thread getter([&] {
+    auto ifl = client();
+    try {
+      (void)ifl.dynget(id, 1, 5'000ms);
+    } catch (const std::exception&) {
+    }
+  });
+  // Wait for the dyn entry to appear.
+  QueueSnapshot snap;
+  for (int i = 0; i < 100 && snap.dyn.empty(); ++i) {
+    std::this_thread::sleep_for(5ms);
+    snap = get_queue(cluster_.node(2));
+  }
+  ASSERT_EQ(snap.dyn.size(), 1u);
+  EXPECT_EQ(snap.dyn[0].job, id);
+  EXPECT_EQ(snap.dyn[0].count, 1);
+  // Job must be in the special DYNQUEUED state.
+  auto info = client().stat_job(id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->state, JobState::kDynQueued);
+
+  // Reject it like a scheduler would, releasing the blocked dynget.
+  util::ByteWriter w;
+  w.put<std::uint64_t>(snap.dyn[0].dyn_id);
+  w.put<std::uint64_t>(0);
+  (void)rpc::call(cluster_.node(2), server_->address(), MsgType::kRejectDyn,
+                  std::move(w).take());
+  getter.join();
+  info = client().stat_job(id);
+  EXPECT_EQ(info->state, JobState::kRunning);
+}
+
+TEST_F(ServerTest, SecondDynRequestWaitsBehindFirst) {
+  register_node("cn0", NodeKind::kCompute, 8, {1, 50});
+  const auto id = start_running_job();
+  std::atomic<int> rejected{0};
+  auto getter = [&] {
+    auto ifl = client();
+    auto r = ifl.dynget(id, 1, 10'000ms);
+    if (!r.granted) ++rejected;
+  };
+  std::thread g1(getter);
+  // Wait for the first to become active.
+  QueueSnapshot snap;
+  for (int i = 0; i < 100 && snap.dyn.empty(); ++i) {
+    std::this_thread::sleep_for(5ms);
+    snap = get_queue(cluster_.node(2));
+  }
+  ASSERT_EQ(snap.dyn.size(), 1u);
+  std::thread g2(getter);
+  std::this_thread::sleep_for(50ms);
+  // The second request must NOT be visible yet (one at a time per job).
+  snap = get_queue(cluster_.node(2));
+  ASSERT_EQ(snap.dyn.size(), 1u);
+  const auto first_dyn = snap.dyn[0].dyn_id;
+
+  // Reject the first; the second must then surface.
+  util::ByteWriter w;
+  w.put<std::uint64_t>(first_dyn);
+  w.put<std::uint64_t>(0);
+  (void)rpc::call(cluster_.node(2), server_->address(), MsgType::kRejectDyn,
+                  std::move(w).take());
+  for (int i = 0; i < 100; ++i) {
+    snap = get_queue(cluster_.node(2));
+    if (!snap.dyn.empty() && snap.dyn[0].dyn_id != first_dyn) break;
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(snap.dyn.size(), 1u);
+  EXPECT_NE(snap.dyn[0].dyn_id, first_dyn);
+  w = {};
+  w.put<std::uint64_t>(snap.dyn[0].dyn_id);
+  w.put<std::uint64_t>(0);
+  (void)rpc::call(cluster_.node(2), server_->address(), MsgType::kRejectDyn,
+                  std::move(w).take());
+  g1.join();
+  g2.join();
+  EXPECT_EQ(rejected, 2);
+}
+
+TEST_F(ServerTest, RunJobAllocatesAndEmptyProgramCompletes) {
+  register_node("cn0", NodeKind::kCompute, 8, {1, 50});
+  const auto id = submit_simple("");  // empty program: load-only job
+
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put_string_vector({"cn0"});
+  w.put_string_vector({});
+  (void)rpc::call(cluster_.node(2), server_->address(), MsgType::kRunJob,
+                  std::move(w).take());
+  auto info = client().stat_job(id);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->state, JobState::kComplete);
+  // Resources released again.
+  EXPECT_EQ(client().stat_nodes().at(0).used, 0);
+}
+
+TEST_F(ServerTest, RunJobOnUnknownJobErrors) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(4711);
+  w.put_string_vector({"cn0"});
+  w.put_string_vector({});
+  EXPECT_THROW((void)rpc::call(cluster_.node(2), server_->address(),
+                               MsgType::kRunJob, std::move(w).take()),
+               rpc::CallError);
+}
+
+TEST_F(ServerTest, RunJobAllocationConflictRollsBack) {
+  register_node("cn0", NodeKind::kCompute, 8, {1, 50});
+  register_node("ac0", NodeKind::kAccelerator, 1, {2, 50});
+  // Occupy the accelerator through another job first.
+  const auto holder = submit_simple("");
+  {
+    util::ByteWriter w;
+    w.put<std::uint64_t>(holder);
+    w.put_string_vector({"cn0"});
+    w.put_string_vector({"ac0"});
+    (void)rpc::call(cluster_.node(2), server_->address(), MsgType::kRunJob,
+                    std::move(w).take());
+  }
+  // holder completes instantly (empty program) and frees everything; so
+  // instead pre-assign by a direct second job racing: allocate ac0 twice in
+  // one shot by claiming it for a job while claiming a bogus host too.
+  const auto id = submit_simple("");
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put_string_vector({"cn0", "ghost-host"});
+  w.put_string_vector({});
+  EXPECT_THROW((void)rpc::call(cluster_.node(2), server_->address(),
+                               MsgType::kRunJob, std::move(w).take()),
+               rpc::CallError);
+  // The partial cn0 assignment must have been rolled back.
+  for (const auto& n : client().stat_nodes()) EXPECT_EQ(n.used, 0);
+  auto info = client().stat_job(id);
+  EXPECT_EQ(info->state, JobState::kQueued);
+}
+
+}  // namespace
+}  // namespace dac::torque

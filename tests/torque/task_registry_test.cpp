@@ -1,0 +1,99 @@
+#include "torque/task_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "vnet/cluster.hpp"
+
+namespace dac::torque {
+namespace {
+
+using namespace std::chrono_literals;
+
+class TaskRegistryTest : public ::testing::Test {
+ protected:
+  TaskRegistryTest() : cluster_([] {
+    vnet::ClusterTopology t;
+    t.node_count = 3;
+    t.process_start_delay = std::chrono::microseconds(0);
+    return t;
+  }()) {}
+
+  // Spawns a process that blocks until killed; bumps `counter` on exit.
+  // Waits until the task is actually blocking, so a kill cannot land before
+  // the entry runs (which would skip it entirely, like SIGKILL pre-exec).
+  vnet::ProcessPtr spawn_blocker(std::size_t node, std::atomic<int>& counter) {
+    std::atomic<bool> started{false};
+    auto p = cluster_.node(node).spawn(
+        {.name = "task"}, [&counter, &started](vnet::Process& proc) {
+          auto ep = proc.open_endpoint();
+          started = true;
+          while (auto m = ep->recv()) {
+          }
+          ++counter;
+        });
+    while (!started) std::this_thread::sleep_for(100us);
+    return p;
+  }
+
+  vnet::Cluster cluster_;
+  TaskRegistry registry_;
+};
+
+TEST_F(TaskRegistryTest, KillNodeTasksOnlyAffectsThatNode) {
+  std::atomic<int> killed{0};
+  registry_.add(1, 0, spawn_blocker(0, killed));
+  registry_.add(1, 1, spawn_blocker(1, killed));
+  registry_.add(1, 1, spawn_blocker(1, killed));
+  EXPECT_EQ(registry_.task_count(1), 3u);
+
+  registry_.kill_node_tasks(1, 1);
+  EXPECT_EQ(killed, 2);
+  EXPECT_EQ(registry_.task_count(1), 1u);
+  registry_.kill_job(1);
+  EXPECT_EQ(killed, 3);
+}
+
+TEST_F(TaskRegistryTest, KillJobOnlyAffectsThatJob) {
+  std::atomic<int> k1{0};
+  std::atomic<int> k2{0};
+  registry_.add(1, 0, spawn_blocker(0, k1));
+  registry_.add(2, 0, spawn_blocker(0, k2));
+  registry_.kill_job(1);
+  EXPECT_EQ(k1, 1);
+  EXPECT_EQ(k2, 0);
+  EXPECT_EQ(registry_.task_count(2), 1u);
+  registry_.kill_job(2);
+}
+
+TEST_F(TaskRegistryTest, KillUnknownJobIsNoop) {
+  registry_.kill_job(99);
+  registry_.kill_node_tasks(99, 0);
+}
+
+TEST_F(TaskRegistryTest, JoinJobWaitsWithoutKilling) {
+  std::atomic<int> done{0};
+  auto p = cluster_.node(0).spawn({.name = "quick"}, [&](vnet::Process&) {
+    std::this_thread::sleep_for(20ms);
+    ++done;
+  });
+  registry_.add(3, 0, p);
+  registry_.join_job(3);
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(registry_.task_count(3), 0u);
+}
+
+TEST_F(TaskRegistryTest, ReapDropsFinished) {
+  std::atomic<int> ignored{0};
+  auto quick = cluster_.node(0).spawn({.name = "q"}, [](vnet::Process&) {});
+  quick->join();
+  registry_.add(1, 0, quick);
+  registry_.add(1, 1, spawn_blocker(1, ignored));
+  registry_.reap();
+  EXPECT_EQ(registry_.task_count(1), 1u);  // the blocker remains
+  registry_.kill_job(1);
+}
+
+}  // namespace
+}  // namespace dac::torque

@@ -1,0 +1,82 @@
+// Walltime enforcement by the mother superior: jobs exceeding their
+// requested walltime are killed and reported with a distinct exit status;
+// well-behaved jobs are untouched; enforcement can be disabled.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace dac::torque {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::DacClusterConfig fast_config(bool enforce) {
+  auto c = core::DacClusterConfig::fast();
+  c.compute_nodes = 1;
+  c.accel_nodes = 1;
+  c.enforce_walltime = enforce;
+  c.timing.mom_heartbeat_interval = 10ms;  // enforcement tick
+  return c;
+}
+
+JobId submit_sleep(core::DacCluster& cluster, int runtime_ms,
+                   int walltime_ms) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(static_cast<std::uint64_t>(runtime_ms));
+  return cluster.submit_program(core::kSleepProgram, 1, 0,
+                                std::move(w).take(),
+                                std::chrono::milliseconds(walltime_ms));
+}
+
+TEST(Walltime, OverrunningJobIsKilled) {
+  core::DacCluster cluster(fast_config(true));
+  const auto id = submit_sleep(cluster, /*runtime=*/5000, /*walltime=*/50);
+  auto info = cluster.wait_job(id, 20'000ms);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->exit_status, kExitWalltime);
+  // It ran far shorter than its sleep — the kill ended it.
+  EXPECT_LT(info->end_time - info->start_time, 2.0);
+  for (const auto& n : cluster.client().stat_nodes()) {
+    EXPECT_EQ(n.used, 0) << n.hostname;
+  }
+}
+
+TEST(Walltime, CompliantJobFinishesCleanly) {
+  core::DacCluster cluster(fast_config(true));
+  const auto id = submit_sleep(cluster, /*runtime=*/20, /*walltime=*/5000);
+  auto info = cluster.wait_job(id, 20'000ms);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->exit_status, kExitOk);
+}
+
+TEST(Walltime, EnforcementCanBeDisabled) {
+  core::DacCluster cluster(fast_config(false));
+  const auto id = submit_sleep(cluster, /*runtime=*/150, /*walltime=*/20);
+  auto info = cluster.wait_job(id, 20'000ms);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->exit_status, kExitOk);  // overran, but not killed
+  EXPECT_GE(info->end_time - info->start_time, 0.1);
+}
+
+TEST(Walltime, KilledJobWithAcceleratorsReleasesThem) {
+  core::DacCluster cluster(fast_config(true));
+  cluster.register_program("hog", [](core::JobContext& ctx) {
+    (void)ctx.session().ac_init();
+    core::interruptible_sleep(ctx, 5s);  // never finishes in time
+  });
+  torque::JobSpec spec;
+  spec.name = spec.program = "hog";
+  spec.resources.nodes = 1;
+  spec.resources.acpn = 1;
+  spec.resources.walltime = 80ms;
+  const auto id = cluster.submit(spec);
+  auto info = cluster.wait_job(id, 20'000ms);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->exit_status, kExitWalltime);
+  for (const auto& n : cluster.client().stat_nodes()) {
+    EXPECT_EQ(n.used, 0) << n.hostname;
+  }
+}
+
+}  // namespace
+}  // namespace dac::torque

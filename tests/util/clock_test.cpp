@@ -1,0 +1,65 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace dac::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch w;
+  std::this_thread::sleep_for(20ms);
+  EXPECT_GE(w.elapsed_ms(), 15.0);
+  EXPECT_GE(w.elapsed_seconds(), 0.015);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch w;
+  std::this_thread::sleep_for(20ms);
+  w.reset();
+  EXPECT_LT(w.elapsed_ms(), 15.0);
+}
+
+TEST(Stopwatch, LapSplitsPhases) {
+  Stopwatch w;
+  std::this_thread::sleep_for(15ms);
+  const double first = w.lap_seconds();
+  std::this_thread::sleep_for(5ms);
+  const double second = w.lap_seconds();
+  EXPECT_GE(first, 0.010);
+  EXPECT_LT(second, first);
+}
+
+TEST(Clock, ToSeconds) {
+  EXPECT_DOUBLE_EQ(to_seconds(std::chrono::milliseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(Duration::zero()), 0.0);
+}
+
+TEST(Logging, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kWarn);  // default
+}
+
+TEST(Logging, SetAndGetLevel) {
+  const auto before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Suppressed levels do not crash or emit.
+  Logger log("test");
+  log.debug("hidden {}", 1);
+  log.error("visible once during tests: {} {}", "ok", 2);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace dac::util

@@ -1,0 +1,34 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dac::util {
+namespace {
+
+TEST(Format, NoPlaceholders) {
+  EXPECT_EQ(format("plain text"), "plain text");
+}
+
+TEST(Format, SubstitutesInOrder) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(Format, MixedTypes) {
+  EXPECT_EQ(format("job {} on '{}' took {}s", 42, "node3", 0.5),
+            "job 42 on 'node3' took 0.5s");
+}
+
+TEST(Format, SurplusArgumentsAppended) {
+  EXPECT_EQ(format("x={}", 1, 2), "x=1 2");
+}
+
+TEST(Format, SurplusPlaceholdersKept) {
+  EXPECT_EQ(format("{} and {}", 1), "1 and {}");
+}
+
+TEST(Format, EmptyFormat) {
+  EXPECT_EQ(format(""), "");
+}
+
+}  // namespace
+}  // namespace dac::util

@@ -1,0 +1,115 @@
+#include "util/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace dac::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BlockingQueue, PushPopFifo) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(BlockingQueue, TryPopEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(7);
+  EXPECT_EQ(q.try_pop(), 7);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, PopForTimesOut) {
+  BlockingQueue<int> q;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(20ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+}
+
+TEST(BlockingQueue, CloseReleasesBlockedPopper) {
+  BlockingQueue<int> q;
+  std::atomic<bool> released{false};
+  std::thread t([&] {
+    EXPECT_FALSE(q.pop().has_value());
+    released = true;
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(released);
+  q.close();
+  t.join();
+  EXPECT_TRUE(released);
+}
+
+TEST(BlockingQueue, CloseDrainsRemainingItems) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));  // rejected after close
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, BlockedPopWakesOnPush) {
+  BlockingQueue<int> q;
+  std::thread t([&] {
+    std::this_thread::sleep_for(10ms);
+    q.push(42);
+  });
+  EXPECT_EQ(q.pop(), 42);
+  t.join();
+}
+
+TEST(BlockingQueue, ConcurrentProducersConsumeAll) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(1);
+    });
+  }
+  int total = 0;
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    total += *v;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(total, kProducers * kPerProducer);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueue, SizeReflectsContents) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BlockingQueue, MoveOnlyPayload) {
+  BlockingQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(5));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace dac::util

@@ -1,0 +1,97 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dac::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Samples, MeanAndStddevMatchRunningStats) {
+  Samples smp;
+  RunningStats rs;
+  for (double x : {1.0, 2.0, 3.5, 8.25, -1.0}) {
+    smp.add(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(smp.mean(), rs.mean(), 1e-12);
+  EXPECT_NEAR(smp.stddev(), rs.stddev(), 1e-12);
+}
+
+TEST(Samples, PercentileEndpoints) {
+  Samples s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  for (double x : {0.0, 10.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.5);
+  EXPECT_DOUBLE_EQ(s.percentile(75), 7.5);
+}
+
+TEST(Samples, PercentileClampsOutOfRange) {
+  Samples s;
+  s.add(5.0);
+  s.add(6.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-10), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(250), 6.0);
+}
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Samples, UnsortedInputSortsForPercentile) {
+  Samples s;
+  for (double x : {9.0, 1.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace dac::util

@@ -1,0 +1,53 @@
+#include "vnet/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vnet/network_model.hpp"
+
+namespace dac::vnet {
+namespace {
+
+TEST(Address, ValidityRules) {
+  EXPECT_FALSE(Address{}.valid());
+  EXPECT_FALSE((Address{kInvalidNode, 3}).valid());
+  EXPECT_FALSE((Address{2, -1}).valid());
+  EXPECT_TRUE((Address{0, 0}).valid());
+}
+
+TEST(Address, OrderingAndEquality) {
+  const Address a{1, 2};
+  const Address b{1, 3};
+  const Address c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (Address{1, 2}));
+  EXPECT_NE(a, b);
+}
+
+TEST(Address, StringForm) {
+  EXPECT_EQ((Address{3, 14}).str(), "3:14");
+}
+
+TEST(NetworkModel, LoopbackIgnoresSize) {
+  NetworkModel m;
+  m.loopback_latency = std::chrono::microseconds(10);
+  EXPECT_EQ(m.delay(0, true), m.delay(1 << 20, true));
+}
+
+TEST(NetworkModel, CrossNodeScalesWithSize) {
+  NetworkModel m;
+  m.latency = std::chrono::microseconds(100);
+  m.bytes_per_second = 1e6;
+  const auto small = m.delay(0, false);
+  const auto big = m.delay(1'000'000, false);  // 1 s of wire time
+  EXPECT_GE(big - small, std::chrono::milliseconds(900));
+}
+
+TEST(NetworkModel, BaseLatencyApplied) {
+  NetworkModel m;
+  m.latency = std::chrono::microseconds(250);
+  EXPECT_GE(m.delay(0, false), std::chrono::microseconds(250));
+}
+
+}  // namespace
+}  // namespace dac::vnet

@@ -1,0 +1,139 @@
+#include "vnet/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "vnet/fabric.hpp"
+
+namespace dac::vnet {
+namespace {
+
+using namespace std::chrono_literals;
+
+NetworkModel fast_model() {
+  NetworkModel m;
+  m.latency = std::chrono::microseconds(50);
+  m.loopback_latency = std::chrono::microseconds(10);
+  return m;
+}
+
+class NodeTest : public ::testing::Test {
+ protected:
+  NodeTest() : fabric_(fast_model()), node_(0, "n0", fabric_, 0us) {}
+  Fabric fabric_;
+  Node node_;
+};
+
+TEST_F(NodeTest, SpawnRunsEntry) {
+  std::atomic<bool> ran{false};
+  auto p = node_.spawn({.name = "t"}, [&](Process&) { ran = true; });
+  p->join();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(p->finished());
+}
+
+TEST_F(NodeTest, StartDelayDelaysEntry) {
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<bool> ran{false};
+  auto p = node_.spawn({.name = "t", .start_delay = 30000us},
+                       [&](Process&) { ran = true; });
+  p->join();
+  EXPECT_TRUE(ran);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+}
+
+TEST_F(NodeTest, EnvVisibleToEntry) {
+  std::string seen;
+  auto p = node_.spawn({.name = "t", .env = {{"PBS_JOBID", "42"}}},
+                       [&](Process& proc) {
+                         seen = proc.getenv("PBS_JOBID").value_or("none");
+                         EXPECT_FALSE(proc.getenv("MISSING").has_value());
+                       });
+  p->join();
+  EXPECT_EQ(seen, "42");
+}
+
+TEST_F(NodeTest, EndpointRoundTrip) {
+  auto a = node_.open_endpoint();
+  auto b = node_.open_endpoint();
+  a->send(b->address(), 5, util::Bytes(3));
+  auto msg = b->recv_for(1000ms);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, 5u);
+  EXPECT_EQ(msg->from, a->address());
+}
+
+TEST_F(NodeTest, RequestStopClosesProcessEndpoints) {
+  std::atomic<bool> returned{false};
+  auto p = node_.spawn({.name = "daemon"}, [&](Process& proc) {
+    auto ep = proc.open_endpoint();
+    while (auto msg = ep->recv()) {
+      // consume forever
+    }
+    returned = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(returned);
+  p->request_stop();
+  p->join();
+  EXPECT_TRUE(returned);
+}
+
+TEST_F(NodeTest, StopAllProcessesJoinsEverything) {
+  for (int i = 0; i < 3; ++i) {
+    node_.spawn({.name = "d" + std::to_string(i)}, [](Process& proc) {
+      auto ep = proc.open_endpoint();
+      while (auto msg = ep->recv()) {
+      }
+    });
+  }
+  EXPECT_EQ(node_.processes().size(), 3u);
+  node_.stop_all_processes();
+  EXPECT_TRUE(node_.processes().empty());
+}
+
+TEST_F(NodeTest, ReapRemovesFinished) {
+  auto p = node_.spawn({.name = "quick"}, [](Process&) {});
+  p->join();
+  node_.reap();
+  EXPECT_TRUE(node_.processes().empty());
+}
+
+TEST_F(NodeTest, FindProcessByPid) {
+  auto p = node_.spawn({.name = "x"}, [](Process& proc) {
+    auto ep = proc.open_endpoint();
+    while (auto msg = ep->recv()) {
+    }
+  });
+  EXPECT_EQ(node_.find_process(p->pid()), p);
+  EXPECT_EQ(node_.find_process(99999), nullptr);
+  node_.stop_all_processes();
+}
+
+TEST_F(NodeTest, AddressesAreUniquePerNode) {
+  auto a1 = node_.allocate_address();
+  auto a2 = node_.allocate_address();
+  EXPECT_NE(a1.port, a2.port);
+  EXPECT_EQ(a1.node, a2.node);
+}
+
+TEST_F(NodeTest, ExceptionInEntryDoesNotCrash) {
+  auto p = node_.spawn({.name = "bad"}, [](Process&) {
+    throw std::runtime_error("boom");
+  });
+  p->join();
+  EXPECT_TRUE(p->finished());
+}
+
+TEST_F(NodeTest, SetenvVisibleAfterwards) {
+  auto p = node_.spawn({.name = "t"}, [](Process& proc) {
+    proc.setenv("KEY", "VAL");
+    EXPECT_EQ(proc.getenv("KEY").value_or(""), "VAL");
+  });
+  p->join();
+}
+
+}  // namespace
+}  // namespace dac::vnet

@@ -1,0 +1,153 @@
+#include "workload/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dac::workload {
+namespace {
+
+TEST(WorkloadGenerator, DeterministicFromSeed) {
+  WorkloadConfig c;
+  c.seed = 123;
+  c.job_count = 10;
+  auto a = WorkloadGenerator(c).generate();
+  auto b = WorkloadGenerator(c).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].tmpl.name, b[i].tmpl.name);
+  }
+}
+
+TEST(WorkloadGenerator, DifferentSeedsDiffer) {
+  WorkloadConfig c;
+  c.job_count = 10;
+  c.seed = 1;
+  auto a = WorkloadGenerator(c).generate();
+  c.seed = 2;
+  auto b = WorkloadGenerator(c).generate();
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].arrival_s != b[i].arrival_s) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadGenerator, ArrivalsAreSortedAndPositive) {
+  WorkloadConfig c;
+  c.job_count = 50;
+  auto jobs = WorkloadGenerator(c).generate();
+  ASSERT_EQ(jobs.size(), 50u);
+  double prev = 0.0;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.arrival_s, prev);
+    prev = j.arrival_s;
+  }
+}
+
+TEST(WorkloadGenerator, MixRespectsWeights) {
+  WorkloadConfig c;
+  c.job_count = 500;
+  c.seed = 9;
+  JobTemplate common;
+  common.name = "common";
+  common.weight = 9.0;
+  JobTemplate rare;
+  rare.name = "rare";
+  rare.weight = 1.0;
+  c.mix = {common, rare};
+  auto jobs = WorkloadGenerator(c).generate();
+  int commons = 0;
+  for (const auto& j : jobs) commons += j.tmpl.name == "common" ? 1 : 0;
+  // ~90% expected; allow wide tolerance.
+  EXPECT_GT(commons, 350);
+  EXPECT_LT(commons, 500);
+}
+
+TEST(WorkloadGenerator, ToSpecCarriesGeometry) {
+  GeneratedJob j;
+  j.tmpl.name = "x";
+  j.tmpl.owner = "bob";
+  j.tmpl.nodes = 3;
+  j.tmpl.acpn = 2;
+  j.tmpl.runtime = std::chrono::milliseconds(77);
+  j.tmpl.walltime = std::chrono::milliseconds(200);
+  j.tmpl.priority = 4;
+  const auto spec = to_spec(j, "sleeper");
+  EXPECT_EQ(spec.program, "sleeper");
+  EXPECT_EQ(spec.owner, "bob");
+  EXPECT_EQ(spec.resources.nodes, 3);
+  EXPECT_EQ(spec.resources.acpn, 2);
+  EXPECT_EQ(spec.priority, 4);
+  util::ByteReader r(spec.program_args);
+  EXPECT_EQ(r.get<std::uint64_t>(), 77u);
+}
+
+TEST(WorkloadTrace, RoundTrip) {
+  WorkloadConfig c;
+  c.job_count = 5;
+  c.seed = 4;
+  JobTemplate t;
+  t.nodes = 2;
+  t.acpn = 1;
+  t.priority = 2;
+  c.mix = {t};
+  auto jobs = WorkloadGenerator(c).generate();
+  const auto trace = to_trace(jobs);
+  const auto parsed = from_trace(trace);
+  ASSERT_EQ(parsed.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_NEAR(parsed[i].arrival_s, jobs[i].arrival_s, 1e-6);
+    EXPECT_EQ(parsed[i].tmpl.nodes, 2);
+    EXPECT_EQ(parsed[i].tmpl.acpn, 1);
+    EXPECT_EQ(parsed[i].tmpl.priority, 2);
+  }
+}
+
+TEST(WorkloadTrace, SkipsCommentsAndBlankLines) {
+  const auto parsed = from_trace("# header\n\n1.5,j,u,1,0,10,20,0\n");
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed[0].arrival_s, 1.5);
+}
+
+TEST(ScheduleMetrics, ComputesWaitAndMakespan) {
+  std::vector<torque::JobInfo> jobs(2);
+  jobs[0].state = torque::JobState::kComplete;
+  jobs[0].spec.resources.nodes = 1;
+  jobs[0].submit_time = 0.0;
+  jobs[0].start_time = 1.0;
+  jobs[0].end_time = 3.0;
+  jobs[1].state = torque::JobState::kComplete;
+  jobs[1].spec.resources.nodes = 2;
+  jobs[1].submit_time = 0.5;
+  jobs[1].start_time = 3.0;
+  jobs[1].end_time = 4.0;
+  const auto m = analyze(jobs, 2);
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_DOUBLE_EQ(m.makespan_s, 4.0);
+  EXPECT_DOUBLE_EQ(m.mean_wait_s, (1.0 + 2.5) / 2.0);
+  EXPECT_DOUBLE_EQ(m.max_wait_s, 2.5);
+  EXPECT_DOUBLE_EQ(m.mean_turnaround_s, (3.0 + 3.5) / 2.0);
+  // busy = 1*2 + 2*1 = 4 node-seconds over 2 nodes * 4 s.
+  EXPECT_DOUBLE_EQ(m.node_utilization, 4.0 / 8.0);
+}
+
+TEST(ScheduleMetrics, IgnoresIncompleteJobs) {
+  std::vector<torque::JobInfo> jobs(2);
+  jobs[0].state = torque::JobState::kRunning;
+  jobs[1].state = torque::JobState::kComplete;
+  jobs[1].spec.resources.nodes = 1;
+  jobs[1].submit_time = 0.0;
+  jobs[1].start_time = 0.0;
+  jobs[1].end_time = 1.0;
+  const auto m = analyze(jobs, 1);
+  EXPECT_EQ(m.completed, 1u);
+}
+
+TEST(ScheduleMetrics, EmptyInput) {
+  const auto m = analyze({}, 4);
+  EXPECT_EQ(m.completed, 0u);
+  EXPECT_DOUBLE_EQ(m.makespan_s, 0.0);
+}
+
+}  // namespace
+}  // namespace dac::workload
