@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backfill.dir/bench_ablation_backfill.cpp.o"
+  "CMakeFiles/bench_ablation_backfill.dir/bench_ablation_backfill.cpp.o.d"
+  "bench_ablation_backfill"
+  "bench_ablation_backfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

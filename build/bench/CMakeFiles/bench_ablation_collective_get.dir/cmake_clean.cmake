@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_collective_get.dir/bench_ablation_collective_get.cpp.o"
+  "CMakeFiles/bench_ablation_collective_get.dir/bench_ablation_collective_get.cpp.o.d"
+  "bench_ablation_collective_get"
+  "bench_ablation_collective_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_collective_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

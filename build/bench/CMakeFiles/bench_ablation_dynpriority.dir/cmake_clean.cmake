@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynpriority.dir/bench_ablation_dynpriority.cpp.o"
+  "CMakeFiles/bench_ablation_dynpriority.dir/bench_ablation_dynpriority.cpp.o.d"
+  "bench_ablation_dynpriority"
+  "bench_ablation_dynpriority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynpriority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

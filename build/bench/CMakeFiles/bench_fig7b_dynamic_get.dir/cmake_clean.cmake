@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_dynamic_get.dir/bench_fig7b_dynamic_get.cpp.o"
+  "CMakeFiles/bench_fig7b_dynamic_get.dir/bench_fig7b_dynamic_get.cpp.o.d"
+  "bench_fig7b_dynamic_get"
+  "bench_fig7b_dynamic_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_dynamic_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_concurrent.dir/bench_fig9_concurrent.cpp.o"
+  "CMakeFiles/bench_fig9_concurrent.dir/bench_fig9_concurrent.cpp.o.d"
+  "bench_fig9_concurrent"
+  "bench_fig9_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

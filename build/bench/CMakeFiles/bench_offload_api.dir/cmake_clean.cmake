@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offload_api.dir/bench_offload_api.cpp.o"
+  "CMakeFiles/bench_offload_api.dir/bench_offload_api.cpp.o.d"
+  "bench_offload_api"
+  "bench_offload_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offload_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_network.dir/bench_sensitivity_network.cpp.o"
+  "CMakeFiles/bench_sensitivity_network.dir/bench_sensitivity_network.cpp.o.d"
+  "bench_sensitivity_network"
+  "bench_sensitivity_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

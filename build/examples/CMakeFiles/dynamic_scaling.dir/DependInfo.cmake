@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dynamic_scaling.cpp" "examples/CMakeFiles/dynamic_scaling.dir/dynamic_scaling.cpp.o" "gcc" "examples/CMakeFiles/dynamic_scaling.dir/dynamic_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dac_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/arm/CMakeFiles/dac_arm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmlib/CMakeFiles/dac_rmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/maui/CMakeFiles/dac_maui.dir/DependInfo.cmake"
+  "/root/repo/build/src/dacc/CMakeFiles/dac_dacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dac_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/torque/CMakeFiles/dac_torque.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/dac_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/dac_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

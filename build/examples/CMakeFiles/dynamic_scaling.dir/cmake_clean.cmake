@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_scaling.dir/dynamic_scaling.cpp.o"
+  "CMakeFiles/dynamic_scaling.dir/dynamic_scaling.cpp.o.d"
+  "dynamic_scaling"
+  "dynamic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

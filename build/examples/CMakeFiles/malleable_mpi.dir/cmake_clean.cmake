@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malleable_mpi.dir/malleable_mpi.cpp.o"
+  "CMakeFiles/malleable_mpi.dir/malleable_mpi.cpp.o.d"
+  "malleable_mpi"
+  "malleable_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malleable_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

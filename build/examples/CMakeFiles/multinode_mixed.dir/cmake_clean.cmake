@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinode_mixed.dir/multinode_mixed.cpp.o"
+  "CMakeFiles/multinode_mixed.dir/multinode_mixed.cpp.o.d"
+  "multinode_mixed"
+  "multinode_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinode_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

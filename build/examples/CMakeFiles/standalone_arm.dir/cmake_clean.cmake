@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standalone_arm.dir/standalone_arm.cpp.o"
+  "CMakeFiles/standalone_arm.dir/standalone_arm.cpp.o.d"
+  "standalone_arm"
+  "standalone_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standalone_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_arm.dir/arm.cpp.o"
+  "CMakeFiles/dac_arm.dir/arm.cpp.o.d"
+  "libdac_arm.a"
+  "libdac_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_core.dir/cli.cpp.o"
+  "CMakeFiles/dac_core.dir/cli.cpp.o.d"
+  "CMakeFiles/dac_core.dir/cluster.cpp.o"
+  "CMakeFiles/dac_core.dir/cluster.cpp.o.d"
+  "libdac_core.a"
+  "libdac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

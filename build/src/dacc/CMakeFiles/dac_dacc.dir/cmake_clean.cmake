@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_dacc.dir/daemon.cpp.o"
+  "CMakeFiles/dac_dacc.dir/daemon.cpp.o.d"
+  "CMakeFiles/dac_dacc.dir/frontend.cpp.o"
+  "CMakeFiles/dac_dacc.dir/frontend.cpp.o.d"
+  "libdac_dacc.a"
+  "libdac_dacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_dacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdac_dacc.a"
+)

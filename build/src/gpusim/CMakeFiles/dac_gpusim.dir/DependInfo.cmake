@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/dac_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/dac_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/driver.cpp" "src/gpusim/CMakeFiles/dac_gpusim.dir/driver.cpp.o" "gcc" "src/gpusim/CMakeFiles/dac_gpusim.dir/driver.cpp.o.d"
+  "/root/repo/src/gpusim/kernels.cpp" "src/gpusim/CMakeFiles/dac_gpusim.dir/kernels.cpp.o" "gcc" "src/gpusim/CMakeFiles/dac_gpusim.dir/kernels.cpp.o.d"
+  "/root/repo/src/gpusim/stream.cpp" "src/gpusim/CMakeFiles/dac_gpusim.dir/stream.cpp.o" "gcc" "src/gpusim/CMakeFiles/dac_gpusim.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_gpusim.dir/device.cpp.o"
+  "CMakeFiles/dac_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/dac_gpusim.dir/driver.cpp.o"
+  "CMakeFiles/dac_gpusim.dir/driver.cpp.o.d"
+  "CMakeFiles/dac_gpusim.dir/kernels.cpp.o"
+  "CMakeFiles/dac_gpusim.dir/kernels.cpp.o.d"
+  "CMakeFiles/dac_gpusim.dir/stream.cpp.o"
+  "CMakeFiles/dac_gpusim.dir/stream.cpp.o.d"
+  "libdac_gpusim.a"
+  "libdac_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_maui.dir/scheduler.cpp.o"
+  "CMakeFiles/dac_maui.dir/scheduler.cpp.o.d"
+  "libdac_maui.a"
+  "libdac_maui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_maui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dac_maui.
+# This may be replaced when dependencies are built.

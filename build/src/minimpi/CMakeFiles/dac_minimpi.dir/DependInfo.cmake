@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minimpi/dpm.cpp" "src/minimpi/CMakeFiles/dac_minimpi.dir/dpm.cpp.o" "gcc" "src/minimpi/CMakeFiles/dac_minimpi.dir/dpm.cpp.o.d"
+  "/root/repo/src/minimpi/proc.cpp" "src/minimpi/CMakeFiles/dac_minimpi.dir/proc.cpp.o" "gcc" "src/minimpi/CMakeFiles/dac_minimpi.dir/proc.cpp.o.d"
+  "/root/repo/src/minimpi/runtime.cpp" "src/minimpi/CMakeFiles/dac_minimpi.dir/runtime.cpp.o" "gcc" "src/minimpi/CMakeFiles/dac_minimpi.dir/runtime.cpp.o.d"
+  "/root/repo/src/minimpi/types.cpp" "src/minimpi/CMakeFiles/dac_minimpi.dir/types.cpp.o" "gcc" "src/minimpi/CMakeFiles/dac_minimpi.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vnet/CMakeFiles/dac_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_minimpi.dir/dpm.cpp.o"
+  "CMakeFiles/dac_minimpi.dir/dpm.cpp.o.d"
+  "CMakeFiles/dac_minimpi.dir/proc.cpp.o"
+  "CMakeFiles/dac_minimpi.dir/proc.cpp.o.d"
+  "CMakeFiles/dac_minimpi.dir/runtime.cpp.o"
+  "CMakeFiles/dac_minimpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/dac_minimpi.dir/types.cpp.o"
+  "CMakeFiles/dac_minimpi.dir/types.cpp.o.d"
+  "libdac_minimpi.a"
+  "libdac_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmlib/ac_session.cpp" "src/rmlib/CMakeFiles/dac_rmlib.dir/ac_session.cpp.o" "gcc" "src/rmlib/CMakeFiles/dac_rmlib.dir/ac_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dacc/CMakeFiles/dac_dacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/torque/CMakeFiles/dac_torque.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dac_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/dac_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnet/CMakeFiles/dac_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

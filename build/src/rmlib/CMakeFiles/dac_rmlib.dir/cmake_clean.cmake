@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_rmlib.dir/ac_session.cpp.o"
+  "CMakeFiles/dac_rmlib.dir/ac_session.cpp.o.d"
+  "libdac_rmlib.a"
+  "libdac_rmlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_rmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

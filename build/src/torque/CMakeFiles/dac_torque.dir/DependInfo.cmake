@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/torque/ifl.cpp" "src/torque/CMakeFiles/dac_torque.dir/ifl.cpp.o" "gcc" "src/torque/CMakeFiles/dac_torque.dir/ifl.cpp.o.d"
+  "/root/repo/src/torque/job.cpp" "src/torque/CMakeFiles/dac_torque.dir/job.cpp.o" "gcc" "src/torque/CMakeFiles/dac_torque.dir/job.cpp.o.d"
+  "/root/repo/src/torque/mom.cpp" "src/torque/CMakeFiles/dac_torque.dir/mom.cpp.o" "gcc" "src/torque/CMakeFiles/dac_torque.dir/mom.cpp.o.d"
+  "/root/repo/src/torque/node_db.cpp" "src/torque/CMakeFiles/dac_torque.dir/node_db.cpp.o" "gcc" "src/torque/CMakeFiles/dac_torque.dir/node_db.cpp.o.d"
+  "/root/repo/src/torque/protocol.cpp" "src/torque/CMakeFiles/dac_torque.dir/protocol.cpp.o" "gcc" "src/torque/CMakeFiles/dac_torque.dir/protocol.cpp.o.d"
+  "/root/repo/src/torque/rpc.cpp" "src/torque/CMakeFiles/dac_torque.dir/rpc.cpp.o" "gcc" "src/torque/CMakeFiles/dac_torque.dir/rpc.cpp.o.d"
+  "/root/repo/src/torque/server.cpp" "src/torque/CMakeFiles/dac_torque.dir/server.cpp.o" "gcc" "src/torque/CMakeFiles/dac_torque.dir/server.cpp.o.d"
+  "/root/repo/src/torque/task_registry.cpp" "src/torque/CMakeFiles/dac_torque.dir/task_registry.cpp.o" "gcc" "src/torque/CMakeFiles/dac_torque.dir/task_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vnet/CMakeFiles/dac_vnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/dac_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_torque.dir/ifl.cpp.o"
+  "CMakeFiles/dac_torque.dir/ifl.cpp.o.d"
+  "CMakeFiles/dac_torque.dir/job.cpp.o"
+  "CMakeFiles/dac_torque.dir/job.cpp.o.d"
+  "CMakeFiles/dac_torque.dir/mom.cpp.o"
+  "CMakeFiles/dac_torque.dir/mom.cpp.o.d"
+  "CMakeFiles/dac_torque.dir/node_db.cpp.o"
+  "CMakeFiles/dac_torque.dir/node_db.cpp.o.d"
+  "CMakeFiles/dac_torque.dir/protocol.cpp.o"
+  "CMakeFiles/dac_torque.dir/protocol.cpp.o.d"
+  "CMakeFiles/dac_torque.dir/rpc.cpp.o"
+  "CMakeFiles/dac_torque.dir/rpc.cpp.o.d"
+  "CMakeFiles/dac_torque.dir/server.cpp.o"
+  "CMakeFiles/dac_torque.dir/server.cpp.o.d"
+  "CMakeFiles/dac_torque.dir/task_registry.cpp.o"
+  "CMakeFiles/dac_torque.dir/task_registry.cpp.o.d"
+  "libdac_torque.a"
+  "libdac_torque.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_torque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_util.dir/bytes.cpp.o"
+  "CMakeFiles/dac_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/dac_util.dir/logging.cpp.o"
+  "CMakeFiles/dac_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dac_util.dir/stats.cpp.o"
+  "CMakeFiles/dac_util.dir/stats.cpp.o.d"
+  "libdac_util.a"
+  "libdac_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_vnet.dir/cluster.cpp.o"
+  "CMakeFiles/dac_vnet.dir/cluster.cpp.o.d"
+  "CMakeFiles/dac_vnet.dir/fabric.cpp.o"
+  "CMakeFiles/dac_vnet.dir/fabric.cpp.o.d"
+  "CMakeFiles/dac_vnet.dir/node.cpp.o"
+  "CMakeFiles/dac_vnet.dir/node.cpp.o.d"
+  "libdac_vnet.a"
+  "libdac_vnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_vnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

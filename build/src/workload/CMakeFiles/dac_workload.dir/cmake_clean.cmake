@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_workload.dir/workload.cpp.o"
+  "CMakeFiles/dac_workload.dir/workload.cpp.o.d"
+  "libdac_workload.a"
+  "libdac_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/cli_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/cli_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/cluster_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/cluster_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/config_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/integration_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/jobcontext_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/jobcontext_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/malleable_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/malleable_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/soak_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/soak_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dacc_test.dir/dacc/offload_test.cpp.o"
+  "CMakeFiles/dacc_test.dir/dacc/offload_test.cpp.o.d"
+  "CMakeFiles/dacc_test.dir/dacc/stencil_test.cpp.o"
+  "CMakeFiles/dacc_test.dir/dacc/stencil_test.cpp.o.d"
+  "CMakeFiles/dacc_test.dir/dacc/transfer_edge_test.cpp.o"
+  "CMakeFiles/dacc_test.dir/dacc/transfer_edge_test.cpp.o.d"
+  "dacc_test"
+  "dacc_test.pdb"
+  "dacc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dacc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

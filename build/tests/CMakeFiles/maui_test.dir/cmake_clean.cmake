@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maui_test.dir/maui/aging_test.cpp.o"
+  "CMakeFiles/maui_test.dir/maui/aging_test.cpp.o.d"
+  "CMakeFiles/maui_test.dir/maui/policy_test.cpp.o"
+  "CMakeFiles/maui_test.dir/maui/policy_test.cpp.o.d"
+  "maui_test"
+  "maui_test.pdb"
+  "maui_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maui_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimpi_test.dir/minimpi/collectives_test.cpp.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/collectives_test.cpp.o.d"
+  "CMakeFiles/minimpi_test.dir/minimpi/dpm_extra_test.cpp.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/dpm_extra_test.cpp.o.d"
+  "CMakeFiles/minimpi_test.dir/minimpi/dpm_test.cpp.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/dpm_test.cpp.o.d"
+  "CMakeFiles/minimpi_test.dir/minimpi/extended_test.cpp.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/extended_test.cpp.o.d"
+  "CMakeFiles/minimpi_test.dir/minimpi/nonblocking_test.cpp.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/nonblocking_test.cpp.o.d"
+  "CMakeFiles/minimpi_test.dir/minimpi/p2p_test.cpp.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/p2p_test.cpp.o.d"
+  "CMakeFiles/minimpi_test.dir/minimpi/runtime_test.cpp.o"
+  "CMakeFiles/minimpi_test.dir/minimpi/runtime_test.cpp.o.d"
+  "minimpi_test"
+  "minimpi_test.pdb"
+  "minimpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

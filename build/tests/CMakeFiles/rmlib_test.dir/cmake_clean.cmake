@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmlib_test.dir/rmlib/session_test.cpp.o"
+  "CMakeFiles/rmlib_test.dir/rmlib/session_test.cpp.o.d"
+  "rmlib_test"
+  "rmlib_test.pdb"
+  "rmlib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

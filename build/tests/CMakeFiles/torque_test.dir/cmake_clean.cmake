@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torque_test.dir/torque/fault_test.cpp.o"
+  "CMakeFiles/torque_test.dir/torque/fault_test.cpp.o.d"
+  "CMakeFiles/torque_test.dir/torque/ifl_test.cpp.o"
+  "CMakeFiles/torque_test.dir/torque/ifl_test.cpp.o.d"
+  "CMakeFiles/torque_test.dir/torque/job_test.cpp.o"
+  "CMakeFiles/torque_test.dir/torque/job_test.cpp.o.d"
+  "CMakeFiles/torque_test.dir/torque/mom_test.cpp.o"
+  "CMakeFiles/torque_test.dir/torque/mom_test.cpp.o.d"
+  "CMakeFiles/torque_test.dir/torque/node_db_test.cpp.o"
+  "CMakeFiles/torque_test.dir/torque/node_db_test.cpp.o.d"
+  "CMakeFiles/torque_test.dir/torque/rpc_test.cpp.o"
+  "CMakeFiles/torque_test.dir/torque/rpc_test.cpp.o.d"
+  "CMakeFiles/torque_test.dir/torque/server_test.cpp.o"
+  "CMakeFiles/torque_test.dir/torque/server_test.cpp.o.d"
+  "CMakeFiles/torque_test.dir/torque/task_registry_test.cpp.o"
+  "CMakeFiles/torque_test.dir/torque/task_registry_test.cpp.o.d"
+  "CMakeFiles/torque_test.dir/torque/walltime_test.cpp.o"
+  "CMakeFiles/torque_test.dir/torque/walltime_test.cpp.o.d"
+  "torque_test"
+  "torque_test.pdb"
+  "torque_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torque_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vnet_test.dir/vnet/cluster_test.cpp.o"
+  "CMakeFiles/vnet_test.dir/vnet/cluster_test.cpp.o.d"
+  "CMakeFiles/vnet_test.dir/vnet/fabric_test.cpp.o"
+  "CMakeFiles/vnet_test.dir/vnet/fabric_test.cpp.o.d"
+  "CMakeFiles/vnet_test.dir/vnet/message_test.cpp.o"
+  "CMakeFiles/vnet_test.dir/vnet/message_test.cpp.o.d"
+  "CMakeFiles/vnet_test.dir/vnet/node_test.cpp.o"
+  "CMakeFiles/vnet_test.dir/vnet/node_test.cpp.o.d"
+  "CMakeFiles/vnet_test.dir/vnet/stress_test.cpp.o"
+  "CMakeFiles/vnet_test.dir/vnet/stress_test.cpp.o.d"
+  "vnet_test"
+  "vnet_test.pdb"
+  "vnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

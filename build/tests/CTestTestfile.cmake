@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/vnet_test[1]_include.cmake")
+include("/root/repo/build/tests/minimpi_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build/tests/dacc_test[1]_include.cmake")
+include("/root/repo/build/tests/torque_test[1]_include.cmake")
+include("/root/repo/build/tests/maui_test[1]_include.cmake")
+include("/root/repo/build/tests/rmlib_test[1]_include.cmake")
+include("/root/repo/build/tests/arm_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
