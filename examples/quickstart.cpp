@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cli.hpp"
 #include "core/cluster.hpp"
 
 using namespace dac;
@@ -100,5 +101,8 @@ int main() {
               info->compute_hosts.front().c_str());
   for (const auto& h : info->accel_hosts) std::printf("%s ", h.c_str());
   std::printf("]\n");
+
+  std::printf("\npbs_server per-RPC metrics:\n%s",
+              core::render_metrics(cluster.metrics_snapshot()).c_str());
   return 0;
 }

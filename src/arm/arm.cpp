@@ -1,5 +1,7 @@
 #include "arm/arm.hpp"
 
+#include "svc/caller.hpp"
+#include "svc/service_loop.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -7,7 +9,11 @@ namespace dac::arm {
 
 namespace {
 const util::Logger kLog("arm");
+
+constexpr auto msg(std::uint32_t code) {
+  return static_cast<torque::MsgType>(code);
 }
+}  // namespace
 
 PrototypeArm::PrototypeArm(vnet::Node& node, std::vector<PoolEntry> pool)
     : node_(node), endpoint_(node.open_endpoint()) {
@@ -18,72 +24,81 @@ PrototypeArm::PrototypeArm(vnet::Node& node, std::vector<PoolEntry> pool)
 void PrototypeArm::run(vnet::Process& proc) {
   proc.adopt_mailbox(endpoint_->mailbox_weak());
   kLog.info("prototype ARM up with {} accelerator(s)", pool_.size());
-  while (auto msg = endpoint_->recv()) {
-    util::ByteReader r(msg->payload);
-    util::ByteWriter reply;
-    switch (msg->type) {
-      case kArmAlloc: {
-        const auto count = r.get<std::int32_t>();
-        std::vector<std::size_t> free_idx;
-        for (std::size_t i = 0;
-             i < pool_.size() &&
-             static_cast<int>(free_idx.size()) < count;
-             ++i) {
-          if (pool_[i].held_by == 0) free_idx.push_back(i);
-        }
-        if (count <= 0 || static_cast<int>(free_idx.size()) < count) {
-          reply.put_bool(false);
-          reply.put<std::uint64_t>(0);
-          reply.put<std::uint32_t>(0);
-        } else {
-          const auto set = next_set_++;
-          reply.put_bool(true);
-          reply.put<std::uint64_t>(set);
-          reply.put<std::uint32_t>(static_cast<std::uint32_t>(count));
-          for (auto i : free_idx) {
-            pool_[i].held_by = set;
-            reply.put<std::int32_t>(pool_[i].entry.node);
-            reply.put_string(pool_[i].entry.hostname);
-          }
-          sets_[set] = std::move(free_idx);
-        }
-        break;
-      }
-      case kArmFree: {
-        const auto set = r.get<std::uint64_t>();
-        if (auto it = sets_.find(set); it != sets_.end()) {
-          for (auto i : it->second) pool_[i].held_by = 0;
-          sets_.erase(it);
-          reply.put_bool(true);
-        } else {
-          reply.put_bool(false);
-        }
-        break;
-      }
-      case kArmStatus: {
-        int free = 0;
-        for (const auto& s : pool_) free += s.held_by == 0 ? 1 : 0;
-        reply.put<std::int32_t>(static_cast<std::int32_t>(pool_.size()));
-        reply.put<std::int32_t>(free);
-        reply.put<std::int32_t>(static_cast<std::int32_t>(sets_.size()));
-        break;
-      }
-      default:
-        kLog.warn("ARM: unknown request type {}", msg->type);
-        continue;
-    }
-    endpoint_->send(msg->from, kArmReply, std::move(reply).take());
+
+  svc::ServiceConfig cfg;
+  cfg.name = "arm";
+  svc::ServiceLoop loop(*endpoint_, cfg, &metrics_);
+
+  loop.on(msg(kArmAlloc), svc::ExecClass::kMutating,
+          [this](const svc::Request& req, svc::Responder& resp) {
+            util::ByteReader r(req.body);
+            util::ByteWriter reply;
+            const auto count = r.get<std::int32_t>();
+            std::vector<std::size_t> free_idx;
+            for (std::size_t i = 0;
+                 i < pool_.size() &&
+                 static_cast<int>(free_idx.size()) < count;
+                 ++i) {
+              if (pool_[i].held_by == 0) free_idx.push_back(i);
+            }
+            if (count <= 0 || static_cast<int>(free_idx.size()) < count) {
+              reply.put_bool(false);
+              reply.put<std::uint64_t>(0);
+              reply.put<std::uint32_t>(0);
+            } else {
+              const auto set = next_set_++;
+              reply.put_bool(true);
+              reply.put<std::uint64_t>(set);
+              reply.put<std::uint32_t>(static_cast<std::uint32_t>(count));
+              for (auto i : free_idx) {
+                pool_[i].held_by = set;
+                reply.put<std::int32_t>(pool_[i].entry.node);
+                reply.put_string(pool_[i].entry.hostname);
+              }
+              sets_[set] = std::move(free_idx);
+            }
+            resp.ok(std::move(reply).take());
+          });
+
+  loop.on(msg(kArmFree), svc::ExecClass::kMutating,
+          [this](const svc::Request& req, svc::Responder& resp) {
+            util::ByteReader r(req.body);
+            const auto set = r.get<std::uint64_t>();
+            if (auto it = sets_.find(set); it != sets_.end()) {
+              for (auto i : it->second) pool_[i].held_by = 0;
+              sets_.erase(it);
+              resp.ok();
+            } else {
+              resp.error(torque::ReplyCode::kBadRequest,
+                         "ARM: unknown set id " + std::to_string(set));
+            }
+          });
+
+  loop.on(msg(kArmStatus), svc::ExecClass::kReadOnly,
+          [this](const svc::Request&, svc::Responder& resp) {
+            util::ByteWriter reply;
+            int free = 0;
+            for (const auto& s : pool_) free += s.held_by == 0 ? 1 : 0;
+            reply.put<std::int32_t>(static_cast<std::int32_t>(pool_.size()));
+            reply.put<std::int32_t>(free);
+            reply.put<std::int32_t>(static_cast<std::int32_t>(sets_.size()));
+            resp.ok(std::move(reply).take());
+          });
+
+  try {
+    loop.run();
+  } catch (const util::StoppedError&) {
+    // cooperative shutdown
   }
 }
 
+ArmClient::ArmClient(vnet::Node& node, vnet::Address arm,
+                     svc::RetryPolicy retry)
+    : caller_(node, arm, retry), arm_(arm) {}
+
 util::Bytes ArmClient::call(std::uint32_t type, util::Bytes body) {
-  auto ep = node_.open_endpoint();
-  ep->send(arm_, type, std::move(body));
-  auto reply = ep->recv_for(std::chrono::milliseconds(10'000));
-  if (!reply || reply->type != kArmReply) {
-    throw util::ProtocolError("ARM call timed out");
-  }
-  return std::move(reply->payload);
+  return caller_.call(msg(type), std::move(body),
+                      {.deadline = std::chrono::milliseconds(10'000)});
 }
 
 ArmAllocation ArmClient::alloc(int count) {
@@ -105,12 +120,8 @@ ArmAllocation ArmClient::alloc(int count) {
 void ArmClient::free_set(std::uint64_t set_id) {
   util::ByteWriter w;
   w.put<std::uint64_t>(set_id);
-  auto payload = call(kArmFree, std::move(w).take());
-  util::ByteReader r(payload);
-  if (!r.get_bool()) {
-    throw util::ProtocolError("ARM: unknown set id " +
-                              std::to_string(set_id));
-  }
+  // An unknown set id comes back as an error reply -> svc::CallError.
+  (void)call(kArmFree, std::move(w).take());
 }
 
 ArmPoolStatus ArmClient::status() {

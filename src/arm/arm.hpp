@@ -13,16 +13,20 @@
 #include <string>
 #include <vector>
 
+#include "svc/caller.hpp"
+#include "svc/metrics.hpp"
 #include "util/bytes.hpp"
 #include "vnet/node.hpp"
 
 namespace dac::arm {
 
-// vnet message types of the ARM protocol.
+// vnet message types of the ARM protocol. The ARM speaks the shared svc
+// request/reply envelope (so it gets retries, dedup, and metrics for free);
+// these codes live outside the torque MsgType space.
 inline constexpr std::uint32_t kArmAlloc = 0x41524D01;    // count -> set
 inline constexpr std::uint32_t kArmFree = 0x41524D02;     // set id
 inline constexpr std::uint32_t kArmStatus = 0x41524D03;   // -> pool state
-inline constexpr std::uint32_t kArmReply = 0x41524D10;
+inline constexpr std::uint32_t kArmReply = 0x41524D10;    // legacy reply code
 
 struct ArmAllocation {
   bool granted = false;
@@ -57,6 +61,10 @@ class PrototypeArm {
 
   void run(vnet::Process& proc);
 
+  [[nodiscard]] const svc::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
  private:
   struct Slot {
     PoolEntry entry;
@@ -68,12 +76,14 @@ class PrototypeArm {
   std::vector<Slot> pool_;
   std::map<std::uint64_t, std::vector<std::size_t>> sets_;  // id -> slot idx
   std::uint64_t next_set_ = 1;
+  svc::MetricsRegistry metrics_;
 };
 
 // Client side: allocation/release calls a compute node issues.
 class ArmClient {
  public:
-  ArmClient(vnet::Node& node, vnet::Address arm) : node_(node), arm_(arm) {}
+  ArmClient(vnet::Node& node, vnet::Address arm,
+            svc::RetryPolicy retry = {});
 
   // Subject to availability; a rejection returns granted == false (the ARM,
   // like the batch system, never queues dynamic requests).
@@ -84,7 +94,7 @@ class ArmClient {
  private:
   util::Bytes call(std::uint32_t type, util::Bytes body);
 
-  vnet::Node& node_;
+  svc::Caller caller_;
   vnet::Address arm_;
 };
 

@@ -33,7 +33,8 @@ DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
   register_builtin_executables();
 
   // Boot the head-node daemons.
-  server_ = std::make_unique<torque::PbsServer>(head(), config_.timing);
+  server_ =
+      std::make_unique<torque::PbsServer>(head(), config_.timing, config_.svc);
   daemons_.push_back(head().spawn(
       {.name = "pbs_server"},
       [this](vnet::Process& proc) { server_->run(proc); }));
@@ -45,6 +46,7 @@ DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
   sched.timing = config_.timing;
   sched.dynamic_first = config_.dynamic_first;
   sched.dyn_owner_pool_cap = config_.dyn_owner_pool_cap;
+  sched.retry = config_.svc.retry;
   scheduler_ = std::make_unique<maui::MauiScheduler>(head(), sched);
   daemons_.push_back(head().spawn(
       {.name = "maui"},
@@ -60,6 +62,8 @@ DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
     mc.server = server_->address();
     mc.timing = config_.timing;
     mc.enforce_walltime = config_.enforce_walltime;
+    mc.retry = config_.svc.retry;
+    mc.dedup_window = config_.svc.dedup_window;
     auto mom = std::make_unique<torque::PbsMom>(node, mc, *runtime_, tasks_);
     auto* mom_ptr = mom.get();
     moms_.push_back(std::move(mom));
@@ -127,6 +131,10 @@ maui::SchedulerStatsSnapshot DacCluster::scheduler_stats() const {
   return scheduler_->stats();
 }
 
+svc::MetricsSnapshot DacCluster::metrics_snapshot() const {
+  return server_->metrics().snapshot();
+}
+
 void DacCluster::register_program(const std::string& name,
                                   JobProgram program) {
   std::lock_guard lock(programs_mu_);
@@ -134,7 +142,7 @@ void DacCluster::register_program(const std::string& name,
 }
 
 torque::Ifl DacCluster::client() {
-  return torque::Ifl(head(), server_->address());
+  return torque::Ifl(head(), server_->address(), config_.svc.retry);
 }
 
 torque::JobId DacCluster::submit(const torque::JobSpec& spec) {
@@ -170,6 +178,7 @@ rmlib::AcSessionConfig DacCluster::session_base() const {
       config_.timing.spawned_daemon_start_delay;
   base.transfer = config_.transfer;
   base.tasks = const_cast<torque::TaskRegistry*>(&tasks_);
+  base.retry = config_.svc.retry;
   return base;
 }
 

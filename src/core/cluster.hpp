@@ -25,6 +25,7 @@
 #include "dacc/device_manager.hpp"
 #include "maui/scheduler.hpp"
 #include "minimpi/runtime.hpp"
+#include "svc/metrics.hpp"
 #include "torque/ifl.hpp"
 #include "torque/mom.hpp"
 #include "torque/server.hpp"
@@ -57,6 +58,8 @@ class DacCluster {
   [[nodiscard]] dacc::DeviceManager& devices() { return *devices_; }
   [[nodiscard]] const vnet::Address& server_address() const;
   [[nodiscard]] maui::SchedulerStatsSnapshot scheduler_stats() const;
+  // Per-RPC metrics of the pbs_server (counts, errors, latency percentiles).
+  [[nodiscard]] svc::MetricsSnapshot metrics_snapshot() const;
 
   // ---- job programs -------------------------------------------------------
   void register_program(const std::string& name, JobProgram program);

@@ -10,6 +10,7 @@
 #include "dacc/protocol.hpp"
 #include "gpusim/device.hpp"
 #include "maui/scheduler.hpp"
+#include "svc/config.hpp"
 #include "torque/batch_config.hpp"
 #include "vnet/network_model.hpp"
 
@@ -32,6 +33,10 @@ struct DacClusterConfig {
   dacc::TransferOptions transfer;
   // Mother superiors kill jobs exceeding their requested walltime.
   bool enforce_walltime = true;
+
+  // Service-runtime knobs (read pool, dedup window, client retries). The
+  // defaults keep the seed behavior — and the Figure 7-9 shapes — unchanged.
+  svc::ServiceTuning svc;
 
   [[nodiscard]] std::size_t total_nodes() const {
     return 1 + compute_nodes + accel_nodes;

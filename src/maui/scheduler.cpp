@@ -4,7 +4,7 @@
 #include <cmath>
 #include <thread>
 
-#include "torque/rpc.hpp"
+#include "svc/caller.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -43,12 +43,13 @@ SchedulerStatsSnapshot MauiScheduler::stats() const {
 void MauiScheduler::run(vnet::Process& proc) {
   auto wake_ep = proc.open_endpoint();
 
+  const svc::Caller caller(proc, config_.server, config_.retry);
   util::ByteWriter reg;
   reg.put<std::int32_t>(wake_ep->address().node);
   reg.put<std::int32_t>(wake_ep->address().port);
   try {
-    (void)torque::rpc::call(proc, config_.server, torque::MsgType::kRegisterScheduler,
-                    std::move(reg).take());
+    (void)caller.call(torque::MsgType::kRegisterScheduler,
+                      std::move(reg).take());
   } catch (const util::StoppedError&) {
     return;
   }
@@ -76,13 +77,12 @@ void MauiScheduler::run(vnet::Process& proc) {
 void MauiScheduler::cycle(vnet::Process& proc) {
   cycles_.fetch_add(1, std::memory_order_relaxed);
 
-  auto queue_reply = torque::rpc::call(proc, config_.server,
-                               torque::MsgType::kGetQueue, {});
+  const svc::Caller caller(proc, config_.server, config_.retry);
+  auto queue_reply = caller.call(torque::MsgType::kGetQueue, {});
   util::ByteReader qr(queue_reply);
   const auto snap = torque::get_queue_snapshot(qr);
 
-  auto nodes_reply = torque::rpc::call(proc, config_.server,
-                               torque::MsgType::kGetNodes, {});
+  auto nodes_reply = caller.call(torque::MsgType::kGetNodes, {});
   util::ByteReader nr(nodes_reply);
   const auto count = nr.get<std::uint32_t>();
   std::vector<NodeView> view;
@@ -107,6 +107,7 @@ void MauiScheduler::cycle(vnet::Process& proc) {
 void MauiScheduler::service_dynamic(vnet::Process& proc,
                                     const torque::QueueSnapshot& snap,
                                     std::vector<NodeView>& nodes) {
+  const svc::Caller caller(proc, config_.server, config_.retry);
   // Fairshare cap inputs: the accelerator pool size and each owner's
   // current accelerator holdings (static + dynamic), from the snapshot.
   int pool = 0;
@@ -185,20 +186,18 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
     try {
       if (static_cast<int>(hosts.size()) >= d.min_count) {
         w.put_string_vector(hosts);
-        (void)torque::rpc::call(proc, config_.server, torque::MsgType::kRunDyn,
-                        std::move(w).take());
+        (void)caller.call(torque::MsgType::kRunDyn, std::move(w).take());
         dyn_granted_.fetch_add(1, std::memory_order_relaxed);
         if (auto it = job_by_id.find(d.job); it != job_by_id.end()) {
           holdings[it->second->spec.owner] +=
               static_cast<int>(hosts.size());
         }
       } else {
-        (void)torque::rpc::call(proc, config_.server, torque::MsgType::kRejectDyn,
-                        std::move(w).take());
+        (void)caller.call(torque::MsgType::kRejectDyn, std::move(w).take());
         dyn_rejected_.fetch_add(1, std::memory_order_relaxed);
         if (capped) dyn_capped_.fetch_add(1, std::memory_order_relaxed);
       }
-    } catch (const torque::rpc::CallError& e) {
+    } catch (const util::ProtocolError& e) {
       kLog.warn("dyn {} decision not applied: {}", d.dyn_id, e.what());
     }
   }
@@ -293,9 +292,9 @@ bool MauiScheduler::send_run_job(vnet::Process& proc, torque::JobId id,
   w.put_string_vector(alloc.compute);
   w.put_string_vector(alloc.accel);
   try {
-    (void)torque::rpc::call(proc, config_.server, torque::MsgType::kRunJob,
-                    std::move(w).take());
-  } catch (const torque::rpc::CallError& e) {
+    const svc::Caller caller(proc, config_.server, config_.retry);
+    (void)caller.call(torque::MsgType::kRunJob, std::move(w).take());
+  } catch (const util::ProtocolError& e) {
     kLog.warn("run_job {} not applied: {}", id, e.what());
     return false;
   }

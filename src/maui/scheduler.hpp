@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "svc/caller.hpp"
 #include "torque/batch_config.hpp"
 #include "torque/node_db.hpp"
 #include "torque/server.hpp"
@@ -47,6 +48,10 @@ struct SchedulerConfig {
   // at most this fraction of the accelerator pool after a grant. 1.0
   // disables the cap (the paper's behaviour).
   double dyn_owner_pool_cap = 1.0;
+  // Retry policy for the scheduler's calls to the server. The server
+  // deduplicates retransmitted request-ids, so run/reject decisions are
+  // retry-safe.
+  svc::RetryPolicy retry;
 };
 
 struct SchedulerStatsSnapshot {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "minimpi/proc.hpp"
+#include "svc/backoff.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -79,7 +80,10 @@ Comm Proc::comm_connect(const std::string& port, const Comm& comm, int root,
     // wait is the dominant share of Figure 7(a)'s AC_Init time.
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::optional<vnet::Address> accept_root;
-    auto backoff = std::chrono::microseconds(100);
+    svc::Backoff backoff(svc::BackoffPolicy{std::chrono::microseconds(100),
+                                            2.0,
+                                            std::chrono::microseconds(5000),
+                                            0.0});
     while (true) {
       accept_root = runtime_.lookup_port(port);
       if (accept_root) break;
@@ -88,8 +92,7 @@ Comm Proc::comm_connect(const std::string& port, const Comm& comm, int root,
         throw util::ProtocolError("comm_connect: port '" + port +
                                   "' not published within timeout");
       }
-      std::this_thread::sleep_for(backoff);
-      backoff = std::min(backoff * 2, std::chrono::microseconds(5000));
+      backoff.sleep();
     }
 
     util::ByteWriter w;

@@ -15,7 +15,7 @@ const util::Logger kLog("rmlib");
 AcSession::AcSession(minimpi::Proc& proc, AcSessionConfig config)
     : proc_(proc),
       config_(std::move(config)),
-      ifl_(proc.process(), config_.server) {
+      ifl_(proc.process(), config_.server, config_.retry) {
   // Before AC_Init the session's communicator is the compute node alone.
   current_ = proc_.self();
 }
@@ -46,11 +46,11 @@ std::vector<AcHandle> AcSession::ac_init(InitTiming* timing) {
   // up (they barrier first), so polling for the port measures exactly the
   // "waiting until the daemons were prepared" share of Figure 7(a).
   util::Stopwatch watch;
-  auto backoff = std::chrono::microseconds(100);
+  svc::Backoff backoff(config_.port_wait,
+                       static_cast<std::uint64_t>(config_.job));
   while (!proc_.runtime().lookup_port(port)) {
     if (proc_.process().stop_requested()) throw util::StoppedError();
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, std::chrono::microseconds(2000));
+    backoff.sleep();
   }
   const double waiting_s = watch.lap_seconds();
 

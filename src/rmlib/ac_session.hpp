@@ -32,6 +32,7 @@
 #include "dacc/daemon.hpp"
 #include "dacc/frontend.hpp"
 #include "minimpi/proc.hpp"
+#include "svc/backoff.hpp"
 #include "torque/ifl.hpp"
 #include "torque/launch_info.hpp"
 #include "torque/task_registry.hpp"
@@ -57,6 +58,12 @@ struct AcSessionConfig {
   dacc::TransferOptions transfer;
   // Optional: lets dynamically spawned daemons be killed by DISJOIN_JOB.
   torque::TaskRegistry* tasks = nullptr;
+  // Retry policy for the session's IFL calls to the server (dynget/dynfree;
+  // the server deduplicates retransmits, so these are retry-safe).
+  svc::RetryPolicy retry;
+  // Backoff while polling for the static daemons' published port.
+  svc::BackoffPolicy port_wait{std::chrono::microseconds(100), 2.0,
+                               std::chrono::microseconds(2000), 0.0};
 };
 
 struct InitTiming {

@@ -1,0 +1,97 @@
+#include "svc/caller.hpp"
+
+#include <algorithm>
+
+#include "svc/backoff.hpp"
+#include "util/logging.hpp"
+
+namespace dac::svc {
+
+namespace {
+
+const util::Logger kLog("svc.caller");
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Caller::Caller(vnet::Node& node, vnet::Address to, RetryPolicy policy,
+               MetricsRegistry* metrics)
+    : node_(&node), to_(to), policy_(policy), metrics_(metrics) {}
+
+Caller::Caller(vnet::Process& proc, vnet::Address to, RetryPolicy policy,
+               MetricsRegistry* metrics)
+    : proc_(&proc), to_(to), policy_(policy), metrics_(metrics) {}
+
+std::unique_ptr<vnet::Endpoint> Caller::open_endpoint() const {
+  return proc_ ? proc_->open_endpoint() : node_->open_endpoint();
+}
+
+util::Bytes Caller::call(MsgType type, util::Bytes body,
+                         CallOptions opts) const {
+  const auto id = next_request_id();
+  const auto payload = envelope(id, body);
+  auto ep = open_endpoint();
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + opts.deadline;
+  const int attempts = opts.idempotent ? std::max(1, policy_.max_attempts) : 1;
+  Backoff backoff(
+      {.initial = std::chrono::duration_cast<std::chrono::microseconds>(
+           policy_.initial_backoff),
+       .multiplier = policy_.multiplier,
+       .cap = std::chrono::duration_cast<std::chrono::microseconds>(
+           policy_.max_backoff),
+       .jitter = policy_.jitter},
+      id);
+
+  int sent = 0;
+  while (true) {
+    ep->send(to_, as_u32(type), payload);
+    ++sent;
+    if (sent > 1) {
+      kLog.debug("retransmit #{} of {} req {} to {}", sent - 1,
+                 msg_type_name(as_u32(type)), id, to_.str());
+    }
+    // Wait for the reply until either the overall deadline or the next
+    // retransmission slot, whichever comes first.
+    const auto resend_at =
+        (sent < attempts)
+            ? std::min(deadline,
+                       std::chrono::steady_clock::now() + backoff.next())
+            : deadline;
+    while (true) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= resend_at) break;
+      const auto remaining =
+          std::chrono::ceil<std::chrono::milliseconds>(resend_at - now);
+      auto msg = ep->recv_for(std::max(remaining, std::chrono::milliseconds(1)));
+      if (!msg) {
+        if (ep->closed()) throw util::StoppedError();
+        continue;
+      }
+      try {
+        if (auto reply = parse_reply(*msg, id)) {
+          if (metrics_) metrics_->record(as_u32(type), ms_since(start), false);
+          return std::move(*reply);
+        }
+      } catch (const CallError&) {
+        if (metrics_) metrics_->record(as_u32(type), ms_since(start), true);
+        throw;
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if (metrics_) metrics_->record(as_u32(type), ms_since(start), true);
+      throw DeadlineError("svc: deadline exceeded calling " +
+                          msg_type_name(as_u32(type)) + " on " + to_.str() +
+                          " (req " + std::to_string(id) + ", " +
+                          std::to_string(sent) + " attempt(s))");
+    }
+  }
+}
+
+}  // namespace dac::svc

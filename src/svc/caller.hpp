@@ -1,0 +1,64 @@
+// Client side of the service runtime: a Caller issues request/reply calls
+// against one target address with per-call deadlines and bounded retransmits
+// (exponential backoff + jitter). A retried request reuses its request-id, so
+// a ServiceLoop on the far side deduplicates it instead of executing twice.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "svc/metrics.hpp"
+#include "svc/wire.hpp"
+
+namespace dac::svc {
+
+struct RetryPolicy {
+  // Total send attempts per call (1 = no retransmits).
+  int max_attempts = 3;
+  std::chrono::milliseconds initial_backoff{5};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{200};
+  double jitter = 0.25;
+
+  [[nodiscard]] static RetryPolicy none() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+struct CallOptions {
+  std::chrono::milliseconds deadline{30'000};
+  // Non-idempotent calls are never retransmitted, regardless of policy.
+  // Requests to ServiceLoop daemons are dedup-protected and can stay true.
+  bool idempotent = true;
+};
+
+class Caller {
+ public:
+  // Calls from a non-process context (client commands, tests, benches).
+  Caller(vnet::Node& node, vnet::Address to, RetryPolicy policy = {},
+         MetricsRegistry* metrics = nullptr);
+  // Calls from a process context (daemons): the ephemeral per-call endpoint
+  // is owned by the process, so request_stop() unblocks an in-flight call.
+  Caller(vnet::Process& proc, vnet::Address to, RetryPolicy policy = {},
+         MetricsRegistry* metrics = nullptr);
+
+  // Blocking request/reply. Throws CallError on an error reply, DeadlineError
+  // when the deadline passes with no reply, StoppedError on cooperative kill.
+  util::Bytes call(MsgType type, util::Bytes body, CallOptions opts = {}) const;
+
+  [[nodiscard]] const vnet::Address& target() const { return to_; }
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  std::unique_ptr<vnet::Endpoint> open_endpoint() const;
+
+  vnet::Node* node_ = nullptr;
+  vnet::Process* proc_ = nullptr;
+  vnet::Address to_;
+  RetryPolicy policy_;
+  MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace dac::svc

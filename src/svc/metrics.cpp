@@ -1,0 +1,67 @@
+#include "svc/metrics.hpp"
+
+#include <cstdio>
+
+#include "svc/wire.hpp"
+
+namespace dac::svc {
+
+const RpcStats* MetricsSnapshot::find(std::uint32_t type) const {
+  for (const auto& r : rpcs) {
+    if (r.type == type) return &r;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::total_calls() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rpcs) n += r.calls;
+  return n;
+}
+
+void MetricsRegistry::record(std::uint32_t type, double latency_ms,
+                             bool error) {
+  std::lock_guard lock(mu_);
+  auto& s = series_[type];
+  s.latency_ms.add(latency_ms);
+  if (error) ++s.errors;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  MetricsSnapshot snap;
+  snap.rpcs.reserve(series_.size());
+  for (const auto& [type, s] : series_) {
+    RpcStats r;
+    r.type = type;
+    r.name = msg_type_name(type);
+    r.calls = s.latency_ms.count();
+    r.errors = s.errors;
+    r.mean_ms = s.latency_ms.mean();
+    r.p50_ms = s.latency_ms.percentile(50.0);
+    r.p99_ms = s.latency_ms.percentile(99.0);
+    r.max_ms = s.latency_ms.max();
+    snap.rpcs.push_back(std::move(r));
+  }
+  return snap;
+}
+
+std::string render_metrics(const MetricsSnapshot& snap) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-16s %8s %7s %10s %10s %10s %10s\n",
+                "rpc", "calls", "errors", "mean[ms]", "p50[ms]", "p99[ms]",
+                "max[ms]");
+  out += line;
+  for (const auto& r : snap.rpcs) {
+    std::snprintf(line, sizeof(line),
+                  "%-16s %8llu %7llu %10.3f %10.3f %10.3f %10.3f\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.calls),
+                  static_cast<unsigned long long>(r.errors), r.mean_ms,
+                  r.p50_ms, r.p99_ms, r.max_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dac::svc

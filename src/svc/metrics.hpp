@@ -1,0 +1,53 @@
+// Per-RPC metrics: every call type accumulates a call count, error count,
+// and latency samples. Daemons record handling latency through their
+// ServiceLoop; clients record round-trip latency through their Caller. The
+// snapshot is what DacCluster dumps and what the CLI renders.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace dac::svc {
+
+struct RpcStats {
+  std::uint32_t type = 0;
+  std::string name;  // msg_type_name(type)
+  std::uint64_t calls = 0;
+  std::uint64_t errors = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<RpcStats> rpcs;  // sorted by type code
+
+  [[nodiscard]] const RpcStats* find(std::uint32_t type) const;
+  [[nodiscard]] std::uint64_t total_calls() const;
+};
+
+class MetricsRegistry {
+ public:
+  void record(std::uint32_t type, double latency_ms, bool error = false);
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct Series {
+    util::Samples latency_ms;
+    std::uint64_t errors = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::uint32_t, Series> series_;
+};
+
+// Fixed-width table of a snapshot (one row per message type).
+std::string render_metrics(const MetricsSnapshot& snap);
+
+}  // namespace dac::svc

@@ -1,0 +1,250 @@
+#include "svc/service_loop.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace dac::svc {
+
+namespace {
+const util::Logger kLog("svc.loop");
+}  // namespace
+
+// ---- Responder ------------------------------------------------------------
+
+bool Responder::completed() const {
+  if (!st_) return true;
+  std::lock_guard lock(st_->mu);
+  return st_->done;
+}
+
+void Responder::ok(util::Bytes body) const {
+  if (!st_) return;
+  const auto payload = make_ok_reply(st_->id, body);
+  vnet::Address to;
+  {
+    std::lock_guard lock(st_->mu);
+    if (st_->done) return;
+    st_->done = true;
+    to = st_->to;
+  }
+  st_->loop->finish_reply(*st_, payload, to, /*error=*/false);
+}
+
+void Responder::error(ReplyCode code, const std::string& message) const {
+  if (!st_) return;
+  const auto payload = make_error_reply(st_->id, code, message);
+  vnet::Address to;
+  {
+    std::lock_guard lock(st_->mu);
+    if (st_->done) return;
+    st_->done = true;
+    to = st_->to;
+  }
+  st_->loop->finish_reply(*st_, payload, to, /*error=*/true);
+}
+
+// ---- ServiceLoop ----------------------------------------------------------
+
+ServiceLoop::ServiceLoop(vnet::Endpoint& ep, ServiceConfig config,
+                         MetricsRegistry* metrics)
+    : ep_(ep), cfg_(std::move(config)), metrics_(metrics) {}
+
+ServiceLoop::~ServiceLoop() = default;
+
+void ServiceLoop::on(MsgType type, ExecClass klass, Handler handler) {
+  handlers_[as_u32(type)] = Entry{klass, std::move(handler)};
+}
+
+void ServiceLoop::add_tick(std::chrono::milliseconds interval, TickFn fn) {
+  ticks_.push_back(Tick{interval, std::move(fn), {}});
+}
+
+void ServiceLoop::run() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& t : ticks_) t.last = now;
+
+  workers_.reserve(static_cast<std::size_t>(std::max(0, cfg_.read_workers)));
+  for (int i = 0; i < cfg_.read_workers; ++i) {
+    workers_.emplace_back([this] {
+      while (auto work = read_queue_.pop()) {
+        try {
+          execute(std::move(*work));
+        } catch (const util::StoppedError&) {
+          break;
+        }
+      }
+    });
+  }
+
+  const auto drain = [this] {
+    read_queue_.close();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+  };
+
+  try {
+    while (true) {
+      auto timeout = next_tick_timeout();
+      auto msg = timeout ? ep_.recv_for(*timeout) : ep_.recv();
+      if (msg) {
+        serve(std::move(*msg));
+      } else if (ep_.closed()) {
+        break;
+      }
+      fire_due_ticks();
+    }
+  } catch (...) {
+    drain();
+    throw;
+  }
+  drain();
+}
+
+void ServiceLoop::serve(vnet::Message msg) {
+  if (msg.type == as_u32(MsgType::kReply)) return;  // stray reply; drop
+  Request req;
+  try {
+    req = parse_request(msg);
+  } catch (const util::DecodeError& e) {
+    kLog.warn("{}: malformed request from {}: {}", cfg_.name, msg.from.str(),
+              e.what());
+    return;
+  }
+
+  {
+    std::lock_guard lock(dedup_mu_);
+    if (auto it = completed_.find(req.id); it != completed_.end()) {
+      // Retransmit of an answered request: resend the cached reply.
+      ep_.send(req.from, as_u32(MsgType::kReply), it->second);
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+      kLog.debug("{}: resent cached reply for req {}", cfg_.name, req.id);
+      return;
+    }
+    if (auto it = pending_.find(req.id); it != pending_.end()) {
+      if (auto st = it->second.lock()) {
+        // Retransmit of an in-flight request: just retarget the reply.
+        std::lock_guard slock(st->mu);
+        st->to = req.from;
+        deduped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      pending_.erase(it);
+    }
+  }
+
+  const auto it = handlers_.find(as_u32(req.type));
+  if (it == handlers_.end()) {
+    kLog.warn("{}: unknown request type {} from {}", cfg_.name,
+              msg_type_name(as_u32(req.type)), req.from.str());
+    reply_error_to(ep_, req.from, req.id, ReplyCode::kBadRequest,
+                   cfg_.name + ": unknown request type " +
+                       msg_type_name(as_u32(req.type)));
+    return;
+  }
+
+  Work work;
+  work.entry = &it->second;
+  work.st = std::make_shared<detail::ResponderState>();
+  work.st->loop = this;
+  work.st->id = req.id;
+  work.st->type = as_u32(req.type);
+  work.st->start = std::chrono::steady_clock::now();
+  work.st->to = req.from;
+  work.req = std::move(req);
+  {
+    // Registered before dispatch so a retransmit racing with a pooled
+    // execution is recognized as a duplicate.
+    std::lock_guard lock(dedup_mu_);
+    pending_[work.st->id] = work.st;
+  }
+
+  if (work.entry->klass == ExecClass::kReadOnly && !workers_.empty()) {
+    read_queue_.push(std::move(work));
+  } else {
+    execute(std::move(work));
+  }
+}
+
+void ServiceLoop::execute(Work work) {
+  if (cfg_.service_cost.count() > 0) {
+    std::this_thread::sleep_for(cfg_.service_cost);
+  }
+  Responder resp(work.st);
+  try {
+    work.entry->fn(work.req, resp);
+  } catch (const util::StoppedError&) {
+    throw;  // cooperative kill: unwind the loop / worker
+  } catch (const std::exception& e) {
+    kLog.warn("{}: handler for {} failed: {}", cfg_.name,
+              msg_type_name(work.st->type), e.what());
+    if (!resp.completed()) resp.error(ReplyCode::kError, e.what());
+  }
+  if (!resp.completed() && work.st.use_count() <= 2) {
+    // Handler returned without replying and without keeping the Responder:
+    // a notification-style request. Record it and drop the pending entry.
+    if (metrics_) {
+      metrics_->record(work.st->type,
+                       std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - work.st->start)
+                           .count(),
+                       false);
+    }
+    forget_pending(work.st->id);
+  }
+}
+
+void ServiceLoop::finish_reply(detail::ResponderState& st,
+                               const util::Bytes& payload,
+                               const vnet::Address& to, bool error) {
+  {
+    std::lock_guard lock(dedup_mu_);
+    if (cfg_.dedup_window > 0) {
+      completed_[st.id] = payload;
+      completed_order_.push_back(st.id);
+      while (completed_order_.size() > cfg_.dedup_window) {
+        completed_.erase(completed_order_.front());
+        completed_order_.pop_front();
+      }
+    }
+    pending_.erase(st.id);
+  }
+  ep_.send(to, as_u32(MsgType::kReply), payload);
+  if (metrics_) {
+    metrics_->record(st.type,
+                     std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - st.start)
+                         .count(),
+                     error);
+  }
+}
+
+void ServiceLoop::forget_pending(std::uint64_t id) {
+  std::lock_guard lock(dedup_mu_);
+  pending_.erase(id);
+}
+
+std::optional<std::chrono::milliseconds> ServiceLoop::next_tick_timeout() {
+  if (ticks_.empty()) return std::nullopt;
+  const auto now = std::chrono::steady_clock::now();
+  auto soonest = std::chrono::milliseconds::max();
+  for (const auto& t : ticks_) {
+    const auto due = t.last + t.interval;
+    const auto wait = std::chrono::ceil<std::chrono::milliseconds>(due - now);
+    soonest = std::min(soonest, wait);
+  }
+  return std::max(soonest, std::chrono::milliseconds(1));
+}
+
+void ServiceLoop::fire_due_ticks() {
+  if (ticks_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& t : ticks_) {
+    if (now - t.last >= t.interval) {
+      t.last = now;
+      t.fn();
+    }
+  }
+}
+
+}  // namespace dac::svc

@@ -1,0 +1,139 @@
+#include "svc/wire.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dac::svc {
+
+namespace {
+std::atomic<std::uint64_t> g_next_request_id{1};
+}  // namespace
+
+std::uint64_t next_request_id() {
+  return g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+util::Bytes envelope(std::uint64_t id, const util::Bytes& body) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put_raw(body.data(), body.size());
+  return std::move(w).take();
+}
+
+Request parse_request(const vnet::Message& msg) {
+  util::ByteReader r(msg.payload);
+  Request req;
+  req.id = r.get<std::uint64_t>();
+  req.from = msg.from;
+  req.type = static_cast<MsgType>(msg.type);
+  req.body.assign(msg.payload.begin() + static_cast<std::ptrdiff_t>(
+                                            msg.payload.size() - r.remaining()),
+                  msg.payload.end());
+  return req;
+}
+
+util::Bytes make_ok_reply(std::uint64_t id, const util::Bytes& body) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put_enum(ReplyCode::kOk);
+  w.put_raw(body.data(), body.size());
+  return std::move(w).take();
+}
+
+util::Bytes make_error_reply(std::uint64_t id, ReplyCode code,
+                             const std::string& message) {
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  w.put_enum(code);
+  w.put_string(message);
+  return std::move(w).take();
+}
+
+void reply_ok_to(vnet::Endpoint& ep, const vnet::Address& to,
+                 std::uint64_t request_id, util::Bytes body) {
+  ep.send(to, as_u32(MsgType::kReply), make_ok_reply(request_id, body));
+}
+
+void reply_ok(vnet::Endpoint& ep, const Request& req, util::Bytes body) {
+  reply_ok_to(ep, req.from, req.id, std::move(body));
+}
+
+void reply_error_to(vnet::Endpoint& ep, const vnet::Address& to,
+                    std::uint64_t request_id, ReplyCode code,
+                    const std::string& message) {
+  ep.send(to, as_u32(MsgType::kReply),
+          make_error_reply(request_id, code, message));
+}
+
+void reply_error(vnet::Endpoint& ep, const Request& req, ReplyCode code,
+                 const std::string& message) {
+  reply_error_to(ep, req.from, req.id, code, message);
+}
+
+void notify(vnet::Endpoint& ep, const vnet::Address& to, MsgType type,
+            util::Bytes body) {
+  ep.send(to, as_u32(type), envelope(next_request_id(), body));
+}
+
+std::optional<util::Bytes> parse_reply(const vnet::Message& msg,
+                                       std::uint64_t id) {
+  if (msg.type != as_u32(MsgType::kReply)) return std::nullopt;
+  util::ByteReader r(msg.payload);
+  if (r.get<std::uint64_t>() != id) return std::nullopt;  // stale reply
+  const auto code = r.get_enum<ReplyCode>();
+  if (code == ReplyCode::kOk) {
+    return util::Bytes(msg.payload.begin() +
+                           static_cast<std::ptrdiff_t>(msg.payload.size() -
+                                                       r.remaining()),
+                       msg.payload.end());
+  }
+  throw CallError(code, r.get_string());
+}
+
+std::string msg_type_name(std::uint32_t type) {
+  switch (type) {
+    case as_u32(MsgType::kSubmit): return "SUBMIT";
+    case as_u32(MsgType::kStatJobs): return "STAT_JOBS";
+    case as_u32(MsgType::kStatNodes): return "STAT_NODES";
+    case as_u32(MsgType::kDeleteJob): return "DELETE_JOB";
+    case as_u32(MsgType::kAlterJob): return "ALTER_JOB";
+    case as_u32(MsgType::kDynGet): return "DYN_GET";
+    case as_u32(MsgType::kDynFree): return "DYN_FREE";
+    case as_u32(MsgType::kRegisterNode): return "REGISTER_NODE";
+    case as_u32(MsgType::kRegisterScheduler): return "REGISTER_SCHED";
+    case as_u32(MsgType::kJobStarted): return "JOB_STARTED";
+    case as_u32(MsgType::kJobComplete): return "JOB_COMPLETE";
+    case as_u32(MsgType::kMsDynReady): return "MS_DYN_READY";
+    case as_u32(MsgType::kMsReleaseDone): return "MS_RELEASE_DONE";
+    case as_u32(MsgType::kSchedWake): return "SCHED_WAKE";
+    case as_u32(MsgType::kGetQueue): return "GET_QUEUE";
+    case as_u32(MsgType::kGetNodes): return "GET_NODES";
+    case as_u32(MsgType::kRunJob): return "RUN_JOB";
+    case as_u32(MsgType::kRunDyn): return "RUN_DYN";
+    case as_u32(MsgType::kRejectDyn): return "REJECT_DYN";
+    case as_u32(MsgType::kMomRunJob): return "MOM_RUN_JOB";
+    case as_u32(MsgType::kMomDynAdd): return "MOM_DYN_ADD";
+    case as_u32(MsgType::kMomRelease): return "MOM_RELEASE";
+    case as_u32(MsgType::kMomKillJob): return "MOM_KILL_JOB";
+    case as_u32(MsgType::kJoinJob): return "JOIN_JOB";
+    case as_u32(MsgType::kJoinAck): return "JOIN_ACK";
+    case as_u32(MsgType::kDynJoinJob): return "DYNJOIN_JOB";
+    case as_u32(MsgType::kDynJoinAck): return "DYNJOIN_ACK";
+    case as_u32(MsgType::kDisjoinJob): return "DISJOIN_JOB";
+    case as_u32(MsgType::kDisjoinAck): return "DISJOIN_ACK";
+    case as_u32(MsgType::kJobUpdate): return "JOB_UPDATE";
+    case as_u32(MsgType::kTaskDone): return "TASK_DONE";
+    case as_u32(MsgType::kMomHeartbeat): return "MOM_HEARTBEAT";
+    case as_u32(MsgType::kReply): return "REPLY";
+    case 0x41524D01: return "ARM_ALLOC";
+    case 0x41524D02: return "ARM_FREE";
+    case 0x41524D03: return "ARM_STATUS";
+    case 0x41524D10: return "ARM_REPLY";
+    default: break;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08X", type);
+  return buf;
+}
+
+}  // namespace dac::svc

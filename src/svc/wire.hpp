@@ -1,0 +1,97 @@
+// Wire envelope shared by every daemon conversation in the cluster —
+// batch-system RPCs, scheduler queries, and the standalone ARM all speak it.
+//
+// Request payload:  [u64 request-id][body...]        Message.type = MsgType
+// Reply payload:    [u64 request-id][u8 code][body]  Message.type = kReply
+//
+// Request-ids come from one process-wide counter, so an id uniquely names a
+// logical request across the whole virtual cluster. Retransmissions reuse the
+// id, which is what makes server-side duplicate suppression possible.
+//
+// This header reuses torque's MsgType/ReplyCode enums (header-only; svc does
+// not link against the torque library) so the svc layer and the legacy
+// torque::rpc shims agree byte-for-byte on the wire format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "torque/protocol.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "vnet/node.hpp"
+
+namespace dac::svc {
+
+using torque::as_u32;
+using torque::MsgType;
+using torque::ReplyCode;
+
+// Thrown when the callee replied with a non-ok code.
+class CallError : public util::ProtocolError {
+ public:
+  CallError(ReplyCode code, const std::string& what)
+      : util::ProtocolError(what), code_(code) {}
+  [[nodiscard]] ReplyCode code() const { return code_; }
+
+ private:
+  ReplyCode code_;
+};
+
+// Thrown when a call exhausted its deadline (including all retries) without
+// any reply. Deliberately NOT a CallError: a deadline means the callee never
+// answered, while CallError means it answered with a failure.
+class DeadlineError : public util::ProtocolError {
+ public:
+  explicit DeadlineError(const std::string& what) : util::ProtocolError(what) {}
+};
+
+// Allocates a globally unique request id.
+std::uint64_t next_request_id();
+
+// [u64 id][body] request framing.
+util::Bytes envelope(std::uint64_t id, const util::Bytes& body);
+
+// ---- callee side ----------------------------------------------------------
+
+struct Request {
+  std::uint64_t id = 0;
+  vnet::Address from;
+  MsgType type{};
+  util::Bytes body;
+};
+
+Request parse_request(const vnet::Message& msg);
+
+// Builds reply payloads without sending them (used by the dedup cache).
+util::Bytes make_ok_reply(std::uint64_t id, const util::Bytes& body);
+util::Bytes make_error_reply(std::uint64_t id, ReplyCode code,
+                             const std::string& message);
+
+void reply_ok(vnet::Endpoint& ep, const Request& req, util::Bytes body = {});
+void reply_ok_to(vnet::Endpoint& ep, const vnet::Address& to,
+                 std::uint64_t request_id, util::Bytes body = {});
+void reply_error(vnet::Endpoint& ep, const Request& req, ReplyCode code,
+                 const std::string& message);
+void reply_error_to(vnet::Endpoint& ep, const vnet::Address& to,
+                    std::uint64_t request_id, ReplyCode code,
+                    const std::string& message);
+
+// Fire-and-forget request (no reply expected), from any endpoint.
+void notify(vnet::Endpoint& ep, const vnet::Address& to, MsgType type,
+            util::Bytes body);
+
+// ---- caller side ----------------------------------------------------------
+
+// Matches a kReply message against the outstanding request `id`. Returns the
+// reply body on ok, nullopt when the message is a stray/stale reply, and
+// throws CallError when the callee answered with a failure code.
+std::optional<util::Bytes> parse_reply(const vnet::Message& msg,
+                                       std::uint64_t id);
+
+// Human-readable name for a message type (metrics, logs). Unknown types are
+// rendered as hex.
+std::string msg_type_name(std::uint32_t type);
+
+}  // namespace dac::svc

@@ -48,7 +48,11 @@ struct BatchTiming {
   // mother superior busy setting a job up heartbeats only between
   // messages — declaring a busy node dead would kill its jobs.
   msec mom_heartbeat_interval{25};
-  int heartbeat_stale_factor = 12;
+  int heartbeat_stale_factor = 40;
+  // How often a mother superior checks its jobs against their walltime.
+  // Zero means "every heartbeat interval". Kept separate so tests can speed
+  // up enforcement without also shrinking the liveness window.
+  msec mom_walltime_check_interval{0};
 
   // Test profile: everything fast, shapes preserved.
   static BatchTiming fast() { return BatchTiming{}; }

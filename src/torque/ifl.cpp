@@ -6,18 +6,17 @@
 
 namespace dac::torque {
 
-Ifl::Ifl(vnet::Node& node, vnet::Address server)
-    : node_(node), server_(server) {}
+Ifl::Ifl(vnet::Node& node, vnet::Address server, svc::RetryPolicy retry)
+    : caller_(node, server, retry), server_(server) {}
 
-Ifl::Ifl(vnet::Process& proc, vnet::Address server)
-    : node_(proc.node()), proc_(&proc), server_(server) {}
+Ifl::Ifl(vnet::Process& proc, vnet::Address server, svc::RetryPolicy retry)
+    : caller_(proc, server, retry), server_(server) {}
 
 util::Bytes Ifl::call(MsgType type, util::Bytes body,
                       std::chrono::milliseconds timeout) {
-  if (proc_ != nullptr) {
-    return rpc::call(*proc_, server_, type, std::move(body), timeout);
-  }
-  return rpc::call(node_, server_, type, std::move(body), timeout);
+  // The server's ServiceLoop deduplicates retransmitted request-ids, so every
+  // IFL operation (including submit and dynget) is safe to retry.
+  return caller_.call(type, std::move(body), {.deadline = timeout});
 }
 
 JobId Ifl::submit(const JobSpec& spec) {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "svc/caller.hpp"
 #include "torque/job.hpp"
 #include "torque/node_db.hpp"
 #include "torque/protocol.hpp"
@@ -18,9 +19,9 @@ namespace dac::torque {
 class Ifl {
  public:
   // Client bound to a node (command-line tools, tests).
-  Ifl(vnet::Node& node, vnet::Address server);
+  Ifl(vnet::Node& node, vnet::Address server, svc::RetryPolicy retry = {});
   // Client bound to a process (job scripts; calls are then killable).
-  Ifl(vnet::Process& proc, vnet::Address server);
+  Ifl(vnet::Process& proc, vnet::Address server, svc::RetryPolicy retry = {});
 
   [[nodiscard]] const vnet::Address& server() const { return server_; }
 
@@ -79,8 +80,7 @@ class Ifl {
   util::Bytes call(MsgType type, util::Bytes body,
                    std::chrono::milliseconds timeout);
 
-  vnet::Node& node_;
-  vnet::Process* proc_ = nullptr;
+  svc::Caller caller_;
   vnet::Address server_;
 };
 

@@ -44,8 +44,8 @@ void PbsMom::run(vnet::Process& proc) {
   util::ByteWriter w;
   put_node_status(w, status);
   try {
-    (void)rpc::call(proc, config_.server, MsgType::kRegisterNode,
-                    std::move(w).take());
+    svc::Caller registrar(proc, config_.server, config_.retry);
+    (void)registrar.call(MsgType::kRegisterNode, std::move(w).take());
   } catch (const util::StoppedError&) {
     return;
   }
@@ -54,54 +54,64 @@ void PbsMom::run(vnet::Process& proc) {
   util::ByteWriter hb;
   hb.put_string(node_.hostname());
   const auto heartbeat_body = hb.bytes();
-  auto last_heartbeat = std::chrono::steady_clock::now();
-  const auto heartbeat_due = [&] {
-    return std::chrono::steady_clock::now() - last_heartbeat >=
-           config_.timing.mom_heartbeat_interval;
-  };
-  const auto send_heartbeat = [&] {
+
+  svc::ServiceConfig cfg;
+  cfg.name = "pbs_mom." + node_.hostname();
+  cfg.dedup_window = config_.dedup_window;
+  svc::ServiceLoop loop(*endpoint_, cfg);
+  register_handlers(loop, proc);
+  // Liveness: report to the server even while busy (fault-tolerance
+  // extension). Walltime enforcement runs on its own cadence so tests can
+  // tighten it without shrinking the liveness window.
+  loop.add_tick(config_.timing.mom_heartbeat_interval, [this, heartbeat_body] {
     rpc::notify(*endpoint_, config_.server, MsgType::kMomHeartbeat,
                 heartbeat_body);
-    last_heartbeat = std::chrono::steady_clock::now();
-  };
-
-  while (true) {
-    auto msg = endpoint_->recv_for(config_.timing.mom_heartbeat_interval);
-    if (!msg) {
-      if (endpoint_->closed()) break;
-      // Idle: report liveness to the server (fault-tolerance extension)
-      // and enforce walltime limits on jobs we mother-superior.
-      send_heartbeat();
-      enforce_walltime(proc);
-      continue;
-    }
-    try {
-      dispatch(proc, rpc::parse_request(*msg));
-    } catch (const util::StoppedError&) {
-      break;
-    } catch (const std::exception& e) {
-      kLog.error("mom '{}': dispatch failed: {}", node_.hostname(), e.what());
-    }
-    // A busy mom must not look dead: keep heartbeating between messages.
-    if (heartbeat_due()) send_heartbeat();
+  });
+  const auto walltime_tick =
+      config_.timing.mom_walltime_check_interval.count() > 0
+          ? config_.timing.mom_walltime_check_interval
+          : config_.timing.mom_heartbeat_interval;
+  loop.add_tick(walltime_tick, [this, &proc] { enforce_walltime(proc); });
+  try {
+    loop.run();
+  } catch (const util::StoppedError&) {
+    // Cooperative kill while a handler was mid-call; normal shutdown.
   }
 }
 
-void PbsMom::dispatch(vnet::Process& proc, const rpc::Request& req) {
-  switch (req.type) {
-    case MsgType::kMomRunJob: return on_run_job(proc, req);
-    case MsgType::kMomDynAdd: return on_dyn_add(proc, req);
-    case MsgType::kMomRelease: return on_release(proc, req);
-    case MsgType::kMomKillJob: return on_kill_job(proc, req);
-    case MsgType::kTaskDone: return on_task_done(proc, req);
-    case MsgType::kJoinJob: return on_join(req);
-    case MsgType::kDynJoinJob: return on_dynjoin(req);
-    case MsgType::kDisjoinJob: return on_disjoin(req);
-    case MsgType::kJobUpdate: return on_job_update(req);
-    default:
-      rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
-                       "mom: unknown request type");
-  }
+void PbsMom::register_handlers(svc::ServiceLoop& loop, vnet::Process& proc) {
+  using svc::ExecClass;
+  using svc::Request;
+  using svc::Responder;
+
+  // Everything a mom does mutates its job table or talks to sister moms, so
+  // every handler stays on the serialized lane.
+  const auto ms = [&](MsgType type, void (PbsMom::*fn)(vnet::Process&,
+                                                       const rpc::Request&)) {
+    loop.on(type, ExecClass::kMutating,
+            [this, &proc, fn](const Request& req, Responder&) {
+              (this->*fn)(proc, req);
+            });
+  };
+  ms(MsgType::kMomRunJob, &PbsMom::on_run_job);
+  ms(MsgType::kMomDynAdd, &PbsMom::on_dyn_add);
+  ms(MsgType::kMomRelease, &PbsMom::on_release);
+  ms(MsgType::kMomKillJob, &PbsMom::on_kill_job);
+  ms(MsgType::kTaskDone, &PbsMom::on_task_done);
+
+  const auto sister = [&](MsgType type,
+                          void (PbsMom::*fn)(const rpc::Request&,
+                                             Responder&)) {
+    loop.on(type, ExecClass::kMutating,
+            [this, fn](const Request& req, Responder& resp) {
+              (this->*fn)(req, resp);
+            });
+  };
+  sister(MsgType::kJoinJob, &PbsMom::on_join);
+  sister(MsgType::kDynJoinJob, &PbsMom::on_dynjoin);
+  sister(MsgType::kDisjoinJob, &PbsMom::on_disjoin);
+  loop.on(MsgType::kJobUpdate, ExecClass::kMutating,
+          [this](const Request& req, Responder&) { on_job_update(req); });
 }
 
 // --------------------------------------------------------- mother superior
@@ -355,7 +365,7 @@ void PbsMom::teardown_job(vnet::Process& proc, MomJob& job, bool kill_tasks) {
 
 // ------------------------------------------------------------------ sister
 
-void PbsMom::on_join(const rpc::Request& req) {
+void PbsMom::on_join(const rpc::Request& req, svc::Responder& resp) {
   apply_join_cost();
   util::ByteReader r(req.body);
   MomJob job;
@@ -364,10 +374,10 @@ void PbsMom::on_join(const rpc::Request& req) {
   job.is_ms = false;
   kLog.debug("mom '{}': joined job {}", node_.hostname(), job.info.id);
   jobs_[job.info.id] = std::move(job);
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
 }
 
-void PbsMom::on_dynjoin(const rpc::Request& req) {
+void PbsMom::on_dynjoin(const rpc::Request& req, svc::Responder& resp) {
   apply_join_cost();
   util::ByteReader r(req.body);
   const auto job_id = r.get<std::uint64_t>();
@@ -378,10 +388,10 @@ void PbsMom::on_dynjoin(const rpc::Request& req) {
   job.dyn_sets[client_id] = hosts;
   kLog.debug("mom '{}': DYNJOIN job {} set {}", node_.hostname(), job_id,
              client_id);
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
 }
 
-void PbsMom::on_disjoin(const rpc::Request& req) {
+void PbsMom::on_disjoin(const rpc::Request& req, svc::Responder& resp) {
   apply_join_cost();
   util::ByteReader r(req.body);
   const auto job_id = r.get<std::uint64_t>();
@@ -400,7 +410,7 @@ void PbsMom::on_disjoin(const rpc::Request& req) {
   }
   kLog.debug("mom '{}': DISJOIN job {} (set {})", node_.hostname(), job_id,
              client_id);
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
 }
 
 void PbsMom::on_job_update(const rpc::Request& req) {

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "minimpi/runtime.hpp"
+#include "svc/caller.hpp"
+#include "svc/service_loop.hpp"
 #include "torque/batch_config.hpp"
 #include "torque/launch_info.hpp"
 #include "torque/node_db.hpp"
@@ -29,6 +31,10 @@ struct MomConfig {
   BatchTiming timing;
   // The mother superior kills jobs exceeding their requested walltime.
   bool enforce_walltime = true;
+  // Retry policy for the mom's own calls to the server (registration).
+  svc::RetryPolicy retry;
+  // Completed request-ids remembered for duplicate suppression.
+  std::size_t dedup_window = 256;
   // Executable names (registered with the MPI runtime by higher layers).
   std::string ac_daemon_exe = "dac.acdaemon";
   std::string job_wrapper_exe = "dac.jobwrapper";
@@ -56,7 +62,7 @@ class PbsMom {
     std::chrono::steady_clock::time_point started;
   };
 
-  void dispatch(vnet::Process& proc, const rpc::Request& req);
+  void register_handlers(svc::ServiceLoop& loop, vnet::Process& proc);
 
   // Mother-superior duties.
   void on_run_job(vnet::Process& proc, const rpc::Request& req);
@@ -67,15 +73,15 @@ class PbsMom {
   void teardown_job(vnet::Process& proc, MomJob& job, bool kill_tasks);
 
   // Sister duties.
-  void on_join(const rpc::Request& req);
-  void on_dynjoin(const rpc::Request& req);
-  void on_disjoin(const rpc::Request& req);
+  void on_join(const rpc::Request& req, svc::Responder& resp);
+  void on_dynjoin(const rpc::Request& req, svc::Responder& resp);
+  void on_disjoin(const rpc::Request& req, svc::Responder& resp);
   void on_job_update(const rpc::Request& req);
 
   void apply_join_cost() const;
   void notify_server(MsgType type, util::Bytes body);
-  // Kills jobs that exceeded their requested walltime (MS duty); runs on
-  // the idle heartbeat tick.
+  // Kills jobs that exceeded their requested walltime (MS duty); runs on a
+  // periodic service-loop tick.
   void enforce_walltime(vnet::Process& proc);
 
   vnet::Node& node_;

@@ -1,113 +1,19 @@
 #include "torque/rpc.hpp"
 
-#include <atomic>
+#include "svc/caller.hpp"
 
 namespace dac::torque::rpc {
 
-namespace {
-
-std::atomic<std::uint64_t> g_next_request_id{1};
-
-util::Bytes envelope(std::uint64_t id, const util::Bytes& body) {
-  util::ByteWriter w;
-  w.put<std::uint64_t>(id);
-  w.put_raw(body.data(), body.size());
-  return std::move(w).take();
-}
-
-util::Bytes do_call(vnet::Endpoint& ep, const vnet::Address& to, MsgType type,
-                    const util::Bytes& body,
-                    std::chrono::milliseconds timeout) {
-  const auto id = g_next_request_id.fetch_add(1, std::memory_order_relaxed);
-  ep.send(to, as_u32(type), envelope(id, body));
-
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (true) {
-    const auto now = std::chrono::steady_clock::now();
-    if (now >= deadline) {
-      throw util::ProtocolError("rpc: timeout waiting for reply to type " +
-                                std::to_string(as_u32(type)));
-    }
-    auto remaining =
-        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-    auto msg = ep.recv_for(std::max(remaining, std::chrono::milliseconds(1)));
-    if (!msg) {
-      if (ep.closed()) throw util::StoppedError();
-      continue;
-    }
-    if (msg->type != as_u32(MsgType::kReply)) continue;  // stray; drop
-    util::ByteReader r(msg->payload);
-    if (r.get<std::uint64_t>() != id) continue;  // stale reply; drop
-    const auto code = r.get_enum<ReplyCode>();
-    if (code == ReplyCode::kOk) {
-      util::Bytes rest(msg->payload.begin() +
-                           static_cast<std::ptrdiff_t>(msg->payload.size() -
-                                                       r.remaining()),
-                       msg->payload.end());
-      return rest;
-    }
-    throw CallError(code, r.get_string());
-  }
-}
-
-}  // namespace
-
 util::Bytes call(vnet::Process& proc, const vnet::Address& to, MsgType type,
                  util::Bytes body, std::chrono::milliseconds timeout) {
-  auto ep = proc.open_endpoint();
-  return do_call(*ep, to, type, body, timeout);
+  return svc::Caller(proc, to, svc::RetryPolicy::none())
+      .call(type, std::move(body), {.deadline = timeout});
 }
 
 util::Bytes call(vnet::Node& node, const vnet::Address& to, MsgType type,
                  util::Bytes body, std::chrono::milliseconds timeout) {
-  auto ep = node.open_endpoint();
-  return do_call(*ep, to, type, body, timeout);
-}
-
-void notify(vnet::Endpoint& ep, const vnet::Address& to, MsgType type,
-            util::Bytes body) {
-  const auto id = g_next_request_id.fetch_add(1, std::memory_order_relaxed);
-  ep.send(to, as_u32(type), envelope(id, body));
-}
-
-Request parse_request(const vnet::Message& msg) {
-  util::ByteReader r(msg.payload);
-  Request req;
-  req.id = r.get<std::uint64_t>();
-  req.from = msg.from;
-  req.type = static_cast<MsgType>(msg.type);
-  req.body.assign(msg.payload.begin() + static_cast<std::ptrdiff_t>(
-                                            msg.payload.size() - r.remaining()),
-                  msg.payload.end());
-  return req;
-}
-
-void reply_ok_to(vnet::Endpoint& ep, const vnet::Address& to,
-                 std::uint64_t request_id, util::Bytes body) {
-  util::ByteWriter w;
-  w.put<std::uint64_t>(request_id);
-  w.put_enum(ReplyCode::kOk);
-  w.put_raw(body.data(), body.size());
-  ep.send(to, as_u32(MsgType::kReply), std::move(w).take());
-}
-
-void reply_ok(vnet::Endpoint& ep, const Request& req, util::Bytes body) {
-  reply_ok_to(ep, req.from, req.id, std::move(body));
-}
-
-void reply_error_to(vnet::Endpoint& ep, const vnet::Address& to,
-                    std::uint64_t request_id, ReplyCode code,
-                    const std::string& message) {
-  util::ByteWriter w;
-  w.put<std::uint64_t>(request_id);
-  w.put_enum(code);
-  w.put_string(message);
-  ep.send(to, as_u32(MsgType::kReply), std::move(w).take());
-}
-
-void reply_error(vnet::Endpoint& ep, const Request& req, ReplyCode code,
-                 const std::string& message) {
-  reply_error_to(ep, req.from, req.id, code, message);
+  return svc::Caller(node, to, svc::RetryPolicy::none())
+      .call(type, std::move(body), {.deadline = timeout});
 }
 
 }  // namespace dac::torque::rpc

@@ -1,18 +1,19 @@
-// Request/reply envelope used by all batch-system conversations.
+// Legacy request/reply helpers, now thin shims over the svc service runtime
+// (src/svc/). The wire format is unchanged:
 //
 // Request payload:  [u64 request-id][body...]        Message.type = MsgType
 // Reply payload:    [u64 request-id][u8 code][body]  Message.type = kReply
 //
-// Callers open a fresh ephemeral endpoint per call (like a TCP connection to
-// the server), so a daemon's main endpoint never sees stray replies.
-// Daemon-side helpers parse requests and send replies on the daemon's own
-// endpoint.
+// New code should use svc::Caller (retry/deadline/metrics) and
+// svc::ServiceLoop (typed dispatch, execution classes, dedup) directly; these
+// wrappers remain for single-shot daemon-to-daemon calls and tests.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <string>
 
+#include "svc/wire.hpp"
 #include "torque/protocol.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -23,50 +24,37 @@ namespace dac::torque::rpc {
 inline constexpr auto kDefaultTimeout = std::chrono::milliseconds(30'000);
 
 // Thrown when the callee replied with a non-ok code.
-class CallError : public util::ProtocolError {
- public:
-  CallError(ReplyCode code, const std::string& what)
-      : util::ProtocolError(what), code_(code) {}
-  [[nodiscard]] ReplyCode code() const { return code_; }
+using CallError = svc::CallError;
 
- private:
-  ReplyCode code_;
-};
-
-// Blocking call from a process context (killable: the ephemeral endpoint is
-// adopted by the process, so request_stop unblocks it).
+// Blocking single-attempt call from a process context (killable: the
+// ephemeral endpoint is adopted by the process, so request_stop unblocks it).
+// Times out with svc::DeadlineError.
 util::Bytes call(vnet::Process& proc, const vnet::Address& to, MsgType type,
                  util::Bytes body,
                  std::chrono::milliseconds timeout = kDefaultTimeout);
 
-// Blocking call from a non-process context (client commands, tests).
+// Blocking single-attempt call from a non-process context (client commands,
+// tests).
 util::Bytes call(vnet::Node& node, const vnet::Address& to, MsgType type,
                  util::Bytes body,
                  std::chrono::milliseconds timeout = kDefaultTimeout);
 
 // Fire-and-forget request (no reply expected), from any endpoint.
-void notify(vnet::Endpoint& ep, const vnet::Address& to, MsgType type,
-            util::Bytes body);
+inline void notify(vnet::Endpoint& ep, const vnet::Address& to, MsgType type,
+                   util::Bytes body) {
+  svc::notify(ep, to, type, std::move(body));
+}
 
 // ---- callee side ----------------------------------------------------------
+// Using-declarations (not wrappers) so that unqualified calls on a
+// svc::Request don't become ambiguous through ADL.
 
-struct Request {
-  std::uint64_t id = 0;
-  vnet::Address from;
-  MsgType type{};
-  util::Bytes body;
-};
+using Request = svc::Request;
 
-// Parses an incoming request message.
-Request parse_request(const vnet::Message& msg);
-
-void reply_ok(vnet::Endpoint& ep, const Request& req, util::Bytes body = {});
-void reply_ok_to(vnet::Endpoint& ep, const vnet::Address& to,
-                 std::uint64_t request_id, util::Bytes body = {});
-void reply_error(vnet::Endpoint& ep, const Request& req, ReplyCode code,
-                 const std::string& message);
-void reply_error_to(vnet::Endpoint& ep, const vnet::Address& to,
-                    std::uint64_t request_id, ReplyCode code,
-                    const std::string& message);
+using svc::parse_request;
+using svc::reply_error;
+using svc::reply_error_to;
+using svc::reply_ok;
+using svc::reply_ok_to;
 
 }  // namespace dac::torque::rpc

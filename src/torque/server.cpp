@@ -1,7 +1,7 @@
 #include "torque/server.hpp"
 
 #include <algorithm>
-#include <thread>
+#include <mutex>
 
 #include "util/logging.hpp"
 
@@ -79,9 +79,11 @@ QueueSnapshot get_queue_snapshot(util::ByteReader& r) {
   return s;
 }
 
-PbsServer::PbsServer(vnet::Node& node, BatchTiming timing)
+PbsServer::PbsServer(vnet::Node& node, BatchTiming timing,
+                     svc::ServiceTuning tuning)
     : node_(node),
       timing_(timing),
+      tuning_(tuning),
       endpoint_(node.open_endpoint()),
       start_(std::chrono::steady_clock::now()) {}
 
@@ -93,49 +95,95 @@ double PbsServer::now_s() const {
 
 void PbsServer::run(vnet::Process& proc) {
   proc.adopt_mailbox(endpoint_->mailbox_weak());
-  kLog.info("pbs_server up at {}", endpoint_->address().str());
-  while (auto msg = endpoint_->recv()) {
-    if (timing_.server_service_cost.count() > 0) {
-      std::this_thread::sleep_for(timing_.server_service_cost);
-    }
-    try {
-      dispatch(rpc::parse_request(*msg));
-    } catch (const std::exception& e) {
-      kLog.error("request dispatch failed: {}", e.what());
-    }
-  }
+  kLog.info("pbs_server up at {} ({} read worker(s))",
+            endpoint_->address().str(), tuning_.server_read_workers);
+  svc::ServiceConfig cfg;
+  cfg.name = "pbs_server";
+  cfg.service_cost = timing_.server_service_cost;
+  cfg.read_workers = tuning_.server_read_workers;
+  cfg.dedup_window = tuning_.dedup_window;
+  svc::ServiceLoop loop(*endpoint_, cfg, &metrics_);
+  register_handlers(loop);
+  loop.run();
   kLog.info("pbs_server shutting down");
 }
 
-void PbsServer::dispatch(const rpc::Request& req) {
-  switch (req.type) {
-    case MsgType::kSubmit: return on_submit(req);
-    case MsgType::kStatJobs: return on_stat_jobs(req);
-    case MsgType::kStatNodes: return on_stat_nodes(req);
-    case MsgType::kDeleteJob: return on_delete_job(req);
-    case MsgType::kAlterJob: return on_alter_job(req);
-    case MsgType::kDynGet: return on_dynget(req);
-    case MsgType::kDynFree: return on_dynfree(req);
-    case MsgType::kRegisterNode: return on_register_node(req);
-    case MsgType::kMomHeartbeat: {
-      util::ByteReader r(req.body);
-      nodes_.heartbeat(r.get_string(), now_s());
-      return;
-    }
-    case MsgType::kRegisterScheduler: return on_register_scheduler(req);
-    case MsgType::kJobStarted: return on_job_started(req);
-    case MsgType::kJobComplete: return on_job_complete(req);
-    case MsgType::kMsDynReady: return;  // informational
-    case MsgType::kMsReleaseDone: return on_ms_release_done(req);
-    case MsgType::kGetQueue: return on_get_queue(req);
-    case MsgType::kGetNodes: return on_get_nodes(req);
-    case MsgType::kRunJob: return on_run_job(req);
-    case MsgType::kRunDyn: return on_run_dyn(req);
-    case MsgType::kRejectDyn: return on_reject_dyn(req);
-    default:
-      rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
-                       "unknown request type");
-  }
+void PbsServer::register_handlers(svc::ServiceLoop& loop) {
+  using svc::ExecClass;
+  using svc::Request;
+  using svc::Responder;
+
+  // Mutating handlers: serialized lane, exclusive state lock.
+  const auto mut = [&](MsgType type,
+                       void (PbsServer::*fn)(const rpc::Request&, Responder&)) {
+    loop.on(type, ExecClass::kMutating,
+            [this, fn](const Request& req, Responder& resp) {
+              std::unique_lock lock(state_mu_);
+              (this->*fn)(req, resp);
+            });
+  };
+  // Mutating notifications (no reply expected).
+  const auto note = [&](MsgType type,
+                        void (PbsServer::*fn)(const rpc::Request&)) {
+    loop.on(type, ExecClass::kMutating,
+            [this, fn](const Request& req, Responder&) {
+              std::unique_lock lock(state_mu_);
+              (this->*fn)(req);
+            });
+  };
+  // Pure reads: may run on the read pool under a shared lock.
+  const auto read = [&](MsgType type,
+                        void (PbsServer::*fn)(const rpc::Request&,
+                                              Responder&)) {
+    loop.on(type, ExecClass::kReadOnly,
+            [this, fn](const Request& req, Responder& resp) {
+              std::shared_lock lock(state_mu_);
+              (this->*fn)(req, resp);
+            });
+  };
+  // Pool-eligible requests that still write (liveness bookkeeping): run off
+  // the mutating lane but take the state lock exclusively.
+  const auto read_excl = [&](MsgType type,
+                             void (PbsServer::*fn)(const rpc::Request&,
+                                                   Responder&)) {
+    loop.on(type, ExecClass::kReadOnly,
+            [this, fn](const Request& req, Responder& resp) {
+              std::unique_lock lock(state_mu_);
+              (this->*fn)(req, resp);
+            });
+  };
+
+  mut(MsgType::kSubmit, &PbsServer::on_submit);
+  mut(MsgType::kDeleteJob, &PbsServer::on_delete_job);
+  mut(MsgType::kAlterJob, &PbsServer::on_alter_job);
+  mut(MsgType::kDynGet, &PbsServer::on_dynget);
+  mut(MsgType::kDynFree, &PbsServer::on_dynfree);
+  mut(MsgType::kRegisterNode, &PbsServer::on_register_node);
+  mut(MsgType::kRegisterScheduler, &PbsServer::on_register_scheduler);
+  mut(MsgType::kRunJob, &PbsServer::on_run_job);
+  mut(MsgType::kRunDyn, &PbsServer::on_run_dyn);
+  mut(MsgType::kRejectDyn, &PbsServer::on_reject_dyn);
+
+  note(MsgType::kJobStarted, &PbsServer::on_job_started);
+  note(MsgType::kJobComplete, &PbsServer::on_job_complete);
+  note(MsgType::kMsReleaseDone, &PbsServer::on_ms_release_done);
+  loop.on(MsgType::kMsDynReady, ExecClass::kMutating,
+          [](const Request&, Responder&) {});  // informational
+
+  read(MsgType::kStatJobs, &PbsServer::on_stat_jobs);
+  read(MsgType::kGetQueue, &PbsServer::on_get_queue);
+  read_excl(MsgType::kStatNodes, &PbsServer::on_stat_nodes);
+  read_excl(MsgType::kGetNodes, &PbsServer::on_get_nodes);
+  loop.on(MsgType::kMomHeartbeat, ExecClass::kReadOnly,
+          [this](const Request& req, Responder&) {
+            std::unique_lock lock(state_mu_);
+            on_heartbeat(req);
+          });
+}
+
+void PbsServer::on_heartbeat(const rpc::Request& req) {
+  util::ByteReader r(req.body);
+  nodes_.heartbeat(r.get_string(), now_s());
 }
 
 void PbsServer::wake_scheduler() {
@@ -162,7 +210,7 @@ std::vector<HostRef> PbsServer::host_refs(
 
 // --------------------------------------------------------------- clients
 
-void PbsServer::on_submit(const rpc::Request& req) {
+void PbsServer::on_submit(const rpc::Request& req, svc::Responder& resp) {
   util::ByteReader r(req.body);
   JobRecord rec;
   rec.info.id = next_job_id_++;
@@ -176,18 +224,20 @@ void PbsServer::on_submit(const rpc::Request& req) {
             jobs_[id].info.spec.resources.acpn);
   util::ByteWriter w;
   w.put<std::uint64_t>(id);
-  rpc::reply_ok(*endpoint_, req, std::move(w).take());
+  resp.ok(std::move(w).take());
   wake_scheduler();
 }
 
-void PbsServer::on_stat_jobs(const rpc::Request& req) {
+void PbsServer::on_stat_jobs(const rpc::Request& req, svc::Responder& resp) {
+  (void)req;
   util::ByteWriter w;
   w.put<std::uint32_t>(static_cast<std::uint32_t>(jobs_.size()));
   for (const auto& [id, rec] : jobs_) put_job_info(w, rec.info);
-  rpc::reply_ok(*endpoint_, req, std::move(w).take());
+  resp.ok(std::move(w).take());
 }
 
-void PbsServer::on_stat_nodes(const rpc::Request& req) {
+void PbsServer::on_stat_nodes(const rpc::Request& req, svc::Responder& resp) {
+  (void)req;
   const double stale =
       timing_.heartbeat_stale_factor *
       std::chrono::duration<double>(timing_.mom_heartbeat_interval).count();
@@ -199,7 +249,7 @@ void PbsServer::on_stat_nodes(const rpc::Request& req) {
   const auto snap = nodes_.snapshot();
   w.put<std::uint32_t>(static_cast<std::uint32_t>(snap.size()));
   for (const auto& n : snap) put_node_status(w, n);
-  rpc::reply_ok(*endpoint_, req, std::move(w).take());
+  resp.ok(std::move(w).take());
 }
 
 void PbsServer::fail_jobs_on(const std::string& hostname) {
@@ -238,12 +288,12 @@ void PbsServer::fail_jobs_on(const std::string& hostname) {
   }
 }
 
-void PbsServer::on_delete_job(const rpc::Request& req) {
+void PbsServer::on_delete_job(const rpc::Request& req, svc::Responder& resp) {
   util::ByteReader r(req.body);
   const auto id = r.get<std::uint64_t>();
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob, "no such job");
+    resp.error(ReplyCode::kUnknownJob, "no such job");
     return;
   }
   auto& rec = it->second;
@@ -258,22 +308,21 @@ void PbsServer::on_delete_job(const rpc::Request& req) {
   }
   rec.info.state = JobState::kCancelled;
   rec.info.end_time = now_s();
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
   wake_scheduler();
 }
 
-void PbsServer::on_alter_job(const rpc::Request& req) {
+void PbsServer::on_alter_job(const rpc::Request& req, svc::Responder& resp) {
   util::ByteReader r(req.body);
   const auto id = r.get<std::uint64_t>();
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob, "no such job");
+    resp.error(ReplyCode::kUnknownJob, "no such job");
     return;
   }
   auto& rec = it->second;
   if (rec.info.state != JobState::kQueued) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
-                     "qalter: job is not queued");
+    resp.error(ReplyCode::kBadRequest, "qalter: job is not queued");
     return;
   }
   if (r.get_bool()) rec.info.spec.priority = r.get<std::int32_t>();
@@ -283,11 +332,11 @@ void PbsServer::on_alter_job(const rpc::Request& req) {
   }
   if (r.get_bool()) rec.info.spec.name = r.get_string();
   kLog.info("job {} altered", id);
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
   wake_scheduler();
 }
 
-void PbsServer::on_dynget(const rpc::Request& req) {
+void PbsServer::on_dynget(const rpc::Request& req, svc::Responder& resp) {
   util::ByteReader r(req.body);
   const auto job_id = r.get<std::uint64_t>();
   const auto count = r.get<std::int32_t>();
@@ -300,19 +349,16 @@ void PbsServer::on_dynget(const rpc::Request& req) {
                         : NodeKind::kAccelerator;
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob,
-                     "dynget: no such job");
+    resp.error(ReplyCode::kUnknownJob, "dynget: no such job");
     return;
   }
   if (it->second.info.state != JobState::kRunning &&
       it->second.info.state != JobState::kDynQueued) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
-                     "dynget: job not running");
+    resp.error(ReplyCode::kBadRequest, "dynget: job not running");
     return;
   }
   if (count <= 0 || min_count <= 0 || min_count > count) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
-                     "dynget: need 0 < min_count <= count");
+    resp.error(ReplyCode::kBadRequest, "dynget: need 0 < min_count <= count");
     return;
   }
   auto& rec = it->second;
@@ -323,8 +369,9 @@ void PbsServer::on_dynget(const rpc::Request& req) {
   dyn.count = count;
   dyn.min_count = min_count;
   dyn.kind = kind;
-  dyn.reply_to = req.from;
-  dyn.reply_req_id = req.id;
+  // Deferred reply: the Responder is completed by finish_dyn once the
+  // scheduler has decided (or the job dies first).
+  dyn.responder = resp;
   dyn.arrival_ns = steady_ns();
   dyn.arrival_s = now_s();
   const auto dyn_id = dyn.id;
@@ -369,8 +416,7 @@ void PbsServer::activate_next_dyn(JobRecord& job) {
 void PbsServer::finish_dyn(DynRecord& dyn, const DynGetReply& reply) {
   util::ByteWriter w;
   put_dynget_reply(w, reply);
-  rpc::reply_ok_to(*endpoint_, dyn.reply_to, dyn.reply_req_id,
-                   std::move(w).take());
+  dyn.responder.ok(std::move(w).take());
   std::erase(dyn_fifo_, dyn.id);
   auto job_it = jobs_.find(dyn.job);
   const auto dyn_id = dyn.id;
@@ -378,25 +424,24 @@ void PbsServer::finish_dyn(DynRecord& dyn, const DynGetReply& reply) {
   dyn_.erase(dyn_id);
 }
 
-void PbsServer::on_dynfree(const rpc::Request& req) {
+void PbsServer::on_dynfree(const rpc::Request& req, svc::Responder& resp) {
   util::ByteReader r(req.body);
   const auto job_id = r.get<std::uint64_t>();
   const auto client_id = r.get<std::uint64_t>();
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob, "no such job");
+    resp.error(ReplyCode::kUnknownJob, "no such job");
     return;
   }
   auto& rec = it->second;
   auto set = rec.dyn_sets.find(client_id);
   if (set == rec.dyn_sets.end()) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
-                     "dynfree: unknown client id");
+    resp.error(ReplyCode::kBadRequest, "dynfree: unknown client id");
     return;
   }
   // Positive reply first; disassociation proceeds while the application
   // continues (paper §III-D).
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
   if (rec.ms_valid) {
     util::ByteWriter w;
     w.put<std::uint64_t>(job_id);
@@ -434,7 +479,8 @@ void PbsServer::on_ms_release_done(const rpc::Request& req) {
   wake_scheduler();
 }
 
-void PbsServer::on_register_node(const rpc::Request& req) {
+void PbsServer::on_register_node(const rpc::Request& req,
+                                 svc::Responder& resp) {
   util::ByteReader r(req.body);
   auto status = get_node_status(r);
   kLog.info("node '{}' registered ({}, np {})", status.hostname,
@@ -443,10 +489,11 @@ void PbsServer::on_register_node(const rpc::Request& req) {
   const auto hostname = status.hostname;
   nodes_.upsert(std::move(status));
   nodes_.heartbeat(hostname, now_s());
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
 }
 
-void PbsServer::on_register_scheduler(const rpc::Request& req) {
+void PbsServer::on_register_scheduler(const rpc::Request& req,
+                                      svc::Responder& resp) {
   // The body carries the scheduler's long-lived endpoint (req.from is the
   // ephemeral rpc endpoint of the registration call).
   util::ByteReader r(req.body);
@@ -454,7 +501,7 @@ void PbsServer::on_register_scheduler(const rpc::Request& req) {
   scheduler_.port = r.get<std::int32_t>();
   scheduler_known_ = true;
   kLog.info("scheduler registered at {}", scheduler_.str());
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
   wake_scheduler();
 }
 
@@ -494,7 +541,8 @@ void PbsServer::on_job_complete(const rpc::Request& req) {
 
 // ------------------------------------------------------------- scheduler
 
-void PbsServer::on_get_queue(const rpc::Request& req) {
+void PbsServer::on_get_queue(const rpc::Request& req, svc::Responder& resp) {
+  (void)req;
   QueueSnapshot snap;
   snap.now = now_s();
   snap.jobs.reserve(jobs_.size());
@@ -506,14 +554,14 @@ void PbsServer::on_get_queue(const rpc::Request& req) {
   }
   util::ByteWriter w;
   put_queue_snapshot(w, snap);
-  rpc::reply_ok(*endpoint_, req, std::move(w).take());
+  resp.ok(std::move(w).take());
 }
 
-void PbsServer::on_get_nodes(const rpc::Request& req) {
-  on_stat_nodes(req);
+void PbsServer::on_get_nodes(const rpc::Request& req, svc::Responder& resp) {
+  on_stat_nodes(req, resp);
 }
 
-void PbsServer::on_run_job(const rpc::Request& req) {
+void PbsServer::on_run_job(const rpc::Request& req, svc::Responder& resp) {
   util::ByteReader r(req.body);
   const auto id = r.get<std::uint64_t>();
   auto compute_hosts = r.get_string_vector();
@@ -521,8 +569,7 @@ void PbsServer::on_run_job(const rpc::Request& req) {
 
   auto it = jobs_.find(id);
   if (it == jobs_.end() || it->second.info.state != JobState::kQueued) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob,
-                     "run_job: job not queued");
+    resp.error(ReplyCode::kUnknownJob, "run_job: job not queued");
     return;
   }
   auto& rec = it->second;
@@ -548,15 +595,14 @@ void PbsServer::on_run_job(const rpc::Request& req) {
   }
   if (!ok) {
     for (const auto& [h, slots] : applied) nodes_.release(h, id);
-    rpc::reply_error(*endpoint_, req, ReplyCode::kError,
-                     "run_job: allocation conflict");
+    resp.error(ReplyCode::kError, "run_job: allocation conflict");
     return;
   }
 
   rec.info.compute_hosts = compute_hosts;
   rec.info.accel_hosts = accel_hosts;
   rec.info.state = JobState::kRunning;
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
 
   if (rec.info.spec.program.empty()) {
     // Load-only job (no script): completes immediately.
@@ -589,7 +635,7 @@ void PbsServer::on_run_job(const rpc::Request& req) {
             compute_hosts.front());
 }
 
-void PbsServer::on_run_dyn(const rpc::Request& req) {
+void PbsServer::on_run_dyn(const rpc::Request& req, svc::Responder& resp) {
   util::ByteReader r(req.body);
   const auto dyn_id = r.get<std::uint64_t>();
   const auto pickup_ns = r.get<std::uint64_t>();
@@ -597,15 +643,13 @@ void PbsServer::on_run_dyn(const rpc::Request& req) {
 
   auto dit = dyn_.find(dyn_id);
   if (dit == dyn_.end()) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
-                     "run_dyn: unknown dyn request");
+    resp.error(ReplyCode::kBadRequest, "run_dyn: unknown dyn request");
     return;
   }
   auto& dyn = dit->second;
   auto jit = jobs_.find(dyn.job);
   if (jit == jobs_.end()) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kUnknownJob,
-                     "run_dyn: job vanished");
+    resp.error(ReplyCode::kUnknownJob, "run_dyn: job vanished");
     return;
   }
   auto& rec = jit->second;
@@ -623,15 +667,14 @@ void PbsServer::on_run_dyn(const rpc::Request& req) {
   }
   if (!ok) {
     for (const auto& [h, slots] : applied) nodes_.release(h, dyn.job);
-    rpc::reply_error(*endpoint_, req, ReplyCode::kError,
-                     "run_dyn: allocation conflict");
+    resp.error(ReplyCode::kError, "run_dyn: allocation conflict");
     DynGetReply reply;  // rejected
     reply.queue_wait_seconds =
         static_cast<double>(pickup_ns - dyn.arrival_ns) * 1e-9;
     finish_dyn(dyn, reply);
     return;
   }
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
 
   const auto client_id = next_client_id_++;
   rec.dyn_sets[client_id] = hosts;
@@ -667,17 +710,16 @@ void PbsServer::on_run_dyn(const rpc::Request& req) {
   finish_dyn(dyn, reply);
 }
 
-void PbsServer::on_reject_dyn(const rpc::Request& req) {
+void PbsServer::on_reject_dyn(const rpc::Request& req, svc::Responder& resp) {
   util::ByteReader r(req.body);
   const auto dyn_id = r.get<std::uint64_t>();
   const auto pickup_ns = r.get<std::uint64_t>();
   auto dit = dyn_.find(dyn_id);
   if (dit == dyn_.end()) {
-    rpc::reply_error(*endpoint_, req, ReplyCode::kBadRequest,
-                     "reject_dyn: unknown dyn request");
+    resp.error(ReplyCode::kBadRequest, "reject_dyn: unknown dyn request");
     return;
   }
-  rpc::reply_ok(*endpoint_, req);
+  resp.ok();
   auto& dyn = dit->second;
   DynGetReply reply;  // granted = false
   const auto done_ns = steady_ns();

@@ -4,17 +4,25 @@
 // job state, serialized per-job dynamic requests, client-ids for dynamic
 // accelerator sets, and the forward-then-reply ordering of §III-D.
 //
-// The server is single-threaded by design (one request at a time), which is
-// the serialization point the paper's Figure 9 measures.
+// The server runs on a svc::ServiceLoop. Mutating and dynamic requests stay
+// on the loop's single serialized lane — the serialization point the paper's
+// Figure 9 measures — while read-only requests (qstat, pbsnodes, heartbeats)
+// can be moved to a worker pool via ServiceTuning::server_read_workers. With
+// the default of 0 workers the server is exactly the paper's single-threaded
+// daemon.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "svc/config.hpp"
+#include "svc/metrics.hpp"
+#include "svc/service_loop.hpp"
 #include "torque/batch_config.hpp"
 #include "torque/job.hpp"
 #include "torque/node_db.hpp"
@@ -60,7 +68,8 @@ class PbsServer {
   // Opens the server endpoint on `node` immediately so the address is known
   // before any mom or client starts; run() must then be invoked inside a
   // process on that node.
-  PbsServer(vnet::Node& node, BatchTiming timing);
+  PbsServer(vnet::Node& node, BatchTiming timing,
+            svc::ServiceTuning tuning = {});
 
   PbsServer(const PbsServer&) = delete;
   PbsServer& operator=(const PbsServer&) = delete;
@@ -68,6 +77,10 @@ class PbsServer {
   [[nodiscard]] const vnet::Address& address() const {
     return endpoint_->address();
   }
+
+  // Per-request metrics recorded by the service loop (counts, errors,
+  // latency). Safe to snapshot from any thread while the server runs.
+  [[nodiscard]] const svc::MetricsRegistry& metrics() const { return metrics_; }
 
   // The daemon loop; returns when the owning process is stopped.
   void run(vnet::Process& proc);
@@ -79,8 +92,7 @@ class PbsServer {
     int count = 0;
     int min_count = 0;
     NodeKind kind = NodeKind::kAccelerator;
-    vnet::Address reply_to;
-    std::uint64_t reply_req_id = 0;
+    svc::Responder responder;       // deferred pbs_dynget reply
     std::uint64_t arrival_ns = 0;   // steady clock, for the timing split
     double arrival_s = 0.0;         // server seconds, for FIFO display
     bool active = false;            // visible to the scheduler
@@ -95,28 +107,30 @@ class PbsServer {
     std::uint64_t dyn_active = 0;           // currently serviced dyn id
   };
 
-  void dispatch(const rpc::Request& req);
+  void register_handlers(svc::ServiceLoop& loop);
 
-  // IFL / mom-facing handlers.
-  void on_submit(const rpc::Request& req);
-  void on_stat_jobs(const rpc::Request& req);
-  void on_stat_nodes(const rpc::Request& req);
-  void on_delete_job(const rpc::Request& req);
-  void on_alter_job(const rpc::Request& req);
-  void on_dynget(const rpc::Request& req);
-  void on_dynfree(const rpc::Request& req);
-  void on_register_node(const rpc::Request& req);
-  void on_register_scheduler(const rpc::Request& req);
+  // IFL / mom-facing handlers. All run with state_mu_ held (shared for the
+  // pure reads, exclusive otherwise).
+  void on_submit(const rpc::Request& req, svc::Responder& resp);
+  void on_stat_jobs(const rpc::Request& req, svc::Responder& resp);
+  void on_stat_nodes(const rpc::Request& req, svc::Responder& resp);
+  void on_delete_job(const rpc::Request& req, svc::Responder& resp);
+  void on_alter_job(const rpc::Request& req, svc::Responder& resp);
+  void on_dynget(const rpc::Request& req, svc::Responder& resp);
+  void on_dynfree(const rpc::Request& req, svc::Responder& resp);
+  void on_register_node(const rpc::Request& req, svc::Responder& resp);
+  void on_register_scheduler(const rpc::Request& req, svc::Responder& resp);
   void on_job_started(const rpc::Request& req);
   void on_job_complete(const rpc::Request& req);
   void on_ms_release_done(const rpc::Request& req);
+  void on_heartbeat(const rpc::Request& req);
 
   // Scheduler-facing handlers.
-  void on_get_queue(const rpc::Request& req);
-  void on_get_nodes(const rpc::Request& req);
-  void on_run_job(const rpc::Request& req);
-  void on_run_dyn(const rpc::Request& req);
-  void on_reject_dyn(const rpc::Request& req);
+  void on_get_queue(const rpc::Request& req, svc::Responder& resp);
+  void on_get_nodes(const rpc::Request& req, svc::Responder& resp);
+  void on_run_job(const rpc::Request& req, svc::Responder& resp);
+  void on_run_dyn(const rpc::Request& req, svc::Responder& resp);
+  void on_reject_dyn(const rpc::Request& req, svc::Responder& resp);
 
   void wake_scheduler();
   // Fails running jobs that depend on a dead compute node (FT extension).
@@ -129,8 +143,15 @@ class PbsServer {
 
   vnet::Node& node_;
   BatchTiming timing_;
+  svc::ServiceTuning tuning_;
   std::unique_ptr<vnet::Endpoint> endpoint_;
   std::chrono::steady_clock::time_point start_;
+  svc::MetricsRegistry metrics_;
+
+  // Guards all server state below. The mutating lane takes it exclusively;
+  // pooled read-only handlers take it shared (or exclusively when they touch
+  // liveness bookkeeping). With server_read_workers == 0 it is uncontended.
+  std::shared_mutex state_mu_;
 
   NodeDb nodes_;
   std::map<JobId, JobRecord> jobs_;

@@ -91,17 +91,41 @@ void Fabric::delivery_loop() {
 }
 
 void Fabric::deliver(Message msg) {
+  const Address to = msg.to;
+  const auto type = msg.type;
   MailboxPtr box;
   {
     std::lock_guard lock(boxes_mu_);
-    if (auto it = boxes_.find(msg.to); it != boxes_.end()) box = it->second;
+    if (auto it = boxes_.find(to); it != boxes_.end()) box = it->second;
   }
   if (!box || !box->push(std::move(msg))) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
-    kLog.debug("dropped message to unregistered/closed address");
+    const char* reason = box ? "mailbox closed" : "unregistered address";
+    bool first_for_node;
+    {
+      std::lock_guard lock(drops_mu_);
+      ++drops_to_[to];
+      first_for_node = warned_nodes_.insert(to.node).second;
+    }
+    if (first_for_node) {
+      // One warning per destination node; subsequent drops only count.
+      // Per-port dedup would spam: every retransmitted call leaves a
+      // duplicate reply addressed to a caller's already-closed ephemeral
+      // port. A steady stream to one address still shows in drops_to().
+      kLog.warn("dropping message(s) to {} ({}; first type {})", to.str(),
+                reason, type);
+    } else {
+      kLog.debug("dropped message to {} ({})", to.str(), reason);
+    }
     return;
   }
   delivered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Fabric::drops_to(const Address& addr) const {
+  std::lock_guard lock(drops_mu_);
+  if (auto it = drops_to_.find(addr); it != drops_to_.end()) return it->second;
+  return 0;
 }
 
 }  // namespace dac::vnet

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <optional>
 #include <queue>
+#include <set>
 #include <thread>
 
 #include "util/queue.hpp"
@@ -49,6 +50,8 @@ class Fabric {
   [[nodiscard]] std::uint64_t messages_dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+  // Messages dropped on delivery to `addr` (unregistered or closed mailbox).
+  [[nodiscard]] std::uint64_t drops_to(const Address& addr) const;
   [[nodiscard]] std::uint64_t bytes_sent() const {
     return bytes_sent_.load(std::memory_order_relaxed);
   }
@@ -86,6 +89,12 @@ class Fabric {
 
   std::mutex boxes_mu_;
   std::map<Address, MailboxPtr> boxes_;
+
+  // Drop accounting per destination; the first drop to a node warns, the
+  // rest only count (drop storms would otherwise flood the log).
+  mutable std::mutex drops_mu_;
+  std::map<Address, std::uint64_t> drops_to_;
+  std::set<NodeId> warned_nodes_;
 
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};

@@ -28,29 +28,37 @@ class JobContextTest : public ::testing::Test {
 };
 
 TEST_F(JobContextTest, LaunchInfoDescribesTheJob) {
-  std::atomic<bool> ok{false};
-  torque::JobId submitted = 0;
+  // The program may start before submit_program() even returns, so it must
+  // not read `submitted` — record what it saw and compare afterwards.
+  std::mutex mu;
+  torque::JobLaunchInfo seen;
   cluster_.register_program("info", [&](JobContext& ctx) {
-    const auto& info = ctx.info();
-    ok = info.job == submitted && info.nodes == 1 && info.acpn == 2 &&
-         info.compute_hosts.size() == 1 && info.accel_hosts.size() == 2 &&
-         info.program == "info";
+    std::lock_guard lock(mu);
+    seen = ctx.info();
   });
-  submitted = cluster_.submit_program("info", 1, 2);
+  const auto submitted = cluster_.submit_program("info", 1, 2);
   ASSERT_TRUE(cluster_.wait_job(submitted, 30'000ms).has_value());
-  EXPECT_TRUE(ok);
+  std::lock_guard lock(mu);
+  EXPECT_EQ(seen.job, submitted);
+  EXPECT_EQ(seen.nodes, 1);
+  EXPECT_EQ(seen.acpn, 2);
+  EXPECT_EQ(seen.compute_hosts.size(), 1u);
+  EXPECT_EQ(seen.accel_hosts.size(), 2u);
+  EXPECT_EQ(seen.program, "info");
 }
 
 TEST_F(JobContextTest, PbsJobidEnvironmentVariable) {
-  std::atomic<bool> ok{false};
-  torque::JobId submitted = 0;
+  std::mutex mu;
+  std::string seen;
   cluster_.register_program("env", [&](JobContext& ctx) {
     const auto v = ctx.mpi().process().getenv("PBS_JOBID");
-    ok = v.has_value() && *v == std::to_string(submitted);
+    std::lock_guard lock(mu);
+    seen = v.value_or("");
   });
-  submitted = cluster_.submit_program("env", 1, 0);
+  const auto submitted = cluster_.submit_program("env", 1, 0);
   ASSERT_TRUE(cluster_.wait_job(submitted, 30'000ms).has_value());
-  EXPECT_TRUE(ok);
+  std::lock_guard lock(mu);
+  EXPECT_EQ(seen, std::to_string(submitted));
 }
 
 TEST_F(JobContextTest, RanksMatchComputeNodeOrder) {
@@ -71,12 +79,11 @@ TEST_F(JobContextTest, RanksMatchComputeNodeOrder) {
 
 TEST_F(JobContextTest, IflUsableInsideJob) {
   std::atomic<bool> ok{false};
-  torque::JobId submitted = 0;
   cluster_.register_program("qstat_inside", [&](JobContext& ctx) {
-    auto self = ctx.ifl().stat_job(submitted);
+    auto self = ctx.ifl().stat_job(ctx.info().job);
     ok = self.has_value() && self->state == torque::JobState::kRunning;
   });
-  submitted = cluster_.submit_program("qstat_inside", 1, 0);
+  const auto submitted = cluster_.submit_program("qstat_inside", 1, 0);
   ASSERT_TRUE(cluster_.wait_job(submitted, 30'000ms).has_value());
   EXPECT_TRUE(ok);
 }

@@ -22,6 +22,13 @@ TEST_P(SoakTest, MixedWorkloadRunsClean) {
   config.compute_nodes = 3;
   config.accel_nodes = 4;
   config.policy = maui::Policy::kBackfill;
+  // This test asserts workload completion under heavy CPU oversubscription
+  // (ctest -j runs many virtual clusters at once): a starved mom thread must
+  // not get its node declared down mid-job, and a starved workload must not
+  // be walltime-killed. Down detection is covered by fault_test, walltime
+  // kills by walltime_test.
+  config.timing.heartbeat_stale_factor = 2000;
+  config.enforce_walltime = false;
   DacCluster cluster(config);
 
   std::atomic<int> dyn_grants{0};

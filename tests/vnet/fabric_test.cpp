@@ -47,6 +47,47 @@ TEST_F(FabricTest, DropsToUnregisteredAddress) {
   EXPECT_EQ(fabric.messages_delivered(), 0u);
 }
 
+TEST_F(FabricTest, CountsDropsPerDestination) {
+  Fabric fabric(fast_model());
+  const Address dead{5, 5};
+  const Address other{6, 6};
+  const Address live{1, 0};
+  auto box = std::make_shared<Mailbox>();
+  fabric.register_mailbox(live, box);
+
+  fabric.send(Message{Address{0, 0}, dead, 1, {}});
+  fabric.send(Message{Address{0, 0}, dead, 1, {}});
+  fabric.send(Message{Address{0, 0}, other, 1, {}});
+  fabric.send(Message{Address{0, 0}, live, 1, {}});
+
+  ASSERT_TRUE(box->pop_for(1000ms).has_value());
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (fabric.messages_dropped() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(fabric.drops_to(dead), 2u);
+  EXPECT_EQ(fabric.drops_to(other), 1u);
+  EXPECT_EQ(fabric.drops_to(live), 0u);
+  EXPECT_EQ(fabric.messages_dropped(), 3u);
+}
+
+TEST_F(FabricTest, ClosedMailboxCountsAsDrop) {
+  Fabric fabric(fast_model());
+  const Address dst{1, 0};
+  auto box = std::make_shared<Mailbox>();
+  fabric.register_mailbox(dst, box);
+  box->close();
+
+  fabric.send(Message{Address{0, 0}, dst, 1, {}});
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (fabric.drops_to(dst) < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(fabric.drops_to(dst), 1u);
+}
+
 TEST_F(FabricTest, ChargesCrossNodeLatency) {
   NetworkModel m;
   m.latency = std::chrono::microseconds(30000);  // 30 ms
