@@ -14,7 +14,7 @@
 // under contention (reported).
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include "util/sync.hpp"
 #include <thread>
 
 #include "bench/harness.hpp"
@@ -27,18 +27,18 @@ using namespace dac;
 namespace {
 
 struct Tally {
-  std::mutex mu;
+  Mutex mu{"bench.tally"};
   double held_node_seconds = 0.0;   // accelerator-seconds held
   double useful_node_seconds = 0.0; // held while the accel phase computed
   int rejections = 0;
 
   void add(double held, double useful) {
-    std::lock_guard lock(mu);
+    ScopedLock lock(mu);
     held_node_seconds += held;
     useful_node_seconds += useful;
   }
   void reject() {
-    std::lock_guard lock(mu);
+    ScopedLock lock(mu);
     ++rejections;
   }
 };
@@ -118,7 +118,7 @@ Result run_strategy(bool dynamic) {
   Result r;
   r.makespan = metrics.makespan_s;
   {
-    std::lock_guard lock(tally.mu);
+    ScopedLock lock(tally.mu);
     r.held = tally.held_node_seconds;
     r.useful = tally.useful_node_seconds;
     r.rejections = tally.rejections;

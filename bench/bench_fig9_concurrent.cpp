@@ -24,7 +24,7 @@ int main() {
   bench::Gate* gate = nullptr;
   std::atomic<int>* ready = nullptr;
   bench::Slot<std::vector<double>>* out = nullptr;
-  std::mutex results_mu;
+  Mutex results_mu{"bench.results"};
   std::vector<double> results;
 
   cluster.register_program("fig9", [&](core::JobContext& ctx) {
@@ -35,7 +35,7 @@ int main() {
     auto got = s.ac_get(1);
     if (got.granted) s.ac_free(got.client_id);
     s.ac_finalize();
-    std::lock_guard lock(results_mu);
+    ScopedLock lock(results_mu);
     results.push_back(got.granted ? got.batch_s : -1.0);
     if (results.size() == 3) out->put(results);
   });
@@ -58,7 +58,7 @@ int main() {
     ready = &r;
     out = &slot;
     {
-      std::lock_guard lock(results_mu);
+      ScopedLock lock(results_mu);
       results.clear();
     }
 

@@ -5,15 +5,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "util/stats.hpp"
+#include "util/sync.hpp"
 
 namespace dac::bench {
 
@@ -59,24 +58,24 @@ class Gate {
  public:
   void open() {
     {
-      std::lock_guard lock(mu_);
+      ScopedLock lock(mu_);
       open_ = true;
     }
     cv_.notify_all();
   }
   void wait() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return open_; });
+    UniqueLock lock(mu_);
+    while (!open_) cv_.wait(lock);
   }
   void reset() {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     open_ = false;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool open_ = false;
+  Mutex mu_{"bench.gate"};
+  CondVar cv_;
+  bool open_ DAC_GUARDED_BY(mu_) = false;
 };
 
 // A typed rendezvous slot: the program deposits a measurement, the driver
@@ -86,15 +85,19 @@ class Slot {
  public:
   void put(T value) {
     {
-      std::lock_guard lock(mu_);
+      ScopedLock lock(mu_);
       value_ = std::move(value);
     }
     cv_.notify_all();
   }
   std::optional<T> take(std::chrono::milliseconds timeout) {
-    std::unique_lock lock(mu_);
-    if (!cv_.wait_for(lock, timeout, [&] { return value_.has_value(); })) {
-      return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lock(mu_);
+    while (!value_.has_value()) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !value_.has_value()) {
+        return std::nullopt;
+      }
     }
     auto v = std::move(value_);
     value_.reset();
@@ -102,9 +105,9 @@ class Slot {
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::optional<T> value_;
+  Mutex mu_{"bench.slot"};
+  CondVar cv_;
+  std::optional<T> value_ DAC_GUARDED_BY(mu_);
 };
 
 }  // namespace dac::bench

@@ -7,7 +7,7 @@
 // Two jobs compete for the accelerator pool, so some dynamic requests are
 // rejected — exercising the paper's "requests are not guaranteed" semantics.
 #include <cstdio>
-#include <mutex>
+#include "util/sync.hpp"
 #include <span>
 #include <vector>
 
@@ -18,10 +18,10 @@ using namespace dac;
 
 namespace {
 
-std::mutex g_print_mu;
+dac::Mutex g_print_mu{"example.print"};
 
 void say(torque::JobId job, const char* fmt, double a = 0, double b = 0) {
-  std::lock_guard lock(g_print_mu);
+  dac::ScopedLock lock(g_print_mu);
   std::printf("[job %llu] ", static_cast<unsigned long long>(job));
   std::printf(fmt, a, b);
   std::printf("\n");

@@ -4,7 +4,7 @@
 // requirement into one server request, and the batch system keeping a mixed
 // workload flowing around the DAC job.
 #include <cstdio>
-#include <mutex>
+#include "util/sync.hpp"
 
 #include "core/cli.hpp"
 #include "core/cluster.hpp"
@@ -17,12 +17,12 @@ int main() {
   config.policy = maui::Policy::kBackfill;
   core::DacCluster cluster(config);
 
-  std::mutex print_mu;
+  Mutex print_mu{"example.print"};
   cluster.register_program("mpi_dac_app", [&](core::JobContext& ctx) {
     auto& s = ctx.session();
     auto statics = s.ac_init();
     {
-      std::lock_guard lock(print_mu);
+      ScopedLock lock(print_mu);
       std::printf("  rank %d: %zu static accelerator(s), own communicator\n",
                   ctx.rank(), statics.size());
     }
@@ -32,7 +32,7 @@ int main() {
     const int want = ctx.rank() == 0 ? 1 : 2;
     auto got = s.ac_get_collective(ctx.world(), want);
     {
-      std::lock_guard lock(print_mu);
+      ScopedLock lock(print_mu);
       if (got.granted) {
         std::printf("  rank %d: collective AC_Get granted +%d (client %llu, "
                     "batch %.3fs)\n",
@@ -51,7 +51,7 @@ int main() {
         ctx.world(), static_cast<std::int64_t>(s.accelerator_count()),
         minimpi::ReduceOp::kSum);
     if (ctx.rank() == 0) {
-      std::lock_guard lock(print_mu);
+      ScopedLock lock(print_mu);
       std::printf("  job-wide accelerator count: %lld\n",
                   static_cast<long long>(total_acs));
     }

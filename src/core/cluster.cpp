@@ -137,7 +137,7 @@ svc::MetricsSnapshot DacCluster::metrics_snapshot() const {
 
 void DacCluster::register_program(const std::string& name,
                                   JobProgram program) {
-  std::lock_guard lock(programs_mu_);
+  ScopedLock lock(programs_mu_);
   programs_[name] = std::move(program);
 }
 
@@ -196,7 +196,7 @@ void DacCluster::register_builtin_executables() {
 
         JobProgram program;
         {
-          std::lock_guard lock(programs_mu_);
+          ScopedLock lock(programs_mu_);
           if (auto it = programs_.find(info.program);
               it != programs_.end()) {
             program = it->second;

@@ -15,10 +15,11 @@
 #include <chrono>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 #include "core/config.hpp"
 #include "core/job_context.hpp"
@@ -103,8 +104,8 @@ class DacCluster {
   std::vector<std::unique_ptr<torque::PbsMom>> moms_;
   std::vector<vnet::ProcessPtr> daemons_;
 
-  std::mutex programs_mu_;
-  std::map<std::string, JobProgram> programs_;
+  Mutex programs_mu_{"cluster.programs"};
+  std::map<std::string, JobProgram> programs_ DAC_GUARDED_BY(programs_mu_);
   bool down_ = false;
 };
 

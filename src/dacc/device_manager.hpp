@@ -5,9 +5,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "gpusim/device.hpp"
+#include "util/sync.hpp"
 #include "vnet/message.hpp"
 
 namespace dac::dacc {
@@ -21,7 +21,7 @@ class DeviceManager {
   DeviceManager& operator=(const DeviceManager&) = delete;
 
   gpusim::Device& device_for(vnet::NodeId node) {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     auto it = devices_.find(node);
     if (it == devices_.end()) {
       auto dev = std::make_unique<gpusim::Device>(config_);
@@ -35,8 +35,9 @@ class DeviceManager {
 
  private:
   gpusim::DeviceConfig config_;
-  std::mutex mu_;
-  std::map<vnet::NodeId, std::unique_ptr<gpusim::Device>> devices_;
+  Mutex mu_{"dacc.devices"};
+  std::map<vnet::NodeId, std::unique_ptr<gpusim::Device>> devices_
+      DAC_GUARDED_BY(mu_);
 };
 
 }  // namespace dac::dacc

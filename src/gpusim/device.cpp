@@ -22,7 +22,7 @@ DevicePtr Device::mem_alloc(std::size_t bytes) {
   constexpr std::size_t kAlign = 256;
   bytes = (bytes + kAlign - 1) / kAlign * kAlign;
 
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
     if (it->size < bytes) continue;
     const std::size_t offset = it->offset;
@@ -44,7 +44,7 @@ DevicePtr Device::mem_alloc(std::size_t bytes) {
 }
 
 void Device::mem_free(DevicePtr ptr) {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   auto it = allocated_.find(static_cast<std::size_t>(ptr));
   if (it == allocated_.end()) {
     throw DeviceError("mem_free: invalid device pointer " +
@@ -77,7 +77,7 @@ void Device::mem_free(DevicePtr ptr) {
 }
 
 std::size_t Device::bytes_free() const {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   std::size_t total = 0;
   for (const auto& b : free_list_) total += b.size;
   return total;
@@ -93,13 +93,13 @@ std::byte* Device::at(DevicePtr ptr, std::size_t bytes) {
 
 void Device::memcpy_h2d(DevicePtr dst, const void* src, std::size_t bytes) {
   std::memcpy(at(dst, bytes), src, bytes);
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   stats_.bytes_copied_in += bytes;
 }
 
 void Device::memcpy_d2h(void* dst, DevicePtr src, std::size_t bytes) {
   std::memcpy(dst, at(src, bytes), bytes);
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   stats_.bytes_copied_out += bytes;
 }
 
@@ -113,12 +113,12 @@ void Device::memset_d(DevicePtr dst, std::byte value, std::size_t bytes) {
 
 void Device::register_kernel(const std::string& name, Kernel kernel) {
   if (!kernel.fn) throw DeviceError("register_kernel: null function");
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   kernels_[name] = std::move(kernel);
 }
 
 bool Device::has_kernel(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   return kernels_.contains(name);
 }
 
@@ -126,7 +126,7 @@ void Device::launch(const std::string& name, Dim3 grid, Dim3 block,
                     const util::Bytes& args) {
   Kernel kernel;
   {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     auto it = kernels_.find(name);
     if (it == kernels_.end()) {
       throw DeviceError("launch: unknown kernel '" + name + "'");
@@ -147,7 +147,7 @@ void Device::launch(const std::string& name, Dim3 grid, Dim3 block,
 }
 
 DeviceStats Device::stats() const {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   return stats_;
 }
 

@@ -15,12 +15,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/sync.hpp"
 
 namespace dac::gpusim {
 
@@ -143,11 +143,12 @@ class Device {
   DeviceConfig config_;
   std::vector<std::byte> arena_;
 
-  mutable std::mutex mu_;
-  std::vector<Block> free_list_;                 // sorted by offset
-  std::map<std::size_t, std::size_t> allocated_;  // offset -> size
-  std::map<std::string, Kernel> kernels_;
-  DeviceStats stats_;
+  mutable Mutex mu_{"device"};
+  std::vector<Block> free_list_ DAC_GUARDED_BY(mu_);  // sorted by offset
+  std::map<std::size_t, std::size_t> allocated_
+      DAC_GUARDED_BY(mu_);  // offset -> size
+  std::map<std::string, Kernel> kernels_ DAC_GUARDED_BY(mu_);
+  DeviceStats stats_ DAC_GUARDED_BY(mu_);
 };
 
 template <typename T>

@@ -8,11 +8,11 @@ Stream::Stream(Device& device) : device_(device) {
       try {
         (*op)();
       } catch (...) {
-        std::lock_guard lock(mu_);
+        ScopedLock lock(mu_);
         if (!error_) error_ = std::current_exception();
       }
       {
-        std::lock_guard lock(mu_);
+        ScopedLock lock(mu_);
         --pending_;
       }
       cv_.notify_all();
@@ -27,11 +27,11 @@ Stream::~Stream() {
 
 void Stream::enqueue(std::function<void()> op) {
   {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     ++pending_;
   }
   if (!queue_.push(std::move(op))) {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     --pending_;
     throw DeviceError("stream is shut down");
   }
@@ -65,8 +65,8 @@ void Stream::record(Event event) {
 }
 
 void Stream::synchronize() {
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [&] { return pending_ == 0; });
+  UniqueLock lock(mu_);
+  while (pending_ != 0) cv_.wait(lock);
   if (error_) {
     auto err = error_;
     error_ = nullptr;

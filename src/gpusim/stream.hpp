@@ -4,14 +4,13 @@
 // with kernel execution, §I/§II-C) are built from on the accelerator side.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "gpusim/device.hpp"
 #include "util/queue.hpp"
+#include "util/sync.hpp"
 
 namespace dac::gpusim {
 
@@ -22,18 +21,18 @@ class Event {
   Event() : state_(std::make_shared<State>()) {}
 
   void wait() const {
-    std::unique_lock lock(state_->mu);
-    state_->cv.wait(lock, [&] { return state_->done; });
+    UniqueLock lock(state_->mu);
+    while (!state_->done) state_->cv.wait(lock);
   }
 
   [[nodiscard]] bool query() const {
-    std::lock_guard lock(state_->mu);
+    ScopedLock lock(state_->mu);
     return state_->done;
   }
 
   // Completion timestamp; only meaningful after wait()/query() succeeded.
   [[nodiscard]] std::chrono::steady_clock::time_point when() const {
-    std::lock_guard lock(state_->mu);
+    ScopedLock lock(state_->mu);
     return state_->when;
   }
 
@@ -45,15 +44,15 @@ class Event {
  private:
   friend class Stream;
   struct State {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    std::chrono::steady_clock::time_point when;
+    Mutex mu{"event"};
+    CondVar cv;
+    bool done DAC_GUARDED_BY(mu) = false;
+    std::chrono::steady_clock::time_point when DAC_GUARDED_BY(mu);
   };
 
   void fire() const {
     {
-      std::lock_guard lock(state_->mu);
+      ScopedLock lock(state_->mu);
       state_->done = true;
       state_->when = std::chrono::steady_clock::now();
     }
@@ -94,10 +93,10 @@ class Stream {
   Device& device_;
   util::BlockingQueue<std::function<void()>> queue_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t pending_ = 0;
-  std::exception_ptr error_;
+  Mutex mu_{"stream"};
+  CondVar cv_;
+  std::size_t pending_ DAC_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ DAC_GUARDED_BY(mu_);
 
   std::thread worker_;
 };

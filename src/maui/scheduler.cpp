@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <thread>
 
 #include "svc/caller.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -260,9 +262,16 @@ MauiScheduler::Allocation MauiScheduler::try_allocate(
     alloc.compute.push_back(nodes[i].hostname);
   }
   for (auto i : accel_idx) {
+    DAC_CHECK(nodes[i].free >= 0, "accelerator {} oversubscribed (free={})",
+              nodes[i].hostname, nodes[i].free);
     nodes[i].free -= 1;
     alloc.accel.push_back(nodes[i].hostname);
   }
+  // No AC double-assignment: each accelerator host appears at most once in
+  // the grant.
+  DAC_DCHECK(std::set<std::string>(alloc.accel.begin(), alloc.accel.end())
+                     .size() == alloc.accel.size(),
+             "duplicate accelerator host in allocation");
   alloc.ok = true;
   return alloc;
 }
@@ -282,6 +291,11 @@ std::vector<std::string> MauiScheduler::try_allocate_dyn(
     nodes[i].free -= 1;
     hosts.push_back(nodes[i].hostname);
   }
+  // Dynamic grants come from distinct free nodes — the scheduler must never
+  // hand the same accelerator to one request twice.
+  DAC_DCHECK(
+      std::set<std::string>(hosts.begin(), hosts.end()).size() == hosts.size(),
+      "duplicate host in dynamic grant");
   return hosts;
 }
 

@@ -14,12 +14,12 @@ const util::Logger kLog("minimpi");
 Runtime::Runtime(vnet::Cluster& cluster) : cluster_(cluster) {}
 
 void Runtime::register_executable(const std::string& name, MpiEntry entry) {
-  std::lock_guard lock(exe_mu_);
+  ScopedLock lock(exe_mu_);
   executables_[name] = std::move(entry);
 }
 
 bool Runtime::has_executable(const std::string& name) const {
-  std::lock_guard lock(exe_mu_);
+  ScopedLock lock(exe_mu_);
   return executables_.contains(name);
 }
 
@@ -51,7 +51,7 @@ WorldHandle Runtime::launch_impl(const std::string& executable,
   }
   MpiEntry entry;
   {
-    std::lock_guard lock(exe_mu_);
+    ScopedLock lock(exe_mu_);
     auto it = executables_.find(executable);
     if (it == executables_.end()) {
       throw std::invalid_argument("launch: unknown executable '" + executable +
@@ -155,7 +155,7 @@ WorldHandle Runtime::launch_impl(const std::string& executable,
 }
 
 std::string Runtime::open_port(const vnet::Address& root_addr) {
-  std::lock_guard lock(ports_mu_);
+  ScopedLock lock(ports_mu_);
   std::string name = "mpiport-" + std::to_string(next_port_id_++);
   ports_[name] = root_addr;
   return name;
@@ -163,19 +163,19 @@ std::string Runtime::open_port(const vnet::Address& root_addr) {
 
 void Runtime::publish_port(const std::string& name,
                            const vnet::Address& root_addr) {
-  std::lock_guard lock(ports_mu_);
+  ScopedLock lock(ports_mu_);
   ports_[name] = root_addr;
 }
 
 std::optional<vnet::Address> Runtime::lookup_port(
     const std::string& name) const {
-  std::lock_guard lock(ports_mu_);
+  ScopedLock lock(ports_mu_);
   if (auto it = ports_.find(name); it != ports_.end()) return it->second;
   return std::nullopt;
 }
 
 void Runtime::close_port(const std::string& name) {
-  std::lock_guard lock(ports_mu_);
+  ScopedLock lock(ports_mu_);
   ports_.erase(name);
 }
 

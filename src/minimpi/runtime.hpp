@@ -16,12 +16,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "minimpi/types.hpp"
+#include "util/sync.hpp"
 #include "vnet/cluster.hpp"
 #include "vnet/node.hpp"
 
@@ -115,12 +115,12 @@ class Runtime {
 
   vnet::Cluster& cluster_;
 
-  mutable std::mutex exe_mu_;
-  std::map<std::string, MpiEntry> executables_;
+  mutable Mutex exe_mu_{"mpi.executables"};
+  std::map<std::string, MpiEntry> executables_ DAC_GUARDED_BY(exe_mu_);
 
-  mutable std::mutex ports_mu_;
-  std::map<std::string, vnet::Address> ports_;
-  std::uint64_t next_port_id_ = 0;
+  mutable Mutex ports_mu_{"mpi.ports"};
+  std::map<std::string, vnet::Address> ports_ DAC_GUARDED_BY(ports_mu_);
+  std::uint64_t next_port_id_ DAC_GUARDED_BY(ports_mu_) = 0;
 
   std::atomic<std::uint32_t> next_context_{kFirstUserContext};
 };

@@ -21,14 +21,14 @@ std::uint64_t MetricsSnapshot::total_calls() const {
 
 void MetricsRegistry::record(std::uint32_t type, double latency_ms,
                              bool error) {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   auto& s = series_[type];
   s.latency_ms.add(latency_ms);
   if (error) ++s.errors;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   MetricsSnapshot snap;
   snap.rpcs.reserve(series_.size());
   for (const auto& [type, s] : series_) {

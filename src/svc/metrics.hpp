@@ -6,11 +6,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/stats.hpp"
+#include "util/sync.hpp"
 
 namespace dac::svc {
 
@@ -43,8 +43,8 @@ class MetricsRegistry {
     std::uint64_t errors = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::uint32_t, Series> series_;
+  mutable Mutex mu_{"metrics.series"};
+  std::map<std::uint32_t, Series> series_ DAC_GUARDED_BY(mu_);
 };
 
 // Fixed-width table of a snapshot (one row per message type).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace dac::svc {
@@ -14,7 +15,7 @@ const util::Logger kLog("svc.loop");
 
 bool Responder::completed() const {
   if (!st_) return true;
-  std::lock_guard lock(st_->mu);
+  ScopedLock lock(st_->mu);
   return st_->done;
 }
 
@@ -23,7 +24,7 @@ void Responder::ok(util::Bytes body) const {
   const auto payload = make_ok_reply(st_->id, body);
   vnet::Address to;
   {
-    std::lock_guard lock(st_->mu);
+    ScopedLock lock(st_->mu);
     if (st_->done) return;
     st_->done = true;
     to = st_->to;
@@ -36,7 +37,7 @@ void Responder::error(ReplyCode code, const std::string& message) const {
   const auto payload = make_error_reply(st_->id, code, message);
   vnet::Address to;
   {
-    std::lock_guard lock(st_->mu);
+    ScopedLock lock(st_->mu);
     if (st_->done) return;
     st_->done = true;
     to = st_->to;
@@ -113,7 +114,7 @@ void ServiceLoop::serve(vnet::Message msg) {
   }
 
   {
-    std::lock_guard lock(dedup_mu_);
+    ScopedLock lock(dedup_mu_);
     if (auto it = completed_.find(req.id); it != completed_.end()) {
       // Retransmit of an answered request: resend the cached reply.
       ep_.send(req.from, as_u32(MsgType::kReply), it->second);
@@ -124,7 +125,7 @@ void ServiceLoop::serve(vnet::Message msg) {
     if (auto it = pending_.find(req.id); it != pending_.end()) {
       if (auto st = it->second.lock()) {
         // Retransmit of an in-flight request: just retarget the reply.
-        std::lock_guard slock(st->mu);
+        ScopedLock slock(st->mu);
         st->to = req.from;
         deduped_.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -155,12 +156,16 @@ void ServiceLoop::serve(vnet::Message msg) {
   {
     // Registered before dispatch so a retransmit racing with a pooled
     // execution is recognized as a duplicate.
-    std::lock_guard lock(dedup_mu_);
+    ScopedLock lock(dedup_mu_);
     pending_[work.st->id] = work.st;
   }
 
   if (work.entry->klass == ExecClass::kReadOnly && !workers_.empty()) {
-    read_queue_.push(std::move(work));
+    if (!read_queue_.push(std::move(work))) {
+      // The pool queue only closes after run() exits, so this cannot happen
+      // while serving; if it ever does, the request was dropped silently.
+      DAC_CHECK(false, "{}: read-queue closed while serving", cfg_.name);
+    }
   } else {
     execute(std::move(work));
   }
@@ -198,7 +203,7 @@ void ServiceLoop::finish_reply(detail::ResponderState& st,
                                const util::Bytes& payload,
                                const vnet::Address& to, bool error) {
   {
-    std::lock_guard lock(dedup_mu_);
+    ScopedLock lock(dedup_mu_);
     if (cfg_.dedup_window > 0) {
       completed_[st.id] = payload;
       completed_order_.push_back(st.id);
@@ -209,7 +214,8 @@ void ServiceLoop::finish_reply(detail::ResponderState& st,
     }
     pending_.erase(st.id);
   }
-  ep_.send(to, as_u32(MsgType::kReply), payload);
+  // Record before sending: a caller that already has the reply must find
+  // its call in any later metrics snapshot.
   if (metrics_) {
     metrics_->record(st.type,
                      std::chrono::duration<double, std::milli>(
@@ -217,10 +223,11 @@ void ServiceLoop::finish_reply(detail::ResponderState& st,
                          .count(),
                      error);
   }
+  ep_.send(to, as_u32(MsgType::kReply), payload);
 }
 
 void ServiceLoop::forget_pending(std::uint64_t id) {
-  std::lock_guard lock(dedup_mu_);
+  ScopedLock lock(dedup_mu_);
   pending_.erase(id);
 }
 

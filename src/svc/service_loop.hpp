@@ -27,7 +27,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +34,7 @@
 #include "svc/metrics.hpp"
 #include "svc/wire.hpp"
 #include "util/queue.hpp"
+#include "util/sync.hpp"
 
 namespace dac::svc {
 
@@ -83,9 +83,9 @@ struct ResponderState {
   std::uint64_t id = 0;
   std::uint32_t type = 0;
   std::chrono::steady_clock::time_point start;
-  std::mutex mu;
-  vnet::Address to;   // retargeted when a duplicate arrives from elsewhere
-  bool done = false;
+  Mutex mu{"responder"};
+  vnet::Address to DAC_GUARDED_BY(mu);  // retargeted on duplicate arrival
+  bool done DAC_GUARDED_BY(mu) = false;
 };
 }  // namespace detail
 
@@ -154,11 +154,12 @@ class ServiceLoop {
   std::map<std::uint32_t, Entry> handlers_;
   std::vector<Tick> ticks_;
 
-  std::mutex dedup_mu_;
-  std::unordered_map<std::uint64_t, util::Bytes> completed_;
-  std::deque<std::uint64_t> completed_order_;
+  Mutex dedup_mu_{"svc.dedup"};
+  std::unordered_map<std::uint64_t, util::Bytes> completed_
+      DAC_GUARDED_BY(dedup_mu_);
+  std::deque<std::uint64_t> completed_order_ DAC_GUARDED_BY(dedup_mu_);
   std::unordered_map<std::uint64_t, std::weak_ptr<detail::ResponderState>>
-      pending_;
+      pending_ DAC_GUARDED_BY(dedup_mu_);
   std::atomic<std::uint64_t> deduped_{0};
 
   util::BlockingQueue<Work> read_queue_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace dac::torque {
 
 void put_node_status(util::ByteWriter& w, const NodeStatus& n) {
@@ -70,6 +72,9 @@ bool NodeDb::assign(const std::string& hostname, JobId job, int slots) {
   auto& e = it->second;
   if (e.status.free_slots() < slots) return false;
   e.status.used += slots;
+  DAC_CHECK(e.status.used <= e.status.np,
+            "node {} over-assigned: used={} np={} (job {} asked for {})",
+            hostname, e.status.used, e.status.np, job, slots);
   e.held[job] += slots;
   if (std::find(e.status.jobs.begin(), e.status.jobs.end(), job) ==
       e.status.jobs.end()) {
@@ -85,6 +90,9 @@ void NodeDb::release(const std::string& hostname, JobId job) {
   auto held = e.held.find(job);
   if (held == e.held.end()) return;
   e.status.used -= held->second;
+  DAC_CHECK(e.status.used >= 0,
+            "node {} slot count went negative ({}) releasing job {}", hostname,
+            e.status.used, job);
   e.held.erase(held);
   std::erase(e.status.jobs, job);
 }
@@ -94,6 +102,9 @@ void NodeDb::release_all(JobId job) {
     auto held = e.held.find(job);
     if (held == e.held.end()) continue;
     e.status.used -= held->second;
+    DAC_CHECK(e.status.used >= 0,
+              "node {} slot count went negative ({}) releasing job {}", name,
+              e.status.used, job);
     e.held.erase(held);
     std::erase(e.status.jobs, job);
   }

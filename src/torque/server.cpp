@@ -1,8 +1,8 @@
 #include "torque/server.hpp"
 
 #include <algorithm>
-#include <mutex>
 
+#include "util/check.hpp"
 #include "util/logging.hpp"
 
 namespace dac::torque {
@@ -118,7 +118,7 @@ void PbsServer::register_handlers(svc::ServiceLoop& loop) {
                        void (PbsServer::*fn)(const rpc::Request&, Responder&)) {
     loop.on(type, ExecClass::kMutating,
             [this, fn](const Request& req, Responder& resp) {
-              std::unique_lock lock(state_mu_);
+              WriterLock lock(state_mu_);
               (this->*fn)(req, resp);
             });
   };
@@ -127,7 +127,7 @@ void PbsServer::register_handlers(svc::ServiceLoop& loop) {
                         void (PbsServer::*fn)(const rpc::Request&)) {
     loop.on(type, ExecClass::kMutating,
             [this, fn](const Request& req, Responder&) {
-              std::unique_lock lock(state_mu_);
+              WriterLock lock(state_mu_);
               (this->*fn)(req);
             });
   };
@@ -137,7 +137,7 @@ void PbsServer::register_handlers(svc::ServiceLoop& loop) {
                                               Responder&)) {
     loop.on(type, ExecClass::kReadOnly,
             [this, fn](const Request& req, Responder& resp) {
-              std::shared_lock lock(state_mu_);
+              ReaderLock lock(state_mu_);
               (this->*fn)(req, resp);
             });
   };
@@ -148,7 +148,7 @@ void PbsServer::register_handlers(svc::ServiceLoop& loop) {
                                                    Responder&)) {
     loop.on(type, ExecClass::kReadOnly,
             [this, fn](const Request& req, Responder& resp) {
-              std::unique_lock lock(state_mu_);
+              WriterLock lock(state_mu_);
               (this->*fn)(req, resp);
             });
   };
@@ -176,7 +176,7 @@ void PbsServer::register_handlers(svc::ServiceLoop& loop) {
   read_excl(MsgType::kGetNodes, &PbsServer::on_get_nodes);
   loop.on(MsgType::kMomHeartbeat, ExecClass::kReadOnly,
           [this](const Request& req, Responder&) {
-            std::unique_lock lock(state_mu_);
+            WriterLock lock(state_mu_);
             on_heartbeat(req);
           });
 }
@@ -675,6 +675,16 @@ void PbsServer::on_run_dyn(const rpc::Request& req, svc::Responder& resp) {
     return;
   }
   resp.ok();
+
+  // The grant came entirely from the free pool (every assign succeeded) and
+  // honors the request bounds the scheduler saw.
+  DAC_CHECK(applied.size() == hosts.size(),
+            "dyn {}: granted {} hosts but only {} applied", dyn_id,
+            hosts.size(), applied.size());
+  DAC_CHECK(hosts.size() >= static_cast<std::size_t>(dyn.min_count) &&
+                hosts.size() <= static_cast<std::size_t>(dyn.count),
+            "dyn {}: grant of {} outside [{}, {}]", dyn_id, hosts.size(),
+            dyn.min_count, dyn.count);
 
   const auto client_id = next_client_id_++;
   rec.dyn_sets[client_id] = hosts;

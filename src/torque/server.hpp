@@ -16,7 +16,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -110,36 +109,53 @@ class PbsServer {
   void register_handlers(svc::ServiceLoop& loop);
 
   // IFL / mom-facing handlers. All run with state_mu_ held (shared for the
-  // pure reads, exclusive otherwise).
-  void on_submit(const rpc::Request& req, svc::Responder& resp);
-  void on_stat_jobs(const rpc::Request& req, svc::Responder& resp);
-  void on_stat_nodes(const rpc::Request& req, svc::Responder& resp);
-  void on_delete_job(const rpc::Request& req, svc::Responder& resp);
-  void on_alter_job(const rpc::Request& req, svc::Responder& resp);
-  void on_dynget(const rpc::Request& req, svc::Responder& resp);
-  void on_dynfree(const rpc::Request& req, svc::Responder& resp);
-  void on_register_node(const rpc::Request& req, svc::Responder& resp);
-  void on_register_scheduler(const rpc::Request& req, svc::Responder& resp);
-  void on_job_started(const rpc::Request& req);
-  void on_job_complete(const rpc::Request& req);
-  void on_ms_release_done(const rpc::Request& req);
-  void on_heartbeat(const rpc::Request& req);
+  // pure reads, exclusive otherwise); the REQUIRES annotations document and
+  // (under clang) enforce that.
+  void on_submit(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_stat_jobs(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES_SHARED(state_mu_);
+  void on_stat_nodes(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_delete_job(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_alter_job(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_dynget(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_dynfree(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_register_node(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_register_scheduler(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_job_started(const rpc::Request& req) DAC_REQUIRES(state_mu_);
+  void on_job_complete(const rpc::Request& req) DAC_REQUIRES(state_mu_);
+  void on_ms_release_done(const rpc::Request& req) DAC_REQUIRES(state_mu_);
+  void on_heartbeat(const rpc::Request& req) DAC_REQUIRES(state_mu_);
 
   // Scheduler-facing handlers.
-  void on_get_queue(const rpc::Request& req, svc::Responder& resp);
-  void on_get_nodes(const rpc::Request& req, svc::Responder& resp);
-  void on_run_job(const rpc::Request& req, svc::Responder& resp);
-  void on_run_dyn(const rpc::Request& req, svc::Responder& resp);
-  void on_reject_dyn(const rpc::Request& req, svc::Responder& resp);
+  void on_get_queue(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES_SHARED(state_mu_);
+  void on_get_nodes(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_run_job(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_run_dyn(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_reject_dyn(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
 
-  void wake_scheduler();
+  void wake_scheduler() DAC_REQUIRES(state_mu_);
   // Fails running jobs that depend on a dead compute node (FT extension).
-  void fail_jobs_on(const std::string& hostname);
-  void activate_next_dyn(JobRecord& job);
-  void finish_dyn(DynRecord& dyn, const DynGetReply& reply);
+  void fail_jobs_on(const std::string& hostname) DAC_REQUIRES(state_mu_);
+  void activate_next_dyn(JobRecord& job) DAC_REQUIRES(state_mu_);
+  void finish_dyn(DynRecord& dyn, const DynGetReply& reply)
+      DAC_REQUIRES(state_mu_);
   [[nodiscard]] double now_s() const;
   [[nodiscard]] std::vector<HostRef> host_refs(
-      const std::vector<std::string>& hostnames) const;
+      const std::vector<std::string>& hostnames) const
+      DAC_REQUIRES_SHARED(state_mu_);
 
   vnet::Node& node_;
   BatchTiming timing_;
@@ -151,19 +167,20 @@ class PbsServer {
   // Guards all server state below. The mutating lane takes it exclusively;
   // pooled read-only handlers take it shared (or exclusively when they touch
   // liveness bookkeeping). With server_read_workers == 0 it is uncontended.
-  std::shared_mutex state_mu_;
+  SharedMutex state_mu_{"server.state"};
 
-  NodeDb nodes_;
-  std::map<JobId, JobRecord> jobs_;
-  std::map<std::uint64_t, DynRecord> dyn_;
-  std::deque<std::uint64_t> dyn_fifo_;  // active dyn ids, FIFO
+  NodeDb nodes_ DAC_GUARDED_BY(state_mu_);
+  std::map<JobId, JobRecord> jobs_ DAC_GUARDED_BY(state_mu_);
+  std::map<std::uint64_t, DynRecord> dyn_ DAC_GUARDED_BY(state_mu_);
+  // Active dyn ids, FIFO.
+  std::deque<std::uint64_t> dyn_fifo_ DAC_GUARDED_BY(state_mu_);
 
-  vnet::Address scheduler_;
-  bool scheduler_known_ = false;
+  vnet::Address scheduler_ DAC_GUARDED_BY(state_mu_);
+  bool scheduler_known_ DAC_GUARDED_BY(state_mu_) = false;
 
-  JobId next_job_id_ = 1;
-  std::uint64_t next_dyn_id_ = 1;
-  std::uint64_t next_client_id_ = 1;
+  JobId next_job_id_ DAC_GUARDED_BY(state_mu_) = 1;
+  std::uint64_t next_dyn_id_ DAC_GUARDED_BY(state_mu_) = 1;
+  std::uint64_t next_client_id_ DAC_GUARDED_BY(state_mu_) = 1;
 };
 
 }  // namespace dac::torque

@@ -6,14 +6,14 @@ namespace dac::torque {
 
 void TaskRegistry::add(JobId job, vnet::NodeId node, vnet::ProcessPtr process,
                        std::uint64_t set_id) {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   tasks_[{job, node}].push_back(Task{std::move(process), set_id});
 }
 
 std::vector<vnet::ProcessPtr> TaskRegistry::take(JobId job, vnet::NodeId node,
                                                  bool all_nodes,
                                                  std::uint64_t set_id) {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   std::vector<vnet::ProcessPtr> out;
   for (auto it = tasks_.begin(); it != tasks_.end();) {
     if (it->first.first == job && (all_nodes || it->first.second == node)) {
@@ -53,7 +53,7 @@ void TaskRegistry::join_job(JobId job) {
 }
 
 std::size_t TaskRegistry::task_count(JobId job) const {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [key, tasks] : tasks_) {
     if (key.first == job) n += tasks.size();
@@ -62,7 +62,7 @@ std::size_t TaskRegistry::task_count(JobId job) const {
 }
 
 void TaskRegistry::reap() {
-  std::lock_guard lock(mu_);
+  ScopedLock lock(mu_);
   for (auto it = tasks_.begin(); it != tasks_.end();) {
     auto& tasks = it->second;
     std::erase_if(tasks, [](const Task& t) {

@@ -7,10 +7,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "torque/job.hpp"
+#include "util/sync.hpp"
 #include "vnet/node.hpp"
 
 namespace dac::torque {
@@ -44,8 +44,9 @@ class TaskRegistry {
   std::vector<vnet::ProcessPtr> take(JobId job, vnet::NodeId node,
                                      bool all_nodes, std::uint64_t set_id);
 
-  mutable std::mutex mu_;
-  std::map<std::pair<JobId, vnet::NodeId>, std::vector<Task>> tasks_;
+  mutable Mutex mu_{"tasks"};
+  std::map<std::pair<JobId, vnet::NodeId>, std::vector<Task>> tasks_
+      DAC_GUARDED_BY(mu_);
 };
 
 }  // namespace dac::torque

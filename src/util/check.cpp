@@ -1,0 +1,27 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace dac::detail {
+
+std::string check_failure_message(const char* file, int line, const char* expr,
+                                  const std::string& msg) {
+  std::ostringstream out;
+  out << "DAC_CHECK failed: " << expr << " (" << file << ":" << line << ")";
+  if (!msg.empty()) out << ": " << msg;
+  return std::move(out).str();
+}
+
+void check_fail(const char* file, int line, const char* expr,
+                const std::string& msg) {
+  const auto report = check_failure_message(file, line, expr, msg);
+  // fprintf, not the logger: the logger's level gate and mutex must not be
+  // able to swallow or deadlock a failing invariant.
+  std::fprintf(stderr, "%s\n", report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dac::detail

@@ -1,0 +1,53 @@
+// DAC_CHECK / DAC_DCHECK: invariant assertions with formatted messages.
+//
+//   DAC_CHECK(node.used >= 0);
+//   DAC_CHECK(grants <= free, "granted {} ACs but only {} free", grants, free);
+//
+// DAC_CHECK is always on and aborts the process with the failed expression,
+// source location, and the formatted message. DAC_DCHECK evaluates only in
+// debug (!NDEBUG) builds; in release builds the condition is type-checked
+// but never executed. Use DAC_CHECK for cheap cross-daemon bookkeeping
+// invariants (slot counts, grant sets) and DAC_DCHECK for per-operation
+// checks on hot paths.
+#pragma once
+
+#include <string>
+
+#include "util/format.hpp"
+
+namespace dac::detail {
+
+// Builds the failure report; separated from check_fail so tests can assert
+// on the exact formatting without dying.
+std::string check_failure_message(const char* file, int line, const char* expr,
+                                  const std::string& msg);
+
+[[noreturn]] void check_fail(const char* file, int line, const char* expr,
+                             const std::string& msg);
+
+inline std::string check_format() { return {}; }
+
+template <typename... Args>
+std::string check_format(std::string_view fmt, Args&&... args) {
+  return util::format(fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace dac::detail
+
+#define DAC_CHECK(cond, ...)                                    \
+  (static_cast<bool>(cond)                                      \
+       ? static_cast<void>(0)                                   \
+       : ::dac::detail::check_fail(__FILE__, __LINE__, #cond,   \
+                                   ::dac::detail::check_format( \
+                                       __VA_ARGS__)))
+
+#ifndef NDEBUG
+#define DAC_DCHECK(...) DAC_CHECK(__VA_ARGS__)
+#else
+#define DAC_DCHECK(...)             \
+  do {                              \
+    if (false) {                    \
+      DAC_CHECK(__VA_ARGS__);       \
+    }                               \
+  } while (false)
+#endif

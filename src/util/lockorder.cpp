@@ -1,0 +1,185 @@
+#include "util/lockorder.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dac::lockorder {
+
+namespace {
+
+std::atomic<bool> g_enabled{
+#ifdef NDEBUG
+    false
+#else
+    true
+#endif
+};
+
+struct HeldLock {
+  const void* lock = nullptr;
+  const char* name = "mutex";
+};
+
+// Held-lock stack of the current thread, innermost last.
+thread_local std::vector<HeldLock> t_held;
+
+// Records where an ordering was first established.
+struct EdgeInfo {
+  std::string from_name;
+  std::string to_name;
+  std::string stack;  // held stack at the time, rendered
+  std::thread::id thread;
+};
+
+// The global state is guarded by a raw std::mutex on purpose: the detector
+// must not instrument its own lock (lint-allowlisted).
+std::mutex g_mu;
+std::map<std::pair<const void*, const void*>, EdgeInfo> g_edges;
+std::map<const void*, std::set<const void*>> g_adjacent;
+Handler g_handler;
+
+std::string render_stack(const std::vector<HeldLock>& held) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << held[i].name << "@" << held[i].lock;
+  }
+  if (held.empty()) out << "(none)";
+  return out.str();
+}
+
+// Depth-first search for a path `from` -> ... -> `to` in the order graph.
+// Returns the path (inclusive) if one exists. Caller holds g_mu.
+bool find_path(const void* from, const void* to, std::set<const void*>& seen,
+               std::vector<const void*>& path) {
+  if (from == to) {
+    path.push_back(from);
+    return true;
+  }
+  if (!seen.insert(from).second) return false;
+  auto it = g_adjacent.find(from);
+  if (it == g_adjacent.end()) return false;
+  for (const void* next : it->second) {
+    if (find_path(next, to, seen, path)) {
+      path.insert(path.begin(), from);
+      return true;
+    }
+  }
+  return false;
+}
+
+void default_report(const Violation& v) {
+  std::fprintf(stderr, "%s\n", v.message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_violation_handler(Handler handler) {
+  std::lock_guard lock(g_mu);
+  g_handler = std::move(handler);
+}
+
+void reset_for_testing() {
+  std::lock_guard lock(g_mu);
+  g_edges.clear();
+  g_adjacent.clear();
+  t_held.clear();
+}
+
+void on_acquire(const void* lock, const char* name) {
+  if (!enabled()) return;
+  std::vector<Violation> violations;
+  Handler handler;
+  {
+    std::lock_guard guard(g_mu);
+    for (const auto& held : t_held) {
+      if (held.lock == lock) continue;  // re-acquire caught by the real lock
+      const auto key = std::make_pair(held.lock, lock);
+      const bool fresh = !g_edges.contains(key);
+      if (fresh) {
+        g_edges.emplace(key, EdgeInfo{held.name, name, render_stack(t_held),
+                                      std::this_thread::get_id()});
+        g_adjacent[held.lock].insert(lock);
+      }
+      // A path lock -> ... -> held.lock means the opposite order is already
+      // established somewhere: cycle.
+      std::set<const void*> seen;
+      std::vector<const void*> path;
+      if (fresh && find_path(lock, held.lock, seen, path)) {
+        Violation v;
+        v.first_lock = name;
+        v.second_lock = held.name;
+        std::ostringstream msg;
+        msg << "lock-order inversion: acquiring '" << name << "'@" << lock
+            << " while holding '" << held.name << "'@" << held.lock
+            << ", but the opposite order is already established\n"
+            << "  this thread holds: " << render_stack(t_held) << "\n"
+            << "  reverse path:";
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          const auto eit = g_edges.find({path[i], path[i + 1]});
+          if (eit == g_edges.end()) continue;
+          msg << "\n    '" << eit->second.from_name << "' -> '"
+              << eit->second.to_name << "' first taken with held stack: "
+              << eit->second.stack;
+        }
+        v.message = std::move(msg).str();
+        violations.push_back(std::move(v));
+      }
+    }
+    handler = g_handler;
+  }
+  t_held.push_back(HeldLock{lock, name});
+  // Report outside g_mu: the default handler (and any test handler that
+  // logs) may itself acquire instrumented locks.
+  for (const auto& v : violations) {
+    if (handler) {
+      handler(v);
+    } else {
+      default_report(v);
+    }
+  }
+}
+
+void on_release(const void* lock) noexcept {
+  if (!enabled()) return;
+  // Unlocks may come out of stack order (rare, but legal); erase the
+  // innermost matching entry.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->lock == lock) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void on_destroy(const void* lock) noexcept {
+  if (!enabled()) return;
+  std::lock_guard guard(g_mu);
+  g_adjacent.erase(lock);
+  for (auto& [from, targets] : g_adjacent) targets.erase(lock);
+  for (auto it = g_edges.begin(); it != g_edges.end();) {
+    if (it->first.first == lock || it->first.second == lock) {
+      it = g_edges.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dac::lockorder

@@ -1,0 +1,49 @@
+// Runtime lock-order (potential-deadlock) detector, in the spirit of the
+// kernel's lockdep. Every dac::Mutex reports acquire/release here; the
+// detector maintains a per-thread held-lock stack and a global acquisition-
+// order graph. Acquiring B while holding A records the edge A -> B; if the
+// graph already contains a path B -> ... -> A, the two orders can deadlock
+// under the right schedule, and the detector reports it immediately — with
+// the current thread's held stack and the stack recorded when the reverse
+// edge was first seen — even if this particular run never actually hangs.
+//
+// The detector is compiled in unconditionally but enabled by default only in
+// debug (!NDEBUG) builds; when disabled, the hooks cost one relaxed atomic
+// load. Tests may enable it explicitly and install a capturing handler in
+// place of the default report-and-abort.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace dac::lockorder {
+
+struct Violation {
+  std::string first_lock;   // lock being acquired when the cycle closed
+  std::string second_lock;  // already-held lock reachable from first_lock
+  // Human-readable report: the inverted pair, the acquiring thread's held
+  // stack, and the held stack recorded when the opposite order was first
+  // established.
+  std::string message;
+};
+
+using Handler = std::function<void(const Violation&)>;
+
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+// Replaces the violation handler (default: print the report to stderr and
+// abort). Passing a null handler restores the default.
+void set_violation_handler(Handler handler);
+
+// Drops the acquisition-order graph and the calling thread's held stack.
+// Test-only: real code never needs to forget established orderings.
+void reset_for_testing();
+
+// Hooks wired into dac::Mutex / dac::CondVar. `lock` identifies the mutex
+// (its address); `name` is a static diagnostic label.
+void on_acquire(const void* lock, const char* name);
+void on_release(const void* lock) noexcept;
+void on_destroy(const void* lock) noexcept;
+
+}  // namespace dac::lockorder

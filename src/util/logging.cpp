@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace dac::util {
 
@@ -17,7 +18,7 @@ std::atomic<LogLevel> g_level{[] {
   return LogLevel::kWarn;
 }()};
 
-std::mutex g_io_mutex;
+Mutex g_io_mutex{"log.io"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -56,7 +57,7 @@ void log_line(LogLevel level, std::string_view component,
   using namespace std::chrono;
   const auto now = steady_clock::now().time_since_epoch();
   const auto ms = duration_cast<milliseconds>(now).count();
-  std::lock_guard lock(g_io_mutex);
+  ScopedLock lock(g_io_mutex);
   std::fprintf(stderr, "%9lld.%03lld [%s] [%.*s] %.*s\n",
                static_cast<long long>(ms / 1000),
                static_cast<long long>(ms % 1000), level_name(level),

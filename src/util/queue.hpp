@@ -1,14 +1,18 @@
 // Unbounded MPSC/MPMC blocking queue used for mailboxes and work queues
-// throughout the virtual cluster. close() releases all waiters; pop() returns
-// nullopt once the queue is both closed and drained, which is the idiomatic
-// shutdown path for every daemon loop in this codebase.
+// throughout the virtual cluster. close() wakes every blocked producer and
+// consumer; pop() returns nullopt once the queue is both closed and drained,
+// which is the idiomatic shutdown path for every daemon loop in this
+// codebase. push() into a closed queue is a checked error: it returns false
+// (the item is dropped) and the result must be handled — callers that can
+// tolerate the drop say so explicitly.
 #pragma once
 
-#include <condition_variable>
+#include <chrono>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/sync.hpp"
 
 namespace dac::util {
 
@@ -19,10 +23,11 @@ class BlockingQueue {
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
-  // Returns false if the queue is closed (item is dropped).
-  bool push(T item) {
+  // Returns false if the queue is closed (item is dropped). The result must
+  // not be ignored: a post-close push is how shutdown races surface.
+  [[nodiscard]] bool push(T item) {
     {
-      std::lock_guard lock(mu_);
+      ScopedLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -32,8 +37,8 @@ class BlockingQueue {
 
   // Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    UniqueLock lock(mu_);
+    while (items_.empty() && !closed_) cv_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -42,7 +47,7 @@ class BlockingQueue {
 
   // Non-blocking pop.
   std::optional<T> try_pop() {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -52,10 +57,13 @@ class BlockingQueue {
   // Waits up to `timeout`; nullopt on timeout or closed-and-drained.
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mu_);
-    if (!cv_.wait_for(lock, timeout,
-                      [&] { return !items_.empty() || closed_; })) {
-      return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    UniqueLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          items_.empty()) {
+        return std::nullopt;
+      }
     }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
@@ -63,29 +71,31 @@ class BlockingQueue {
     return item;
   }
 
+  // Closes the queue and wakes every waiter; pending items stay poppable.
   void close() {
     {
-      std::lock_guard lock(mu_);
+      ScopedLock lock(mu_);
+      if (closed_) return;
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{"queue"};
+  CondVar cv_;
+  std::deque<T> items_ DAC_GUARDED_BY(mu_);
+  bool closed_ DAC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dac::util

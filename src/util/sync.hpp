@@ -1,0 +1,272 @@
+// Thread-safety-annotated synchronization primitives. Every mutex in the
+// codebase is a dac::Mutex, every condition variable a dac::CondVar, and
+// every guarded field carries DAC_GUARDED_BY(mu_) — so Clang's
+// -Wthread-safety analysis (turned on with -Werror in the clang CI job)
+// proves lock discipline at compile time, while the runtime lock-order
+// detector (util/lockorder.hpp) catches A/B-B/A inversions in debug builds.
+// The annotation macros compile away on GCC.
+//
+// Raw std::mutex / std::condition_variable are banned outside this file and
+// the detector's own implementation; tools/lint.py enforces that in CI.
+//
+// Conventions:
+//   * name the mutex after what it guards, annotate every guarded field;
+//   * prefer ScopedLock (RAII, non-movable); use UniqueLock only for
+//     condition waits;
+//   * write condition waits as explicit loops so the analysis sees the
+//     guarded reads under the lock:
+//       while (!ready_) cv_.wait(lock);
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/lockorder.hpp"
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DAC_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef DAC_THREAD_ANNOTATION_
+#define DAC_THREAD_ANNOTATION_(x)
+#endif
+
+#define DAC_CAPABILITY(x) DAC_THREAD_ANNOTATION_(capability(x))
+#define DAC_SCOPED_CAPABILITY DAC_THREAD_ANNOTATION_(scoped_lockable)
+#define DAC_GUARDED_BY(x) DAC_THREAD_ANNOTATION_(guarded_by(x))
+#define DAC_PT_GUARDED_BY(x) DAC_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define DAC_ACQUIRED_BEFORE(...) \
+  DAC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DAC_ACQUIRED_AFTER(...) \
+  DAC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define DAC_REQUIRES(...) \
+  DAC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define DAC_ACQUIRE(...) \
+  DAC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DAC_RELEASE(...) \
+  DAC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DAC_TRY_ACQUIRE(...) \
+  DAC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define DAC_ACQUIRE_SHARED(...) \
+  DAC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define DAC_RELEASE_SHARED(...) \
+  DAC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define DAC_REQUIRES_SHARED(...) \
+  DAC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define DAC_EXCLUDES(...) DAC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define DAC_ASSERT_CAPABILITY(x) \
+  DAC_THREAD_ANNOTATION_(assert_capability(x))
+#define DAC_RETURN_CAPABILITY(x) DAC_THREAD_ANNOTATION_(lock_returned(x))
+#define DAC_NO_THREAD_SAFETY_ANALYSIS \
+  DAC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dac {
+
+class CondVar;
+
+// Annotated std::mutex wrapper wired into the lock-order detector. The
+// optional name labels the lock in inversion reports; give distinct names to
+// distinct roles ("fabric.pending", "fabric.boxes", ...).
+class DAC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() { lockorder::on_destroy(this); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DAC_ACQUIRE() {
+    // Record intent before blocking: a potential inversion is reported even
+    // on schedules that do not actually deadlock.
+    lockorder::on_acquire(this, name_);
+    mu_.lock();
+  }
+
+  void unlock() DAC_RELEASE() {
+    lockorder::on_release(this);
+    mu_.unlock();
+  }
+
+  [[nodiscard]] bool try_lock() DAC_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockorder::on_acquire(this, name_);
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const char* name_ = "mutex";
+};
+
+// RAII lock for plain critical sections (the std::lock_guard equivalent).
+class DAC_SCOPED_CAPABILITY ScopedLock {
+ public:
+  explicit ScopedLock(Mutex& mu) DAC_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~ScopedLock() DAC_RELEASE() { mu_->unlock(); }
+
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Lock with manual unlock/relock, for condition waits and drop-the-lock
+// sections (the std::unique_lock equivalent).
+class DAC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) DAC_ACQUIRE(mu) : mu_(&mu), owns_(true) {
+    mu_->lock();
+  }
+  ~UniqueLock() DAC_RELEASE() {
+    if (owns_) mu_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() DAC_ACQUIRE() {
+    mu_->lock();
+    owns_ = true;
+  }
+  void unlock() DAC_RELEASE() {
+    mu_->unlock();
+    owns_ = false;
+  }
+  [[nodiscard]] bool owns_lock() const { return owns_; }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+  bool owns_;
+};
+
+// Annotated reader/writer mutex (std::shared_mutex wrapper). Both shared
+// and exclusive acquisitions feed the lock-order detector: a reader inside
+// one lock and a writer inside another deadlock just as readily as two
+// writers.
+class DAC_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) : name_(name) {}
+  ~SharedMutex() { lockorder::on_destroy(this); }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() DAC_ACQUIRE() {
+    lockorder::on_acquire(this, name_);
+    mu_.lock();
+  }
+  void unlock() DAC_RELEASE() {
+    lockorder::on_release(this);
+    mu_.unlock();
+  }
+  void lock_shared() DAC_ACQUIRE_SHARED() {
+    lockorder::on_acquire(this, name_);
+    mu_.lock_shared();
+  }
+  void unlock_shared() DAC_RELEASE_SHARED() {
+    lockorder::on_release(this);
+    mu_.unlock_shared();
+  }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const char* name_ = "shared_mutex";
+};
+
+// RAII exclusive (writer) lock on a SharedMutex.
+class DAC_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) DAC_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+  ~WriterLock() DAC_RELEASE() { mu_->unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+// RAII shared (reader) lock on a SharedMutex.
+class DAC_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) DAC_ACQUIRE_SHARED(mu) : mu_(&mu) {
+    mu_->lock_shared();
+  }
+  ~ReaderLock() DAC_RELEASE() { mu_->unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+// Condition variable over dac::Mutex. Waits keep the lock-order detector's
+// held stack accurate (the mutex is released while blocked) and never hand
+// an annotated lock type into std internals, so the thread-safety analysis
+// sees the caller holding the capability across the wait — which is the
+// truth at every instant the caller can observe.
+//
+// There are deliberately no predicate overloads: write the loop yourself so
+// guarded reads stay visible to the analysis (see file header).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lock) {
+    Mutex& mu = *lock.mu_;
+    lockorder::on_release(&mu);
+    {
+      std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+      cv_.wait(native);
+      native.release();  // ownership stays with `lock`
+    }
+    lockorder::on_acquire(&mu, mu.name_);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    Mutex& mu = *lock.mu_;
+    lockorder::on_release(&mu);
+    std::cv_status status;
+    {
+      std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+      status = cv_.wait_until(native, deadline);
+      native.release();
+    }
+    lockorder::on_acquire(&mu, mu.name_);
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return wait_until(lock, std::chrono::steady_clock::now() + timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dac

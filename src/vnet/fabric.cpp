@@ -15,12 +15,12 @@ Fabric::Fabric(NetworkModel model) : model_(model) {
 Fabric::~Fabric() { shutdown(); }
 
 void Fabric::register_mailbox(const Address& addr, MailboxPtr box) {
-  std::lock_guard lock(boxes_mu_);
+  ScopedLock lock(boxes_mu_);
   boxes_[addr] = std::move(box);
 }
 
 void Fabric::unregister_mailbox(const Address& addr) {
-  std::lock_guard lock(boxes_mu_);
+  ScopedLock lock(boxes_mu_);
   boxes_.erase(addr);
 }
 
@@ -28,7 +28,7 @@ void Fabric::send(Message msg) {
   const bool same_node = msg.from.node == msg.to.node;
   bytes_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
   {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     if (stop_) return;
     const auto now = std::chrono::steady_clock::now();
     std::chrono::steady_clock::time_point deliver_at;
@@ -59,7 +59,7 @@ void Fabric::send(Message msg) {
 
 void Fabric::shutdown() {
   {
-    std::lock_guard lock(mu_);
+    ScopedLock lock(mu_);
     if (stop_) return;
     stop_ = true;
   }
@@ -68,11 +68,11 @@ void Fabric::shutdown() {
 }
 
 void Fabric::delivery_loop() {
-  std::unique_lock lock(mu_);
+  UniqueLock lock(mu_);
   while (true) {
     if (stop_) return;
     if (pending_.empty()) {
-      cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      while (!stop_ && pending_.empty()) cv_.wait(lock);
       continue;
     }
     const auto deadline = pending_.top().deliver_at;
@@ -95,15 +95,23 @@ void Fabric::deliver(Message msg) {
   const auto type = msg.type;
   MailboxPtr box;
   {
-    std::lock_guard lock(boxes_mu_);
+    ScopedLock lock(boxes_mu_);
     if (auto it = boxes_.find(to); it != boxes_.end()) box = it->second;
   }
-  if (!box || !box->push(std::move(msg))) {
+  bool pushed = false;
+  if (box) {
+    // Count before the push: a receiver that already popped the message
+    // must never observe a delivered counter that excludes it.
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    pushed = box->push(std::move(msg));
+    if (!pushed) delivered_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (!pushed) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     const char* reason = box ? "mailbox closed" : "unregistered address";
     bool first_for_node;
     {
-      std::lock_guard lock(drops_mu_);
+      ScopedLock lock(drops_mu_);
       ++drops_to_[to];
       first_for_node = warned_nodes_.insert(to.node).second;
     }
@@ -117,13 +125,11 @@ void Fabric::deliver(Message msg) {
     } else {
       kLog.debug("dropped message to {} ({})", to.str(), reason);
     }
-    return;
   }
-  delivered_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t Fabric::drops_to(const Address& addr) const {
-  std::lock_guard lock(drops_mu_);
+  ScopedLock lock(drops_mu_);
   if (auto it = drops_to_.find(addr); it != drops_to_.end()) return it->second;
   return 0;
 }

@@ -6,17 +6,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <set>
 #include <thread>
 
 #include "util/queue.hpp"
+#include "util/sync.hpp"
 #include "vnet/message.hpp"
 #include "vnet/network_model.hpp"
 
@@ -73,28 +72,30 @@ class Fabric {
 
   NetworkModel model_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  Mutex mu_{"fabric.pending"};
+  CondVar cv_;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_
+      DAC_GUARDED_BY(mu_);
   // Per (from, to) pair: last scheduled delivery time. Deliveries between a
   // pair of endpoints are FIFO regardless of message size, modeling a
   // stream transport (and matching MPI's per-pair ordering guarantee).
   std::map<std::pair<Address, Address>,
            std::chrono::steady_clock::time_point>
-      pair_last_;
+      pair_last_ DAC_GUARDED_BY(mu_);
   // Per source node: when its NIC finishes the current transmission.
-  std::map<NodeId, std::chrono::steady_clock::time_point> link_free_;
-  std::uint64_t next_seq_ = 0;
-  bool stop_ = false;
+  std::map<NodeId, std::chrono::steady_clock::time_point> link_free_
+      DAC_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ DAC_GUARDED_BY(mu_) = 0;
+  bool stop_ DAC_GUARDED_BY(mu_) = false;
 
-  std::mutex boxes_mu_;
-  std::map<Address, MailboxPtr> boxes_;
+  Mutex boxes_mu_{"fabric.boxes"};
+  std::map<Address, MailboxPtr> boxes_ DAC_GUARDED_BY(boxes_mu_);
 
   // Drop accounting per destination; the first drop to a node warns, the
   // rest only count (drop storms would otherwise flood the log).
-  mutable std::mutex drops_mu_;
-  std::map<Address, std::uint64_t> drops_to_;
-  std::set<NodeId> warned_nodes_;
+  mutable Mutex drops_mu_{"fabric.drops"};
+  std::map<Address, std::uint64_t> drops_to_ DAC_GUARDED_BY(drops_mu_);
+  std::set<NodeId> warned_nodes_ DAC_GUARDED_BY(drops_mu_);
 
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};

@@ -69,7 +69,7 @@ std::unique_ptr<Endpoint> Process::open_endpoint() {
   auto ep =
       std::make_unique<Endpoint>(node_.fabric(), node_.allocate_address());
   {
-    std::lock_guard lock(eps_mu_);
+    ScopedLock lock(eps_mu_);
     if (stop_.load(std::memory_order_acquire)) {
       ep->close();
     } else {
@@ -80,7 +80,7 @@ std::unique_ptr<Endpoint> Process::open_endpoint() {
 }
 
 void Process::adopt_mailbox(std::weak_ptr<Mailbox> box) {
-  std::lock_guard lock(eps_mu_);
+  ScopedLock lock(eps_mu_);
   if (stop_.load(std::memory_order_acquire)) {
     if (auto b = box.lock()) b->close();
     return;
@@ -89,19 +89,19 @@ void Process::adopt_mailbox(std::weak_ptr<Mailbox> box) {
 }
 
 std::optional<std::string> Process::getenv(const std::string& key) const {
-  std::lock_guard lock(env_mu_);
+  ScopedLock lock(env_mu_);
   if (auto it = env_.find(key); it != env_.end()) return it->second;
   return std::nullopt;
 }
 
 void Process::setenv(const std::string& key, std::string value) {
-  std::lock_guard lock(env_mu_);
+  ScopedLock lock(env_mu_);
   env_[key] = std::move(value);
 }
 
 void Process::request_stop() {
   stop_.store(true, std::memory_order_release);
-  std::lock_guard lock(eps_mu_);
+  ScopedLock lock(eps_mu_);
   for (auto& weak : owned_boxes_) {
     if (auto box = weak.lock()) box->close();
   }
@@ -132,13 +132,13 @@ ProcessPtr Node::spawn(SpawnOptions opts, Process::Entry entry) {
   const auto pid = next_pid_.fetch_add(1, std::memory_order_relaxed);
   auto proc = ProcessPtr(new Process(*this, pid, std::move(opts),
                                      std::move(entry)));
-  std::lock_guard lock(procs_mu_);
+  ScopedLock lock(procs_mu_);
   procs_[pid] = proc;
   return proc;
 }
 
 std::vector<ProcessPtr> Node::processes() const {
-  std::lock_guard lock(procs_mu_);
+  ScopedLock lock(procs_mu_);
   std::vector<ProcessPtr> out;
   out.reserve(procs_.size());
   for (const auto& [pid, p] : procs_) out.push_back(p);
@@ -146,7 +146,7 @@ std::vector<ProcessPtr> Node::processes() const {
 }
 
 ProcessPtr Node::find_process(std::uint64_t pid) const {
-  std::lock_guard lock(procs_mu_);
+  ScopedLock lock(procs_mu_);
   if (auto it = procs_.find(pid); it != procs_.end()) return it->second;
   return nullptr;
 }
@@ -154,7 +154,7 @@ ProcessPtr Node::find_process(std::uint64_t pid) const {
 void Node::stop_all_processes() {
   std::vector<ProcessPtr> procs;
   {
-    std::lock_guard lock(procs_mu_);
+    ScopedLock lock(procs_mu_);
     for (auto& [pid, p] : procs_) procs.push_back(p);
     procs_.clear();
   }
@@ -163,7 +163,7 @@ void Node::stop_all_processes() {
 }
 
 void Node::reap() {
-  std::lock_guard lock(procs_mu_);
+  ScopedLock lock(procs_mu_);
   for (auto it = procs_.begin(); it != procs_.end();) {
     if (it->second->finished()) {
       it->second->join();

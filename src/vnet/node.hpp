@@ -11,12 +11,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/sync.hpp"
 #include "vnet/fabric.hpp"
 #include "vnet/message.hpp"
 
@@ -110,11 +110,11 @@ class Process {
   std::uint64_t pid_;
   std::string name_;
 
-  mutable std::mutex env_mu_;
-  std::map<std::string, std::string> env_;
+  mutable Mutex env_mu_{"process.env"};
+  std::map<std::string, std::string> env_ DAC_GUARDED_BY(env_mu_);
 
-  std::mutex eps_mu_;
-  std::vector<std::weak_ptr<Mailbox>> owned_boxes_;
+  Mutex eps_mu_{"process.endpoints"};
+  std::vector<std::weak_ptr<Mailbox>> owned_boxes_ DAC_GUARDED_BY(eps_mu_);
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> finished_{false};
@@ -168,8 +168,8 @@ class Node {
   std::atomic<std::int32_t> next_port_{0};
   std::atomic<std::uint64_t> next_pid_{1};
 
-  mutable std::mutex procs_mu_;
-  std::map<std::uint64_t, ProcessPtr> procs_;
+  mutable Mutex procs_mu_{"node.procs"};
+  std::map<std::uint64_t, ProcessPtr> procs_ DAC_GUARDED_BY(procs_mu_);
 };
 
 }  // namespace dac::vnet

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
+#include "util/sync.hpp"
 
 #include "core/cluster.hpp"
 
@@ -30,15 +30,15 @@ class JobContextTest : public ::testing::Test {
 TEST_F(JobContextTest, LaunchInfoDescribesTheJob) {
   // The program may start before submit_program() even returns, so it must
   // not read `submitted` — record what it saw and compare afterwards.
-  std::mutex mu;
+  dac::Mutex mu{"test.mu"};
   torque::JobLaunchInfo seen;
   cluster_.register_program("info", [&](JobContext& ctx) {
-    std::lock_guard lock(mu);
+    dac::ScopedLock lock(mu);
     seen = ctx.info();
   });
   const auto submitted = cluster_.submit_program("info", 1, 2);
   ASSERT_TRUE(cluster_.wait_job(submitted, 30'000ms).has_value());
-  std::lock_guard lock(mu);
+  dac::ScopedLock lock(mu);
   EXPECT_EQ(seen.job, submitted);
   EXPECT_EQ(seen.nodes, 1);
   EXPECT_EQ(seen.acpn, 2);
@@ -48,24 +48,24 @@ TEST_F(JobContextTest, LaunchInfoDescribesTheJob) {
 }
 
 TEST_F(JobContextTest, PbsJobidEnvironmentVariable) {
-  std::mutex mu;
+  dac::Mutex mu{"test.mu"};
   std::string seen;
   cluster_.register_program("env", [&](JobContext& ctx) {
     const auto v = ctx.mpi().process().getenv("PBS_JOBID");
-    std::lock_guard lock(mu);
+    dac::ScopedLock lock(mu);
     seen = v.value_or("");
   });
   const auto submitted = cluster_.submit_program("env", 1, 0);
   ASSERT_TRUE(cluster_.wait_job(submitted, 30'000ms).has_value());
-  std::lock_guard lock(mu);
+  dac::ScopedLock lock(mu);
   EXPECT_EQ(seen, std::to_string(submitted));
 }
 
 TEST_F(JobContextTest, RanksMatchComputeNodeOrder) {
-  std::mutex mu;
+  dac::Mutex mu{"test.mu"};
   std::map<int, std::string> rank_to_host;
   cluster_.register_program("ranks", [&](JobContext& ctx) {
-    std::lock_guard lock(mu);
+    dac::ScopedLock lock(mu);
     rank_to_host[ctx.rank()] =
         ctx.info().compute_hosts[static_cast<std::size_t>(ctx.rank())]
             .hostname;

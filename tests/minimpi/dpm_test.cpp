@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
+#include "util/sync.hpp"
 
 #include "mpi_test_util.hpp"
 #include "util/error.hpp"
@@ -118,7 +118,7 @@ TEST_F(MpiTest, MergeAfterConnectOrdersLowFirst) {
   // CN (connect side, low) must get rank 0; daemons ranks 1..3 — exactly
   // the paper's handle numbering.
   std::atomic<bool> cn_ok{false};
-  std::mutex mu;
+  dac::Mutex mu{"test.mu"};
   std::vector<int> daemon_ranks;
 
   runtime_.register_executable("daemons", [&](Proc& p, const util::Bytes&) {
@@ -126,7 +126,7 @@ TEST_F(MpiTest, MergeAfterConnectOrdersLowFirst) {
     Comm inter = p.comm_accept("mergeport", p.world(), 0);
     Comm merged = p.intercomm_merge(inter, /*high=*/true);
     {
-      std::lock_guard lock(mu);
+      dac::ScopedLock lock(mu);
       daemon_ranks.push_back(merged.rank);
     }
     EXPECT_EQ(merged.size(), 4);
@@ -202,12 +202,12 @@ TEST_F(MpiTest, SpawnMergeProducesPaperRankLayout) {
   // Parent (1 proc) spawns 2 children and merges low: parent rank 0,
   // children ranks 1, 2 — matching AC_Get's x+1..x+y numbering for x=0.
   std::atomic<bool> parent_ok{false};
-  std::mutex mu;
+  dac::Mutex mu{"test.mu"};
   std::vector<int> child_ranks;
 
   runtime_.register_executable("child", [&](Proc& p, const util::Bytes&) {
     Comm merged = p.intercomm_merge(*p.parent_comm(), /*high=*/true);
-    std::lock_guard lock(mu);
+    dac::ScopedLock lock(mu);
     child_ranks.push_back(merged.rank);
   });
   runtime_.register_executable("parent", [&](Proc& p, const util::Bytes&) {

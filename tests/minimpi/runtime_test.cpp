@@ -7,6 +7,8 @@
 #include <atomic>
 #include <set>
 
+#include "util/sync.hpp"
+
 #include "minimpi/proc.hpp"
 #include "vnet/cluster.hpp"
 
@@ -65,10 +67,10 @@ TEST_F(RuntimeTest, EnvPropagatesToAllRanks) {
 }
 
 TEST_F(RuntimeTest, StartStaggerDelaysHigherRanks) {
-  std::mutex mu;
+  dac::Mutex mu{"test.mu"};
   std::vector<std::pair<int, std::chrono::steady_clock::time_point>> starts;
   runtime_.register_executable("stagger", [&](Proc& p, const util::Bytes&) {
-    std::lock_guard lock(mu);
+    dac::ScopedLock lock(mu);
     starts.emplace_back(p.rank(), std::chrono::steady_clock::now());
   });
   LaunchOptions opts;

@@ -1,0 +1,85 @@
+// TSan-targeted stress test: eight writer threads hammer one
+// MetricsRegistry while readers continuously snapshot it. Under
+// -fsanitize=thread this flushes out any unguarded access in the registry;
+// in any build it verifies that no recorded call is lost or double-counted.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "svc/metrics.hpp"
+
+namespace dac::svc {
+namespace {
+
+TEST(MetricsStressTest, ConcurrentRecordAndSnapshotConserveCounts) {
+  constexpr int kWriters = 8;
+  constexpr int kReaders = 2;
+  constexpr int kRecordsPerWriter = 2000;
+
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> snapshots_taken{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snap = registry.snapshot();
+        // Monotonicity under concurrency: a snapshot never exceeds the
+        // total any writer could have recorded so far.
+        EXPECT_LE(snap.total_calls(),
+                  static_cast<std::uint64_t>(kWriters) * kRecordsPerWriter);
+        snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Each writer uses its own type for half the records (per-type
+      // accounting) and a shared type for the other half (contention on one
+      // Series).
+      const auto own_type = static_cast<std::uint32_t>(100 + w);
+      for (int i = 0; i < kRecordsPerWriter; ++i) {
+        const bool shared = (i % 2) == 0;
+        registry.record(shared ? 7u : own_type, 0.25 * (i % 8),
+                        /*error=*/(i % 16) == 0);
+      }
+    });
+  }
+
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(snapshots_taken.load(), 0u);
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.total_calls(),
+            static_cast<std::uint64_t>(kWriters) * kRecordsPerWriter);
+
+  const auto* shared_series = snap.find(7u);
+  ASSERT_NE(shared_series, nullptr);
+  EXPECT_EQ(shared_series->calls,
+            static_cast<std::uint64_t>(kWriters) * kRecordsPerWriter / 2);
+
+  std::uint64_t errors = 0;
+  for (const auto& s : snap.rpcs) errors += s.errors;
+  // i % 16 == 0 fires 125 times per writer over 2000 iterations.
+  EXPECT_EQ(errors, static_cast<std::uint64_t>(kWriters) *
+                        (kRecordsPerWriter / 16));
+
+  for (int w = 0; w < kWriters; ++w) {
+    const auto* own = snap.find(static_cast<std::uint32_t>(100 + w));
+    ASSERT_NE(own, nullptr) << "writer " << w;
+    EXPECT_EQ(own->calls, static_cast<std::uint64_t>(kRecordsPerWriter) / 2);
+  }
+}
+
+}  // namespace
+}  // namespace dac::svc

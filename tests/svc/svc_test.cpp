@@ -6,12 +6,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 
 #include "core/cluster.hpp"
+#include "util/sync.hpp"
 #include "svc/backoff.hpp"
 #include "svc/caller.hpp"
 #include "svc/metrics.hpp"
@@ -159,8 +158,8 @@ TEST_F(SvcTest, ReadOnlyRunsConcurrentlyWithMutatingLane) {
   // read pool this completes (the read runs on a worker while the mutating
   // request runs on the loop thread); fully serialized it would deadlock.
   auto ep = node_.open_endpoint();
-  std::mutex mu;
-  std::condition_variable cv;
+  dac::Mutex mu{"test.mut_ran"};
+  dac::CondVar cv;
   bool mut_ran = false;
 
   ServiceConfig cfg;
@@ -169,8 +168,16 @@ TEST_F(SvcTest, ReadOnlyRunsConcurrentlyWithMutatingLane) {
   ServiceLoop loop(*ep, cfg);
   loop.on(MsgType::kStatJobs, ExecClass::kReadOnly,
           [&](const Request&, Responder& resp) {
-            std::unique_lock lock(mu);
-            const bool ok = cv.wait_for(lock, 5000ms, [&] { return mut_ran; });
+            const auto deadline = std::chrono::steady_clock::now() + 5000ms;
+            dac::UniqueLock lock(mu);
+            bool ok = true;
+            while (!mut_ran) {
+              if (cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+                  !mut_ran) {
+                ok = false;
+                break;
+              }
+            }
             lock.unlock();
             if (ok) {
               resp.ok();
@@ -181,7 +188,7 @@ TEST_F(SvcTest, ReadOnlyRunsConcurrentlyWithMutatingLane) {
   loop.on(MsgType::kSubmit, ExecClass::kMutating,
           [&](const Request&, Responder& resp) {
             {
-              std::lock_guard lock(mu);
+              dac::ScopedLock lock(mu);
               mut_ran = true;
             }
             cv.notify_all();

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <mutex>
+#include "util/sync.hpp"
 
 #include "minimpi/runtime.hpp"
 #include "vnet/cluster.hpp"
@@ -39,7 +39,7 @@ class MomTest : public ::testing::Test {
               util::ByteReader r(req.body);
               const auto st = get_node_status(r);
               {
-                std::lock_guard lock(mu_);
+                dac::ScopedLock lock(mu_);
                 mom_addr_ = st.mom_addr;
                 registered_ = true;
               }
@@ -60,7 +60,7 @@ class MomTest : public ::testing::Test {
 
     const auto deadline = std::chrono::steady_clock::now() + 5s;
     while (std::chrono::steady_clock::now() < deadline) {
-      std::lock_guard lock(mu_);
+      dac::ScopedLock lock(mu_);
       if (registered_) break;
     }
   }
@@ -68,7 +68,7 @@ class MomTest : public ::testing::Test {
   ~MomTest() override { cluster_.shutdown(); }
 
   vnet::Address mom_addr() {
-    std::lock_guard lock(mu_);
+    dac::ScopedLock lock(mu_);
     return mom_addr_;
   }
 
@@ -98,7 +98,7 @@ class MomTest : public ::testing::Test {
   std::unique_ptr<PbsMom> mom_;
   vnet::ProcessPtr mom_proc_;
 
-  std::mutex mu_;
+  dac::Mutex mu_{"test.events"};
   bool registered_ = false;
   vnet::Address mom_addr_;
 };

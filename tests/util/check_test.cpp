@@ -1,0 +1,73 @@
+// DAC_CHECK / DAC_DCHECK tests: failure-report formatting, pass-through on
+// true conditions, death on false ones, and the release-build dead-branch
+// behavior of DAC_DCHECK.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dac {
+namespace {
+
+TEST(CheckTest, FailureMessageNamesExpressionAndLocation) {
+  const auto msg =
+      detail::check_failure_message("torque/node_db.cpp", 72, "used <= np",
+                                    "node ac3 over-assigned: used=5 np=4");
+  EXPECT_EQ(msg,
+            "DAC_CHECK failed: used <= np (torque/node_db.cpp:72): "
+            "node ac3 over-assigned: used=5 np=4");
+}
+
+TEST(CheckTest, FailureMessageWithoutDetailOmitsTrailingColon) {
+  const auto msg = detail::check_failure_message("a.cpp", 7, "x > 0", "");
+  EXPECT_EQ(msg, "DAC_CHECK failed: x > 0 (a.cpp:7)");
+}
+
+TEST(CheckTest, FormatHelperFormatsArguments) {
+  EXPECT_EQ(detail::check_format(), "");
+  EXPECT_EQ(detail::check_format("granted {} of {}", 3, 8), "granted 3 of 8");
+}
+
+TEST(CheckTest, PassingCheckHasNoEffect) {
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return true;
+  };
+  DAC_CHECK(count(), "never printed");
+  DAC_CHECK(count());
+  EXPECT_EQ(evaluations, 2);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithFormattedMessage) {
+  EXPECT_DEATH(DAC_CHECK(false, "boom {}", 7), "DAC_CHECK failed: false .*boom 7");
+}
+
+TEST(CheckDeathTest, FailingCheckWithoutMessageAborts) {
+  const int used = -1;
+  EXPECT_DEATH(DAC_CHECK(used >= 0), "DAC_CHECK failed: used >= 0");
+}
+
+TEST(CheckTest, DcheckIsCompiledButInertInRelease) {
+  int evaluations = 0;
+  const auto count = [&] {
+    ++evaluations;
+    return true;
+  };
+  DAC_DCHECK(count(), "counts only in debug");
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0);
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckFiresInDebug) {
+  EXPECT_DEATH(DAC_DCHECK(false, "debug-only"), "debug-only");
+}
+#endif
+
+}  // namespace
+}  // namespace dac

@@ -25,7 +25,7 @@ TEST(BlockingQueue, PushPopFifo) {
 TEST(BlockingQueue, TryPopEmpty) {
   BlockingQueue<int> q;
   EXPECT_FALSE(q.try_pop().has_value());
-  q.push(7);
+  EXPECT_TRUE(q.push(7));
   EXPECT_EQ(q.try_pop(), 7);
   EXPECT_FALSE(q.try_pop().has_value());
 }
@@ -53,8 +53,8 @@ TEST(BlockingQueue, CloseReleasesBlockedPopper) {
 
 TEST(BlockingQueue, CloseDrainsRemainingItems) {
   BlockingQueue<int> q;
-  q.push(1);
-  q.push(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
   q.close();
   EXPECT_FALSE(q.push(3));  // rejected after close
   EXPECT_EQ(q.pop(), 1);
@@ -62,11 +62,41 @@ TEST(BlockingQueue, CloseDrainsRemainingItems) {
   EXPECT_FALSE(q.pop().has_value());
 }
 
+TEST(BlockingQueue, CloseWakesAllBlockedWaiters) {
+  // Shutdown must release every waiter, not just one — a single notify_one
+  // here would leave threads blocked forever.
+  BlockingQueue<int> q;
+  constexpr int kWaiters = 6;
+  std::atomic<int> released{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      EXPECT_FALSE(q.pop().has_value());
+      released.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(10ms);  // let the waiters block
+  EXPECT_EQ(released.load(), 0);
+  q.close();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(released.load(), kWaiters);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BlockingQueue, CloseIsIdempotentAndPushStaysRejected) {
+  BlockingQueue<int> q;
+  q.close();
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_FALSE(q.push(2));
+  EXPECT_FALSE(q.pop().has_value());
+}
+
 TEST(BlockingQueue, BlockedPopWakesOnPush) {
   BlockingQueue<int> q;
   std::thread t([&] {
     std::this_thread::sleep_for(10ms);
-    q.push(42);
+    EXPECT_TRUE(q.push(42));
   });
   EXPECT_EQ(q.pop(), 42);
   t.join();
@@ -79,7 +109,7 @@ TEST(BlockingQueue, ConcurrentProducersConsumeAll) {
   std::vector<std::thread> producers;
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&q] {
-      for (int i = 0; i < kPerProducer; ++i) q.push(1);
+      for (int i = 0; i < kPerProducer; ++i) EXPECT_TRUE(q.push(1));
     });
   }
   int total = 0;
@@ -96,8 +126,8 @@ TEST(BlockingQueue, ConcurrentProducersConsumeAll) {
 TEST(BlockingQueue, SizeReflectsContents) {
   BlockingQueue<int> q;
   EXPECT_EQ(q.size(), 0u);
-  q.push(1);
-  q.push(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
   EXPECT_EQ(q.size(), 2u);
   (void)q.pop();
   EXPECT_EQ(q.size(), 1u);
@@ -105,7 +135,7 @@ TEST(BlockingQueue, SizeReflectsContents) {
 
 TEST(BlockingQueue, MoveOnlyPayload) {
   BlockingQueue<std::unique_ptr<int>> q;
-  q.push(std::make_unique<int>(5));
+  EXPECT_TRUE(q.push(std::make_unique<int>(5)));
   auto v = q.pop();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 5);

@@ -1,0 +1,125 @@
+// TSan-targeted stress test for the fabric's counters: eight sender threads
+// mix deliverable traffic with sends to dead addresses while reader threads
+// hammer the delivered/dropped/drops_to counters. The final counts must
+// conserve exactly — every live send delivered once, every dead send
+// dropped once — without any sleep-and-hope synchronization: each sender
+// finishes with a sentinel message, and because every endpoint shares one
+// source NIC the fabric's link serialization guarantees all of a sender's
+// earlier messages were resolved before its sentinel arrives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "vnet/fabric.hpp"
+#include "vnet/node.hpp"
+
+namespace dac::vnet {
+namespace {
+
+NetworkModel fast_model() {
+  NetworkModel m;
+  m.latency = std::chrono::microseconds(5);
+  m.loopback_latency = std::chrono::microseconds(1);
+  m.bytes_per_second = 5e9;
+  return m;
+}
+
+constexpr std::uint32_t kLiveMsg = 1;
+constexpr std::uint32_t kSentinel = 2;
+
+TEST(FabricStressTest, CountersConserveUnderConcurrentSendersAndReaders) {
+  constexpr int kSenders = 8;
+  constexpr int kLivePerSender = 150;
+  constexpr int kDeadPerSender = 50;
+
+  Fabric fabric(fast_model());
+  Node node(0, "n0", fabric, std::chrono::microseconds(0));
+
+  auto sink = node.open_endpoint();
+  const Address sink_addr = sink->address();
+
+  // One dead (never-registered) destination per sender, so per-destination
+  // drop counts are attributable.
+  std::vector<Address> dead;
+  dead.reserve(kSenders);
+  for (int i = 0; i < kSenders; ++i) dead.push_back(node.allocate_address());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_delivered = 0;
+      std::uint64_t last_dropped = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto delivered = fabric.messages_delivered();
+        const auto dropped = fabric.messages_dropped();
+        EXPECT_GE(delivered, last_delivered);
+        EXPECT_GE(dropped, last_dropped);
+        last_delivered = delivered;
+        last_dropped = dropped;
+        for (const auto& d : dead) {
+          EXPECT_LE(fabric.drops_to(d),
+                    static_cast<std::uint64_t>(kDeadPerSender));
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> senders;
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&, s] {
+      auto ep = node.open_endpoint();
+      // Interleave live and dead traffic so drops race with deliveries.
+      int live_sent = 0;
+      int dead_sent = 0;
+      for (int i = 0; i < kLivePerSender + kDeadPerSender; ++i) {
+        if (i % 4 == 3 && dead_sent < kDeadPerSender) {
+          ep->send(dead[s], kLiveMsg, {});
+          ++dead_sent;
+        } else if (live_sent < kLivePerSender) {
+          ep->send(sink_addr, kLiveMsg, {});
+          ++live_sent;
+        } else {
+          ep->send(dead[s], kLiveMsg, {});
+          ++dead_sent;
+        }
+      }
+      // Sent last: once this arrives, all of this thread's sends resolved.
+      ep->send(sink_addr, kSentinel, {});
+    });
+  }
+
+  // Drain the sink until every sender's sentinel arrived.
+  int live_received = 0;
+  int sentinels = 0;
+  while (sentinels < kSenders) {
+    auto msg = sink->recv_for(std::chrono::milliseconds(10000));
+    ASSERT_TRUE(msg.has_value()) << "fabric stalled with " << sentinels
+                                 << " sentinels received";
+    if (msg->type == kSentinel) {
+      ++sentinels;
+    } else {
+      ++live_received;
+    }
+  }
+
+  for (auto& t : senders) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(live_received, kSenders * kLivePerSender);
+  EXPECT_EQ(fabric.messages_delivered(),
+            static_cast<std::uint64_t>(kSenders) * (kLivePerSender + 1));
+  EXPECT_EQ(fabric.messages_dropped(),
+            static_cast<std::uint64_t>(kSenders) * kDeadPerSender);
+  for (const auto& d : dead) {
+    EXPECT_EQ(fabric.drops_to(d), static_cast<std::uint64_t>(kDeadPerSender));
+  }
+  EXPECT_EQ(fabric.drops_to(sink_addr), 0u);
+}
+
+}  // namespace
+}  // namespace dac::vnet

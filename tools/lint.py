@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Repo lint: concurrency hygiene and include hygiene.
+
+Run from the repository root (CI does):  python3 tools/lint.py
+
+Rules
+-----
+raw-sync      std::mutex / std::condition_variable / std::lock_guard /
+              std::unique_lock / std::scoped_lock / std::shared_mutex /
+              std::shared_lock are banned everywhere except the annotated
+              wrappers themselves (src/util/sync.hpp) and the lock-order
+              detector (src/util/lockorder.cpp), whose own lock must not
+              instrument itself. Use dac::Mutex / dac::CondVar /
+              dac::ScopedLock / dac::UniqueLock / dac::SharedMutex instead —
+              they feed Clang's thread-safety analysis and the runtime
+              lock-order detector.
+
+detach        std::thread::detach() is banned: every thread must be joined
+              so shutdown is deterministic and sanitizers see the full
+              lifetime.
+
+sleep-poll    sleep_for in tests is a polling smell; new tests must
+              synchronize on condition variables, queues, or the fabric's
+              ordering guarantees. Existing offenders are grandfathered in
+              SLEEP_ALLOWLIST; the list may only shrink.
+
+include       headers must start with #pragma once; no "../" relative
+              includes (use the src/-rooted path).
+
+Exit status is nonzero when any violation is found; diagnostics are
+file:line: rule: message, one per line.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+EXTS = {".hpp", ".cpp", ".h", ".cc"}
+
+# The only files allowed to touch the raw primitives: the annotated wrappers
+# and the detector (its internal lock must not report to itself).
+RAW_SYNC_ALLOWLIST = {
+    "src/util/sync.hpp",
+    "src/util/lockorder.cpp",
+}
+
+# Grandfathered sleep_for users in tests, from before the no-polling rule.
+# Shrink-only: never add to this list; fix the test instead.
+SLEEP_ALLOWLIST = {
+    "tests/core/jobcontext_test.cpp",
+    "tests/core/malleable_test.cpp",
+    "tests/core/soak_test.cpp",
+    "tests/maui/aging_test.cpp",
+    "tests/minimpi/dpm_extra_test.cpp",
+    "tests/minimpi/dpm_test.cpp",
+    "tests/minimpi/nonblocking_test.cpp",
+    "tests/minimpi/p2p_test.cpp",
+    "tests/svc/svc_test.cpp",
+    "tests/torque/fault_test.cpp",
+    "tests/torque/mom_test.cpp",
+    "tests/torque/rpc_test.cpp",
+    "tests/torque/server_test.cpp",
+    "tests/torque/task_registry_test.cpp",
+    "tests/util/clock_test.cpp",
+    "tests/util/queue_test.cpp",
+    "tests/vnet/cluster_test.cpp",
+    "tests/vnet/fabric_test.cpp",
+    "tests/vnet/node_test.cpp",
+    "tests/vnet/stress_test.cpp",
+}
+
+RAW_SYNC_RE = re.compile(
+    r"std::(mutex|condition_variable(_any)?|lock_guard|unique_lock|"
+    r"scoped_lock|shared_mutex|shared_timed_mutex|shared_lock)\b"
+)
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
+REL_INCLUDE_RE = re.compile(r'#\s*include\s*"\.\./')
+
+# std::cv_status and std::condition_variable appear in sync.hpp signatures;
+# mentions inside comments or strings are fine everywhere.
+COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_comment(line: str) -> str:
+    return COMMENT_RE.sub("", line)
+
+
+def lint_file(rel: str, text: str):
+    violations = []
+    lines = text.splitlines()
+    is_header = rel.endswith((".hpp", ".h"))
+    is_test = rel.startswith("tests/")
+
+    if is_header:
+        meaningful = [
+            ln
+            for ln in lines
+            if ln.strip() and not ln.lstrip().startswith("//")
+        ]
+        if not meaningful or meaningful[0].strip() != "#pragma once":
+            violations.append(
+                (1, "include", "header must start with #pragma once")
+            )
+
+    for i, raw_line in enumerate(lines, start=1):
+        line = strip_comment(raw_line)
+        if not line.strip():
+            continue
+
+        if rel not in RAW_SYNC_ALLOWLIST:
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                violations.append(
+                    (
+                        i,
+                        "raw-sync",
+                        f"{m.group(0)} is banned; use the dac:: wrappers "
+                        "from util/sync.hpp",
+                    )
+                )
+
+        if DETACH_RE.search(line) and "thread" in line:
+            violations.append(
+                (i, "detach", "detached threads are banned; join them")
+            )
+
+        if is_test and rel not in SLEEP_ALLOWLIST and SLEEP_RE.search(line):
+            violations.append(
+                (
+                    i,
+                    "sleep-poll",
+                    "sleep_for polling in tests is banned; synchronize on "
+                    "an event (see docs/ANALYSIS.md)",
+                )
+            )
+
+        if REL_INCLUDE_RE.search(line):
+            violations.append(
+                (i, "include", 'no "../" includes; use the src/-rooted path')
+            )
+
+    return violations
+
+
+def main() -> int:
+    failed = False
+    checked = 0
+    for d in SCAN_DIRS:
+        base = ROOT / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTS or not path.is_file():
+                continue
+            rel = path.relative_to(ROOT).as_posix()
+            checked += 1
+            text = path.read_text(encoding="utf-8")
+            for line_no, rule, msg in lint_file(rel, text):
+                print(f"{rel}:{line_no}: {rule}: {msg}")
+                failed = True
+    # Allowlist entries whose files no longer sleep (or no longer exist)
+    # must be removed — the allowlist only shrinks.
+    for rel in sorted(SLEEP_ALLOWLIST):
+        path = ROOT / rel
+        if not path.is_file() or not SLEEP_RE.search(
+            path.read_text(encoding="utf-8")
+        ):
+            print(f"{rel}:1: sleep-poll: stale allowlist entry; remove it "
+                  "from tools/lint.py")
+            failed = True
+    if failed:
+        return 1
+    print(f"lint: {checked} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
