@@ -1,0 +1,130 @@
+// Accelerator failover: what an application does when an accelerator node
+// dies mid-job (fault-tolerance extension of the paper's resource-management
+// library, see docs/FAULTS.md).
+//
+//   1. The job AC_Gets a dynamic accelerator and starts offloading.
+//   2. The node is killed. With a call timeout configured, the next
+//      computation call surfaces AcError(kNodeLost) instead of hanging.
+//   3. The app reports the set lost (AC_ReportLost — no collective
+//      disconnect, dead peers can't participate), waits until the batch
+//      server has declared the node down, and pbs_dyngets a replacement.
+//   4. The job finishes its work on the replacement accelerator.
+//
+// Meanwhile the server's heartbeat detector reclaims the dead node's slots
+// on its own, so server-side bookkeeping and the application agree.
+#include <atomic>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "dacc/frontend.hpp"
+#include "util/queue.hpp"
+
+using namespace dac;
+
+namespace {
+
+// One offload round: saxpy-ish traffic against the given accelerator.
+double offload_round(rmlib::AcSession& s, rmlib::AcHandle ac) {
+  constexpr std::size_t kN = 4096;
+  std::vector<double> x(kN, 1.5);
+  const auto ptr = s.ac_mem_alloc(ac, kN * sizeof(double));
+  s.ac_memcpy_h2d(ac, ptr, std::as_bytes(std::span(x)));
+  const auto back = s.ac_memcpy_d2h(ac, ptr, kN * sizeof(double));
+  s.ac_mem_free(ac, ptr);
+  return static_cast<double>(back.size());
+}
+
+}  // namespace
+
+int main() {
+  auto cfg = core::DacClusterConfig::fast();
+  cfg.compute_nodes = 1;
+  cfg.accel_nodes = 2;  // one to lose, one to fail over to
+  cfg.timing.mom_heartbeat_interval = std::chrono::milliseconds(10);
+  cfg.timing.heartbeat_stale_factor = 10;
+  // Bounded computation calls: a dead accelerator becomes AcError(kNodeLost)
+  // after 300 ms instead of blocking forever.
+  cfg.ac_call_timeout = std::chrono::milliseconds(300);
+  core::DacCluster cluster(cfg);
+
+  util::BlockingQueue<std::string> acquired;  // job -> driver: granted host
+  util::BlockingQueue<int> node_is_down;      // driver -> job: safe to re-get
+  std::atomic<bool> job_ok{false};
+
+  cluster.register_program("failover_app", [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+
+    auto got = s.ac_get(1);
+    if (!got.granted) return;
+    auto ac = got.handles.front();
+    std::printf("[app] acquired accelerator on '%s'\n",
+                got.reply.hosts.front().c_str());
+    offload_round(s, ac);
+    (void)acquired.push(got.reply.hosts.front());
+
+    // Keep offloading until the node dies under us.
+    for (;;) {
+      try {
+        offload_round(s, ac);
+      } catch (const dacc::AcError& e) {
+        if (e.status() != dacc::Status::kNodeLost) throw;
+        std::printf("[app] accelerator lost mid-call: %s\n", e.what());
+        break;
+      }
+    }
+
+    // Release without collective teardown, then get a replacement once the
+    // server agrees the node is gone (otherwise it might re-grant it).
+    s.ac_report_lost(got.client_id);
+    (void)node_is_down.pop();
+    auto replacement = s.ac_get(1);
+    if (!replacement.granted) return;
+    std::printf("[app] replacement granted on '%s'\n",
+                replacement.reply.hosts.front().c_str());
+    offload_round(s, replacement.handles.front());
+    s.ac_free(replacement.client_id);
+    s.ac_finalize();
+    job_ok = true;
+  });
+
+  const auto id = cluster.submit_program("failover_app", 1, 0);
+  auto host = acquired.pop();
+  if (!host) {
+    std::fprintf(stderr, "job never acquired an accelerator\n");
+    return 1;
+  }
+
+  const std::size_t victim_index = *host == "ac0" ? 2 : 3;
+  std::printf("[driver] killing accelerator node '%s'\n", host->c_str());
+  cluster.fail_node(victim_index);
+  if (!cluster.await_node_liveness(*host, torque::Liveness::kDown,
+                                   std::chrono::milliseconds(10'000))) {
+    std::fprintf(stderr, "server never declared '%s' down\n", host->c_str());
+    return 1;
+  }
+  std::printf("[driver] server declared '%s' down; slots reclaimed\n",
+              host->c_str());
+  (void)node_is_down.push(0);
+
+  auto info = cluster.wait_job(id, std::chrono::milliseconds(60'000));
+  if (!info || info->state != torque::JobState::kComplete || !job_ok) {
+    std::fprintf(stderr, "job did not complete after failover\n");
+    return 1;
+  }
+  std::printf(
+      "[driver] job %llu completed after accelerator failover "
+      "(requeues: %d)\n",
+      static_cast<unsigned long long>(id), info->requeues);
+
+  const auto snap = cluster.metrics_snapshot();
+  if (const auto* reclaim = snap.find(torque::as_u32(
+          torque::MsgType::kEvAcReclaim))) {
+    std::printf("[driver] server-side AC reclaims recorded: %llu\n",
+                static_cast<unsigned long long>(reclaim->calls));
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/cluster.hpp"
 
+#include <cstdlib>
 #include <thread>
 
 #include "dacc/daemon.hpp"
@@ -11,7 +12,32 @@ namespace dac::core {
 
 namespace {
 const util::Logger kLog("dac_cluster");
+
+// Background fault plan from the environment (CI's fault-seed job): a
+// DELAY-ONLY plan by default, because fire-and-forget notifications
+// (TASK_DONE, MOM_RUN_JOB) are not retried, so random drops would wedge
+// otherwise-correct runs. Rates are overridable for experiments that do
+// want loss.
+std::shared_ptr<faults::FaultPlan> plan_from_env() {
+  const char* seed_env = std::getenv("DACSCHED_FAULT_SEED");
+  if (seed_env == nullptr || *seed_env == '\0') return nullptr;
+  const auto read_rate = [](const char* key, double fallback) {
+    const char* v = std::getenv(key);
+    return (v != nullptr && *v != '\0') ? std::atof(v) : fallback;
+  };
+  faults::FaultRates rates;
+  rates.delay = read_rate("DACSCHED_FAULT_DELAY_RATE", 0.05);
+  rates.drop = read_rate("DACSCHED_FAULT_DROP_RATE", 0.0);
+  rates.duplicate = read_rate("DACSCHED_FAULT_DUP_RATE", 0.0);
+  rates.max_extra_delay = std::chrono::microseconds(static_cast<long long>(
+      read_rate("DACSCHED_FAULT_MAX_DELAY_US", 500.0)));
+  const auto seed =
+      static_cast<std::uint64_t>(std::strtoull(seed_env, nullptr, 0));
+  kLog.info("fault plan from env: seed={} delay={} drop={} dup={}", seed,
+            rates.delay, rates.drop, rates.duplicate);
+  return std::make_shared<faults::FaultPlan>(seed, rates);
 }
+}  // namespace
 
 DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
   vnet::ClusterTopology topo;
@@ -29,12 +55,30 @@ DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
   runtime_ = std::make_unique<minimpi::Runtime>(*cluster_);
   devices_ = std::make_unique<dacc::DeviceManager>(config_.device);
 
-  dacc::register_daemon_executables(*runtime_, *devices_);
+  // The server object must exist before the daemon executables register:
+  // back-end heartbeats need its address, and the fault plan exports its
+  // event counters into the server's metrics registry.
+  server_ =
+      std::make_unique<torque::PbsServer>(head(), config_.timing, config_.svc);
+
+  fault_plan_ = config_.fault_plan ? config_.fault_plan : plan_from_env();
+  if (fault_plan_) {
+    fault_plan_->set_metrics(&server_->metrics());
+    cluster_->fabric().set_fault_injector(fault_plan_);
+  }
+
+  dacc::BackendHeartbeats heartbeats;
+  heartbeats.server = server_->address();
+  heartbeats.interval = config_.timing.mom_heartbeat_interval;
+  for (std::size_t i = 0; i < config_.accel_nodes; ++i) {
+    auto& node = cluster_->node(1 + config_.compute_nodes + i);
+    heartbeats.hostnames[node.id()] = node.hostname();
+  }
+  dacc::register_daemon_executables(*runtime_, *devices_,
+                                    std::move(heartbeats));
   register_builtin_executables();
 
   // Boot the head-node daemons.
-  server_ =
-      std::make_unique<torque::PbsServer>(head(), config_.timing, config_.svc);
   daemons_.push_back(head().spawn(
       {.name = "pbs_server"},
       [this](vnet::Process& proc) { server_->run(proc); }));
@@ -92,9 +136,12 @@ void DacCluster::fail_node(std::size_t cluster_index) {
   if (cluster_index == 0 || cluster_index >= cluster_->size()) {
     throw std::invalid_argument("fail_node: not a worker node");
   }
-  cluster_->node(cluster_index).stop_all_processes();
-  kLog.warn("injected failure on '{}'",
-            cluster_->node(cluster_index).hostname());
+  auto& node = cluster_->node(cluster_index);
+  // Crash in the plan first so messages the dying processes still emit while
+  // stopping are discarded, like NIC output of a machine losing power.
+  if (fault_plan_) fault_plan_->crash_node(node.id());
+  node.stop_all_processes();
+  kLog.warn("injected failure on '{}'", node.hostname());
 }
 
 void DacCluster::recover_node(std::size_t cluster_index) {
@@ -103,10 +150,25 @@ void DacCluster::recover_node(std::size_t cluster_index) {
   }
   auto* mom = moms_.at(cluster_index - 1).get();
   auto& node = cluster_->node(cluster_index);
+  if (fault_plan_) fault_plan_->restart_node(node.id());
   daemons_.push_back(node.spawn(
       {.name = "pbs_mom"},
       [mom](vnet::Process& proc) { mom->run(proc); }));
   kLog.info("mom on '{}' restarted", node.hostname());
+}
+
+bool DacCluster::await_node_liveness(const std::string& hostname,
+                                     torque::Liveness target,
+                                     std::chrono::milliseconds timeout) {
+  auto ifl = client();
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    for (const auto& st : ifl.stat_nodes()) {
+      if (st.hostname == hostname && st.liveness == target) return true;
+    }
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 void DacCluster::shutdown() {
@@ -177,6 +239,7 @@ rmlib::AcSessionConfig DacCluster::session_base() const {
   base.spawned_daemon_start_delay =
       config_.timing.spawned_daemon_start_delay;
   base.transfer = config_.transfer;
+  base.call_timeout = config_.ac_call_timeout;
   base.tasks = const_cast<torque::TaskRegistry*>(&tasks_);
   base.retry = config_.svc.retry;
   return base;

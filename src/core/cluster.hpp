@@ -24,6 +24,7 @@
 #include "core/config.hpp"
 #include "core/job_context.hpp"
 #include "dacc/device_manager.hpp"
+#include "faults/fault_plan.hpp"
 #include "maui/scheduler.hpp"
 #include "minimpi/runtime.hpp"
 #include "svc/metrics.hpp"
@@ -81,10 +82,24 @@ class DacCluster {
 
   // ---- failure injection (fault-tolerance extension) -------------------
   // Simulates a node crash: every process on the node (mom, daemons, job
-  // tasks) stops. The server marks the node down once heartbeats go stale.
+  // tasks) stops, and — when a fault plan is attached — the plan marks the
+  // node crashed so in-flight fabric traffic to/from it is discarded. The
+  // server marks the node down once heartbeats go stale.
   void fail_node(std::size_t cluster_index);
-  // Restarts the node's mom; it re-registers and the node comes back up.
+  // Restarts the node's mom (and un-crashes it in the fault plan); it
+  // re-registers and the node comes back up.
   void recover_node(std::size_t cluster_index);
+  // The active fault plan — config_.fault_plan, or the background plan
+  // created from DACSCHED_FAULT_SEED. Null when fault injection is off.
+  [[nodiscard]] const std::shared_ptr<faults::FaultPlan>& fault_plan() const {
+    return fault_plan_;
+  }
+  // Polls the server's node table (qstat -n equivalent) until `hostname`
+  // reports `target` liveness. Returns false on timeout. Helper for the
+  // detection tests and the recovery benchmark.
+  bool await_node_liveness(const std::string& hostname,
+                           torque::Liveness target,
+                           std::chrono::milliseconds timeout);
 
   // Stops every daemon and the fabric. Also run by the destructor.
   void shutdown();
@@ -99,6 +114,7 @@ class DacCluster {
   std::unique_ptr<dacc::DeviceManager> devices_;
   torque::TaskRegistry tasks_;
 
+  std::shared_ptr<faults::FaultPlan> fault_plan_;
   std::unique_ptr<torque::PbsServer> server_;
   std::unique_ptr<maui::MauiScheduler> scheduler_;
   std::vector<std::unique_ptr<torque::PbsMom>> moms_;

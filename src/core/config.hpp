@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "dacc/protocol.hpp"
+#include "faults/fault_plan.hpp"
 #include "gpusim/device.hpp"
 #include "maui/scheduler.hpp"
 #include "svc/config.hpp"
@@ -31,12 +33,24 @@ struct DacClusterConfig {
 
   gpusim::DeviceConfig device;
   dacc::TransferOptions transfer;
+  // Reply-wait bound for job programs' accelerator calls (AcSession
+  // call_timeout). Zero keeps the historical block-forever behavior; set it
+  // so jobs survive an accelerator dying mid-call (AcError(kNodeLost)).
+  std::chrono::milliseconds ac_call_timeout{0};
   // Mother superiors kill jobs exceeding their requested walltime.
   bool enforce_walltime = true;
 
   // Service-runtime knobs (read pool, dedup window, client retries). The
   // defaults keep the seed behavior — and the Figure 7-9 shapes — unchanged.
   svc::ServiceTuning svc;
+
+  // Deterministic failure injection (docs/FAULTS.md): when set, the plan is
+  // installed as the fabric's fault injector and wired into the server's
+  // metrics registry before any daemon boots. fail_node()/recover_node()
+  // then also drive plan->crash_node()/restart_node(). When null, the
+  // environment variable DACSCHED_FAULT_SEED installs a delay-only
+  // background plan instead (see DacCluster ctor).
+  std::shared_ptr<faults::FaultPlan> fault_plan;
 
   [[nodiscard]] std::size_t total_nodes() const {
     return 1 + compute_nodes + accel_nodes;

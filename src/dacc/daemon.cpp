@@ -4,8 +4,10 @@
 
 #include "dacc/protocol.hpp"
 #include "minimpi/proc.hpp"
+#include "svc/wire.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "vnet/node.hpp"
 
 namespace dac::dacc {
 
@@ -211,7 +213,8 @@ void handle_op(Proc& proc, ServeState& st, Device& device, int tag,
 
 }  // namespace
 
-void serve(Proc& proc, Comm merged, gpusim::Device& device) {
+void serve(Proc& proc, Comm merged, gpusim::Device& device,
+           const ServeOptions& options) {
   // The communicator this daemon was attached through: its disconnect target
   // when the daemon's own set is released.
   const Comm origin =
@@ -220,8 +223,36 @@ void serve(Proc& proc, Comm merged, gpusim::Device& device) {
   ServeState st;
   st.merged = std::move(merged);
 
+  // Backend heartbeats: sent whenever the serve loop has been idle for one
+  // interval. A daemon busy with a long kernel beats less often — that is
+  // what the server's generous stale factor absorbs.
+  const bool heartbeats = options.server.valid() &&
+                          options.heartbeat_interval.count() > 0 &&
+                          !options.hostname.empty();
+  std::unique_ptr<vnet::Endpoint> hb_ep;
+  if (heartbeats) {
+    hb_ep = proc.process().node().open_endpoint();
+    proc.process().adopt_mailbox(hb_ep->mailbox_weak());
+  }
+  const auto send_heartbeat = [&] {
+    util::ByteWriter w;
+    w.put_string(options.hostname);
+    svc::notify(*hb_ep, options.server, torque::MsgType::kBackendHeartbeat,
+                std::move(w).take());
+  };
+  const auto next_msg = [&]() -> minimpi::RecvResult {
+    if (!heartbeats) return proc.recv(st.merged, 0, minimpi::kAnyTag);
+    while (true) {
+      auto msg = proc.recv_for(st.merged, 0, minimpi::kAnyTag,
+                               options.heartbeat_interval);
+      if (msg) return std::move(*msg);
+      send_heartbeat();
+    }
+  };
+  if (heartbeats) send_heartbeat();
+
   while (true) {
-    auto msg = proc.recv(st.merged, 0, minimpi::kAnyTag);
+    auto msg = next_msg();
     switch (msg.tag) {
       case kCtlPrepSpawn: {
         // The compute node is about to MPI_Comm_spawn a new daemon set; all
@@ -259,6 +290,26 @@ void serve(Proc& proc, Comm merged, gpusim::Device& device) {
         st.merged = std::move(prev);
         break;
       }
+      case kCtlAbandon: {
+        // Release of a set whose daemons died. No collective disconnect
+        // anywhere — a dead peer would hang it; the vnet reaps the dead
+        // processes and the fabric drops traffic to them.
+        util::ByteReader r(msg.data);
+        const auto boundary = r.get<std::int32_t>();
+        if (st.merged.rank >= boundary) {
+          kLog.debug("daemon rank {} abandoned", st.merged.rank);
+          return;
+        }
+        if (st.generations.empty()) {
+          kLog.warn("daemon rank {}: abandon with no generation to pop",
+                    st.merged.rank);
+          break;
+        }
+        auto [inter, prev] = std::move(st.generations.back());
+        st.generations.pop_back();
+        st.merged = std::move(prev);
+        break;
+      }
       case kCtlShutdown: {
         proc.barrier(st.merged);
         kLog.debug("daemon rank {} shut down", st.merged.rank);
@@ -271,10 +322,22 @@ void serve(Proc& proc, Comm merged, gpusim::Device& device) {
 }
 
 void register_daemon_executables(minimpi::Runtime& runtime,
-                                 DeviceManager& devices) {
+                                 DeviceManager& devices,
+                                 BackendHeartbeats heartbeats) {
+  const auto options_for = [heartbeats](vnet::NodeId node) {
+    ServeOptions options;
+    if (auto it = heartbeats.hostnames.find(node);
+        it != heartbeats.hostnames.end()) {
+      options.server = heartbeats.server;
+      options.hostname = it->second;
+      options.heartbeat_interval = heartbeats.interval;
+    }
+    return options;
+  };
+
   runtime.register_executable(
       kStaticDaemonExe,
-      [&devices](Proc& proc, const util::Bytes& args) {
+      [&devices, options_for](Proc& proc, const util::Bytes& args) {
         util::ByteReader r(args);
         const auto port = r.get_string();
         auto& device = devices.device_for(proc.process().node().id());
@@ -284,16 +347,18 @@ void register_daemon_executables(minimpi::Runtime& runtime,
         if (proc.rank() == 0) proc.publish_port(port);
         Comm inter = proc.comm_accept(port, proc.world(), 0);
         Comm merged = proc.intercomm_merge(inter, /*high=*/true);
-        serve(proc, std::move(merged), device);
+        serve(proc, std::move(merged), device,
+              options_for(proc.process().node().id()));
       });
 
   runtime.register_executable(
       kSpawnedDaemonExe,
-      [&devices](Proc& proc, const util::Bytes&) {
+      [&devices, options_for](Proc& proc, const util::Bytes&) {
         auto& device = devices.device_for(proc.process().node().id());
         Comm merged = proc.intercomm_merge(*proc.parent_comm(),
                                            /*high=*/true);
-        serve(proc, std::move(merged), device);
+        serve(proc, std::move(merged), device,
+              options_for(proc.process().node().id()));
       });
 }
 

@@ -16,23 +16,46 @@
 // participation, set release, shutdown).
 #pragma once
 
+#include <chrono>
+#include <map>
 #include <string>
 
 #include "dacc/device_manager.hpp"
 #include "minimpi/runtime.hpp"
+#include "vnet/message.hpp"
 
 namespace dac::dacc {
 
 inline constexpr const char* kStaticDaemonExe = "dac.acdaemon";
 inline constexpr const char* kSpawnedDaemonExe = "dac.acdaemon.spawned";
 
+// Liveness reporting of the back-end daemons (fault-tolerance extension):
+// each daemon heartbeats its hostname to the batch server whenever its serve
+// loop has been idle for `interval`, so a dead accelerator node is detected
+// even when no mom runs there. Disabled by an invalid server address, a zero
+// interval, or a node id missing from `hostnames`.
+struct BackendHeartbeats {
+  vnet::Address server;
+  std::chrono::milliseconds interval{0};
+  std::map<vnet::NodeId, std::string> hostnames;  // node id -> hostname
+};
+
 // Registers both daemon executables. `devices` must outlive the runtime.
 void register_daemon_executables(minimpi::Runtime& runtime,
-                                 DeviceManager& devices);
+                                 DeviceManager& devices,
+                                 BackendHeartbeats heartbeats = {});
+
+// Per-serve-loop slice of BackendHeartbeats (hostname already resolved).
+struct ServeOptions {
+  vnet::Address server;
+  std::string hostname;
+  std::chrono::milliseconds heartbeat_interval{0};
+};
 
 // The serve loop, exposed for tests: processes requests on `merged` (the
 // daemon is rank `merged.rank`, the compute node rank 0) until shutdown or
 // release. Used internally by both daemon entries.
-void serve(minimpi::Proc& proc, minimpi::Comm merged, gpusim::Device& device);
+void serve(minimpi::Proc& proc, minimpi::Comm merged, gpusim::Device& device,
+           const ServeOptions& options = {});
 
 }  // namespace dac::dacc

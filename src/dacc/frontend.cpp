@@ -18,10 +18,24 @@ Status check(util::ByteReader& r, const char* op) {
   return s;
 }
 
+// Bounded reply wait: a timeout of zero blocks forever; otherwise an
+// unanswered accelerator becomes a distinct kNodeLost error.
+minimpi::RecvResult recv_reply(Proc& proc, const Comm& comm, int rank,
+                               int tag, Timeout timeout, const char* op) {
+  if (timeout.count() <= 0) return proc.recv(comm, rank, tag);
+  auto reply = proc.recv_for(comm, rank, tag, timeout);
+  if (!reply) {
+    throw AcError(Status::kNodeLost,
+                  std::string(op) + ": accelerator not answering");
+  }
+  return std::move(*reply);
+}
+
 util::ByteReader roundtrip(Proc& proc, const Comm& comm, int rank, int tag,
-                           util::Bytes payload, util::Bytes& storage) {
+                           util::Bytes payload, util::Bytes& storage,
+                           Timeout timeout, const char* op) {
   proc.send(comm, rank, tag, std::move(payload));
-  auto reply = proc.recv(comm, rank, reply_tag(tag));
+  auto reply = recv_reply(proc, comm, rank, reply_tag(tag), timeout, op);
   storage = std::move(reply.data);
   return util::ByteReader(storage);
 }
@@ -29,22 +43,23 @@ util::ByteReader roundtrip(Proc& proc, const Comm& comm, int rank, int tag,
 }  // namespace
 
 gpusim::DevicePtr mem_alloc(Proc& proc, const Comm& comm, int rank,
-                            std::uint64_t size) {
+                            std::uint64_t size, Timeout timeout) {
   util::ByteWriter w;
   w.put<std::uint64_t>(size);
   util::Bytes storage;
   auto r = roundtrip(proc, comm, rank, kOpMemAlloc, std::move(w).take(),
-                     storage);
+                     storage, timeout, "acMemAlloc");
   check(r, "acMemAlloc");
   return r.get<std::uint64_t>();
 }
 
-void mem_free(Proc& proc, const Comm& comm, int rank, gpusim::DevicePtr ptr) {
+void mem_free(Proc& proc, const Comm& comm, int rank, gpusim::DevicePtr ptr,
+              Timeout timeout) {
   util::ByteWriter w;
   w.put<std::uint64_t>(ptr);
   util::Bytes storage;
   auto r = roundtrip(proc, comm, rank, kOpMemFree, std::move(w).take(),
-                     storage);
+                     storage, timeout, "acMemFree");
   check(r, "acMemFree");
 }
 
@@ -67,14 +82,16 @@ void memcpy_h2d(Proc& proc, const Comm& comm, int rank, gpusim::DevicePtr dst,
     proc.send(comm, rank, kOpMemcpyH2D, std::move(w).take());
     if (hdr.ack_each && !last) {
       // Unpipelined: wait for the per-chunk ack before sending the next.
-      auto reply = proc.recv(comm, rank, reply_tag(kOpMemcpyH2D));
+      auto reply = recv_reply(proc, comm, rank, reply_tag(kOpMemcpyH2D),
+                              opts.reply_timeout, "acMemCpy(h2d)");
       util::ByteReader r(reply.data);
       check(r, "acMemCpy(h2d)");
     }
     offset += n;
   } while (offset < src.size());
   // Final (or only) acknowledgement.
-  auto reply = proc.recv(comm, rank, reply_tag(kOpMemcpyH2D));
+  auto reply = recv_reply(proc, comm, rank, reply_tag(kOpMemcpyH2D),
+                          opts.reply_timeout, "acMemCpy(h2d)");
   util::ByteReader r(reply.data);
   check(r, "acMemCpy(h2d)");
 }
@@ -90,7 +107,8 @@ util::Bytes memcpy_d2h(Proc& proc, const Comm& comm, int rank,
 
   util::Bytes out(size);
   while (true) {
-    auto reply = proc.recv(comm, rank, reply_tag(kOpMemcpyD2H));
+    auto reply = recv_reply(proc, comm, rank, reply_tag(kOpMemcpyD2H),
+                            opts.reply_timeout, "acMemCpy(d2h)");
     util::ByteReader r(reply.data);
     check(r, "acMemCpy(d2h)");
     const auto offset = r.get<std::uint64_t>();
@@ -108,29 +126,29 @@ util::Bytes memcpy_d2h(Proc& proc, const Comm& comm, int rank,
 }
 
 KernelHandle kernel_create(Proc& proc, const Comm& comm, int rank,
-                           const std::string& name) {
+                           const std::string& name, Timeout timeout) {
   util::ByteWriter w;
   w.put_string(name);
   util::Bytes storage;
   auto r = roundtrip(proc, comm, rank, kOpKernelCreate, std::move(w).take(),
-                     storage);
+                     storage, timeout, "acKernelCreate");
   check(r, "acKernelCreate");
   return r.get<std::uint32_t>();
 }
 
 void kernel_set_args(Proc& proc, const Comm& comm, int rank,
-                     KernelHandle kernel, util::Bytes args) {
+                     KernelHandle kernel, util::Bytes args, Timeout timeout) {
   util::ByteWriter w;
   w.put<std::uint32_t>(kernel);
   w.put_bytes(args);
   util::Bytes storage;
   auto r = roundtrip(proc, comm, rank, kOpKernelSetArgs, std::move(w).take(),
-                     storage);
+                     storage, timeout, "acKernelSetArgs");
   check(r, "acKernelSetArgs");
 }
 
 void kernel_run(Proc& proc, const Comm& comm, int rank, KernelHandle kernel,
-                gpusim::Dim3 grid, gpusim::Dim3 block) {
+                gpusim::Dim3 grid, gpusim::Dim3 block, Timeout timeout) {
   util::ByteWriter w;
   w.put<std::uint32_t>(kernel);
   w.put<std::uint32_t>(grid.x);
@@ -141,7 +159,7 @@ void kernel_run(Proc& proc, const Comm& comm, int rank, KernelHandle kernel,
   w.put<std::uint32_t>(block.z);
   util::Bytes storage;
   auto r = roundtrip(proc, comm, rank, kOpKernelRun, std::move(w).take(),
-                     storage);
+                     storage, timeout, "acKernelRun");
   check(r, "acKernelRun");
 }
 
@@ -170,9 +188,11 @@ void stencil_run(Proc& proc, const Comm& comm, int first,
   }
 }
 
-DeviceInfo device_info(Proc& proc, const Comm& comm, int rank) {
+DeviceInfo device_info(Proc& proc, const Comm& comm, int rank,
+                       Timeout timeout) {
   util::Bytes storage;
-  auto r = roundtrip(proc, comm, rank, kOpDeviceInfo, {}, storage);
+  auto r = roundtrip(proc, comm, rank, kOpDeviceInfo, {}, storage, timeout,
+                     "acDeviceInfo");
   check(r, "acDeviceInfo");
   DeviceInfo info;
   info.name = r.get_string();

@@ -29,10 +29,16 @@ using KernelHandle = std::uint32_t;
 
 namespace frontend {
 
+// Every operation takes a reply-wait bound; zero (the default) waits
+// forever. With a bound, a dead or partitioned accelerator surfaces as
+// AcError(Status::kNodeLost) instead of a hang, so the application can
+// report the set lost and pbs_dynget a replacement.
+using Timeout = std::chrono::milliseconds;
+
 gpusim::DevicePtr mem_alloc(minimpi::Proc& proc, const minimpi::Comm& comm,
-                            int rank, std::uint64_t size);
+                            int rank, std::uint64_t size, Timeout timeout = {});
 void mem_free(minimpi::Proc& proc, const minimpi::Comm& comm, int rank,
-              gpusim::DevicePtr ptr);
+              gpusim::DevicePtr ptr, Timeout timeout = {});
 
 // Host-to-device copy, chunked per `opts` (pipelined by default).
 void memcpy_h2d(minimpi::Proc& proc, const minimpi::Comm& comm, int rank,
@@ -43,18 +49,21 @@ util::Bytes memcpy_d2h(minimpi::Proc& proc, const minimpi::Comm& comm,
                        const TransferOptions& opts = {});
 
 KernelHandle kernel_create(minimpi::Proc& proc, const minimpi::Comm& comm,
-                           int rank, const std::string& name);
+                           int rank, const std::string& name,
+                           Timeout timeout = {});
 void kernel_set_args(minimpi::Proc& proc, const minimpi::Comm& comm, int rank,
-                     KernelHandle kernel, util::Bytes args);
+                     KernelHandle kernel, util::Bytes args,
+                     Timeout timeout = {});
 void kernel_run(minimpi::Proc& proc, const minimpi::Comm& comm, int rank,
-                KernelHandle kernel, gpusim::Dim3 grid, gpusim::Dim3 block);
+                KernelHandle kernel, gpusim::Dim3 grid, gpusim::Dim3 block,
+                Timeout timeout = {});
 
 struct DeviceInfo {
   std::string name;
   std::uint64_t bytes_free = 0;
 };
 DeviceInfo device_info(minimpi::Proc& proc, const minimpi::Comm& comm,
-                       int rank);
+                       int rank, Timeout timeout = {});
 
 // Cooperative 1D Jacobi run across daemon ranks [first, first + k): each
 // rank holds a slab of `n` doubles at `fields[i]`; daemons exchange halos

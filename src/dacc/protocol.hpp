@@ -5,6 +5,7 @@
 // dynamic-set lifecycle (spawn participation, set release, shutdown).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -36,6 +37,10 @@ inline constexpr int kTagHalo = 95;
 inline constexpr int kCtlPrepSpawn = 30;   // participate in comm_spawn+merge
 inline constexpr int kCtlRelease = 31;     // release the newest dynamic set
 inline constexpr int kCtlShutdown = 32;    // AC_Finalize
+// Like kCtlRelease, but for a set whose daemons died: survivors pop the
+// generation WITHOUT the collective disconnect (a dead peer would hang it),
+// and released-set members that are somehow still alive just exit.
+inline constexpr int kCtlAbandon = 33;
 
 inline constexpr int kOpReplyBase = 100;
 inline constexpr int reply_tag(int op) { return kOpReplyBase + op; }
@@ -72,6 +77,9 @@ inline ChunkHeader get_chunk_header(util::ByteReader& r) {
 struct TransferOptions {
   std::size_t chunk_bytes = 256u << 10;  // 256 KiB
   bool pipelined = true;
+  // Per-reply wait bound. Zero waits forever (historical behavior); nonzero
+  // turns a dead accelerator into AcError(kNodeLost) instead of a hang.
+  std::chrono::milliseconds reply_timeout{0};
 };
 
 }  // namespace dac::dacc

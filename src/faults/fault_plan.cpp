@@ -1,0 +1,196 @@
+#include "faults/fault_plan.hpp"
+
+#include "util/logging.hpp"
+
+namespace dac::faults {
+
+namespace {
+const util::Logger kLog("faults");
+
+std::uint32_t event_metric(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kDrop: return kEvFaultDrop;
+    case FaultEventKind::kDuplicate: return kEvFaultDup;
+    case FaultEventKind::kDelay: return kEvFaultDelay;
+    case FaultEventKind::kPartitionDrop: return kEvFaultDrop;
+    case FaultEventKind::kCrashDrop: return kEvFaultDrop;
+    case FaultEventKind::kPartition: return kEvLinkPartition;
+    case FaultEventKind::kHeal: return kEvLinkPartition;
+    case FaultEventKind::kCrash: return kEvNodeCrash;
+    case FaultEventKind::kRestart: return kEvNodeRestart;
+  }
+  return kEvFaultDrop;
+}
+}  // namespace
+
+const char* fault_event_kind_name(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kDrop: return "drop";
+    case FaultEventKind::kDuplicate: return "duplicate";
+    case FaultEventKind::kDelay: return "delay";
+    case FaultEventKind::kPartitionDrop: return "partition-drop";
+    case FaultEventKind::kCrashDrop: return "crash-drop";
+    case FaultEventKind::kPartition: return "partition";
+    case FaultEventKind::kHeal: return "heal";
+    case FaultEventKind::kCrash: return "crash";
+    case FaultEventKind::kRestart: return "restart";
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, FaultRates rates)
+    : rates_(rates), rng_(seed) {}
+
+void FaultPlan::at(std::uint64_t at_decision, ScriptedAction action) {
+  ScopedLock lock(mu_);
+  script_.emplace(at_decision, action);
+}
+
+void FaultPlan::partition(vnet::NodeId a, vnet::NodeId b) {
+  ScopedLock lock(mu_);
+  apply_action_locked({FaultEventKind::kPartition, a, b});
+}
+
+void FaultPlan::heal(vnet::NodeId a, vnet::NodeId b) {
+  ScopedLock lock(mu_);
+  apply_action_locked({FaultEventKind::kHeal, a, b});
+}
+
+void FaultPlan::crash_node(vnet::NodeId node) {
+  ScopedLock lock(mu_);
+  apply_action_locked({FaultEventKind::kCrash, node, vnet::kInvalidNode});
+}
+
+void FaultPlan::restart_node(vnet::NodeId node) {
+  ScopedLock lock(mu_);
+  apply_action_locked({FaultEventKind::kRestart, node, vnet::kInvalidNode});
+}
+
+bool FaultPlan::node_crashed(vnet::NodeId node) const {
+  ScopedLock lock(mu_);
+  return crashed_.count(node) > 0;
+}
+
+void FaultPlan::set_metrics(svc::MetricsRegistry* metrics) {
+  ScopedLock lock(mu_);
+  metrics_ = metrics;
+}
+
+void FaultPlan::fire_locked(FaultEventKind kind, vnet::NodeId a,
+                            vnet::NodeId b,
+                            std::chrono::nanoseconds extra_delay) {
+  trace_.push_back(FaultEvent{kind, decisions_, a, b, extra_delay});
+  if (metrics_) metrics_->record(event_metric(kind), 0.0);
+}
+
+void FaultPlan::apply_action_locked(const ScriptedAction& action) {
+  switch (action.kind) {
+    case FaultEventKind::kPartition:
+      if (partitions_.insert(norm(action.a, action.b)).second) {
+        ++counters_.partitions;
+        kLog.info("partition {} <-/-> {}", action.a, action.b);
+        fire_locked(FaultEventKind::kPartition, action.a, action.b, {});
+      }
+      break;
+    case FaultEventKind::kHeal:
+      if (partitions_.erase(norm(action.a, action.b)) > 0) {
+        ++counters_.heals;
+        kLog.info("heal {} <--> {}", action.a, action.b);
+        fire_locked(FaultEventKind::kHeal, action.a, action.b, {});
+      }
+      break;
+    case FaultEventKind::kCrash:
+      if (crashed_.insert(action.a).second) {
+        ++counters_.crashes;
+        kLog.info("crash node {}", action.a);
+        fire_locked(FaultEventKind::kCrash, action.a, vnet::kInvalidNode, {});
+      }
+      break;
+    case FaultEventKind::kRestart:
+      if (crashed_.erase(action.a) > 0) {
+        ++counters_.restarts;
+        kLog.info("restart node {}", action.a);
+        fire_locked(FaultEventKind::kRestart, action.a, vnet::kInvalidNode,
+                    {});
+      }
+      break;
+    default:
+      kLog.warn("ignoring scripted action with message-fault kind {}",
+                fault_event_kind_name(action.kind));
+      break;
+  }
+}
+
+vnet::FaultDecision FaultPlan::on_message(vnet::NodeId from, vnet::NodeId to,
+                                          std::uint32_t /*type*/,
+                                          std::size_t /*payload_bytes*/) {
+  ScopedLock lock(mu_);
+
+  // Fire every scripted action whose index has arrived, in insertion order
+  // per index. Done before the draws so a crash scripted "at decision N"
+  // affects message N itself.
+  while (!script_.empty() && script_.begin()->first <= decisions_) {
+    const ScriptedAction action = script_.begin()->second;
+    script_.erase(script_.begin());
+    apply_action_locked(action);
+  }
+
+  // Fixed draw count per decision: the random stream position depends only
+  // on how many messages have been seen, never on which faults fired.
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double u_drop = uniform(rng_);
+  const double u_dup = uniform(rng_);
+  const double u_delay = uniform(rng_);
+  const double u_magnitude = uniform(rng_);
+
+  vnet::FaultDecision decision;
+  const bool blocked =
+      crashed_.count(from) > 0 || crashed_.count(to) > 0 ||
+      (from != to && partitions_.count(norm(from, to)) > 0);
+  if (blocked) {
+    const bool crashed = crashed_.count(from) > 0 || crashed_.count(to) > 0;
+    ++counters_.blocked;
+    fire_locked(crashed ? FaultEventKind::kCrashDrop
+                        : FaultEventKind::kPartitionDrop,
+                from, to, {});
+    decision.drop = true;
+  } else if (u_drop < rates_.drop) {
+    ++counters_.drops;
+    fire_locked(FaultEventKind::kDrop, from, to, {});
+    decision.drop = true;
+  } else {
+    if (u_dup < rates_.duplicate) {
+      ++counters_.duplicates;
+      fire_locked(FaultEventKind::kDuplicate, from, to, {});
+      decision.duplicate = true;
+    }
+    if (u_delay < rates_.delay && rates_.max_extra_delay.count() > 0) {
+      const auto max_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              rates_.max_extra_delay)
+                              .count();
+      decision.extra_delay = std::chrono::nanoseconds(
+          static_cast<long long>(u_magnitude * static_cast<double>(max_ns)));
+      ++counters_.delays;
+      fire_locked(FaultEventKind::kDelay, from, to, decision.extra_delay);
+    }
+  }
+  ++decisions_;
+  return decision;
+}
+
+std::vector<FaultEvent> FaultPlan::trace() const {
+  ScopedLock lock(mu_);
+  return trace_;
+}
+
+FaultPlan::Counters FaultPlan::counters() const {
+  ScopedLock lock(mu_);
+  return counters_;
+}
+
+std::uint64_t FaultPlan::decisions() const {
+  ScopedLock lock(mu_);
+  return decisions_;
+}
+
+}  // namespace dac::faults

@@ -1,0 +1,148 @@
+// Deterministic fault injection for the virtual cluster. A FaultPlan is the
+// single source of failure truth: the fabric consults it per message (drops,
+// duplicates, extra delay, partitions, crashed nodes), and the harness
+// drives node crash/restart and partition/heal transitions through it —
+// either imperatively or from a schedule scripted on the decision index.
+//
+// Determinism contract: the plan draws a FIXED number of uniforms per
+// on_message() call, so the random decision stream is a pure function of
+// (seed, message sequence). Same seed + same schedule + same traffic order
+// => identical fault event trace, which the determinism test asserts by
+// replaying one sequence twice and comparing traces.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "svc/metrics.hpp"
+#include "util/sync.hpp"
+#include "vnet/fault_injector.hpp"
+
+namespace dac::faults {
+
+// Synthetic metric codes for injected faults (never on the wire; recorded
+// into a MetricsRegistry so injection counts render next to real RPCs).
+inline constexpr std::uint32_t kEvFaultDrop = 0xFA00'0001;
+inline constexpr std::uint32_t kEvFaultDup = 0xFA00'0002;
+inline constexpr std::uint32_t kEvFaultDelay = 0xFA00'0003;
+inline constexpr std::uint32_t kEvNodeCrash = 0xFA00'0004;
+inline constexpr std::uint32_t kEvNodeRestart = 0xFA00'0005;
+inline constexpr std::uint32_t kEvLinkPartition = 0xFA00'0006;
+
+// Per-message fault probabilities, all in [0, 1] and 0 by default (healthy).
+// `max_extra_delay` bounds the uniform delay drawn when a delay fault fires.
+struct FaultRates {
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+  std::chrono::microseconds max_extra_delay{0};
+};
+
+enum class FaultEventKind : std::uint8_t {
+  kDrop,
+  kDuplicate,
+  kDelay,
+  kPartitionDrop,  // message discarded because its pair is partitioned
+  kCrashDrop,      // message discarded because an endpoint is crashed
+  kPartition,
+  kHeal,
+  kCrash,
+  kRestart,
+};
+
+const char* fault_event_kind_name(FaultEventKind kind);
+
+// One entry of the fault trace. For message faults `a`/`b` are the sending
+// and receiving node; for topology transitions they are the affected
+// node(s) (`b` is kInvalidNode for crash/restart).
+struct FaultEvent {
+  FaultEventKind kind{};
+  std::uint64_t decision = 0;  // on_message() count when the event fired
+  vnet::NodeId a = vnet::kInvalidNode;
+  vnet::NodeId b = vnet::kInvalidNode;
+  std::chrono::nanoseconds extra_delay{0};
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+// Scripted topology transition, fired just before the decision whose index
+// reaches `at_decision`. Scheduling on decision count (not wall time) keeps
+// the schedule replayable.
+struct ScriptedAction {
+  FaultEventKind kind{};  // kPartition, kHeal, kCrash or kRestart
+  vnet::NodeId a = vnet::kInvalidNode;
+  vnet::NodeId b = vnet::kInvalidNode;
+};
+
+class FaultPlan : public vnet::FaultInjector {
+ public:
+  explicit FaultPlan(std::uint64_t seed, FaultRates rates = {});
+
+  // Scripts `action` to fire when the decision counter reaches
+  // `at_decision` (0-based index of the triggering on_message call).
+  void at(std::uint64_t at_decision, ScriptedAction action);
+
+  // Imperative topology control; effective for all subsequent messages.
+  // Partitions are symmetric (both directions blocked); a crashed node
+  // neither sends nor receives until restarted.
+  void partition(vnet::NodeId a, vnet::NodeId b);
+  void heal(vnet::NodeId a, vnet::NodeId b);
+  void crash_node(vnet::NodeId node);
+  void restart_node(vnet::NodeId node);
+  [[nodiscard]] bool node_crashed(vnet::NodeId node) const;
+
+  // Optional export: every injected fault and topology transition is also
+  // record()ed (latency 0) into `metrics`. Not owned; may be null.
+  void set_metrics(svc::MetricsRegistry* metrics);
+
+  // vnet::FaultInjector. Thread-safe; draws exactly four uniforms per call.
+  vnet::FaultDecision on_message(vnet::NodeId from, vnet::NodeId to,
+                                 std::uint32_t type,
+                                 std::size_t payload_bytes) override;
+
+  struct Counters {
+    std::uint64_t drops = 0;       // probabilistic drops
+    std::uint64_t duplicates = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t blocked = 0;     // partition + crash discards
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t heals = 0;
+  };
+
+  [[nodiscard]] std::vector<FaultEvent> trace() const;
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] std::uint64_t decisions() const;
+  [[nodiscard]] const FaultRates& rates() const { return rates_; }
+
+ private:
+  void fire_locked(FaultEventKind kind, vnet::NodeId a, vnet::NodeId b,
+                   std::chrono::nanoseconds extra_delay)
+      DAC_REQUIRES(mu_);
+  void apply_action_locked(const ScriptedAction& action) DAC_REQUIRES(mu_);
+  static std::pair<vnet::NodeId, vnet::NodeId> norm(vnet::NodeId a,
+                                                    vnet::NodeId b) {
+    return a <= b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  const FaultRates rates_;
+
+  mutable Mutex mu_{"faults.plan"};
+  std::mt19937_64 rng_ DAC_GUARDED_BY(mu_);
+  std::uint64_t decisions_ DAC_GUARDED_BY(mu_) = 0;
+  std::multimap<std::uint64_t, ScriptedAction> script_ DAC_GUARDED_BY(mu_);
+  std::set<std::pair<vnet::NodeId, vnet::NodeId>> partitions_
+      DAC_GUARDED_BY(mu_);
+  std::set<vnet::NodeId> crashed_ DAC_GUARDED_BY(mu_);
+  std::vector<FaultEvent> trace_ DAC_GUARDED_BY(mu_);
+  Counters counters_ DAC_GUARDED_BY(mu_);
+  svc::MetricsRegistry* metrics_ DAC_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace dac::faults

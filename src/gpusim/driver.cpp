@@ -37,6 +37,7 @@ const char* status_name(Status s) {
     case Status::kInvalidValue: return "invalid_value";
     case Status::kNotFound: return "not_found";
     case Status::kUnknown: return "unknown";
+    case Status::kNodeLost: return "node_lost";
   }
   return "?";
 }

@@ -16,6 +16,10 @@ enum class Status : int {
   kInvalidValue = 2,
   kNotFound = 3,
   kUnknown = 4,
+  // The accelerator stopped answering (node crash / partition). Raised by
+  // the DAC front-end, not the device: the app should release the set
+  // (AC_ReportLost) and pbs_dynget a replacement.
+  kNodeLost = 5,
 };
 
 [[nodiscard]] const char* status_name(Status s);

@@ -91,7 +91,10 @@ void MauiScheduler::cycle(vnet::Process& proc) {
   view.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     const auto st = torque::get_node_status(nr);
-    if (!st.up) continue;  // down nodes are not allocatable
+    // Only place on kUp nodes: `up` is false for both suspect and down
+    // (NodeStatus invariant), so a flapping node is skipped without being
+    // reclaimed.
+    if (!st.up) continue;
     view.push_back(NodeView{st.hostname, st.kind, st.free_slots()});
   }
   std::sort(view.begin(), view.end(),

@@ -18,6 +18,9 @@ AcSession::AcSession(minimpi::Proc& proc, AcSessionConfig config)
       ifl_(proc.process(), config_.server, config_.retry) {
   // Before AC_Init the session's communicator is the compute node alone.
   current_ = proc_.self();
+  if (config_.transfer.reply_timeout.count() == 0) {
+    config_.transfer.reply_timeout = config_.call_timeout;
+  }
 }
 
 AcSession::~AcSession() {
@@ -148,6 +151,36 @@ void AcSession::ac_free(std::uint64_t client_id) {
   release_newest(client_id, /*send_dynfree=*/true);
 }
 
+void AcSession::ac_report_lost(std::uint64_t client_id) {
+  if (generations_.empty() || generations_.back().client_id != client_id) {
+    throw util::ProtocolError(
+        "AC_ReportLost: dynamic sets are released as sets, newest first "
+        "(client id " + std::to_string(client_id) + " is not the newest)");
+  }
+  Generation gen = std::move(generations_.back());
+  generations_.pop_back();
+
+  // Survivors pop the generation without any collective disconnect; dead
+  // members never see the message (the fabric drops it) and live stragglers
+  // of the lost set just exit.
+  util::ByteWriter w;
+  w.put<std::int32_t>(gen.first_rank);
+  broadcast_control(dacc::kCtlAbandon, w.bytes());
+  current_ = gen.previous;
+
+  // Best-effort: the server reclaims slots of down accelerators on its own,
+  // so the set may already be unknown — that is success, not failure.
+  try {
+    ifl_.dynfree(config_.job, client_id);
+  } catch (const util::ProtocolError& e) {  // CallError / DeadlineError
+    kLog.debug("AC_ReportLost: dynfree for client {} says '{}' (server "
+               "already reclaimed)",
+               client_id, e.what());
+  }
+  kLog.info("AC_ReportLost: abandoned client {} ({} accelerator(s))",
+            client_id, gen.count);
+}
+
 void AcSession::release_newest(std::uint64_t client_id, bool send_dynfree) {
   if (generations_.empty() || generations_.back().client_id != client_id) {
     throw util::ProtocolError(
@@ -266,12 +299,14 @@ void AcSession::check_handle(AcHandle ac) const {
 
 gpusim::DevicePtr AcSession::ac_mem_alloc(AcHandle ac, std::uint64_t size) {
   check_handle(ac);
-  return dacc::frontend::mem_alloc(proc_, current_, ac.rank, size);
+  return dacc::frontend::mem_alloc(proc_, current_, ac.rank, size,
+                                   config_.call_timeout);
 }
 
 void AcSession::ac_mem_free(AcHandle ac, gpusim::DevicePtr ptr) {
   check_handle(ac);
-  dacc::frontend::mem_free(proc_, current_, ac.rank, ptr);
+  dacc::frontend::mem_free(proc_, current_, ac.rank, ptr,
+                           config_.call_timeout);
 }
 
 void AcSession::ac_memcpy_h2d(AcHandle ac, gpusim::DevicePtr dst,
@@ -291,25 +326,28 @@ util::Bytes AcSession::ac_memcpy_d2h(AcHandle ac, gpusim::DevicePtr src,
 dacc::KernelHandle AcSession::ac_kernel_create(AcHandle ac,
                                                const std::string& name) {
   check_handle(ac);
-  return dacc::frontend::kernel_create(proc_, current_, ac.rank, name);
+  return dacc::frontend::kernel_create(proc_, current_, ac.rank, name,
+                                       config_.call_timeout);
 }
 
 void AcSession::ac_kernel_set_args(AcHandle ac, dacc::KernelHandle kernel,
                                    util::Bytes args) {
   check_handle(ac);
   dacc::frontend::kernel_set_args(proc_, current_, ac.rank, kernel,
-                                  std::move(args));
+                                  std::move(args), config_.call_timeout);
 }
 
 void AcSession::ac_kernel_run(AcHandle ac, dacc::KernelHandle kernel,
                               gpusim::Dim3 grid, gpusim::Dim3 block) {
   check_handle(ac);
-  dacc::frontend::kernel_run(proc_, current_, ac.rank, kernel, grid, block);
+  dacc::frontend::kernel_run(proc_, current_, ac.rank, kernel, grid, block,
+                             config_.call_timeout);
 }
 
 dacc::frontend::DeviceInfo AcSession::ac_device_info(AcHandle ac) {
   check_handle(ac);
-  return dacc::frontend::device_info(proc_, current_, ac.rank);
+  return dacc::frontend::device_info(proc_, current_, ac.rank,
+                                     config_.call_timeout);
 }
 
 }  // namespace dac::rmlib

@@ -61,6 +61,12 @@ struct AcSessionConfig {
   // Retry policy for the session's IFL calls to the server (dynget/dynfree;
   // the server deduplicates retransmits, so these are retry-safe).
   svc::RetryPolicy retry;
+  // Reply-wait bound for every computation call (acMemAlloc, acKernelRun,
+  // ...). Zero waits forever; nonzero turns a dead accelerator into
+  // AcError(kNodeLost), after which the app calls ac_report_lost() and may
+  // AC_Get a replacement. Copied into `transfer.reply_timeout` too unless
+  // that is set explicitly.
+  std::chrono::milliseconds call_timeout{0};
   // Backoff while polling for the static daemons' published port.
   svc::BackoffPolicy port_wait{std::chrono::microseconds(100), 2.0,
                                std::chrono::microseconds(2000), 0.0};
@@ -98,6 +104,13 @@ class AcSession {
   // what it actually received.
   GetResult ac_get(int count, int min_count);
   void ac_free(std::uint64_t client_id);
+  // Releases the newest dynamic set after its accelerators died (the
+  // computation API threw AcError(kNodeLost)). Unlike AC_Free this never
+  // performs the collective disconnect — dead peers would hang it — and
+  // tolerates a failing dynfree (the server may have reclaimed the slots
+  // already). The session falls back to the previous communicator, after
+  // which AC_Get can acquire a replacement set.
+  void ac_report_lost(std::uint64_t client_id);
   void ac_finalize();
 
   // Collective AC_Get over the job's compute-node world (paper §III-D):

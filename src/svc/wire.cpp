@@ -124,7 +124,22 @@ std::string msg_type_name(std::uint32_t type) {
     case as_u32(MsgType::kJobUpdate): return "JOB_UPDATE";
     case as_u32(MsgType::kTaskDone): return "TASK_DONE";
     case as_u32(MsgType::kMomHeartbeat): return "MOM_HEARTBEAT";
+    case as_u32(MsgType::kBackendHeartbeat): return "BACKEND_HEARTBEAT";
     case as_u32(MsgType::kReply): return "REPLY";
+    case as_u32(MsgType::kEvNodeSuspect): return "EV_NODE_SUSPECT";
+    case as_u32(MsgType::kEvNodeDown): return "EV_NODE_DOWN";
+    case as_u32(MsgType::kEvNodeUp): return "EV_NODE_UP";
+    case as_u32(MsgType::kEvJobRequeue): return "EV_JOB_REQUEUE";
+    case as_u32(MsgType::kEvJobFailed): return "EV_JOB_FAILED";
+    case as_u32(MsgType::kEvAcReclaim): return "EV_AC_RECLAIM";
+    // Fault-injection event codes (src/faults/fault_plan.hpp); raw hex so
+    // svc does not depend on the faults library for a string table.
+    case 0xFA000001: return "EV_FAULT_DROP";
+    case 0xFA000002: return "EV_FAULT_DUP";
+    case 0xFA000003: return "EV_FAULT_DELAY";
+    case 0xFA000004: return "EV_NODE_CRASH";
+    case 0xFA000005: return "EV_NODE_RESTART";
+    case 0xFA000006: return "EV_LINK_PARTITION";
     case 0x41524D01: return "ARM_ALLOC";
     case 0x41524D02: return "ARM_FREE";
     case 0x41524D03: return "ARM_STATUS";

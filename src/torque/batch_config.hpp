@@ -49,6 +49,15 @@ struct BatchTiming {
   // messages — declaring a busy node dead would kill its jobs.
   msec mom_heartbeat_interval{25};
   int heartbeat_stale_factor = 40;
+  // A node whose heartbeat is older than heartbeat_suspect_factor *
+  // interval is "suspect": excluded from new placements but nothing is
+  // reclaimed. Must be < heartbeat_stale_factor so suspicion precedes the
+  // down declaration (flapping links degrade placement, not jobs).
+  int heartbeat_suspect_factor = 20;
+  // How often a job whose compute node is declared down may be requeued
+  // before being failed. 0 (the default) preserves the historical behavior:
+  // node death cancels the job outright. Recovery tests opt in with >= 1.
+  int job_requeue_limit = 0;
   // How often a mother superior checks its jobs against their walltime.
   // Zero means "every heartbeat interval". Kept separate so tests can speed
   // up enforcement without also shrinking the liveness window.
@@ -73,6 +82,7 @@ struct BatchTiming {
     t.job_start_delay = usec{10'000};
     t.mom_heartbeat_interval = msec{200};
     t.heartbeat_stale_factor = 5;  // 1 s to down-detection
+    t.heartbeat_suspect_factor = 3;  // 600 ms to suspicion
     return t;
   }
 };

@@ -61,6 +61,7 @@ void put_job_info(util::ByteWriter& w, const JobInfo& j) {
   w.put<double>(j.start_time);
   w.put<double>(j.end_time);
   w.put<std::int32_t>(j.exit_status);
+  w.put<std::int32_t>(j.requeues);
 }
 
 JobInfo get_job_info(util::ByteReader& r) {
@@ -75,6 +76,7 @@ JobInfo get_job_info(util::ByteReader& r) {
   out.start_time = r.get<double>();
   out.end_time = r.get<double>();
   out.exit_status = r.get<std::int32_t>();
+  out.requeues = r.get<std::int32_t>();
   return out;
 }
 

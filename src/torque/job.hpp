@@ -65,6 +65,9 @@ struct JobInfo {
   double end_time = -1.0;
   // 0 = clean completion; 1 = killed (qdel); 2 = walltime exceeded.
   int exit_status = 0;
+  // How many times this job was requeued after a compute-node failure
+  // (bounded by BatchConfig::job_requeue_limit; fault tolerance).
+  int requeues = 0;
 };
 
 inline constexpr int kExitOk = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace dac::torque {
@@ -115,6 +116,17 @@ void PbsMom::register_handlers(svc::ServiceLoop& loop, vnet::Process& proc) {
 }
 
 // --------------------------------------------------------- mother superior
+
+std::chrono::milliseconds PbsMom::sister_call_timeout() const {
+  // A quarter of the down-detection window: even a couple of serially
+  // unreachable sisters leave the MS enough slack to keep heartbeating
+  // before the server would declare *it* dead.
+  const auto stale_window =
+      config_.timing.mom_heartbeat_interval * config_.timing.heartbeat_stale_factor;
+  const auto bound =
+      std::chrono::duration_cast<std::chrono::milliseconds>(stale_window) / 4;
+  return std::clamp(bound, std::chrono::milliseconds(10), rpc::kDefaultTimeout);
+}
 
 void PbsMom::on_run_job(vnet::Process& proc, const rpc::Request& req) {
   util::ByteReader r(req.body);
@@ -259,7 +271,16 @@ void PbsMom::on_release(vnet::Process& proc, const rpc::Request& req) {
       tasks_.kill_node_tasks(job_id, node_.id(), client_id);
       continue;
     }
-    (void)rpc::call(proc, h.mom, MsgType::kDisjoinJob, body_bytes);
+    // A sister that died between the release request and the server's down
+    // detection cannot answer; bound the wait and move on — the server
+    // reclaims its slots once the heartbeat goes stale.
+    try {
+      (void)rpc::call(proc, h.mom, MsgType::kDisjoinJob, body_bytes,
+                      sister_call_timeout());
+    } catch (const util::ProtocolError& e) {
+      kLog.warn("MS '{}': DISJOIN to '{}' failed: {}", node_.hostname(),
+                h.hostname, e.what());
+    }
   }
 
   // Drop the released hosts from the job's membership (at most one entry
@@ -353,7 +374,8 @@ void PbsMom::teardown_job(vnet::Process& proc, MomJob& job, bool kill_tasks) {
   for (const auto& h : job.hosts) {
     if (h.node == node_.id()) continue;
     try {
-      (void)rpc::call(proc, h.mom, MsgType::kDisjoinJob, body_bytes);
+      (void)rpc::call(proc, h.mom, MsgType::kDisjoinJob, body_bytes,
+                      sister_call_timeout());
     } catch (const std::exception& e) {
       kLog.warn("MS '{}': DISJOIN to '{}' failed: {}", node_.hostname(),
                 h.hostname, e.what());

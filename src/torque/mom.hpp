@@ -80,6 +80,10 @@ class PbsMom {
 
   void apply_join_cost() const;
   void notify_server(MsgType type, util::Bytes body);
+  // Deadline for MS -> sister calls (DISJOIN fan-out): well under the
+  // server's down-detection window, so a dead sister cannot stall this
+  // mom's loop long enough for its own heartbeats to go stale.
+  [[nodiscard]] std::chrono::milliseconds sister_call_timeout() const;
   // Kills jobs that exceeded their requested walltime (MS duty); runs on a
   // periodic service-loop tick.
   void enforce_walltime(vnet::Process& proc);

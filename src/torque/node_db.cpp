@@ -6,6 +6,15 @@
 
 namespace dac::torque {
 
+const char* liveness_name(Liveness l) {
+  switch (l) {
+    case Liveness::kUp: return "up";
+    case Liveness::kSuspect: return "suspect";
+    case Liveness::kDown: return "down";
+  }
+  return "?";
+}
+
 void put_node_status(util::ByteWriter& w, const NodeStatus& n) {
   w.put_string(n.hostname);
   w.put<std::int32_t>(n.node_id);
@@ -17,6 +26,7 @@ void put_node_status(util::ByteWriter& w, const NodeStatus& n) {
   w.put<std::int32_t>(n.mom_addr.node);
   w.put<std::int32_t>(n.mom_addr.port);
   w.put_bool(n.up);
+  w.put_enum(n.liveness);
 }
 
 NodeStatus get_node_status(util::ByteReader& r) {
@@ -34,6 +44,7 @@ NodeStatus get_node_status(util::ByteReader& r) {
   n.mom_addr.node = r.get<std::int32_t>();
   n.mom_addr.port = r.get<std::int32_t>();
   n.up = r.get_bool();
+  n.liveness = r.get_enum<Liveness>();
   return n;
 }
 
@@ -52,6 +63,7 @@ void NodeDb::upsert(NodeStatus status) {
   it->second.status.np = status.np;
   it->second.status.mom_addr = status.mom_addr;
   it->second.status.up = true;
+  it->second.status.liveness = Liveness::kUp;
 }
 
 const NodeStatus* NodeDb::find(const std::string& hostname) const {
@@ -115,26 +127,39 @@ std::optional<vnet::Address> NodeDb::mom_of(const std::string& hostname) const {
   return std::nullopt;
 }
 
-void NodeDb::heartbeat(const std::string& hostname, double now) {
+bool NodeDb::heartbeat(const std::string& hostname, double now) {
   auto it = nodes_.find(hostname);
-  if (it == nodes_.end()) return;
+  if (it == nodes_.end()) return false;
   it->second.last_seen = now;
+  const bool revived = it->second.status.liveness != Liveness::kUp;
   it->second.status.up = true;
+  it->second.status.liveness = Liveness::kUp;
+  return revived;
 }
 
-std::vector<std::string> NodeDb::refresh_liveness(double now,
-                                                  double stale_after) {
-  std::vector<std::string> went_down;
+NodeDb::LivenessChanges NodeDb::refresh_liveness(double now,
+                                                 double suspect_after,
+                                                 double down_after) {
+  LivenessChanges changes;
   for (auto& [name, e] : nodes_) {
-    const bool alive = now - e.last_seen < stale_after;
-    if (e.status.up && !alive) {
-      e.status.up = false;
-      went_down.push_back(name);
-    } else if (!e.status.up && alive) {
-      e.status.up = true;
+    const double silence = now - e.last_seen;
+    Liveness next = e.status.liveness;
+    if (silence >= down_after) {
+      next = Liveness::kDown;
+    } else if (silence >= suspect_after) {
+      // Never promote: a down node stays down until a real heartbeat.
+      if (e.status.liveness == Liveness::kUp) next = Liveness::kSuspect;
+    }
+    if (next == e.status.liveness) continue;
+    e.status.liveness = next;
+    e.status.up = next == Liveness::kUp;
+    if (next == Liveness::kSuspect) {
+      changes.went_suspect.push_back(name);
+    } else if (next == Liveness::kDown) {
+      changes.went_down.push_back(name);
     }
   }
-  return went_down;
+  return changes;
 }
 
 }  // namespace dac::torque

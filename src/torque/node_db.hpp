@@ -17,6 +17,15 @@ namespace dac::torque {
 
 enum class NodeKind : std::uint8_t { kCompute = 0, kAccelerator = 1 };
 
+// Failure-detector state. A node is kSuspect after `suspect_after` seconds
+// without a heartbeat (the scheduler stops placing work there, nothing is
+// reclaimed yet) and kDown after `down_after` seconds (jobs are requeued or
+// failed, AC slots reclaimed). One fresh heartbeat restores kUp from either
+// state, so a flapping link degrades placement but never kills a job.
+enum class Liveness : std::uint8_t { kUp = 0, kSuspect = 1, kDown = 2 };
+
+const char* liveness_name(Liveness l);
+
 struct NodeStatus {
   std::string hostname;
   vnet::NodeId node_id = vnet::kInvalidNode;
@@ -25,7 +34,11 @@ struct NodeStatus {
   int used = 0;  // slots currently assigned
   std::vector<JobId> jobs;  // jobs holding slots here
   vnet::Address mom_addr;
-  bool up = true;  // false once heartbeats go stale (fault tolerance)
+  // Invariant: up == (liveness == kUp). The bool predates the tri-state and
+  // every placement check keys off it, so "suspect" already excludes a node
+  // from scheduling without those callers knowing about Liveness.
+  bool up = true;
+  Liveness liveness = Liveness::kUp;
 
   [[nodiscard]] int free_slots() const { return np - used; }
 };
@@ -55,11 +68,20 @@ class NodeDb {
       const std::string& hostname) const;
 
   // ---- liveness (fault-tolerance extension) ----------------------------
-  // Records a heartbeat for `hostname` at time `now` (server seconds).
-  void heartbeat(const std::string& hostname, double now);
-  // Marks nodes whose last heartbeat is older than `stale_after` seconds as
-  // down and fresher ones as up; returns hostnames that changed to down.
-  std::vector<std::string> refresh_liveness(double now, double stale_after);
+  // Records a heartbeat for `hostname` at time `now` (server seconds);
+  // returns true if this heartbeat brought a suspect/down node back up.
+  bool heartbeat(const std::string& hostname, double now);
+
+  struct LivenessChanges {
+    std::vector<std::string> went_suspect;
+    std::vector<std::string> went_down;  // includes suspect -> down
+  };
+  // Advances the failure detector: last heartbeat older than
+  // `suspect_after` seconds => kSuspect, older than `down_after` =>
+  // kDown. Returns only the transitions made by this call; recovery to kUp
+  // happens in heartbeat(), not here — silence never improves liveness.
+  LivenessChanges refresh_liveness(double now, double suspect_after,
+                                   double down_after);
 
  private:
   struct Entry {

@@ -57,9 +57,20 @@ enum class MsgType : std::uint32_t {
 
   // mom -> server, periodic liveness (fault-tolerance extension)
   kMomHeartbeat = 0x5430'0450,  // hostname
+  kBackendHeartbeat,            // dacc backend daemon -> server: hostname
 
   // generic reply envelope
   kReply = 0x5430'0500,
+
+  // Synthetic event codes: never sent on the wire. They exist so the fault
+  // subsystem's detection/recovery events surface in the same per-RPC
+  // MetricsRegistry table as real traffic (record() with latency 0).
+  kEvNodeSuspect = 0x5430'0600,
+  kEvNodeDown,
+  kEvNodeUp,
+  kEvJobRequeue,
+  kEvJobFailed,
+  kEvAcReclaim,
 };
 
 inline constexpr std::uint32_t as_u32(MsgType t) {

@@ -104,6 +104,12 @@ void PbsServer::run(vnet::Process& proc) {
   cfg.dedup_window = tuning_.dedup_window;
   svc::ServiceLoop loop(*endpoint_, cfg, &metrics_);
   register_handlers(loop);
+  // Failure detector: advance liveness at the heartbeat cadence so a dead
+  // node is declared suspect/down even when nobody runs pbsnodes.
+  loop.add_tick(timing_.mom_heartbeat_interval, [this] {
+    WriterLock lock(state_mu_);
+    refresh_liveness();
+  });
   loop.run();
   kLog.info("pbs_server shutting down");
 }
@@ -174,16 +180,54 @@ void PbsServer::register_handlers(svc::ServiceLoop& loop) {
   read(MsgType::kGetQueue, &PbsServer::on_get_queue);
   read_excl(MsgType::kStatNodes, &PbsServer::on_stat_nodes);
   read_excl(MsgType::kGetNodes, &PbsServer::on_get_nodes);
-  loop.on(MsgType::kMomHeartbeat, ExecClass::kReadOnly,
-          [this](const Request& req, Responder&) {
-            WriterLock lock(state_mu_);
-            on_heartbeat(req);
-          });
+  // Mom and dacc-backend heartbeats carry the same body (hostname) and feed
+  // the same detector; two codes keep the metrics table honest about who is
+  // beating.
+  for (const auto type :
+       {MsgType::kMomHeartbeat, MsgType::kBackendHeartbeat}) {
+    loop.on(type, ExecClass::kReadOnly,
+            [this](const Request& req, Responder&) {
+              WriterLock lock(state_mu_);
+              on_heartbeat(req);
+            });
+  }
 }
 
 void PbsServer::on_heartbeat(const rpc::Request& req) {
   util::ByteReader r(req.body);
-  nodes_.heartbeat(r.get_string(), now_s());
+  const auto hostname = r.get_string();
+  if (nodes_.heartbeat(hostname, now_s())) {
+    kLog.info("node '{}' back up (heartbeat resumed)", hostname);
+    record_event(MsgType::kEvNodeUp);
+  }
+}
+
+void PbsServer::refresh_liveness() {
+  const double interval =
+      std::chrono::duration<double>(timing_.mom_heartbeat_interval).count();
+  const double suspect_after = timing_.heartbeat_suspect_factor * interval;
+  const double down_after = timing_.heartbeat_stale_factor * interval;
+  const auto changes =
+      nodes_.refresh_liveness(now_s(), suspect_after, down_after);
+  for (const auto& host : changes.went_suspect) {
+    kLog.warn("node '{}' suspect (heartbeat overdue)", host);
+    record_event(MsgType::kEvNodeSuspect);
+  }
+  for (const auto& host : changes.went_down) {
+    kLog.warn("node '{}' marked down (stale heartbeat)", host);
+    record_event(MsgType::kEvNodeDown);
+    handle_node_down(host);
+  }
+}
+
+void PbsServer::handle_node_down(const std::string& hostname) {
+  const NodeStatus* n = nodes_.find(hostname);
+  if (n == nullptr) return;
+  if (n->kind == NodeKind::kCompute) {
+    fail_jobs_on(hostname);
+  } else {
+    reclaim_accel_slots(hostname);
+  }
 }
 
 void PbsServer::wake_scheduler() {
@@ -238,13 +282,7 @@ void PbsServer::on_stat_jobs(const rpc::Request& req, svc::Responder& resp) {
 
 void PbsServer::on_stat_nodes(const rpc::Request& req, svc::Responder& resp) {
   (void)req;
-  const double stale =
-      timing_.heartbeat_stale_factor *
-      std::chrono::duration<double>(timing_.mom_heartbeat_interval).count();
-  for (const auto& host : nodes_.refresh_liveness(now_s(), stale)) {
-    kLog.warn("node '{}' marked down (stale heartbeat)", host);
-    fail_jobs_on(host);
-  }
+  refresh_liveness();
   util::ByteWriter w;
   const auto snap = nodes_.snapshot();
   w.put<std::uint32_t>(static_cast<std::uint32_t>(snap.size()));
@@ -252,11 +290,35 @@ void PbsServer::on_stat_nodes(const rpc::Request& req, svc::Responder& resp) {
   resp.ok(std::move(w).take());
 }
 
+void PbsServer::reject_job_dyns(JobRecord& job) {
+  // Reject waiting requests first: finish_dyn on the active one activates
+  // the next waiter, which would put it back in the scheduler's queue.
+  while (!job.dyn_waiting.empty()) {
+    const auto waiting_id = job.dyn_waiting.front();
+    job.dyn_waiting.pop_front();
+    if (auto dit = dyn_.find(waiting_id); dit != dyn_.end()) {
+      DynGetReply reply;  // rejected
+      util::ByteWriter w;
+      put_dynget_reply(w, reply);
+      dit->second.responder.ok(std::move(w).take());
+      dyn_.erase(dit);
+    }
+  }
+  if (job.dyn_active != 0) {
+    if (auto dit = dyn_.find(job.dyn_active); dit != dyn_.end()) {
+      DynGetReply reply;  // rejected
+      finish_dyn(dit->second, reply);
+    }
+    job.dyn_active = 0;
+  }
+}
+
 void PbsServer::fail_jobs_on(const std::string& hostname) {
   // A compute node died: jobs it mother-superiors (or computes for) cannot
-  // finish; fail them and free whatever they held elsewhere. Accelerator
-  // nodes are not fatal to the job — the application notices through its
-  // communicator and the hosts are released with the job.
+  // finish on it. With job_requeue_limit > 0 the job goes back to kQueued
+  // (all held resources freed, host lists cleared) for the scheduler to
+  // place afresh; past the limit — or with the default limit of 0 — it is
+  // failed outright. Accelerator nodes are handled by reclaim_accel_slots.
   for (auto& [id, rec] : jobs_) {
     if (rec.info.state != JobState::kRunning &&
         rec.info.state != JobState::kDynQueued) {
@@ -266,8 +328,9 @@ void PbsServer::fail_jobs_on(const std::string& hostname) {
     if (std::find(hosts.begin(), hosts.end(), hostname) == hosts.end()) {
       continue;
     }
-    kLog.warn("failing job {}: compute node '{}' went down", id, hostname);
     if (rec.ms_valid) {
+      // Tell the mother superior to tear the job down. If the MS itself is
+      // the dead node the message lands in a dead mailbox — harmless.
       util::ByteWriter w;
       w.put<std::uint64_t>(id);
       rpc::notify(*endpoint_, rec.ms, MsgType::kMomKillJob,
@@ -275,17 +338,54 @@ void PbsServer::fail_jobs_on(const std::string& hostname) {
       rec.ms_valid = false;
     }
     nodes_.release_all(id);
-    rec.info.state = JobState::kCancelled;
-    rec.info.exit_status = kExitKilled;
-    rec.info.end_time = now_s();
-    if (rec.dyn_active != 0) {
-      if (auto dit = dyn_.find(rec.dyn_active); dit != dyn_.end()) {
-        DynGetReply reply;  // rejected: the job is gone
-        finish_dyn(dit->second, reply);
-      }
+    reject_job_dyns(rec);
+    rec.dyn_sets.clear();
+    rec.info.compute_hosts.clear();
+    rec.info.accel_hosts.clear();
+    rec.info.dyn_accel_hosts.clear();
+    if (rec.info.requeues < timing_.job_requeue_limit) {
+      ++rec.info.requeues;
+      rec.info.state = JobState::kQueued;
+      rec.info.start_time = -1.0;
+      rec.info.end_time = -1.0;
+      rec.info.exit_status = kExitOk;
+      kLog.warn("requeueing job {} (attempt {}): compute node '{}' down", id,
+                rec.info.requeues, hostname);
+      record_event(MsgType::kEvJobRequeue);
+    } else {
+      kLog.warn("failing job {}: compute node '{}' went down", id, hostname);
+      rec.info.state = JobState::kCancelled;
+      rec.info.exit_status = kExitKilled;
+      rec.info.end_time = now_s();
+      record_event(MsgType::kEvJobFailed);
     }
     wake_scheduler();
   }
+}
+
+void PbsServer::reclaim_accel_slots(const std::string& hostname) {
+  // An accelerator node died. Its slots are reclaimed here so the scheduler
+  // can re-grant the capacity elsewhere; the running job is NOT killed —
+  // the application sees the loss as a distinct frontend error and may
+  // pbs_dynget a replacement.
+  bool reclaimed = false;
+  for (auto& [id, rec] : jobs_) {
+    bool held = false;
+    if (std::erase(rec.info.accel_hosts, hostname) > 0) held = true;
+    if (std::erase(rec.info.dyn_accel_hosts, hostname) > 0) held = true;
+    for (auto it = rec.dyn_sets.begin(); it != rec.dyn_sets.end();) {
+      std::erase(it->second, hostname);
+      it = it->second.empty() ? rec.dyn_sets.erase(it) : std::next(it);
+    }
+    if (held) {
+      nodes_.release(hostname, id);
+      kLog.warn("reclaimed accelerator '{}' from job {} (node down)",
+                hostname, id);
+      record_event(MsgType::kEvAcReclaim);
+      reclaimed = true;
+    }
+  }
+  if (reclaimed) wake_scheduler();
 }
 
 void PbsServer::on_delete_job(const rpc::Request& req, svc::Responder& resp) {
@@ -442,18 +542,33 @@ void PbsServer::on_dynfree(const rpc::Request& req, svc::Responder& resp) {
   // Positive reply first; disassociation proceeds while the application
   // continues (paper §III-D).
   resp.ok();
-  if (rec.ms_valid) {
+
+  // The mother superior's DISJOIN protocol is a blocking collective with
+  // every released mom — a down host would hang it. Release dead hosts
+  // directly here and only forward the live remainder.
+  std::vector<std::string> live;
+  std::vector<std::string> dead;
+  for (const auto& h : set->second) {
+    const NodeStatus* n = nodes_.find(h);
+    (n != nullptr && n->liveness == Liveness::kDown ? dead : live).push_back(h);
+  }
+  for (const auto& h : dead) {
+    nodes_.release(h, job_id);
+    std::erase(rec.info.dyn_accel_hosts, h);
+  }
+  if (rec.ms_valid && !live.empty()) {
+    set->second = live;  // ms_release_done frees exactly what was forwarded
     util::ByteWriter w;
     w.put<std::uint64_t>(job_id);
     w.put<std::uint64_t>(client_id);
-    put_host_refs(w, host_refs(set->second));
+    put_host_refs(w, host_refs(live));
     rpc::notify(*endpoint_, rec.ms, MsgType::kMomRelease, std::move(w).take());
   } else {
-    // No mother superior (already exiting): free directly.
-    for (const auto& h : set->second) nodes_.release(h, job_id);
+    // No mother superior (already exiting) or nothing left alive: free
+    // directly.
+    for (const auto& h : live) nodes_.release(h, job_id);
     std::erase_if(rec.info.dyn_accel_hosts, [&](const std::string& h) {
-      return std::find(set->second.begin(), set->second.end(), h) !=
-             set->second.end();
+      return std::find(live.begin(), live.end(), h) != live.end();
     });
     rec.dyn_sets.erase(set);
     wake_scheduler();

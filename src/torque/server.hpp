@@ -80,6 +80,9 @@ class PbsServer {
   // Per-request metrics recorded by the service loop (counts, errors,
   // latency). Safe to snapshot from any thread while the server runs.
   [[nodiscard]] const svc::MetricsRegistry& metrics() const { return metrics_; }
+  // Non-const access so the harness can also route fault-injection event
+  // counts (FaultPlan::set_metrics) into the server's registry.
+  [[nodiscard]] svc::MetricsRegistry& metrics() { return metrics_; }
 
   // The daemon loop; returns when the owning process is stopped.
   void run(vnet::Process& proc);
@@ -147,8 +150,25 @@ class PbsServer {
       DAC_REQUIRES(state_mu_);
 
   void wake_scheduler() DAC_REQUIRES(state_mu_);
-  // Fails running jobs that depend on a dead compute node (FT extension).
+
+  // ---- failure detector + recovery (fault-tolerance extension) ---------
+  // Advances the suspect/down detector; called from the liveness tick and
+  // from pbsnodes-style requests so detection does not depend on polling.
+  void refresh_liveness() DAC_REQUIRES(state_mu_);
+  // Recovery entry point once a node is declared down, branching on kind.
+  void handle_node_down(const std::string& hostname) DAC_REQUIRES(state_mu_);
+  // Compute node died: requeue its jobs (bounded by job_requeue_limit) or
+  // fail them, freeing everything they held.
   void fail_jobs_on(const std::string& hostname) DAC_REQUIRES(state_mu_);
+  // Accelerator node died: reclaim its slots from every job server-side;
+  // the application learns through the DAC frontend and re-issues dynget.
+  void reclaim_accel_slots(const std::string& hostname)
+      DAC_REQUIRES(state_mu_);
+  // Rejects the active and any waiting dynamic requests of `job`.
+  void reject_job_dyns(JobRecord& job) DAC_REQUIRES(state_mu_);
+  // Records a synthetic detector/recovery event in the metrics table.
+  void record_event(MsgType ev) { metrics_.record(as_u32(ev), 0.0); }
+
   void activate_next_dyn(JobRecord& job) DAC_REQUIRES(state_mu_);
   void finish_dyn(DynRecord& dyn, const DynGetReply& reply)
       DAC_REQUIRES(state_mu_);

@@ -8,7 +8,8 @@ namespace {
 const util::Logger kLog("fabric");
 }
 
-Fabric::Fabric(NetworkModel model) : model_(model) {
+Fabric::Fabric(NetworkModel model)
+    : model_(model), jitter_rng_(model.jitter_seed) {
   thread_ = std::thread([this] { delivery_loop(); });
 }
 
@@ -24,9 +25,34 @@ void Fabric::unregister_mailbox(const Address& addr) {
   boxes_.erase(addr);
 }
 
+void Fabric::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  ScopedLock lock(injector_mu_);
+  injector_ = std::move(injector);
+}
+
 void Fabric::send(Message msg) {
   const bool same_node = msg.from.node == msg.to.node;
   bytes_sent_.fetch_add(msg.payload.size(), std::memory_order_relaxed);
+
+  FaultDecision fault;
+  {
+    std::shared_ptr<FaultInjector> injector;
+    {
+      ScopedLock lock(injector_mu_);
+      injector = injector_;
+    }
+    if (injector) {
+      fault = injector->on_message(msg.from.node, msg.to.node, msg.type,
+                                   msg.payload.size());
+    }
+  }
+  if (fault.drop) {
+    dropped_injected_.fetch_add(1, std::memory_order_relaxed);
+    kLog.debug("fault injection: dropped message {} -> {} (type {})",
+               msg.from.str(), msg.to.str(), msg.type);
+    return;
+  }
+
   {
     ScopedLock lock(mu_);
     if (stop_) return;
@@ -48,13 +74,34 @@ void Fabric::send(Message msg) {
       deliver_at = depart + wire +
                    std::chrono::duration_cast<std::chrono::nanoseconds>(
                        model_.latency);
+      if (model_.jitter.count() > 0) {
+        std::uniform_int_distribution<long long> dist(
+            0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   model_.jitter)
+                   .count());
+        deliver_at += std::chrono::nanoseconds(dist(jitter_rng_));
+      }
     }
-    auto& last = pair_last_[{msg.from, msg.to}];
-    if (deliver_at < last) deliver_at = last;
-    last = deliver_at;
-    pending_.push(Pending{deliver_at, next_seq_++, std::move(msg)});
+    deliver_at += fault.extra_delay;
+    if (fault.duplicate) {
+      duplicated_.fetch_add(1, std::memory_order_relaxed);
+      // The copy trails the original by one latency so the receiver sees a
+      // retransmission, not a tie.
+      enqueue_locked(msg, deliver_at +
+                              std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(model_.latency));
+    }
+    enqueue_locked(std::move(msg), deliver_at);
   }
   cv_.notify_one();
+}
+
+void Fabric::enqueue_locked(Message msg,
+                            std::chrono::steady_clock::time_point deliver_at) {
+  auto& last = pair_last_[{msg.from, msg.to}];
+  if (deliver_at < last) deliver_at = last;
+  last = deliver_at;
+  pending_.push(Pending{deliver_at, next_seq_++, std::move(msg)});
 }
 
 void Fabric::shutdown() {
@@ -107,7 +154,7 @@ void Fabric::deliver(Message msg) {
     if (!pushed) delivered_.fetch_sub(1, std::memory_order_relaxed);
   }
   if (!pushed) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_closed_.fetch_add(1, std::memory_order_relaxed);
     const char* reason = box ? "mailbox closed" : "unregistered address";
     bool first_for_node;
     {

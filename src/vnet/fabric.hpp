@@ -11,11 +11,13 @@
 #include <memory>
 #include <optional>
 #include <queue>
+#include <random>
 #include <set>
 #include <thread>
 
 #include "util/queue.hpp"
 #include "util/sync.hpp"
+#include "vnet/fault_injector.hpp"
 #include "vnet/message.hpp"
 #include "vnet/network_model.hpp"
 
@@ -39,6 +41,12 @@ class Fabric {
   // Queues `msg` for delivery after the modeled network delay.
   void send(Message msg);
 
+  // Installs (or clears, with nullptr) the fault injector consulted on every
+  // send. Injected drops/duplicates/delays are accounted separately from
+  // closed-mailbox drops. Install before traffic starts: swapping injectors
+  // under load is safe but the decision stream is then interleaving-defined.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
   // Stops the delivery thread; undelivered messages are dropped.
   void shutdown();
 
@@ -46,8 +54,23 @@ class Fabric {
   [[nodiscard]] std::uint64_t messages_delivered() const {
     return delivered_.load(std::memory_order_relaxed);
   }
+  // Messages dropped on delivery because the destination was unregistered
+  // or its mailbox closed — a dead/absent host, NOT an injected fault.
+  // (Kept under the historical name; injected drops count separately so
+  // drop-counter assertions stay meaningful under injection.)
   [[nodiscard]] std::uint64_t messages_dropped() const {
-    return dropped_.load(std::memory_order_relaxed);
+    return dropped_closed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t messages_dropped_closed() const {
+    return dropped_closed_.load(std::memory_order_relaxed);
+  }
+  // Messages discarded at send() by the fault injector.
+  [[nodiscard]] std::uint64_t messages_dropped_injected() const {
+    return dropped_injected_.load(std::memory_order_relaxed);
+  }
+  // Extra copies enqueued by the fault injector.
+  [[nodiscard]] std::uint64_t messages_duplicated() const {
+    return duplicated_.load(std::memory_order_relaxed);
   }
   // Messages dropped on delivery to `addr` (unregistered or closed mailbox).
   [[nodiscard]] std::uint64_t drops_to(const Address& addr) const;
@@ -69,6 +92,9 @@ class Fabric {
 
   void delivery_loop();
   void deliver(Message msg);
+  void enqueue_locked(Message msg,
+                      std::chrono::steady_clock::time_point deliver_at)
+      DAC_REQUIRES(mu_);
 
   NetworkModel model_;
 
@@ -87,6 +113,15 @@ class Fabric {
       DAC_GUARDED_BY(mu_);
   std::uint64_t next_seq_ DAC_GUARDED_BY(mu_) = 0;
   bool stop_ DAC_GUARDED_BY(mu_) = false;
+  // Deterministic latency jitter (NetworkModel::jitter); drawn per cross-node
+  // message under mu_, so a fixed send sequence yields a fixed jitter
+  // sequence.
+  std::mt19937_64 jitter_rng_ DAC_GUARDED_BY(mu_);
+
+  // Injection hook (null = healthy network). Swapped under injector_mu_ so
+  // installation is race-free; the shared_ptr copy is consulted outside it.
+  mutable Mutex injector_mu_{"fabric.injector"};
+  std::shared_ptr<FaultInjector> injector_ DAC_GUARDED_BY(injector_mu_);
 
   Mutex boxes_mu_{"fabric.boxes"};
   std::map<Address, MailboxPtr> boxes_ DAC_GUARDED_BY(boxes_mu_);
@@ -98,7 +133,9 @@ class Fabric {
   std::set<NodeId> warned_nodes_ DAC_GUARDED_BY(drops_mu_);
 
   std::atomic<std::uint64_t> delivered_{0};
-  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> dropped_closed_{0};
+  std::atomic<std::uint64_t> dropped_injected_{0};
+  std::atomic<std::uint64_t> duplicated_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
 
   std::thread thread_;

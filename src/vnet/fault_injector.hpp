@@ -1,0 +1,38 @@
+// Injection hook of the fabric. The fault subsystem (src/faults/) implements
+// this interface; vnet only defines it so the dependency points upward
+// (faults -> vnet) while the fabric stays ignorant of plans, seeds and
+// schedules. A null injector (the default) means a perfectly healthy
+// network.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "vnet/message.hpp"
+
+namespace dac::vnet {
+
+// What the injector decided for one message. `drop` wins over everything;
+// `duplicate` enqueues a second copy after the first; `extra_delay` is added
+// on top of the NetworkModel delay (delaying one pair's stream reorders it
+// relative to other pairs — per-pair FIFO is a transport guarantee and is
+// preserved).
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  std::chrono::nanoseconds extra_delay{0};
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  // Called by the fabric for every message passed to send(), before any
+  // delay is charged. Must be thread-safe: senders call concurrently.
+  virtual FaultDecision on_message(NodeId from, NodeId to,
+                                   std::uint32_t type,
+                                   std::size_t payload_bytes) = 0;
+};
+
+}  // namespace dac::vnet

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 
 namespace dac::vnet {
 
@@ -14,6 +15,13 @@ struct NetworkModel {
   std::chrono::microseconds latency{200};          // per-message, cross-node
   std::chrono::microseconds loopback_latency{20};  // same-node delivery
   double bytes_per_second = 1.0e9;                 // link bandwidth
+  // Uniform per-message latency jitter in [0, jitter], applied by the fabric
+  // to cross-node traffic from a deterministic RNG seeded with jitter_seed.
+  // Zero (the default) disables it, keeping the seed timing model exact;
+  // nonzero composes with the latency/bandwidth terms above, so fault-plan
+  // delay injection and calibration share one mechanism.
+  std::chrono::microseconds jitter{0};
+  std::uint64_t jitter_seed = 0x6a69'7474'6572ULL;  // "jitter"
 
   [[nodiscard]] std::chrono::nanoseconds delay(std::size_t payload_bytes,
                                                bool same_node) const {

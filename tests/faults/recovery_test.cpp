@@ -1,0 +1,221 @@
+// End-to-end recovery: compute-node death requeues the job onto a survivor,
+// accelerator death is reclaimed server-side and survived by the session
+// (AC_ReportLost + replacement AC_Get), a heartbeat flap (suspect -> up)
+// never requeues, and a partition during pbs_dynget surfaces as a timeout
+// error instead of a hang.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "dacc/frontend.hpp"
+#include "faults/fault_plan.hpp"
+#include "svc/wire.hpp"
+#include "util/bytes.hpp"
+#include "util/queue.hpp"
+
+namespace dac::faults {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::uint64_t event_count(const core::DacCluster& cluster,
+                          torque::MsgType ev) {
+  const auto snap = cluster.metrics_snapshot();
+  const auto* stats = snap.find(torque::as_u32(ev));
+  return stats == nullptr ? 0 : stats->calls;
+}
+
+TEST(FaultRecoveryTest, ComputeNodeCrashRequeuesJobOntoSurvivor) {
+  auto cfg = core::DacClusterConfig::fast();
+  cfg.compute_nodes = 2;
+  cfg.accel_nodes = 1;
+  cfg.timing.mom_heartbeat_interval = 10ms;
+  cfg.timing.heartbeat_stale_factor = 10;
+  cfg.timing.job_requeue_limit = 1;
+  core::DacCluster cluster(cfg);
+
+  // First attempt blocks until killed; the requeued attempt finishes at once.
+  std::atomic<int> runs{0};
+  util::BlockingQueue<int> started;
+  cluster.register_program("victim", [&](core::JobContext& ctx) {
+    if (runs.fetch_add(1) == 0) {
+      (void)started.push(0);
+      core::interruptible_sleep(ctx, 60'000ms);
+    }
+  });
+
+  const auto id = cluster.submit_program("victim", 1, 0);
+  ASSERT_TRUE(started.pop().has_value());
+
+  auto running = cluster.client().stat_job(id);
+  ASSERT_TRUE(running.has_value());
+  const auto host = running->compute_hosts.front();
+  cluster.fail_node(host == "cn0" ? 1 : 2);
+  ASSERT_TRUE(
+      cluster.await_node_liveness(host, torque::Liveness::kDown, 5000ms));
+
+  // The requeued job completes on the surviving compute node.
+  auto info = cluster.wait_job(id, 30'000ms);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->state, torque::JobState::kComplete);
+  EXPECT_EQ(info->requeues, 1);
+  EXPECT_EQ(info->exit_status, torque::kExitOk);
+  EXPECT_NE(info->compute_hosts.front(), host);
+  EXPECT_EQ(runs.load(), 2);
+  EXPECT_GE(event_count(cluster, torque::MsgType::kEvJobRequeue), 1u);
+  EXPECT_GE(event_count(cluster, torque::MsgType::kEvNodeDown), 1u);
+}
+
+TEST(FaultRecoveryTest, AcceleratorCrashIsReclaimedAndSessionRecovers) {
+  auto cfg = core::DacClusterConfig::fast();
+  cfg.compute_nodes = 1;
+  cfg.accel_nodes = 2;
+  cfg.timing.mom_heartbeat_interval = 10ms;
+  cfg.timing.heartbeat_stale_factor = 10;
+  cfg.ac_call_timeout = 300ms;  // dead AC => AcError(kNodeLost), not a hang
+  core::DacCluster cluster(cfg);
+
+  util::BlockingQueue<std::string> acquired;  // program -> test: granted host
+  util::BlockingQueue<int> resume;            // test -> program: proceed
+  std::atomic<bool> saw_node_lost{false};
+  std::atomic<bool> recovered{false};
+  std::string dead_host;
+
+  cluster.register_program("failover", [&](core::JobContext& ctx) {
+    auto& s = ctx.session();
+    (void)s.ac_init();
+    auto got = s.ac_get(1);
+    if (!got.granted) return;
+    const auto ac = got.handles.front();
+    (void)s.ac_mem_alloc(ac, 1024);  // healthy accelerator answers
+    (void)acquired.push(got.reply.hosts.front());
+
+    (void)resume.pop();  // test killed the accelerator node
+    try {
+      (void)s.ac_mem_alloc(ac, 1024);
+    } catch (const dacc::AcError& e) {
+      saw_node_lost = e.status() == dacc::Status::kNodeLost;
+    }
+    s.ac_report_lost(got.client_id);
+
+    (void)resume.pop();  // test observed the node going down
+    auto replacement = s.ac_get(1);
+    if (replacement.granted) {
+      const auto host = replacement.reply.hosts.front();
+      const auto r = replacement.handles.front();
+      auto ptr = s.ac_mem_alloc(r, 64);
+      s.ac_mem_free(r, ptr);
+      recovered = host != dead_host;
+      s.ac_free(replacement.client_id);
+    }
+    s.ac_finalize();
+  });
+
+  const auto id = cluster.submit_program("failover", 1, 0);
+  auto host = acquired.pop();
+  ASSERT_TRUE(host.has_value());
+  dead_host = *host;
+  cluster.fail_node(*host == "ac0" ? 2 : 3);  // 1 CN => ACs at index 2, 3
+  ASSERT_TRUE(resume.push(0));
+  ASSERT_TRUE(
+      cluster.await_node_liveness(*host, torque::Liveness::kDown, 5000ms));
+  ASSERT_TRUE(resume.push(0));
+
+  auto info = cluster.wait_job(id, 30'000ms);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->state, torque::JobState::kComplete);
+  EXPECT_EQ(info->requeues, 0);  // AC loss must not requeue the job
+  EXPECT_TRUE(saw_node_lost.load());
+  EXPECT_TRUE(recovered.load());
+  // All accelerator slots are free again at the end.
+  for (const auto& n : cluster.client().stat_nodes()) {
+    EXPECT_EQ(n.used, 0) << n.hostname;
+  }
+}
+
+TEST(FaultRecoveryTest, HeartbeatFlapSuspectsButNeverRequeues) {
+  auto cfg = core::DacClusterConfig::fast();
+  cfg.compute_nodes = 1;
+  cfg.accel_nodes = 1;
+  cfg.timing.mom_heartbeat_interval = 10ms;
+  cfg.timing.heartbeat_suspect_factor = 3;
+  cfg.timing.heartbeat_stale_factor = 100'000;  // never declared down
+  cfg.timing.job_requeue_limit = 5;
+  auto plan = std::make_shared<FaultPlan>(0xF1A9);
+  cfg.fault_plan = plan;
+  core::DacCluster cluster(cfg);
+
+  util::BlockingQueue<int> started;
+  cluster.register_program("flapper", [&](core::JobContext& ctx) {
+    (void)started.push(0);
+    core::interruptible_sleep(ctx, 500ms);
+  });
+  const auto id = cluster.submit_program("flapper", 1, 0);
+  ASSERT_TRUE(started.pop().has_value());
+
+  // Cut the head <-> cn0 link until the detector turns suspect, then heal.
+  const auto head_id = cluster.vcluster().node(0).id();
+  const auto cn_id = cluster.vcluster().node(1).id();
+  plan->partition(head_id, cn_id);
+  ASSERT_TRUE(
+      cluster.await_node_liveness("cn0", torque::Liveness::kSuspect, 5000ms));
+  plan->heal(head_id, cn_id);
+  ASSERT_TRUE(
+      cluster.await_node_liveness("cn0", torque::Liveness::kUp, 5000ms));
+
+  auto info = cluster.wait_job(id, 30'000ms);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->state, torque::JobState::kComplete);
+  EXPECT_EQ(info->requeues, 0);
+  EXPECT_GE(event_count(cluster, torque::MsgType::kEvNodeSuspect), 1u);
+  EXPECT_EQ(event_count(cluster, torque::MsgType::kEvNodeDown), 0u);
+  EXPECT_EQ(event_count(cluster, torque::MsgType::kEvJobRequeue), 0u);
+}
+
+TEST(FaultRecoveryTest, PartitionDuringDyngetTimesOutInsteadOfHanging) {
+  auto cfg = core::DacClusterConfig::fast();
+  cfg.compute_nodes = 2;
+  cfg.accel_nodes = 1;
+  cfg.timing.mom_heartbeat_interval = 10ms;
+  cfg.timing.heartbeat_suspect_factor = 100'000;  // flap only, never down
+  cfg.timing.heartbeat_stale_factor = 200'000;
+  auto plan = std::make_shared<FaultPlan>(0xF1A9);
+  cfg.fault_plan = plan;
+  core::DacCluster cluster(cfg);
+
+  // A running job to hang dynamic requests onto.
+  util::ByteWriter args;
+  args.put<std::uint64_t>(30'000);
+  const auto id = cluster.submit_program(core::kSleepProgram, 1, 0,
+                                         std::move(args).take());
+  ASSERT_TRUE(cluster.client()
+                  .wait_for_state(id, torque::JobState::kRunning, 10'000ms)
+                  .has_value());
+
+  // Issue pbs_dynget from the compute node NOT running the job, with its
+  // link to the head node cut: the call must fail by deadline, not hang.
+  auto running = cluster.client().stat_job(id);
+  ASSERT_TRUE(running.has_value());
+  const std::size_t client_idx =
+      running->compute_hosts.front() == "cn0" ? 2 : 1;
+  auto& client_node = cluster.vcluster().node(client_idx);
+  plan->partition(cluster.vcluster().node(0).id(), client_node.id());
+
+  torque::Ifl ifl(client_node, cluster.server_address());
+  EXPECT_THROW((void)ifl.dynget(id, 1, 1, torque::NodeKind::kAccelerator,
+                                1000ms),
+               svc::DeadlineError);
+
+  // After the heal the same request goes through and is granted.
+  plan->heal(cluster.vcluster().node(0).id(), client_node.id());
+  auto reply = ifl.dynget(id, 1, 1, torque::NodeKind::kAccelerator, 10'000ms);
+  EXPECT_TRUE(reply.granted);
+  if (reply.granted) ifl.dynfree(id, reply.client_id);
+  cluster.client().delete_job(id);
+}
+
+}  // namespace
+}  // namespace dac::faults

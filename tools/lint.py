@@ -24,6 +24,11 @@ sleep-poll    sleep_for in tests is a polling smell; new tests must
               ordering guarantees. Existing offenders are grandfathered in
               SLEEP_ALLOWLIST; the list may only shrink.
 
+nondet-seed   std::random_device (and time-seeded RNGs) are banned: every
+              random stream must take an explicit seed so fault traces,
+              jitter schedules, and benchmark runs replay bit-identically
+              (the src/faults determinism contract).
+
 include       headers must start with #pragma once; no "../" relative
               includes (use the src/-rooted path).
 
@@ -77,6 +82,9 @@ RAW_SYNC_RE = re.compile(
     r"scoped_lock|shared_mutex|shared_timed_mutex|shared_lock)\b"
 )
 DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+NONDET_SEED_RE = re.compile(
+    r"std::random_device|mt19937(_64)?\s*\(\s*\)"
+)
 SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
 REL_INCLUDE_RE = re.compile(r'#\s*include\s*"\.\./')
 
@@ -126,6 +134,16 @@ def lint_file(rel: str, text: str):
         if DETACH_RE.search(line) and "thread" in line:
             violations.append(
                 (i, "detach", "detached threads are banned; join them")
+            )
+
+        if NONDET_SEED_RE.search(line):
+            violations.append(
+                (
+                    i,
+                    "nondet-seed",
+                    "nondeterministic RNG seeding is banned; pass an "
+                    "explicit seed (fault traces must replay identically)",
+                )
             )
 
         if is_test and rel not in SLEEP_ALLOWLIST and SLEEP_RE.search(line):
