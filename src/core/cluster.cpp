@@ -5,6 +5,7 @@
 
 #include "dacc/daemon.hpp"
 #include "torque/rpc.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -256,6 +257,17 @@ void DacCluster::register_builtin_executables() {
         const auto job = info.job;
         const auto ms = info.ms_mom;
         const auto rank = proc.rank();
+
+        // Join the submit trace shipped in the launch info: everything the
+        // job script does (rmlib calls, DAC ops, TASK_DONE) nests under one
+        // job.run span per rank.
+        trace::set_thread_actor("job" + std::to_string(job) + ".r" +
+                                std::to_string(rank));
+        trace::ScopedContext trace_parent(
+            trace::Context{info.trace_id, info.origin_span});
+        trace::SpanScope job_span("job.run");
+        job_span.note("job", std::to_string(job));
+        job_span.note("rank", std::to_string(rank));
 
         JobProgram program;
         {

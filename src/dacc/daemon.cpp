@@ -5,6 +5,7 @@
 #include "dacc/protocol.hpp"
 #include "minimpi/proc.hpp"
 #include "svc/wire.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "vnet/node.hpp"
@@ -27,6 +28,21 @@ util::Bytes status_reply(Status s) {
   return std::move(w).take();
 }
 
+const char* op_name(int tag) {
+  switch (tag) {
+    case kOpMemAlloc: return "acd.mem_alloc";
+    case kOpMemFree: return "acd.mem_free";
+    case kOpMemcpyH2D: return "acd.memcpy_h2d";
+    case kOpMemcpyD2H: return "acd.memcpy_d2h";
+    case kOpKernelCreate: return "acd.kernel_create";
+    case kOpKernelSetArgs: return "acd.kernel_set_args";
+    case kOpKernelRun: return "acd.kernel_run";
+    case kOpStencilRun: return "acd.stencil_run";
+    case kOpDeviceInfo: return "acd.device_info";
+  }
+  return "acd.op";
+}
+
 // Daemon-side kernel objects: acKernelCreate returns a handle, SetArgs
 // stages arguments, Run launches (paper Listing 1).
 struct KernelSlot {
@@ -45,6 +61,9 @@ struct ServeState {
 
 void handle_op(Proc& proc, ServeState& st, Device& device, int tag,
                const util::Bytes& payload) {
+  // One span per backend operation, nested under the daemon's acd.serve
+  // span (the thread's ambient context inside the serve loop).
+  trace::SpanScope span(op_name(tag));
   util::ByteReader r(payload);
   switch (tag) {
     case kOpMemAlloc: {
@@ -235,6 +254,10 @@ void serve(Proc& proc, Comm merged, gpusim::Device& device,
     proc.process().adopt_mailbox(hb_ep->mailbox_weak());
   }
   const auto send_heartbeat = [&] {
+    // Detach from the job's trace: heartbeats are periodic background
+    // traffic whose count is timing-dependent — letting them join would
+    // make golden traces nondeterministic.
+    trace::ScopedContext detached{trace::Context{}};
     util::ByteWriter w;
     w.put_string(options.hostname);
     svc::notify(*hb_ep, options.server, torque::MsgType::kBackendHeartbeat,
@@ -335,11 +358,32 @@ void register_daemon_executables(minimpi::Runtime& runtime,
     return options;
   };
 
+  // Both executables read an optional trailing {trace-id, parent-span} pair
+  // from their launch args (mom / rmlib append it) so the daemon's spans
+  // join the trace of whatever launched it.
+  const auto read_trace_ctx = [](util::ByteReader& r) {
+    trace::Context ctx;
+    if (r.remaining() >= 2 * sizeof(std::uint64_t)) {
+      ctx.trace = r.get<std::uint64_t>();
+      ctx.span = r.get<std::uint64_t>();
+    }
+    return ctx;
+  };
+
   runtime.register_executable(
       kStaticDaemonExe,
-      [&devices, options_for](Proc& proc, const util::Bytes& args) {
+      [&devices, options_for, read_trace_ctx](Proc& proc,
+                                              const util::Bytes& args) {
         util::ByteReader r(args);
         const auto port = r.get_string();
+        std::uint64_t job = 0;
+        if (r.remaining() >= sizeof(std::uint64_t)) {
+          job = r.get<std::uint64_t>();
+        }
+        trace::set_thread_actor("acd@" + proc.process().node().hostname());
+        trace::ScopedContext trace_parent(read_trace_ctx(r));
+        trace::SpanScope span("acd.serve");
+        if (job != 0) span.note("job", std::to_string(job));
         auto& device = devices.device_for(proc.process().node().id());
         // All daemons of the set must be up before the port appears — the
         // compute node's AC_Init waits exactly for this (Figure 7(a)).
@@ -353,7 +397,12 @@ void register_daemon_executables(minimpi::Runtime& runtime,
 
   runtime.register_executable(
       kSpawnedDaemonExe,
-      [&devices, options_for](Proc& proc, const util::Bytes&) {
+      [&devices, options_for, read_trace_ctx](Proc& proc,
+                                              const util::Bytes& args) {
+        util::ByteReader r(args);
+        trace::set_thread_actor("acd@" + proc.process().node().hostname());
+        trace::ScopedContext trace_parent(read_trace_ctx(r));
+        trace::SpanScope span("acd.serve");
         auto& device = devices.device_for(proc.process().node().id());
         Comm merged = proc.intercomm_merge(*proc.parent_comm(),
                                            /*high=*/true);

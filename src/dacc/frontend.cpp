@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace dac::dacc::frontend {
 
 namespace {
@@ -34,6 +36,10 @@ minimpi::RecvResult recv_reply(Proc& proc, const Comm& comm, int rank,
 util::ByteReader roundtrip(Proc& proc, const Comm& comm, int rank, int tag,
                            util::Bytes payload, util::Bytes& storage,
                            Timeout timeout, const char* op) {
+  // Client-side span of the accelerator call ("dac.acMemAlloc", ...); the
+  // daemon records the matching "acd.*" span under its own serve span.
+  trace::SpanScope span(std::string("dac.") + op);
+  span.note("rank", std::to_string(rank));
   proc.send(comm, rank, tag, std::move(payload));
   auto reply = recv_reply(proc, comm, rank, reply_tag(tag), timeout, op);
   storage = std::move(reply.data);
@@ -65,6 +71,9 @@ void mem_free(Proc& proc, const Comm& comm, int rank, gpusim::DevicePtr ptr,
 
 void memcpy_h2d(Proc& proc, const Comm& comm, int rank, gpusim::DevicePtr dst,
                 std::span<const std::byte> src, const TransferOptions& opts) {
+  trace::SpanScope span("dac.acMemCpyH2D");
+  span.note("rank", std::to_string(rank));
+  span.note("bytes", std::to_string(src.size()));
   const std::size_t chunk = std::max<std::size_t>(1, opts.chunk_bytes);
   std::size_t offset = 0;
   do {
@@ -99,6 +108,9 @@ void memcpy_h2d(Proc& proc, const Comm& comm, int rank, gpusim::DevicePtr dst,
 util::Bytes memcpy_d2h(Proc& proc, const Comm& comm, int rank,
                        gpusim::DevicePtr src, std::uint64_t size,
                        const TransferOptions& opts) {
+  trace::SpanScope span("dac.acMemCpyD2H");
+  span.note("rank", std::to_string(rank));
+  span.note("bytes", std::to_string(size));
   util::ByteWriter w;
   w.put<std::uint64_t>(src);
   w.put<std::uint64_t>(size);
@@ -168,6 +180,9 @@ void stencil_run(Proc& proc, const Comm& comm, int first,
                  std::uint64_t n, std::uint32_t iterations,
                  double boundary_left, double boundary_right) {
   const int k = static_cast<int>(fields.size());
+  trace::SpanScope span("dac.acStencilRun");
+  span.note("participants", std::to_string(k));
+  span.note("iterations", std::to_string(iterations));
   // Dispatch to every participant before waiting: the daemons synchronize
   // among themselves through the halo exchange.
   for (int i = 0; i < k; ++i) {

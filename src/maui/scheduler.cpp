@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "svc/caller.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -43,6 +44,7 @@ SchedulerStatsSnapshot MauiScheduler::stats() const {
 }
 
 void MauiScheduler::run(vnet::Process& proc) {
+  trace::set_thread_actor("maui");
   auto wake_ep = proc.open_endpoint();
 
   const svc::Caller caller(proc, config_.server, config_.retry);
@@ -185,11 +187,20 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
         hosts = try_allocate_dyn(*pool_view, d.kind, free);
       }
     }
+    const bool grant = static_cast<int>(hosts.size()) >= d.min_count;
+    // The decision span joins the requester's trace (context shipped in the
+    // queue snapshot), so one trace covers dynget -> decision -> attach.
+    trace::SpanScope span(grant ? "maui.grant_dyn" : "maui.reject_dyn",
+                          trace::Context{d.trace_id, d.origin_span});
+    span.note("dyn", std::to_string(d.dyn_id));
+    span.note("job", std::to_string(d.job));
+    if (capped) span.note("capped", "1");
     util::ByteWriter w;
     w.put<std::uint64_t>(d.dyn_id);
     w.put<std::uint64_t>(pickup);
     try {
-      if (static_cast<int>(hosts.size()) >= d.min_count) {
+      if (grant) {
+        span.note("hosts", std::to_string(hosts.size()));
         w.put_string_vector(hosts);
         (void)caller.call(torque::MsgType::kRunDyn, std::move(w).take());
         dyn_granted_.fetch_add(1, std::memory_order_relaxed);
@@ -203,6 +214,7 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
         if (capped) dyn_capped_.fetch_add(1, std::memory_order_relaxed);
       }
     } catch (const util::ProtocolError& e) {
+      span.note("error", e.what());
       kLog.warn("dyn {} decision not applied: {}", d.dyn_id, e.what());
     }
   }
@@ -302,17 +314,26 @@ std::vector<std::string> MauiScheduler::try_allocate_dyn(
   return hosts;
 }
 
-bool MauiScheduler::send_run_job(vnet::Process& proc, torque::JobId id,
+bool MauiScheduler::send_run_job(vnet::Process& proc,
+                                 const torque::JobInfo& job,
                                  const Allocation& alloc) {
+  // Join the trace recorded at submission: the scheduling decision is part
+  // of the job's causal story, not of the GetQueue poll that revealed it.
+  trace::SpanScope span("maui.run_job",
+                        trace::Context{job.trace_id, job.origin_span});
+  span.note("job", std::to_string(job.id));
+  span.note("compute", std::to_string(alloc.compute.size()));
+  span.note("accel", std::to_string(alloc.accel.size()));
   util::ByteWriter w;
-  w.put<std::uint64_t>(id);
+  w.put<std::uint64_t>(job.id);
   w.put_string_vector(alloc.compute);
   w.put_string_vector(alloc.accel);
   try {
     const svc::Caller caller(proc, config_.server, config_.retry);
     (void)caller.call(torque::MsgType::kRunJob, std::move(w).take());
   } catch (const util::ProtocolError& e) {
-    kLog.warn("run_job {} not applied: {}", id, e.what());
+    span.note("error", e.what());
+    kLog.warn("run_job {} not applied: {}", job.id, e.what());
     return false;
   }
   jobs_started_.fetch_add(1, std::memory_order_relaxed);
@@ -368,7 +389,7 @@ void MauiScheduler::schedule_static(vnet::Process& proc,
     if (!blocked) {
       auto alloc = try_allocate(nodes, job->spec.resources);
       if (alloc.ok) {
-        if (send_run_job(proc, job->id, alloc)) {
+        if (send_run_job(proc, *job, alloc)) {
           usage_[job->spec.owner] +=
               job->spec.resources.nodes * walltime_s(*job);
         }
@@ -420,7 +441,7 @@ void MauiScheduler::schedule_static(vnet::Process& proc,
     if (snap.now + walltime_s(*job) > shadow_time) continue;
     auto alloc = try_allocate(nodes, job->spec.resources);
     if (!alloc.ok) continue;
-    if (send_run_job(proc, job->id, alloc)) {
+    if (send_run_job(proc, *job, alloc)) {
       usage_[job->spec.owner] +=
           job->spec.resources.nodes * walltime_s(*job);
       backfilled_.fetch_add(1, std::memory_order_relaxed);

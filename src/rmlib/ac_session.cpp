@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "trace/trace.hpp"
 #include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -36,6 +37,8 @@ AcSession::~AcSession() {
 std::vector<AcHandle> AcSession::ac_init(InitTiming* timing) {
   if (initialized_) throw util::ProtocolError("AC_Init called twice");
   initialized_ = true;
+  trace::SpanScope span("ac.init");
+  span.note("job", std::to_string(config_.job));
 
   if (config_.static_count <= 0) {
     if (timing != nullptr) *timing = InitTiming{};
@@ -82,6 +85,9 @@ void AcSession::broadcast_control(int tag, const util::Bytes& payload) {
 
 GetResult AcSession::ac_get(int count, int min_count) {
   if (!initialized_) throw util::ProtocolError("AC_Get before AC_Init");
+  trace::SpanScope span("ac.get");
+  span.note("job", std::to_string(config_.job));
+  span.note("count", std::to_string(count));
   GetResult result;
 
   // Batch-system phase: pbs_dynget() blocks until the server has scheduled
@@ -104,6 +110,7 @@ GetResult AcSession::ac_get(int count, int min_count) {
                                       result.reply.host_nodes.end());
   result.handles = attach_set(result.client_id, placement);
   result.mpi_s = watch.lap_seconds();
+  span.note("granted", std::to_string(result.handles.size()));
   kLog.debug("AC_Get({}): granted {} (client {}, batch {}s, mpi {}s)", count,
              result.handles.size(), result.client_id, result.batch_s,
              result.mpi_s);
@@ -112,6 +119,8 @@ GetResult AcSession::ac_get(int count, int min_count) {
 
 std::vector<AcHandle> AcSession::attach_set(
     std::uint64_t client_id, const std::vector<vnet::NodeId>& placement) {
+  trace::SpanScope span("ac.attach");
+  span.note("client", std::to_string(client_id));
   util::ByteWriter prep;
   prep.put_string(config_.spawned_daemon_exe);
   broadcast_control(dacc::kCtlPrepSpawn, prep.bytes());
@@ -120,8 +129,14 @@ std::vector<AcHandle> AcSession::attach_set(
   opts.proc_name = "acdaemon-dyn-j" + std::to_string(config_.job);
   opts.start_delay = config_.spawned_daemon_start_delay;
   minimpi::WorldHandle children;
+  // Only the root's args reach the spawned world; ship the attach span's
+  // context so the dynamic daemons' spans join this trace.
+  util::ByteWriter spawn_args;
+  spawn_args.put<std::uint64_t>(span.context().trace);
+  spawn_args.put<std::uint64_t>(span.context().span);
   minimpi::Comm inter =
-      proc_.comm_spawn(current_, 0, config_.spawned_daemon_exe, {}, placement,
+      proc_.comm_spawn(current_, 0, config_.spawned_daemon_exe,
+                       std::move(spawn_args).take(), placement,
                        &children, opts);
   if (config_.tasks != nullptr) {
     for (std::size_t i = 0; i < children.processes.size(); ++i) {
@@ -148,10 +163,16 @@ std::vector<AcHandle> AcSession::attach_set(
 }
 
 void AcSession::ac_free(std::uint64_t client_id) {
+  trace::SpanScope span("ac.free");
+  span.note("job", std::to_string(config_.job));
+  span.note("client", std::to_string(client_id));
   release_newest(client_id, /*send_dynfree=*/true);
 }
 
 void AcSession::ac_report_lost(std::uint64_t client_id) {
+  trace::SpanScope span("ac.report_lost");
+  span.note("job", std::to_string(config_.job));
+  span.note("client", std::to_string(client_id));
   if (generations_.empty() || generations_.back().client_id != client_id) {
     throw util::ProtocolError(
         "AC_ReportLost: dynamic sets are released as sets, newest first "
@@ -273,6 +294,8 @@ void AcSession::ac_free_collective(const minimpi::Comm& cn_world,
 void AcSession::ac_finalize() {
   if (!initialized_ || finalized_) return;
   finalized_ = true;
+  trace::SpanScope span("ac.finalize");
+  span.note("job", std::to_string(config_.job));
   if (current_.size() > 1) {
     broadcast_control(dacc::kCtlShutdown, {});
     proc_.barrier(current_);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "svc/backoff.hpp"
+#include "trace/trace.hpp"
 #include "util/logging.hpp"
 
 namespace dac::svc {
@@ -34,7 +35,12 @@ std::unique_ptr<vnet::Endpoint> Caller::open_endpoint() const {
 util::Bytes Caller::call(MsgType type, util::Bytes body,
                          CallOptions opts) const {
   const auto id = next_request_id();
-  const auto payload = envelope(id, body);
+  // Client-side span for the whole call (all retransmits). Its context is
+  // stamped into the envelope, so the callee's handler span becomes a child
+  // of this one; with no recorder installed this is inert and the call
+  // propagates the ambient context unchanged.
+  trace::SpanScope span("rpc." + msg_type_name(as_u32(type)));
+  const auto payload = envelope(id, span.context(), body);
   auto ep = open_endpoint();
 
   const auto start = std::chrono::steady_clock::now();
@@ -80,11 +86,13 @@ util::Bytes Caller::call(MsgType type, util::Bytes body,
           return std::move(*reply);
         }
       } catch (const CallError&) {
+        span.note("error", "call");
         if (metrics_) metrics_->record(as_u32(type), ms_since(start), true);
         throw;
       }
     }
     if (std::chrono::steady_clock::now() >= deadline) {
+      span.note("error", "deadline");
       if (metrics_) metrics_->record(as_u32(type), ms_since(start), true);
       throw DeadlineError("svc: deadline exceeded calling " +
                           msg_type_name(as_u32(type)) + " on " + to_.str() +

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -64,10 +65,12 @@ void ServiceLoop::add_tick(std::chrono::milliseconds interval, TickFn fn) {
 void ServiceLoop::run() {
   const auto now = std::chrono::steady_clock::now();
   for (auto& t : ticks_) t.last = now;
+  trace::set_thread_actor(cfg_.name);
 
   workers_.reserve(static_cast<std::size_t>(std::max(0, cfg_.read_workers)));
   for (int i = 0; i < cfg_.read_workers; ++i) {
     workers_.emplace_back([this] {
+      trace::set_thread_actor(cfg_.name);
       while (auto work = read_queue_.pop()) {
         try {
           execute(std::move(*work));
@@ -116,18 +119,21 @@ void ServiceLoop::serve(vnet::Message msg) {
   {
     ScopedLock lock(dedup_mu_);
     if (auto it = completed_.find(req.id); it != completed_.end()) {
-      // Retransmit of an answered request: resend the cached reply.
-      ep_.send(req.from, as_u32(MsgType::kReply), it->second);
+      // Retransmit of an answered request: resend the cached reply. Count
+      // before sending so the counter is visible by the time the caller can
+      // observe the duplicate reply.
       deduped_.fetch_add(1, std::memory_order_relaxed);
+      ep_.send(req.from, as_u32(MsgType::kReply), it->second);
       kLog.debug("{}: resent cached reply for req {}", cfg_.name, req.id);
       return;
     }
     if (auto it = pending_.find(req.id); it != pending_.end()) {
       if (auto st = it->second.lock()) {
-        // Retransmit of an in-flight request: just retarget the reply.
+        // Retransmit of an in-flight request: just retarget the reply
+        // (counted first, same ordering rule as above).
+        deduped_.fetch_add(1, std::memory_order_relaxed);
         ScopedLock slock(st->mu);
         st->to = req.from;
-        deduped_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       pending_.erase(it);
@@ -176,6 +182,11 @@ void ServiceLoop::execute(Work work) {
     std::this_thread::sleep_for(cfg_.service_cost);
   }
   Responder resp(work.st);
+  // Handler-side span, child of the caller's rpc.* span via the wire
+  // context. It becomes the thread's current context, so everything the
+  // handler sends (notifies, nested calls) joins the same trace.
+  trace::SpanScope span("serve." + msg_type_name(work.st->type),
+                        work.req.ctx);
   try {
     work.entry->fn(work.req, resp);
   } catch (const util::StoppedError&) {

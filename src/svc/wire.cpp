@@ -14,8 +14,15 @@ std::uint64_t next_request_id() {
 }
 
 util::Bytes envelope(std::uint64_t id, const util::Bytes& body) {
+  return envelope(id, trace::current(), body);
+}
+
+util::Bytes envelope(std::uint64_t id, trace::Context ctx,
+                     const util::Bytes& body) {
   util::ByteWriter w;
   w.put<std::uint64_t>(id);
+  w.put<std::uint64_t>(ctx.trace);
+  w.put<std::uint64_t>(ctx.span);
   w.put_raw(body.data(), body.size());
   return std::move(w).take();
 }
@@ -24,6 +31,8 @@ Request parse_request(const vnet::Message& msg) {
   util::ByteReader r(msg.payload);
   Request req;
   req.id = r.get<std::uint64_t>();
+  req.ctx.trace = r.get<std::uint64_t>();
+  req.ctx.span = r.get<std::uint64_t>();
   req.from = msg.from;
   req.type = static_cast<MsgType>(msg.type);
   req.body.assign(msg.payload.begin() + static_cast<std::ptrdiff_t>(

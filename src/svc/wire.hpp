@@ -1,12 +1,19 @@
 // Wire envelope shared by every daemon conversation in the cluster —
 // batch-system RPCs, scheduler queries, and the standalone ARM all speak it.
 //
-// Request payload:  [u64 request-id][body...]        Message.type = MsgType
-// Reply payload:    [u64 request-id][u8 code][body]  Message.type = kReply
+// Request payload:  [u64 request-id][u64 trace-id][u64 parent-span][body...]
+//                                                      Message.type = MsgType
+// Reply payload:    [u64 request-id][u8 code][body]    Message.type = kReply
 //
 // Request-ids come from one process-wide counter, so an id uniquely names a
 // logical request across the whole virtual cluster. Retransmissions reuse the
 // id, which is what makes server-side duplicate suppression possible.
+//
+// The trace fields carry the sender's trace::Context (src/trace): envelope()
+// stamps the calling thread's current context, and the service loop installs
+// it around handler execution, so one trace id follows a request across every
+// daemon hop. Both fields are 0 for untraced traffic; replies carry no trace
+// fields because the caller still holds its own context.
 //
 // This header reuses torque's MsgType/ReplyCode enums (header-only; svc does
 // not link against the torque library) so the svc layer and the legacy
@@ -18,6 +25,7 @@
 #include <string>
 
 #include "torque/protocol.hpp"
+#include "trace/trace.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "vnet/node.hpp"
@@ -50,8 +58,11 @@ class DeadlineError : public util::ProtocolError {
 // Allocates a globally unique request id.
 std::uint64_t next_request_id();
 
-// [u64 id][body] request framing.
+// [u64 id][u64 trace][u64 parent-span][body] request framing. The two-arg
+// form stamps the calling thread's current trace context.
 util::Bytes envelope(std::uint64_t id, const util::Bytes& body);
+util::Bytes envelope(std::uint64_t id, trace::Context ctx,
+                     const util::Bytes& body);
 
 // ---- callee side ----------------------------------------------------------
 
@@ -59,6 +70,7 @@ struct Request {
   std::uint64_t id = 0;
   vnet::Address from;
   MsgType type{};
+  trace::Context ctx;  // sender's trace context ({0,0} = untraced)
   util::Bytes body;
 };
 

@@ -62,6 +62,8 @@ void put_job_info(util::ByteWriter& w, const JobInfo& j) {
   w.put<double>(j.end_time);
   w.put<std::int32_t>(j.exit_status);
   w.put<std::int32_t>(j.requeues);
+  w.put<std::uint64_t>(j.trace_id);
+  w.put<std::uint64_t>(j.origin_span);
 }
 
 JobInfo get_job_info(util::ByteReader& r) {
@@ -77,6 +79,8 @@ JobInfo get_job_info(util::ByteReader& r) {
   out.end_time = r.get<double>();
   out.exit_status = r.get<std::int32_t>();
   out.requeues = r.get<std::int32_t>();
+  out.trace_id = r.get<std::uint64_t>();
+  out.origin_span = r.get<std::uint64_t>();
   return out;
 }
 

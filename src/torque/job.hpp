@@ -68,6 +68,11 @@ struct JobInfo {
   // How many times this job was requeued after a compute-node failure
   // (bounded by BatchConfig::job_requeue_limit; fault tolerance).
   int requeues = 0;
+  // Trace context captured at submission (src/trace): the scheduler and the
+  // launch path parent their spans on it, so one trace id follows the job
+  // from qsub to completion. 0 = submission was not traced.
+  std::uint64_t trace_id = 0;
+  std::uint64_t origin_span = 0;
 };
 
 inline constexpr int kExitOk = 0;

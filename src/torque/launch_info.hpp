@@ -25,6 +25,10 @@ struct JobLaunchInfo {
   // Static accelerator hosts, k * acpn entries; the slice
   // [i*acpn, (i+1)*acpn) belongs to compute node i.
   std::vector<HostRef> accel_hosts;
+  // Trace context of the job's submission (src/trace): the job wrapper roots
+  // its job.run span here so application spans join the submit trace.
+  std::uint64_t trace_id = 0;
+  std::uint64_t origin_span = 0;
 };
 
 inline void put_launch_info(util::ByteWriter& w, const JobLaunchInfo& info) {
@@ -40,6 +44,8 @@ inline void put_launch_info(util::ByteWriter& w, const JobLaunchInfo& info) {
   w.put<std::int32_t>(info.ms_mom.port);
   put_host_refs(w, info.compute_hosts);
   put_host_refs(w, info.accel_hosts);
+  w.put<std::uint64_t>(info.trace_id);
+  w.put<std::uint64_t>(info.origin_span);
 }
 
 inline JobLaunchInfo get_launch_info(util::ByteReader& r) {
@@ -56,6 +62,8 @@ inline JobLaunchInfo get_launch_info(util::ByteReader& r) {
   info.ms_mom.port = r.get<std::int32_t>();
   info.compute_hosts = get_host_refs(r);
   info.accel_hosts = get_host_refs(r);
+  info.trace_id = r.get<std::uint64_t>();
+  info.origin_span = r.get<std::uint64_t>();
   return info;
 }
 

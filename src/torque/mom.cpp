@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -136,6 +137,11 @@ void PbsMom::on_run_job(vnet::Process& proc, const rpc::Request& req) {
   job.is_ms = true;
   job.started = std::chrono::steady_clock::now();
   const auto id = job.info.id;
+  trace::note("job", std::to_string(id));
+  // Ambient context of the serve.MOM_RUN_JOB span (already part of the
+  // job's submit trace); handed to the spawned worlds so their spans nest
+  // under the launch rather than starting fresh traces.
+  const auto launch_ctx = trace::current();
   kLog.info("MS '{}': starting job {}", node_.hostname(), id);
 
   // 1. JOIN_JOB with every other mom of the job (paper Figure 5).
@@ -158,6 +164,8 @@ void PbsMom::on_run_job(vnet::Process& proc, const rpc::Request& req) {
     util::ByteWriter args;
     args.put_string(static_ac_port_name(id, cn));
     args.put<std::uint64_t>(id);
+    args.put<std::uint64_t>(launch_ctx.trace);
+    args.put<std::uint64_t>(launch_ctx.span);
     for (int a = 0; a < acpn; ++a) {
       const auto& ref =
           job.hosts[static_cast<std::size_t>(k + cn * acpn + a)];
@@ -187,6 +195,8 @@ void PbsMom::on_run_job(vnet::Process& proc, const rpc::Request& req) {
   launch.compute_hosts.assign(job.hosts.begin(),
                               job.hosts.begin() + k);
   launch.accel_hosts.assign(job.hosts.begin() + k, job.hosts.end());
+  launch.trace_id = launch_ctx.trace;
+  launch.origin_span = launch_ctx.span;
 
   std::vector<vnet::NodeId> cn_placement;
   for (int i = 0; i < k; ++i) {
@@ -222,6 +232,8 @@ void PbsMom::on_dyn_add(vnet::Process& proc, const rpc::Request& req) {
     return;
   }
   auto& job = it->second;
+  trace::note("job", std::to_string(job_id));
+  trace::note("dyn", std::to_string(dyn_id));
 
   // DYNJOIN_JOB with each newly allocated accelerator mom (paper Figure 6).
   util::ByteWriter body;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace dac::torque {
@@ -92,6 +93,11 @@ bool NodeDb::assign(const std::string& hostname, JobId job, int slots) {
       e.status.jobs.end()) {
     e.status.jobs.push_back(job);
   }
+  // Instantaneous trace event; the property tests replay these to check
+  // slot conservation and overlap invariants.
+  trace::event("alloc.assign", {{"host", hostname},
+                                {"job", std::to_string(job)},
+                                {"slots", std::to_string(slots)}});
   return true;
 }
 
@@ -101,24 +107,32 @@ void NodeDb::release(const std::string& hostname, JobId job) {
   auto& e = it->second;
   auto held = e.held.find(job);
   if (held == e.held.end()) return;
-  e.status.used -= held->second;
+  const int slots = held->second;
+  e.status.used -= slots;
   DAC_CHECK(e.status.used >= 0,
             "node {} slot count went negative ({}) releasing job {}", hostname,
             e.status.used, job);
   e.held.erase(held);
   std::erase(e.status.jobs, job);
+  trace::event("alloc.release", {{"host", hostname},
+                                 {"job", std::to_string(job)},
+                                 {"slots", std::to_string(slots)}});
 }
 
 void NodeDb::release_all(JobId job) {
   for (auto& [name, e] : nodes_) {
     auto held = e.held.find(job);
     if (held == e.held.end()) continue;
-    e.status.used -= held->second;
+    const int slots = held->second;
+    e.status.used -= slots;
     DAC_CHECK(e.status.used >= 0,
               "node {} slot count went negative ({}) releasing job {}", name,
               e.status.used, job);
     e.held.erase(held);
     std::erase(e.status.jobs, job);
+    trace::event("alloc.release", {{"host", name},
+                                   {"job", std::to_string(job)},
+                                   {"slots", std::to_string(slots)}});
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -55,6 +57,8 @@ void put_queue_snapshot(util::ByteWriter& w, const QueueSnapshot& s) {
     w.put<std::int32_t>(d.min_count);
     w.put_enum(d.kind);
     w.put<double>(d.arrival);
+    w.put<std::uint64_t>(d.trace_id);
+    w.put<std::uint64_t>(d.origin_span);
   }
 }
 
@@ -74,6 +78,8 @@ QueueSnapshot get_queue_snapshot(util::ByteReader& r) {
     d.min_count = r.get<std::int32_t>();
     d.kind = r.get_enum<NodeKind>();
     d.arrival = r.get<double>();
+    d.trace_id = r.get<std::uint64_t>();
+    d.origin_span = r.get<std::uint64_t>();
     s.dyn.push_back(d);
   }
   return s;
@@ -261,7 +267,12 @@ void PbsServer::on_submit(const rpc::Request& req, svc::Responder& resp) {
   rec.info.spec = get_job_spec(r);
   rec.info.state = JobState::kQueued;
   rec.info.submit_time = now_s();
+  // The submission's trace follows the job through scheduling and launch:
+  // the SUBMIT handler span (current context) is its origin.
+  rec.info.trace_id = trace::current().trace;
+  rec.info.origin_span = trace::current().span;
   const auto id = rec.info.id;
+  trace::note("job", std::to_string(id));
   jobs_.emplace(id, std::move(rec));
   kLog.info("job {} '{}' queued ({} nodes, acpn {})", id,
             jobs_[id].info.spec.name, jobs_[id].info.spec.resources.nodes,
@@ -469,6 +480,12 @@ void PbsServer::on_dynget(const rpc::Request& req, svc::Responder& resp) {
   dyn.count = count;
   dyn.min_count = min_count;
   dyn.kind = kind;
+  // Requester's trace context: the scheduler's grant/reject decision span
+  // joins this trace via the queue snapshot.
+  dyn.trace_id = req.ctx.trace;
+  dyn.origin_span = req.ctx.span;
+  trace::note("job", std::to_string(job_id));
+  trace::note("dyn", std::to_string(dyn.id));
   // Deferred reply: the Responder is completed by finish_dyn once the
   // scheduler has decided (or the job dies first).
   dyn.responder = resp;
@@ -665,7 +682,8 @@ void PbsServer::on_get_queue(const rpc::Request& req, svc::Responder& resp) {
   for (const auto dyn_id : dyn_fifo_) {
     const auto& d = dyn_.at(dyn_id);
     snap.dyn.push_back(DynQueueEntry{d.id, d.job, d.count, d.min_count,
-                                     d.kind, d.arrival_s});
+                                     d.kind, d.arrival_s, d.trace_id,
+                                     d.origin_span});
   }
   util::ByteWriter w;
   put_queue_snapshot(w, snap);
@@ -688,6 +706,7 @@ void PbsServer::on_run_job(const rpc::Request& req, svc::Responder& resp) {
     return;
   }
   auto& rec = it->second;
+  trace::note("job", std::to_string(id));
 
   // Apply the allocation; back out if the scheduler raced a release.
   std::vector<std::pair<std::string, int>> applied;

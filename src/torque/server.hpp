@@ -50,6 +50,10 @@ struct DynQueueEntry {
   int min_count = 0;  // smallest acceptable grant (== count: all-or-nothing)
   NodeKind kind = NodeKind::kAccelerator;  // pool to allocate from
   double arrival = 0.0;  // server seconds; FIFO order for the scheduler
+  // Trace context captured at the DYN_GET, so the scheduler's decision span
+  // joins the requester's trace (src/trace).
+  std::uint64_t trace_id = 0;
+  std::uint64_t origin_span = 0;
 };
 
 // What GET_QUEUE returns to the scheduler.
@@ -98,6 +102,9 @@ class PbsServer {
     std::uint64_t arrival_ns = 0;   // steady clock, for the timing split
     double arrival_s = 0.0;         // server seconds, for FIFO display
     bool active = false;            // visible to the scheduler
+    // Requester's trace context, forwarded in the queue snapshot.
+    std::uint64_t trace_id = 0;
+    std::uint64_t origin_span = 0;
   };
 
   struct JobRecord {

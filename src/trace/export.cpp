@@ -1,0 +1,156 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace dac::trace {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// Sort key that ignores ids and times: structure only.
+std::string sibling_key(const Span& s) {
+  std::string key = s.name;
+  key += '\0';
+  key += s.actor;
+  for (const auto& [k, v] : s.notes) {
+    key += '\0';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+void dump_subtree(std::ostringstream& os,
+                  const std::map<std::uint64_t, std::vector<const Span*>>&
+                      children,
+                  const Span& span, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+  os << span.name << " @" << span.actor;
+  for (const auto& [k, v] : span.notes) os << ' ' << k << '=' << v;
+  os << '\n';
+  const auto it = children.find(span.id);
+  if (it == children.end()) return;
+  auto kids = it->second;
+  std::sort(kids.begin(), kids.end(), [](const Span* a, const Span* b) {
+    const auto ka = sibling_key(*a);
+    const auto kb = sibling_key(*b);
+    // Tick order as the last resort so equal-keyed siblings still dump in
+    // a stable (causal) order within one run.
+    return ka != kb ? ka < kb : a->begin_tick < b->begin_tick;
+  });
+  for (const auto* kid : kids) dump_subtree(os, children, *kid, depth + 1);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<Span>& spans) {
+  std::ostringstream os;
+  // Stable pid per actor, first-appearance order.
+  std::map<std::string, int> pids;
+  std::vector<std::string> actors;
+  for (const auto& s : spans) {
+    if (pids.emplace(s.actor, 0).second) actors.push_back(s.actor);
+  }
+  std::sort(actors.begin(), actors.end());
+  for (std::size_t i = 0; i < actors.size(); ++i) {
+    pids[actors[i]] = static_cast<int>(i + 1);
+  }
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& actor : actors) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pids[actor]
+       << ",\"tid\":0,\"args\":{\"name\":\"";
+    json_escape(os, actor);
+    os << "\"}}";
+  }
+  for (const auto& s : spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"";
+    json_escape(os, s.name);
+    os << "\",\"cat\":\"trace" << s.trace << "\",\"ph\":\"X\",\"ts\":"
+       << static_cast<double>(s.begin_ns) / 1000.0 << ",\"dur\":"
+       << static_cast<double>(s.end_ns - s.begin_ns) / 1000.0
+       << ",\"pid\":" << pids[s.actor] << ",\"tid\":0,\"args\":{"
+       << "\"trace\":" << s.trace << ",\"span\":" << s.id
+       << ",\"parent\":" << s.parent << ",\"tick\":" << s.begin_tick;
+    for (const auto& [k, v] : s.notes) {
+      os << ",\"";
+      json_escape(os, k);
+      os << "\":\"";
+      json_escape(os, v);
+      os << "\"";
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Span>& spans) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("trace: cannot open " + path + " for writing");
+  }
+  out << chrome_trace_json(spans);
+  if (!out) throw std::runtime_error("trace: short write to " + path);
+}
+
+std::string normalized_dump(const std::vector<Span>& spans,
+                            std::uint64_t trace_id) {
+  std::vector<const Span*> mine;
+  for (const auto& s : spans) {
+    if (s.trace == trace_id) mine.push_back(&s);
+  }
+  std::map<std::uint64_t, std::vector<const Span*>> children;
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const auto* s : mine) by_id[s->id] = s;
+  std::vector<const Span*> roots;
+  for (const auto* s : mine) {
+    if (s->parent != 0 && by_id.count(s->parent) != 0) {
+      children[s->parent].push_back(s);
+    } else {
+      // True roots, plus orphans whose parent span was never recorded
+      // (e.g. the parent outlived the collection window).
+      roots.push_back(s);
+    }
+  }
+  std::sort(roots.begin(), roots.end(), [](const Span* a, const Span* b) {
+    const auto ka = sibling_key(*a);
+    const auto kb = sibling_key(*b);
+    return ka != kb ? ka < kb : a->begin_tick < b->begin_tick;
+  });
+  std::ostringstream os;
+  for (const auto* r : roots) dump_subtree(os, children, *r, 0);
+  return os.str();
+}
+
+}  // namespace dac::trace

@@ -1,0 +1,37 @@
+// Trace exporters: Chrome about:tracing JSON for humans, and a normalized
+// text dump for golden-trace tests.
+//
+// The Chrome export keeps real (steady-clock) microsecond timestamps so
+// chrome://tracing renders a believable timeline; one "process" per actor.
+//
+// The normalized dump deliberately throws away everything that varies
+// between runs of the same seeded scenario — span/trace ids, wall times,
+// virtual-clock values — and keeps only the causal tree: span names, actors,
+// notes, and parent/child structure, with siblings in a canonical order.
+// Two runs of a deterministic scenario produce byte-identical dumps, which
+// is what the golden fixtures under tests/*/golden compare against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dac::trace {
+
+// Chrome trace-event JSON ({"traceEvents": [...]}) for the given spans.
+std::string chrome_trace_json(const std::vector<Span>& spans);
+
+// Writes chrome_trace_json to `path` (truncating). Throws util::IoError-like
+// std::runtime_error on failure.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Span>& spans);
+
+// Normalized dump of one trace: an indented tree, one span per line as
+//   name @actor key=value ...
+// with children sorted by (name, actor, notes). Ids and times are omitted.
+std::string normalized_dump(const std::vector<Span>& spans,
+                            std::uint64_t trace_id);
+
+}  // namespace dac::trace

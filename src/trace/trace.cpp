@@ -1,0 +1,182 @@
+#include "trace/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace dac::trace {
+
+namespace {
+
+std::atomic<std::uint64_t> g_vclock{0};
+std::atomic<Recorder*> g_recorder{nullptr};
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local Context t_ctx;
+thread_local SpanScope* t_active = nullptr;
+
+const std::string& default_actor() {
+  static const std::string kDefault = "client";
+  return kDefault;
+}
+
+thread_local std::string t_actor;  // empty = default_actor()
+
+}  // namespace
+
+std::uint64_t vclock() { return g_vclock.load(std::memory_order_relaxed); }
+
+std::uint64_t vclock_tick() {
+  return g_vclock.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// ---- Recorder -------------------------------------------------------------
+
+Recorder::Recorder() : epoch_ns_(steady_now_ns()) {}
+
+Recorder::~Recorder() { uninstall(); }
+
+void Recorder::install() { g_recorder.store(this, std::memory_order_release); }
+
+void Recorder::uninstall() {
+  Recorder* self = this;
+  g_recorder.compare_exchange_strong(self, nullptr,
+                                     std::memory_order_acq_rel);
+}
+
+std::uint64_t Recorder::new_trace_id() {
+  return next_trace_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Recorder::new_span_id() {
+  return next_span_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t Recorder::now_ns() const { return steady_now_ns() - epoch_ns_; }
+
+void Recorder::record(Span s) {
+  ScopedLock lock(mu_);
+  spans_.push_back(std::move(s));
+  recorded_.notify_all();
+}
+
+std::vector<Span> Recorder::snapshot() const {
+  ScopedLock lock(mu_);
+  return spans_;
+}
+
+std::size_t Recorder::size() const {
+  ScopedLock lock(mu_);
+  return spans_.size();
+}
+
+bool Recorder::await_quiet(std::uint64_t trace_id,
+                           std::chrono::milliseconds idle,
+                           std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  UniqueLock lock(mu_);
+  while (true) {
+    const std::size_t seen = count_locked(trace_id);
+    const auto quiet_until = std::chrono::steady_clock::now() + idle;
+    // Wait out the idle window; a matching recording restarts it.
+    while (count_locked(trace_id) == seen &&
+           recorded_.wait_until(lock, quiet_until) !=
+               std::cv_status::timeout) {
+    }
+    if (count_locked(trace_id) == seen) return true;  // window untouched
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+  }
+}
+
+std::size_t Recorder::count_locked(std::uint64_t trace_id) const {
+  if (trace_id == 0) return spans_.size();
+  std::size_t n = 0;
+  for (const auto& s : spans_) {
+    if (s.trace == trace_id) ++n;
+  }
+  return n;
+}
+
+Recorder* recorder() { return g_recorder.load(std::memory_order_acquire); }
+
+// ---- thread-local context -------------------------------------------------
+
+Context current() { return t_ctx; }
+
+void set_thread_actor(std::string actor) { t_actor = std::move(actor); }
+
+const std::string& thread_actor() {
+  return t_actor.empty() ? default_actor() : t_actor;
+}
+
+ScopedContext::ScopedContext(Context ctx) : prev_(t_ctx) { t_ctx = ctx; }
+
+ScopedContext::~ScopedContext() { t_ctx = prev_; }
+
+// ---- SpanScope ------------------------------------------------------------
+
+SpanScope::SpanScope(std::string name) : SpanScope(std::move(name), t_ctx) {}
+
+SpanScope::SpanScope(std::string name, Context parent)
+    : rec_(recorder()), prev_ctx_(t_ctx), prev_active_(t_active) {
+  if (rec_ == nullptr) {
+    // Inert: keep propagating whatever context the caller had.
+    ctx_ = parent;
+    ended_ = true;
+    return;
+  }
+  span_.trace = parent.traced() ? parent.trace : rec_->new_trace_id();
+  span_.id = rec_->new_span_id();
+  span_.parent = parent.span;
+  span_.name = std::move(name);
+  span_.actor = thread_actor();
+  span_.begin_tick = vclock_tick();
+  span_.begin_ns = rec_->now_ns();
+  ctx_ = Context{span_.trace, span_.id};
+  t_ctx = ctx_;
+  t_active = this;
+}
+
+SpanScope::~SpanScope() { end(); }
+
+void SpanScope::note(std::string key, std::string value) {
+  if (ended_) return;
+  span_.notes.emplace_back(std::move(key), std::move(value));
+}
+
+void SpanScope::end() {
+  if (ended_) return;
+  ended_ = true;
+  span_.end_tick = vclock_tick();
+  span_.end_ns = rec_->now_ns();
+  rec_->record(std::move(span_));
+  t_ctx = prev_ctx_;
+  t_active = prev_active_;
+}
+
+void note(std::string key, std::string value) {
+  if (t_active != nullptr) t_active->note(std::move(key), std::move(value));
+}
+
+void event(std::string name,
+           std::vector<std::pair<std::string, std::string>> notes) {
+  Recorder* rec = recorder();
+  if (rec == nullptr) return;
+  Span s;
+  const Context parent = t_ctx;
+  s.trace = parent.traced() ? parent.trace : rec->new_trace_id();
+  s.id = rec->new_span_id();
+  s.parent = parent.span;
+  s.name = std::move(name);
+  s.actor = thread_actor();
+  s.begin_tick = s.end_tick = vclock_tick();
+  s.begin_ns = s.end_ns = rec->now_ns();
+  s.notes = std::move(notes);
+  rec->record(std::move(s));
+}
+
+}  // namespace dac::trace

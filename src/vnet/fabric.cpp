@@ -1,5 +1,6 @@
 #include "vnet/fabric.hpp"
 
+#include "trace/trace.hpp"
 #include "util/logging.hpp"
 
 namespace dac::vnet {
@@ -138,6 +139,10 @@ void Fabric::delivery_loop() {
 }
 
 void Fabric::deliver(Message msg) {
+  // Every delivery advances the virtual clock, so span ticks taken by the
+  // receiver are ordered after the ticks of everything the sender did
+  // before sending (trace happens-before assertions lean on this).
+  trace::vclock_tick();
   const Address to = msg.to;
   const auto type = msg.type;
   MailboxPtr box;

@@ -9,6 +9,7 @@
 #include "dacc/daemon.hpp"
 #include "dacc/frontend.hpp"
 #include "dacc/protocol.hpp"
+#include "harness/scenario.hpp"
 #include "vnet/cluster.hpp"
 
 namespace dac::dacc {
@@ -119,32 +120,57 @@ TEST_F(OffloadTest, EmptyTransferIsFine) {
   });
 }
 
-TEST_F(OffloadTest, KernelLifecycle) {
-  with_daemons(1, [](Proc& p, Comm& c) {
+// Ported onto the Scenario harness: the same lifecycle, but through the
+// whole system (qsub with acpn=1 -> daemon launch -> session API), with the
+// trace confirming every accelerator op executed on the backend daemon as
+// part of the submission's trace.
+TEST(OffloadScenario, KernelLifecycle) {
+  testing::Scenario s;
+  s.compute_nodes(1).accel_nodes(1);
+  s.program("kernel_lifecycle", [](core::JobContext& ctx) {
+    auto& ses = ctx.session();
+    auto acs = ses.ac_init();
+    ASSERT_EQ(acs.size(), 1u);
+    const auto ac = acs[0];
     std::vector<double> a{1, 2, 3};
     std::vector<double> b{4, 5, 6};
     const auto bytes = 3 * sizeof(double);
-    const auto da = frontend::mem_alloc(p, c, 1, bytes);
-    const auto db = frontend::mem_alloc(p, c, 1, bytes);
-    const auto dc = frontend::mem_alloc(p, c, 1, bytes);
-    frontend::memcpy_h2d(p, c, 1, da, std::as_bytes(std::span(a)));
-    frontend::memcpy_h2d(p, c, 1, db, std::as_bytes(std::span(b)));
-    const auto k = frontend::kernel_create(p, c, 1, "vector_add");
+    const auto da = ses.ac_mem_alloc(ac, bytes);
+    const auto db = ses.ac_mem_alloc(ac, bytes);
+    const auto dc = ses.ac_mem_alloc(ac, bytes);
+    ses.ac_memcpy_h2d(ac, da, std::as_bytes(std::span(a)));
+    ses.ac_memcpy_h2d(ac, db, std::as_bytes(std::span(b)));
+    const auto k = ses.ac_kernel_create(ac, "vector_add");
     util::ByteWriter args;
     args.put<std::uint64_t>(dc);
     args.put<std::uint64_t>(da);
     args.put<std::uint64_t>(db);
     args.put<std::uint64_t>(3);
-    frontend::kernel_set_args(p, c, 1, k, std::move(args).take());
-    frontend::kernel_run(p, c, 1, k, {1, 1, 1}, {3, 1, 1});
-    auto out = frontend::memcpy_d2h(p, c, 1, dc, bytes);
+    ses.ac_kernel_set_args(ac, k, std::move(args).take());
+    ses.ac_kernel_run(ac, k, {1, 1, 1}, {3, 1, 1});
+    auto out = ses.ac_memcpy_d2h(ac, dc, bytes);
     const auto* d = reinterpret_cast<const double*>(out.data());
     EXPECT_DOUBLE_EQ(d[0], 5.0);
     EXPECT_DOUBLE_EQ(d[2], 9.0);
-    frontend::mem_free(p, c, 1, da);
-    frontend::mem_free(p, c, 1, db);
-    frontend::mem_free(p, c, 1, dc);
+    ses.ac_mem_free(ac, da);
+    ses.ac_mem_free(ac, db);
+    ses.ac_mem_free(ac, dc);
+    ses.ac_finalize();
   });
+  const auto id = s.submit_program("kernel_lifecycle", 1, /*acpn=*/1);
+  ASSERT_TRUE(s.wait_job(id).has_value());
+  const auto trace_id = s.await_job_trace(id);
+  ASSERT_NE(trace_id, 0u);
+
+  auto view = s.trace();
+  // Every op of the lifecycle shows up as a backend span in the job's trace.
+  for (const char* op : {"acd.mem_alloc", "acd.memcpy_h2d", "acd.kernel_create",
+                         "acd.kernel_set_args", "acd.kernel_run",
+                         "acd.memcpy_d2h", "acd.mem_free"}) {
+    const auto* span = view.first(op);
+    ASSERT_NE(span, nullptr) << op << " never reached the daemon";
+    EXPECT_EQ(span->trace, trace_id) << op << " outside the job's trace";
+  }
 }
 
 TEST_F(OffloadTest, UnknownKernelReportsNotFound) {

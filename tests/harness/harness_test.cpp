@@ -1,0 +1,172 @@
+// Scenario-harness self-tests, including the end-to-end acceptance check:
+// the trace id minted at the IFL submission must appear on spans recorded by
+// the server, the scheduler, a mom, and a dacc backend for the same job.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "harness/scenario.hpp"
+#include "trace/export.hpp"
+
+namespace dac::testing {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool any_with_prefix(const std::set<std::string>& actors,
+                     const std::string& prefix) {
+  for (const auto& a : actors) {
+    if (a.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+TEST(HarnessTest, SubmitTraceReachesAllLayers) {
+  Scenario s;
+  s.compute_nodes(1).accel_nodes(2);
+  s.program("touch_ac", [](core::JobContext& ctx) {
+    auto& ses = ctx.session();
+    auto acs = ses.ac_init();
+    ASSERT_EQ(acs.size(), 1u);
+    const auto p = ses.ac_mem_alloc(acs[0], 256);
+    ses.ac_mem_free(acs[0], p);
+    ses.ac_finalize();
+  });
+  const auto id = s.submit_program("touch_ac", /*nodes=*/1, /*acpn=*/1);
+  ASSERT_TRUE(s.wait_job(id).has_value());
+  const auto trace_id = s.await_job_trace(id);
+  ASSERT_NE(trace_id, 0u) << "submission was not traced";
+
+  auto view = s.trace();
+  const auto actors = view.actors_in_trace(trace_id);
+  EXPECT_TRUE(actors.count("pbs_server")) << "no server span in trace";
+  EXPECT_TRUE(actors.count("maui")) << "no scheduler span in trace";
+  EXPECT_TRUE(any_with_prefix(actors, "pbs_mom.")) << "no mom span in trace";
+  EXPECT_TRUE(any_with_prefix(actors, "acd@")) << "no backend span in trace";
+  EXPECT_TRUE(any_with_prefix(actors, "job")) << "no job-rank span in trace";
+}
+
+TEST(HarnessTest, SubmitFlowIsCausallyOrdered) {
+  Scenario s;
+  s.compute_nodes(1).accel_nodes(1);
+  const auto id = s.submit_program(core::kNoopProgram, 1, 1);
+  ASSERT_TRUE(s.wait_job(id).has_value());
+  ASSERT_NE(s.await_job_trace(id), 0u);
+
+  auto view = s.trace();
+  const auto* submit = view.first("serve.SUBMIT");
+  const auto* run = view.first("maui.run_job");
+  const auto* mom_run = view.first("serve.MOM_RUN_JOB");
+  const auto* job_run = view.first("job.run");
+  ASSERT_NE(submit, nullptr);
+  ASSERT_NE(run, nullptr);
+  ASSERT_NE(mom_run, nullptr);
+  ASSERT_NE(job_run, nullptr);
+  // One causal chain: submission accepted, then scheduled, then launched,
+  // then executed. The virtual clock gives the order.
+  EXPECT_TRUE(TraceView::happens_before(*submit, *run));
+  EXPECT_LT(run->begin_tick, mom_run->begin_tick);
+  EXPECT_LT(mom_run->begin_tick, job_run->begin_tick);
+  // All four hang off the same trace.
+  EXPECT_EQ(submit->trace, run->trace);
+  EXPECT_EQ(run->trace, mom_run->trace);
+  EXPECT_EQ(mom_run->trace, job_run->trace);
+}
+
+TEST(HarnessTest, DynRequestJoinsSubmitTrace) {
+  Scenario s;
+  s.compute_nodes(1).accel_nodes(2);
+  s.program("grower", [](core::JobContext& ctx) {
+    auto& ses = ctx.session();
+    (void)ses.ac_init();
+    auto got = ses.ac_get(1);
+    ASSERT_TRUE(got.granted);
+    const auto p = ses.ac_mem_alloc(got.handles[0], 64);
+    ses.ac_mem_free(got.handles[0], p);
+    ses.ac_free(got.client_id);
+    ses.ac_finalize();
+  });
+  const auto id = s.submit_program("grower", 1, /*acpn=*/0);
+  ASSERT_TRUE(s.wait_job(id).has_value());
+  const auto trace_id = s.await_job_trace(id);
+  ASSERT_NE(trace_id, 0u);
+
+  auto view = s.trace();
+  // The scheduler's grant decision and the client-side ac.get both join the
+  // submit trace (the dyn queue entry carries the origin context).
+  const auto* grant = view.first("maui.grant_dyn");
+  ASSERT_NE(grant, nullptr);
+  EXPECT_EQ(grant->trace, trace_id);
+  EXPECT_EQ(TraceView::note(*grant, "job"), std::to_string(id));
+  const auto* get = view.first("ac.get");
+  ASSERT_NE(get, nullptr);
+  EXPECT_EQ(get->trace, trace_id);
+  EXPECT_EQ(TraceView::note(*get, "granted"), "1");
+}
+
+TEST(HarnessTest, NoAllocationOverlapAcrossChurningJobs) {
+  Scenario s;
+  s.compute_nodes(2).accel_nodes(4);
+  s.program("churn", [](core::JobContext& ctx) {
+    auto& ses = ctx.session();
+    (void)ses.ac_init();
+    for (int round = 0; round < 3; ++round) {
+      auto got = ses.ac_get(2, /*min_count=*/1);
+      if (got.granted) ses.ac_free(got.client_id);
+    }
+    ses.ac_finalize();
+  });
+  const auto a = s.submit_program("churn", 1, 0);
+  const auto b = s.submit_program("churn", 1, 0);
+  ASSERT_TRUE(s.wait_job(a).has_value());
+  ASSERT_TRUE(s.wait_job(b).has_value());
+  ASSERT_NE(s.await_job_trace(a), 0u);
+  ASSERT_NE(s.await_job_trace(b), 0u);
+
+  auto view = s.trace();
+  EXPECT_TRUE(view.no_allocation_overlap(s.capacities()));
+  // Every assignment was eventually released: replaying with a capacity of
+  // zero headroom after completion means assign/release events balance.
+  EXPECT_FALSE(view.named("alloc.assign").empty());
+  EXPECT_EQ(view.named("alloc.assign").size(),
+            view.named("alloc.release").size());
+}
+
+TEST(HarnessTest, LatencyBoundsAreCheckable) {
+  Scenario s;
+  s.compute_nodes(1).accel_nodes(1);
+  const auto id = s.submit_program(core::kNoopProgram, 1, 0);
+  ASSERT_TRUE(s.wait_job(id).has_value());
+  ASSERT_NE(s.await_job_trace(id), 0u);
+
+  auto view = s.trace();
+  // Generous wall-clock bound — this asserts the helper wiring, not perf.
+  EXPECT_TRUE(view.all_latencies_under("serve.SUBMIT", 30'000.0));
+  EXPECT_FALSE(view.all_latencies_under("no.such.span", 1.0));
+}
+
+TEST(HarnessTest, ExportWritesChromeTraceJson) {
+  Scenario s;
+  s.compute_nodes(1).accel_nodes(1);
+  const auto id = s.submit_program(core::kNoopProgram, 1, 1);
+  ASSERT_TRUE(s.wait_job(id).has_value());
+  ASSERT_NE(s.await_job_trace(id), 0u);
+
+  const auto path =
+      ::testing::TempDir() + "harness_export_test.trace.json";
+  trace::write_chrome_trace(path, s.trace().spans());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file not written: " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto json = buf.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("serve.SUBMIT"), std::string::npos);
+  EXPECT_NE(json.find("pbs_server"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dac::testing

@@ -1,0 +1,279 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "trace/export.hpp"
+
+namespace dac::testing {
+
+// ---------------------------------------------------------------- TraceView
+
+TraceView::TraceView(std::vector<trace::Span> spans)
+    : spans_(std::move(spans)) {
+  std::sort(spans_.begin(), spans_.end(),
+            [](const trace::Span& a, const trace::Span& b) {
+              return a.begin_tick != b.begin_tick ? a.begin_tick < b.begin_tick
+                                                  : a.id < b.id;
+            });
+}
+
+std::vector<const trace::Span*> TraceView::named(
+    const std::string& name) const {
+  std::vector<const trace::Span*> out;
+  for (const auto& s : spans_) {
+    if (s.name == name) out.push_back(&s);
+  }
+  return out;
+}
+
+std::vector<const trace::Span*> TraceView::in_trace(
+    std::uint64_t trace_id) const {
+  std::vector<const trace::Span*> out;
+  for (const auto& s : spans_) {
+    if (s.trace == trace_id) out.push_back(&s);
+  }
+  return out;
+}
+
+const trace::Span* TraceView::first(const std::string& name) const {
+  for (const auto& s : spans_) {
+    if (s.name == name) return &s;  // spans_ is begin-tick sorted
+  }
+  return nullptr;
+}
+
+std::string TraceView::note(const trace::Span& span, const std::string& key) {
+  for (const auto& [k, v] : span.notes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::uint64_t TraceView::trace_of_job(torque::JobId job) const {
+  const auto want = std::to_string(job);
+  for (const auto& s : spans_) {
+    if (s.name == "serve.SUBMIT" && note(s, "job") == want) return s.trace;
+  }
+  return 0;
+}
+
+std::set<std::string> TraceView::actors_in_trace(
+    std::uint64_t trace_id) const {
+  std::set<std::string> out;
+  for (const auto& s : spans_) {
+    if (s.trace == trace_id) out.insert(s.actor);
+  }
+  return out;
+}
+
+::testing::AssertionResult TraceView::all_latencies_under(
+    const std::string& name, double bound_ms) const {
+  int checked = 0;
+  for (const auto& s : spans_) {
+    if (s.name != name) continue;
+    ++checked;
+    if (s.duration_ms() > bound_ms) {
+      return ::testing::AssertionFailure()
+             << "span '" << name << "' (actor " << s.actor << ") took "
+             << s.duration_ms() << " ms, bound " << bound_ms << " ms";
+    }
+  }
+  if (checked == 0) {
+    return ::testing::AssertionFailure()
+           << "no span named '" << name << "' was recorded";
+  }
+  return ::testing::AssertionSuccess() << checked << " span(s) in bound";
+}
+
+::testing::AssertionResult TraceView::no_allocation_overlap(
+    const std::function<int(const std::string&)>& capacity_of) const {
+  // alloc.* events are instantaneous spans; spans_ is already in
+  // virtual-clock order, which the fabric ties to causality.
+  std::map<std::string, std::map<std::string, int>> held;  // host -> job -> n
+  for (const auto& s : spans_) {
+    if (s.name != "alloc.assign" && s.name != "alloc.release") continue;
+    const auto host = note(s, "host");
+    const auto job = note(s, "job");
+    const int slots = std::atoi(note(s, "slots").c_str());
+    auto& by_job = held[host];
+    if (s.name == "alloc.assign") {
+      by_job[job] += slots;
+      int used = 0;
+      for (const auto& [j, n] : by_job) used += n;
+      if (used > capacity_of(host)) {
+        return ::testing::AssertionFailure()
+               << "host '" << host << "' oversubscribed: " << used
+               << " slot(s) assigned, capacity " << capacity_of(host)
+               << " (latest: job " << job << ")";
+      }
+    } else {
+      auto it = by_job.find(job);
+      if (it == by_job.end() || it->second < slots) {
+        return ::testing::AssertionFailure()
+               << "host '" << host << "': release of " << slots
+               << " slot(s) for job " << job << " that were not assigned";
+      }
+      it->second -= slots;
+      if (it->second == 0) by_job.erase(it);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::string TraceView::normalized(std::uint64_t trace_id) const {
+  return trace::normalized_dump(spans_, trace_id);
+}
+
+// ------------------------------------------------------------------ goldens
+
+::testing::AssertionResult matches_golden(const std::string& name,
+                                          const std::string& actual) {
+  const std::string path =
+      std::string(DAC_GOLDEN_DIR) + "/" + name + ".golden";
+  const char* update = std::getenv("DAC_UPDATE_GOLDEN");
+  if (update != nullptr && *update != '\0') {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      return ::testing::AssertionFailure()
+             << "cannot write golden fixture " << path;
+    }
+    out << actual;
+    return ::testing::AssertionSuccess() << "golden '" << name << "' updated";
+  }
+  std::ifstream in(path);
+  if (!in) {
+    return ::testing::AssertionFailure()
+           << "missing golden fixture " << path
+           << " (run with DAC_UPDATE_GOLDEN=1 to create it)";
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (expected == actual) return ::testing::AssertionSuccess();
+  // Point at the first differing line so a mismatch is readable without a
+  // separate diff tool.
+  std::istringstream ea(expected);
+  std::istringstream aa(actual);
+  std::string el;
+  std::string al;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool has_e = static_cast<bool>(std::getline(ea, el));
+    const bool has_a = static_cast<bool>(std::getline(aa, al));
+    if (!has_e && !has_a) break;
+    if (el != al || has_e != has_a) {
+      return ::testing::AssertionFailure()
+             << "golden '" << name << "' mismatch at line " << line
+             << "\n  expected: " << (has_e ? el : "<eof>")
+             << "\n  actual:   " << (has_a ? al : "<eof>")
+             << "\n(set DAC_UPDATE_GOLDEN=1 to regenerate " << path << ")";
+    }
+  }
+  return ::testing::AssertionFailure() << "golden '" << name << "' mismatch";
+}
+
+// ----------------------------------------------------------------- Scenario
+
+Scenario::Scenario() : Scenario(core::DacClusterConfig::fast()) {}
+
+Scenario::Scenario(core::DacClusterConfig config)
+    : config_(std::move(config)) {}
+
+Scenario::~Scenario() {
+  // Stop all daemons while the recorder is still installed, then detach it
+  // so spans from any later scenario in the same process start clean.
+  cluster_.reset();
+  recorder_.uninstall();
+}
+
+Scenario& Scenario::compute_nodes(std::size_t n) {
+  config_.compute_nodes = n;
+  return *this;
+}
+
+Scenario& Scenario::accel_nodes(std::size_t n) {
+  config_.accel_nodes = n;
+  return *this;
+}
+
+Scenario& Scenario::policy(maui::Policy p) {
+  config_.policy = p;
+  return *this;
+}
+
+Scenario& Scenario::fault_plan(std::shared_ptr<faults::FaultPlan> plan) {
+  config_.fault_plan = std::move(plan);
+  return *this;
+}
+
+Scenario& Scenario::program(const std::string& name, core::JobProgram prog) {
+  programs_[name] = std::move(prog);
+  return *this;
+}
+
+core::DacCluster& Scenario::boot() {
+  if (!cluster_) {
+    recorder_.install();
+    cluster_ = std::make_unique<core::DacCluster>(config_);
+    for (auto& [name, prog] : programs_) {
+      cluster_->register_program(name, prog);
+    }
+  }
+  return *cluster_;
+}
+
+core::DacCluster& Scenario::cluster() { return boot(); }
+
+torque::JobId Scenario::submit_program(const std::string& prog, int nodes,
+                                       int acpn, util::Bytes args,
+                                       std::chrono::milliseconds walltime) {
+  return boot().submit_program(prog, nodes, acpn, std::move(args), walltime);
+}
+
+std::optional<torque::JobInfo> Scenario::wait_job(
+    torque::JobId id, std::chrono::milliseconds timeout) {
+  return boot().wait_job(id, timeout);
+}
+
+void Scenario::fail_node(std::size_t cluster_index) {
+  boot().fail_node(cluster_index);
+}
+
+void Scenario::recover_node(std::size_t cluster_index) {
+  boot().recover_node(cluster_index);
+}
+
+std::function<int(const std::string&)> Scenario::capacities() const {
+  // Mirrors DacCluster's MomConfig: compute nodes get 8 slots, accelerator
+  // nodes 1 (src/core/cluster.cpp).
+  return [](const std::string& host) {
+    return host.rfind("cn", 0) == 0 ? 8 : 1;
+  };
+}
+
+std::uint64_t Scenario::await_job_trace(torque::JobId job,
+                                        std::chrono::milliseconds idle,
+                                        std::chrono::milliseconds timeout) {
+  const auto trace_id = trace().trace_of_job(job);
+  if (trace_id == 0) return 0;
+  if (!recorder_.await_quiet(trace_id, idle, timeout)) return 0;
+  return trace_id;
+}
+
+TraceView Scenario::trace() const { return TraceView(recorder_.snapshot()); }
+
+std::string Scenario::export_trace(const std::string& filename) const {
+  std::string path = filename;
+  if (const char* dir = std::getenv("DACSCHED_TRACE_DIR");
+      dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + filename;
+  }
+  trace::write_chrome_trace(path, recorder_.snapshot());
+  return path;
+}
+
+}  // namespace dac::testing

@@ -1,0 +1,154 @@
+// Scenario test harness: boots a virtual DAC cluster with a trace::Recorder
+// installed, scripts client actions (submissions, dynamic requests, faults)
+// against it, and exposes the collected trace through TraceView — assertion
+// helpers for happens-before ordering, span latency bounds, allocation
+// invariants, and normalized golden-trace comparison.
+//
+//   dac::testing::Scenario s;
+//   s.program("app", [](core::JobContext& ctx) { ... });
+//   s.boot();
+//   const auto id = s.submit_program("app", /*nodes=*/1, /*acpn=*/2);
+//   ASSERT_TRUE(s.wait_job(id));
+//   auto view = s.trace();
+//   const auto t = view.trace_of_job(id);
+//   EXPECT_TRUE(matches_golden("my_flow", view.normalized(t)));
+//
+// Traces can be exported in Chrome about:tracing format with export_trace();
+// CI uploads those files when a golden test fails (see docs/TRACING.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "trace/trace.hpp"
+
+namespace dac::testing {
+
+// Read-only view over a snapshot of recorded spans.
+class TraceView {
+ public:
+  explicit TraceView(std::vector<trace::Span> spans);
+
+  [[nodiscard]] const std::vector<trace::Span>& spans() const {
+    return spans_;
+  }
+  [[nodiscard]] std::vector<const trace::Span*> named(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<const trace::Span*> in_trace(
+      std::uint64_t trace_id) const;
+  // First span (by begin tick) with this name, or nullptr.
+  [[nodiscard]] const trace::Span* first(const std::string& name) const;
+  // The value of `key` on `span`, or "" when absent.
+  [[nodiscard]] static std::string note(const trace::Span& span,
+                                        const std::string& key);
+
+  // Trace id captured at the IFL submission of `job`: the serve.SUBMIT span
+  // carrying note job=<id>. 0 when the job was never (visibly) submitted.
+  [[nodiscard]] std::uint64_t trace_of_job(torque::JobId job) const;
+  // Distinct actor names recorded on spans of one trace — the acceptance
+  // check "the submit trace reaches server, scheduler, mom and backend".
+  [[nodiscard]] std::set<std::string> actors_in_trace(
+      std::uint64_t trace_id) const;
+
+  // Causal order via the virtual clock: a finished before b began.
+  [[nodiscard]] static bool happens_before(const trace::Span& a,
+                                           const trace::Span& b) {
+    return a.end_tick <= b.begin_tick;
+  }
+  // Every span named `name` took at most `bound_ms` wall milliseconds.
+  [[nodiscard]] ::testing::AssertionResult all_latencies_under(
+      const std::string& name, double bound_ms) const;
+
+  // Replays the alloc.assign / alloc.release events in virtual-clock order
+  // and checks that no host's assigned slots ever exceed its capacity and
+  // that releases only free what was assigned. `capacity_of` maps hostname
+  // to slot count (the Scenario provides one built from its topology).
+  [[nodiscard]] ::testing::AssertionResult no_allocation_overlap(
+      const std::function<int(const std::string&)>& capacity_of) const;
+
+  // Deterministic textual form of one trace: the span tree with ids, ticks
+  // and wall times stripped and siblings sorted canonically — identical
+  // across runs of the same seeded scenario (docs/TRACING.md).
+  [[nodiscard]] std::string normalized(std::uint64_t trace_id) const;
+
+ private:
+  std::vector<trace::Span> spans_;
+};
+
+// Compares `actual` against tests/harness/golden/<name>.golden. When the
+// environment variable DAC_UPDATE_GOLDEN is set (non-empty), (re)writes the
+// fixture instead and succeeds.
+::testing::AssertionResult matches_golden(const std::string& name,
+                                          const std::string& actual);
+
+// Builder + runtime for one traced cluster scenario.
+class Scenario {
+ public:
+  Scenario();  // DacClusterConfig::fast()
+  explicit Scenario(core::DacClusterConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // ---- builder (before boot) -------------------------------------------
+  Scenario& compute_nodes(std::size_t n);
+  Scenario& accel_nodes(std::size_t n);
+  Scenario& policy(maui::Policy p);
+  Scenario& fault_plan(std::shared_ptr<faults::FaultPlan> plan);
+  Scenario& program(const std::string& name, core::JobProgram prog);
+  [[nodiscard]] core::DacClusterConfig& config() { return config_; }
+
+  // Installs the recorder and boots the cluster. Idempotent.
+  core::DacCluster& boot();
+  [[nodiscard]] core::DacCluster& cluster();
+
+  // ---- scripted actions (boot() implied) -------------------------------
+  torque::JobId submit_program(
+      const std::string& prog, int nodes, int acpn, util::Bytes args = {},
+      std::chrono::milliseconds walltime = std::chrono::milliseconds(60'000));
+  std::optional<torque::JobInfo> wait_job(
+      torque::JobId id,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(60'000));
+  void fail_node(std::size_t cluster_index);
+  void recover_node(std::size_t cluster_index);
+
+  // Capacity function for TraceView::no_allocation_overlap, derived from
+  // the booted topology (compute nodes np=8, accelerators np=1).
+  [[nodiscard]] std::function<int(const std::string&)> capacities() const;
+
+  // ---- trace access -----------------------------------------------------
+  // Waits for `job`'s trace to go quiet: its teardown spans (daemon serve
+  // spans, job wrappers, TASK_DONE handling) record asynchronously after
+  // wait_job returns, and a snapshot taken mid-drain would be racy. Only
+  // the job's trace is waited on — periodic sources (heartbeats, scheduler
+  // polls) root separate traces and never go quiet. Returns the job's trace
+  // id, or 0 when the submission was never traced / the wait timed out.
+  std::uint64_t await_job_trace(
+      torque::JobId job,
+      std::chrono::milliseconds idle = std::chrono::milliseconds(50),
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+  [[nodiscard]] TraceView trace() const;
+  // Writes the whole recording as a Chrome about:tracing JSON file into
+  // $DACSCHED_TRACE_DIR (or the CWD) and returns the full path.
+  std::string export_trace(const std::string& filename) const;
+
+ private:
+  core::DacClusterConfig config_;
+  std::map<std::string, core::JobProgram> programs_;
+  // Declared before the cluster so spans recorded during cluster shutdown
+  // still have a live recorder; uninstalled in ~Scenario before destruction.
+  trace::Recorder recorder_;
+  std::unique_ptr<core::DacCluster> cluster_;
+};
+
+}  // namespace dac::testing

@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "core/cluster.hpp"
+#include "harness/scenario.hpp"
 
 namespace dac::maui {
 namespace {
@@ -128,15 +129,18 @@ TEST(Policy, FairshareDemotesHeavyUser) {
   EXPECT_LT(start_of(cluster, f1), start_of(cluster, h2));
 }
 
+// Ported onto the Scenario harness: the grant is verified from the trace —
+// the scheduler's maui.grant_dyn decision span joins the submission's trace
+// even with dynamic-first scheduling disabled.
 TEST(Policy, DynamicFirstToggleStillGrants) {
   auto config = DacClusterConfig::fast();
   config.compute_nodes = 1;
   config.accel_nodes = 2;
   config.dynamic_first = false;  // ablation A3 configuration
-  DacCluster cluster(config);
+  dac::testing::Scenario scenario(config);
 
   std::atomic<bool> granted{false};
-  cluster.register_program("dyn", [&](core::JobContext& ctx) {
+  scenario.program("dyn", [&](core::JobContext& ctx) {
     auto& s = ctx.session();
     (void)s.ac_init();
     auto got = s.ac_get(1);
@@ -144,9 +148,16 @@ TEST(Policy, DynamicFirstToggleStillGrants) {
     if (got.granted) s.ac_free(got.client_id);
     s.ac_finalize();
   });
-  const auto id = cluster.submit_program("dyn", 1, 0);
-  ASSERT_TRUE(cluster.wait_job(id, 30'000ms).has_value());
+  const auto id = scenario.submit_program("dyn", 1, 0);
+  ASSERT_TRUE(scenario.wait_job(id, 30'000ms).has_value());
   EXPECT_TRUE(granted);
+  const auto trace_id = scenario.await_job_trace(id);
+  ASSERT_NE(trace_id, 0u);
+  auto view = scenario.trace();
+  const auto* grant = view.first("maui.grant_dyn");
+  ASSERT_NE(grant, nullptr);
+  EXPECT_EQ(grant->trace, trace_id);
+  EXPECT_EQ(dac::testing::TraceView::note(*grant, "job"), std::to_string(id));
 }
 
 TEST(Policy, SchedulerCountsBackfills) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <latch>
+
 #include "vnet/cluster.hpp"
 
 namespace dac::torque::rpc {
@@ -91,15 +93,18 @@ TEST_F(RpcTest, CallToDeadAddressTimesOut) {
 
 TEST_F(RpcTest, CallFromProcessIsKillable) {
   std::atomic<bool> threw{false};
+  std::latch calling{1};
   auto p = cluster_.node(0).spawn({.name = "caller"}, [&](vnet::Process& proc) {
     try {
-      // Target never replies; the kill must unblock the call.
+      // Target never replies; the kill must unblock the call whether it
+      // lands while the call is blocked or just before it starts.
+      calling.count_down();
       (void)call(proc, addr_, MsgType::kStatNodes, {}, 10'000ms);
     } catch (const util::StoppedError&) {
       threw = true;
     }
   });
-  std::this_thread::sleep_for(30ms);
+  calling.wait();
   p->request_stop();
   p->join();
   EXPECT_TRUE(threw);

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <latch>
 
+#include "util/queue.hpp"
 #include "vnet/cluster.hpp"
 
 namespace dac::torque {
@@ -24,16 +26,16 @@ class TaskRegistryTest : public ::testing::Test {
   // Waits until the task is actually blocking, so a kill cannot land before
   // the entry runs (which would skip it entirely, like SIGKILL pre-exec).
   vnet::ProcessPtr spawn_blocker(std::size_t node, std::atomic<int>& counter) {
-    std::atomic<bool> started{false};
+    std::latch started{1};
     auto p = cluster_.node(node).spawn(
         {.name = "task"}, [&counter, &started](vnet::Process& proc) {
           auto ep = proc.open_endpoint();
-          started = true;
+          started.count_down();
           while (auto m = ep->recv()) {
           }
           ++counter;
         });
-    while (!started) std::this_thread::sleep_for(100us);
+    started.wait();
     return p;
   }
 
@@ -74,11 +76,13 @@ TEST_F(TaskRegistryTest, KillUnknownJobIsNoop) {
 
 TEST_F(TaskRegistryTest, JoinJobWaitsWithoutKilling) {
   std::atomic<int> done{0};
+  util::BlockingQueue<int> go;  // keeps the task alive past add()
   auto p = cluster_.node(0).spawn({.name = "quick"}, [&](vnet::Process&) {
-    std::this_thread::sleep_for(20ms);
+    (void)go.pop();
     ++done;
   });
   registry_.add(3, 0, p);
+  go.push(1);
   registry_.join_job(3);
   EXPECT_EQ(done, 1);
   EXPECT_EQ(registry_.task_count(3), 0u);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.hpp"
+#include "harness/scenario.hpp"
 
 namespace dac::torque {
 namespace {
@@ -61,9 +62,12 @@ TEST(Walltime, EnforcementCanBeDisabled) {
   EXPECT_GE(info->end_time - info->start_time, 0.1);
 }
 
+// Ported onto the Scenario harness: beyond the node-table check, the trace
+// proves the reclaim — every alloc.assign of the killed job has a matching
+// alloc.release, and the replay never oversubscribes a host.
 TEST(Walltime, KilledJobWithAcceleratorsReleasesThem) {
-  core::DacCluster cluster(fast_config(true));
-  cluster.register_program("hog", [](core::JobContext& ctx) {
+  dac::testing::Scenario s(fast_config(true));
+  s.program("hog", [](core::JobContext& ctx) {
     (void)ctx.session().ac_init();
     core::interruptible_sleep(ctx, 5s);  // never finishes in time
   });
@@ -72,13 +76,19 @@ TEST(Walltime, KilledJobWithAcceleratorsReleasesThem) {
   spec.resources.nodes = 1;
   spec.resources.acpn = 1;
   spec.resources.walltime = 80ms;
-  const auto id = cluster.submit(spec);
-  auto info = cluster.wait_job(id, 20'000ms);
+  const auto id = s.cluster().submit(spec);
+  auto info = s.wait_job(id, 20'000ms);
   ASSERT_TRUE(info.has_value());
   EXPECT_EQ(info->exit_status, kExitWalltime);
-  for (const auto& n : cluster.client().stat_nodes()) {
+  for (const auto& n : s.cluster().client().stat_nodes()) {
     EXPECT_EQ(n.used, 0) << n.hostname;
   }
+  ASSERT_NE(s.await_job_trace(id), 0u);
+  auto view = s.trace();
+  EXPECT_TRUE(view.no_allocation_overlap(s.capacities()));
+  EXPECT_FALSE(view.named("alloc.assign").empty());
+  EXPECT_EQ(view.named("alloc.assign").size(),
+            view.named("alloc.release").size());
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// Unit tests of the causal tracing layer: span nesting, context
+// propagation, the inert no-recorder path, the virtual clock, and both
+// exporters (Chrome JSON and the normalized golden dump).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace dac::trace {
+namespace {
+
+TEST(TraceTest, InertWithoutRecorder) {
+  ASSERT_EQ(recorder(), nullptr);
+  const Context parent{42, 7};
+  SpanScope span("noop", parent);
+  // No recorder: the scope passes the parent context through unchanged so
+  // wire propagation still works in untraced binaries.
+  EXPECT_EQ(span.context().trace, 42u);
+  EXPECT_EQ(span.context().span, 7u);
+}
+
+TEST(TraceTest, RootsNewTraceAndNests) {
+  Recorder rec;
+  rec.install();
+  {
+    SpanScope outer("outer");
+    EXPECT_TRUE(outer.context().traced());
+    {
+      SpanScope inner("inner");
+      EXPECT_EQ(inner.context().trace, outer.context().trace);
+    }
+  }
+  rec.uninstall();
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Recorded on end, so inner first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[0].trace, spans[1].trace);
+  EXPECT_EQ(spans[1].parent, 0u);
+}
+
+TEST(TraceTest, ExplicitParentJoinsThatTrace) {
+  Recorder rec;
+  rec.install();
+  {
+    SpanScope span("child", Context{99, 5});
+    EXPECT_EQ(span.context().trace, 99u);
+  }
+  rec.uninstall();
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace, 99u);
+  EXPECT_EQ(spans[0].parent, 5u);
+}
+
+TEST(TraceTest, ScopedContextDetachesAndRestores) {
+  Recorder rec;
+  rec.install();
+  {
+    SpanScope outer("outer");
+    {
+      ScopedContext detach{Context{}};
+      EXPECT_FALSE(current().traced());
+      SpanScope fresh("fresh");
+      EXPECT_NE(fresh.context().trace, outer.context().trace);
+    }
+    EXPECT_EQ(current().trace, outer.context().trace);
+  }
+  rec.uninstall();
+}
+
+TEST(TraceTest, NotesAttachToInnermostScope) {
+  Recorder rec;
+  rec.install();
+  {
+    SpanScope outer("outer");
+    {
+      SpanScope inner("inner");
+      note("key", "value");
+    }
+  }
+  rec.uninstall();
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  ASSERT_EQ(spans[0].name, "inner");
+  ASSERT_EQ(spans[0].notes.size(), 1u);
+  EXPECT_EQ(spans[0].notes[0].first, "key");
+  EXPECT_EQ(spans[0].notes[0].second, "value");
+  EXPECT_TRUE(spans[1].notes.empty());
+}
+
+TEST(TraceTest, EventRecordsInstantaneousSpan) {
+  Recorder rec;
+  rec.install();
+  {
+    SpanScope outer("outer");
+    event("blip", {{"k", "v"}});
+  }
+  rec.uninstall();
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "blip");
+  EXPECT_EQ(spans[0].parent, spans[1].id);
+  EXPECT_EQ(spans[0].begin_tick, spans[0].end_tick);
+}
+
+TEST(TraceTest, VclockMonotoneAcrossSpans) {
+  Recorder rec;
+  rec.install();
+  std::uint64_t first_end = 0;
+  {
+    SpanScope a("a");
+    a.end();
+    first_end = vclock();
+  }
+  {
+    SpanScope b("b");
+    EXPECT_GE(b.context().span, 1u);
+  }
+  rec.uninstall();
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_LE(spans[0].end_tick, first_end);
+  EXPECT_LE(spans[0].end_tick, spans[1].begin_tick);  // a before b
+}
+
+TEST(TraceTest, ContextIsThreadLocal) {
+  Recorder rec;
+  rec.install();
+  {
+    SpanScope outer("outer");
+    Context seen;
+    std::thread t([&] { seen = current(); });
+    t.join();
+    EXPECT_FALSE(seen.traced());  // other thread starts clean
+    EXPECT_TRUE(current().traced());
+  }
+  rec.uninstall();
+}
+
+TEST(TraceTest, ActorNamesThreadsSpans) {
+  Recorder rec;
+  rec.install();
+  set_thread_actor("unit_test");
+  { SpanScope s("named"); }
+  set_thread_actor("");
+  rec.uninstall();
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].actor, "unit_test");
+}
+
+TEST(TraceTest, ChromeExportIsWellFormedJson) {
+  Recorder rec;
+  rec.install();
+  {
+    SpanScope s("rpc.\"quoted\"");  // exercises escaping
+    s.note("k", "line\nbreak");
+  }
+  rec.uninstall();
+  const auto json = chrome_trace_json(rec.snapshot());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n', 0), std::string::npos)
+      << "raw newline leaked into JSON string";
+}
+
+TEST(TraceTest, NormalizedDumpIsStableAcrossIdsAndTimes) {
+  // Two recordings of the same logical structure with different id spacing
+  // must normalize identically.
+  const auto record_once = [](int warmup_spans) {
+    Recorder rec;
+    rec.install();
+    for (int i = 0; i < warmup_spans; ++i) {
+      SpanScope w("warmup");  // shifts id counters between runs
+    }
+    {
+      SpanScope root("root");
+      {
+        SpanScope b("b");
+        SpanScope leaf("leaf");
+      }
+      { SpanScope a("a"); }
+    }
+    rec.uninstall();
+    const auto spans = rec.snapshot();
+    // Find the root trace (the one containing "root").
+    std::uint64_t trace_id = 0;
+    for (const auto& s : spans) {
+      if (s.name == "root") trace_id = s.trace;
+    }
+    return normalized_dump(spans, trace_id);
+  };
+  const auto first = record_once(0);
+  const auto second = record_once(17);
+  EXPECT_EQ(first, second);
+  // Siblings are sorted by name: a before b despite recording order.
+  EXPECT_LT(first.find("a @"), first.find("b @"));
+  EXPECT_NE(first.find("root"), std::string::npos);
+  EXPECT_NE(first.find("leaf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dac::trace

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <thread>
+#include <chrono>
 
 #include "util/logging.hpp"
 
@@ -11,25 +11,33 @@ namespace {
 
 using namespace std::chrono_literals;
 
+// The subject under test is the clock itself, so there is no event to
+// synchronize on; spin against steady_clock instead of sleeping.
+void spin_for(std::chrono::milliseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
 TEST(Stopwatch, MeasuresElapsed) {
   Stopwatch w;
-  std::this_thread::sleep_for(20ms);
+  spin_for(20ms);
   EXPECT_GE(w.elapsed_ms(), 15.0);
   EXPECT_GE(w.elapsed_seconds(), 0.015);
 }
 
 TEST(Stopwatch, ResetRestarts) {
   Stopwatch w;
-  std::this_thread::sleep_for(20ms);
+  spin_for(20ms);
   w.reset();
   EXPECT_LT(w.elapsed_ms(), 15.0);
 }
 
 TEST(Stopwatch, LapSplitsPhases) {
   Stopwatch w;
-  std::this_thread::sleep_for(15ms);
+  spin_for(15ms);
   const double first = w.lap_seconds();
-  std::this_thread::sleep_for(5ms);
+  spin_for(5ms);
   const double second = w.lap_seconds();
   EXPECT_GE(first, 0.010);
   EXPECT_LT(second, first);

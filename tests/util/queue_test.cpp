@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <latch>
 #include <thread>
 #include <vector>
 
@@ -40,11 +41,14 @@ TEST(BlockingQueue, PopForTimesOut) {
 TEST(BlockingQueue, CloseReleasesBlockedPopper) {
   BlockingQueue<int> q;
   std::atomic<bool> released{false};
+  std::latch entered{1};
   std::thread t([&] {
+    entered.count_down();
     EXPECT_FALSE(q.pop().has_value());
     released = true;
   });
-  std::this_thread::sleep_for(10ms);
+  entered.wait();
+  // pop() blocks until close: released can only flip after it.
   EXPECT_FALSE(released);
   q.close();
   t.join();
@@ -68,14 +72,16 @@ TEST(BlockingQueue, CloseWakesAllBlockedWaiters) {
   BlockingQueue<int> q;
   constexpr int kWaiters = 6;
   std::atomic<int> released{0};
+  std::latch entered{kWaiters};
   std::vector<std::thread> waiters;
   for (int i = 0; i < kWaiters; ++i) {
     waiters.emplace_back([&] {
+      entered.count_down();
       EXPECT_FALSE(q.pop().has_value());
       released.fetch_add(1);
     });
   }
-  std::this_thread::sleep_for(10ms);  // let the waiters block
+  entered.wait();
   EXPECT_EQ(released.load(), 0);
   q.close();
   for (auto& t : waiters) t.join();
@@ -94,10 +100,7 @@ TEST(BlockingQueue, CloseIsIdempotentAndPushStaysRejected) {
 
 TEST(BlockingQueue, BlockedPopWakesOnPush) {
   BlockingQueue<int> q;
-  std::thread t([&] {
-    std::this_thread::sleep_for(10ms);
-    EXPECT_TRUE(q.push(42));
-  });
+  std::thread t([&] { EXPECT_TRUE(q.push(42)); });
   EXPECT_EQ(q.pop(), 42);
   t.join();
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <latch>
 
 namespace dac::vnet {
 namespace {
@@ -56,12 +57,12 @@ TEST(Cluster, CrossNodeMessaging) {
 
 TEST(Cluster, ShutdownStopsProcesses) {
   Cluster c(small_topo());
-  std::atomic<int> started{0};
+  std::latch started{4};
   std::atomic<int> stopped{0};
   for (std::size_t i = 0; i < c.size(); ++i) {
     c.node(i).spawn({.name = "d"}, [&](Process& proc) {
       auto ep = proc.open_endpoint();
-      ++started;
+      started.count_down();
       while (auto m = ep->recv()) {
       }
       ++stopped;
@@ -69,7 +70,7 @@ TEST(Cluster, ShutdownStopsProcesses) {
   }
   // A kill that lands before the entry runs skips the entry entirely (like
   // SIGKILL before exec), so wait until every daemon is actually blocking.
-  while (started.load() < 4) std::this_thread::sleep_for(1ms);
+  started.wait();
   c.shutdown();
   EXPECT_EQ(stopped, 4);
 }

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <latch>
 
 #include "vnet/fabric.hpp"
 
@@ -67,14 +68,17 @@ TEST_F(NodeTest, EndpointRoundTrip) {
 
 TEST_F(NodeTest, RequestStopClosesProcessEndpoints) {
   std::atomic<bool> returned{false};
+  std::latch entered{1};
   auto p = node_.spawn({.name = "daemon"}, [&](Process& proc) {
     auto ep = proc.open_endpoint();
+    entered.count_down();
     while (auto msg = ep->recv()) {
       // consume forever
     }
     returned = true;
   });
-  std::this_thread::sleep_for(20ms);
+  entered.wait();
+  // recv() blocks until the stop: returned can only flip after it.
   EXPECT_FALSE(returned);
   p->request_stop();
   p->join();

@@ -66,14 +66,8 @@ SLEEP_ALLOWLIST = {
     "tests/svc/svc_test.cpp",
     "tests/torque/fault_test.cpp",
     "tests/torque/mom_test.cpp",
-    "tests/torque/rpc_test.cpp",
     "tests/torque/server_test.cpp",
-    "tests/torque/task_registry_test.cpp",
-    "tests/util/clock_test.cpp",
-    "tests/util/queue_test.cpp",
-    "tests/vnet/cluster_test.cpp",
     "tests/vnet/fabric_test.cpp",
-    "tests/vnet/node_test.cpp",
     "tests/vnet/stress_test.cpp",
 }
 
