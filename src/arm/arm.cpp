@@ -1,6 +1,7 @@
 #include "arm/arm.hpp"
 
 #include "svc/caller.hpp"
+#include "svc/deadlines.hpp"
 #include "svc/service_loop.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -98,7 +99,7 @@ ArmClient::ArmClient(vnet::Node& node, vnet::Address arm,
 
 util::Bytes ArmClient::call(std::uint32_t type, util::Bytes body) {
   return caller_.call(msg(type), std::move(body),
-                      {.deadline = std::chrono::milliseconds(10'000)});
+                      {.deadline = svc::deadlines::kControl});
 }
 
 ArmAllocation ArmClient::alloc(int count) {

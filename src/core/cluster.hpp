@@ -68,9 +68,9 @@ class DacCluster {
 
   // ---- client surface (qsub/qstat equivalents) ---------------------------
   [[nodiscard]] torque::Ifl client();  // an IFL client bound to the head
-  torque::JobId submit(const torque::JobSpec& spec);
+  [[nodiscard]] torque::JobId submit(const torque::JobSpec& spec);
   // Convenience: submit a registered program with the given geometry.
-  torque::JobId submit_program(
+  [[nodiscard]] torque::JobId submit_program(
       const std::string& program, int nodes, int acpn,
       util::Bytes args = {},
       std::chrono::milliseconds walltime = std::chrono::milliseconds(60'000));

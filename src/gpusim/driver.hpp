@@ -24,12 +24,14 @@ enum class Status : int {
 
 [[nodiscard]] const char* status_name(Status s);
 
-Status mem_alloc(Device& dev, std::size_t bytes, DevicePtr* out);
-Status mem_free(Device& dev, DevicePtr ptr);
-Status memcpy_h2d(Device& dev, DevicePtr dst, const void* src,
-                  std::size_t bytes);
-Status memcpy_d2h(Device& dev, void* dst, DevicePtr src, std::size_t bytes);
-Status launch_kernel(Device& dev, const std::string& name, Dim3 grid,
-                     Dim3 block, const util::Bytes& args);
+[[nodiscard]] Status mem_alloc(Device& dev, std::size_t bytes, DevicePtr* out);
+[[nodiscard]] Status mem_free(Device& dev, DevicePtr ptr);
+[[nodiscard]] Status memcpy_h2d(Device& dev, DevicePtr dst, const void* src,
+                                std::size_t bytes);
+[[nodiscard]] Status memcpy_d2h(Device& dev, void* dst, DevicePtr src,
+                                std::size_t bytes);
+[[nodiscard]] Status launch_kernel(Device& dev, const std::string& name,
+                                   Dim3 grid, Dim3 block,
+                                   const util::Bytes& args);
 
 }  // namespace dac::gpusim::driver

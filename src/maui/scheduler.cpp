@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "svc/caller.hpp"
+#include "svc/deadlines.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
@@ -53,7 +54,8 @@ void MauiScheduler::run(vnet::Process& proc) {
   reg.put<std::int32_t>(wake_ep->address().port);
   try {
     (void)caller.call(torque::MsgType::kRegisterScheduler,
-                      std::move(reg).take());
+                      std::move(reg).take(),
+                      {.deadline = svc::deadlines::kDefault});
   } catch (const util::StoppedError&) {
     return;
   }
@@ -82,11 +84,13 @@ void MauiScheduler::cycle(vnet::Process& proc) {
   cycles_.fetch_add(1, std::memory_order_relaxed);
 
   const svc::Caller caller(proc, config_.server, config_.retry);
-  auto queue_reply = caller.call(torque::MsgType::kGetQueue, {});
+  auto queue_reply = caller.call(torque::MsgType::kGetQueue, {},
+                                 {.deadline = svc::deadlines::kDefault});
   util::ByteReader qr(queue_reply);
   const auto snap = torque::get_queue_snapshot(qr);
 
-  auto nodes_reply = caller.call(torque::MsgType::kGetNodes, {});
+  auto nodes_reply = caller.call(torque::MsgType::kGetNodes, {},
+                                 {.deadline = svc::deadlines::kDefault});
   util::ByteReader nr(nodes_reply);
   const auto count = nr.get<std::uint32_t>();
   std::vector<NodeView> view;
@@ -202,14 +206,16 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
       if (grant) {
         span.note("hosts", std::to_string(hosts.size()));
         w.put_string_vector(hosts);
-        (void)caller.call(torque::MsgType::kRunDyn, std::move(w).take());
+        (void)caller.call(torque::MsgType::kRunDyn, std::move(w).take(),
+                          {.deadline = svc::deadlines::kDefault});
         dyn_granted_.fetch_add(1, std::memory_order_relaxed);
         if (auto it = job_by_id.find(d.job); it != job_by_id.end()) {
           holdings[it->second->spec.owner] +=
               static_cast<int>(hosts.size());
         }
       } else {
-        (void)caller.call(torque::MsgType::kRejectDyn, std::move(w).take());
+        (void)caller.call(torque::MsgType::kRejectDyn, std::move(w).take(),
+                          {.deadline = svc::deadlines::kDefault});
         dyn_rejected_.fetch_add(1, std::memory_order_relaxed);
         if (capped) dyn_capped_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -330,7 +336,8 @@ bool MauiScheduler::send_run_job(vnet::Process& proc,
   w.put_string_vector(alloc.accel);
   try {
     const svc::Caller caller(proc, config_.server, config_.retry);
-    (void)caller.call(torque::MsgType::kRunJob, std::move(w).take());
+    (void)caller.call(torque::MsgType::kRunJob, std::move(w).take(),
+                      {.deadline = svc::deadlines::kDefault});
   } catch (const util::ProtocolError& e) {
     span.note("error", e.what());
     kLog.warn("run_job {} not applied: {}", job.id, e.what());

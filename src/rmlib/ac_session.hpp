@@ -98,11 +98,11 @@ class AcSession {
 
   // ---- resource management API (paper naming) -------------------------
   std::vector<AcHandle> ac_init(InitTiming* timing = nullptr);
-  GetResult ac_get(int count) { return ac_get(count, count); }
+  [[nodiscard]] GetResult ac_get(int count) { return ac_get(count, count); }
   // Partial-allocation extension (paper future work §VI): accepts any grant
   // in [min_count, count]; the number of handles returned tells the caller
   // what it actually received.
-  GetResult ac_get(int count, int min_count);
+  [[nodiscard]] GetResult ac_get(int count, int min_count);
   void ac_free(std::uint64_t client_id);
   // Releases the newest dynamic set after its accelerators died (the
   // computation API threw AcError(kNodeLost)). Unlike AC_Free this never
@@ -118,7 +118,8 @@ class AcSession {
   // server handles one request instead of k serialized ones. All-or-nothing;
   // every participant shares one client-id and must release collectively.
   // Nodes may pass count 0 (they still participate in the collective).
-  GetResult ac_get_collective(const minimpi::Comm& cn_world, int count);
+  [[nodiscard]] GetResult ac_get_collective(const minimpi::Comm& cn_world,
+                                            int count);
   void ac_free_collective(const minimpi::Comm& cn_world,
                           std::uint64_t client_id);
 

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <memory>
 
+#include "svc/deadlines.hpp"
 #include "svc/metrics.hpp"
 #include "svc/wire.hpp"
 
@@ -28,7 +29,7 @@ struct RetryPolicy {
 };
 
 struct CallOptions {
-  std::chrono::milliseconds deadline{30'000};
+  std::chrono::milliseconds deadline{deadlines::kDefault};
   // Non-idempotent calls are never retransmitted, regardless of policy.
   // Requests to ServiceLoop daemons are dedup-protected and can stay true.
   bool idempotent = true;
@@ -46,7 +47,10 @@ class Caller {
 
   // Blocking request/reply. Throws CallError on an error reply, DeadlineError
   // when the deadline passes with no reply, StoppedError on cooperative kill.
-  util::Bytes call(MsgType type, util::Bytes body, CallOptions opts = {}) const;
+  // [[nodiscard]]: a dropped reply body is only ever intentional (fire-and-
+  // forget to a dedup-protected daemon); make those sites say (void).
+  [[nodiscard]] util::Bytes call(MsgType type, util::Bytes body,
+                                 CallOptions opts = {}) const;
 
   [[nodiscard]] const vnet::Address& target() const { return to_; }
   [[nodiscard]] const RetryPolicy& policy() const { return policy_; }

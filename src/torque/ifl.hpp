@@ -26,7 +26,7 @@ class Ifl {
   [[nodiscard]] const vnet::Address& server() const { return server_; }
 
   // qsub: returns the job id.
-  JobId submit(const JobSpec& spec);
+  [[nodiscard]] JobId submit(const JobSpec& spec);
   // qstat.
   std::vector<JobInfo> stat_jobs();
   std::optional<JobInfo> stat_job(JobId id);
@@ -56,13 +56,13 @@ class Ifl {
   // `kind` selects the pool: accelerator nodes (the paper's case) or compute
   // nodes — the malleability generalization of §V ("with little extensions
   // ... any malleable application could be supported").
-  DynGetReply dynget(JobId id, int count, int min_count,
-                     NodeKind kind = NodeKind::kAccelerator,
-                     std::chrono::milliseconds timeout =
-                         std::chrono::milliseconds(60'000));
-  DynGetReply dynget(JobId id, int count,
-                     std::chrono::milliseconds timeout =
-                         std::chrono::milliseconds(60'000)) {
+  [[nodiscard]] DynGetReply dynget(JobId id, int count, int min_count,
+                                   NodeKind kind = NodeKind::kAccelerator,
+                                   std::chrono::milliseconds timeout =
+                                       std::chrono::milliseconds(60'000));
+  [[nodiscard]] DynGetReply dynget(JobId id, int count,
+                                   std::chrono::milliseconds timeout =
+                                       std::chrono::milliseconds(60'000)) {
     return dynget(id, count, count, NodeKind::kAccelerator, timeout);
   }
 

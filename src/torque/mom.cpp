@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "svc/deadlines.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -47,7 +48,8 @@ void PbsMom::run(vnet::Process& proc) {
   put_node_status(w, status);
   try {
     svc::Caller registrar(proc, config_.server, config_.retry);
-    (void)registrar.call(MsgType::kRegisterNode, std::move(w).take());
+    (void)registrar.call(MsgType::kRegisterNode, std::move(w).take(),
+                         {.deadline = svc::deadlines::kDefault});
   } catch (const util::StoppedError&) {
     return;
   }
@@ -151,7 +153,8 @@ void PbsMom::on_run_job(vnet::Process& proc, const rpc::Request& req) {
   const auto join_bytes = join_body.bytes();
   for (const auto& h : job.hosts) {
     if (h.node == node_.id()) continue;
-    (void)rpc::call(proc, h.mom, MsgType::kJoinJob, join_bytes);
+    (void)rpc::call(proc, h.mom, MsgType::kJoinJob, join_bytes,
+                    rpc::kDefaultTimeout);
   }
 
   const int k = job.info.spec.resources.nodes;
@@ -243,7 +246,8 @@ void PbsMom::on_dyn_add(vnet::Process& proc, const rpc::Request& req) {
   const auto body_bytes = body.bytes();
   for (const auto& h : new_hosts) {
     if (h.node == node_.id()) continue;  // our own record is updated below
-    (void)rpc::call(proc, h.mom, MsgType::kDynJoinJob, body_bytes);
+    (void)rpc::call(proc, h.mom, MsgType::kDynJoinJob, body_bytes,
+                    rpc::kDefaultTimeout);
   }
 
   // Update the existing moms' databases with the addition.

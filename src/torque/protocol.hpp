@@ -30,7 +30,8 @@ enum class MsgType : std::uint32_t {
   kMsReleaseDone,             // MS -> server: disjoin finished (client id)
 
   // scheduler <-> server
-  kSchedWake = 0x5430'0100,   // server -> scheduler: queue changed
+  // Consumed by the scheduler's plain wake endpoint, not a ServiceLoop.
+  kSchedWake = 0x5430'0100,   // NOLINT-DACSCHED(handler-coverage)
   kGetQueue,                  // scheduler -> server -> QueueSnapshot
   kGetNodes,                  // scheduler -> server -> vector<NodeStatus>
   kRunJob,                    // scheduler -> server: job id + host lists
@@ -44,12 +45,14 @@ enum class MsgType : std::uint32_t {
   kMomKillJob,                // any mom: job id
 
   // mom <-> mom (the paper's join protocol)
+  // The three *Ack codes are reply envelopes consumed by the MS's rpc::call,
+  // never dispatched through a ServiceLoop.
   kJoinJob = 0x5430'0300,     // MS -> sister: job info
-  kJoinAck,
+  kJoinAck,                   // NOLINT-DACSCHED(handler-coverage)
   kDynJoinJob,                // MS -> new accel mom: job id, client id
-  kDynJoinAck,
+  kDynJoinAck,                // NOLINT-DACSCHED(handler-coverage)
   kDisjoinJob,                // MS -> departing mom: job id, client id
-  kDisjoinAck,
+  kDisjoinAck,                // NOLINT-DACSCHED(handler-coverage)
   kJobUpdate,                 // MS -> existing sisters: updated host set
 
   // job task wrapper -> mom
@@ -100,6 +103,6 @@ struct DynGetReply {
 };
 
 void put_dynget_reply(util::ByteWriter& w, const DynGetReply& r);
-DynGetReply get_dynget_reply(util::ByteReader& r);
+[[nodiscard]] DynGetReply get_dynget_reply(util::ByteReader& r);
 
 }  // namespace dac::torque

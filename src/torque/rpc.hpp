@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "svc/deadlines.hpp"
 #include "svc/wire.hpp"
 #include "torque/protocol.hpp"
 #include "util/bytes.hpp"
@@ -21,7 +22,7 @@
 
 namespace dac::torque::rpc {
 
-inline constexpr auto kDefaultTimeout = std::chrono::milliseconds(30'000);
+inline constexpr auto kDefaultTimeout = svc::deadlines::kDefault;
 
 // Thrown when the callee replied with a non-ok code.
 using CallError = svc::CallError;
@@ -29,15 +30,17 @@ using CallError = svc::CallError;
 // Blocking single-attempt call from a process context (killable: the
 // ephemeral endpoint is adopted by the process, so request_stop unblocks it).
 // Times out with svc::DeadlineError.
-util::Bytes call(vnet::Process& proc, const vnet::Address& to, MsgType type,
-                 util::Bytes body,
-                 std::chrono::milliseconds timeout = kDefaultTimeout);
+[[nodiscard]] util::Bytes call(vnet::Process& proc, const vnet::Address& to,
+                               MsgType type, util::Bytes body,
+                               std::chrono::milliseconds timeout =
+                                   kDefaultTimeout);
 
 // Blocking single-attempt call from a non-process context (client commands,
 // tests).
-util::Bytes call(vnet::Node& node, const vnet::Address& to, MsgType type,
-                 util::Bytes body,
-                 std::chrono::milliseconds timeout = kDefaultTimeout);
+[[nodiscard]] util::Bytes call(vnet::Node& node, const vnet::Address& to,
+                               MsgType type, util::Bytes body,
+                               std::chrono::milliseconds timeout =
+                                   kDefaultTimeout);
 
 // Fire-and-forget request (no reply expected), from any endpoint.
 inline void notify(vnet::Endpoint& ep, const vnet::Address& to, MsgType type,

@@ -101,7 +101,7 @@ class DAC_CAPABILITY("mutex") Mutex {
 
  private:
   friend class CondVar;
-  std::mutex mu_;
+  std::mutex mu_;  // NOLINT-DACSCHED(raw-sync)
   const char* name_ = "mutex";
 };
 
@@ -181,7 +181,7 @@ class DAC_CAPABILITY("shared_mutex") SharedMutex {
   [[nodiscard]] const char* name() const { return name_; }
 
  private:
-  std::shared_mutex mu_;
+  std::shared_mutex mu_;  // NOLINT-DACSCHED(raw-sync)
   const char* name_ = "shared_mutex";
 };
 
@@ -236,7 +236,8 @@ class CondVar {
     Mutex& mu = *lock.mu_;
     lockorder::on_release(&mu);
     {
-      std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+      std::unique_lock<std::mutex> native(  // NOLINT-DACSCHED(raw-sync)
+          mu.mu_, std::adopt_lock);
       cv_.wait(native);
       native.release();  // ownership stays with `lock`
     }
@@ -251,7 +252,8 @@ class CondVar {
     lockorder::on_release(&mu);
     std::cv_status status;
     {
-      std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+      std::unique_lock<std::mutex> native(  // NOLINT-DACSCHED(raw-sync)
+          mu.mu_, std::adopt_lock);
       status = cv_.wait_until(native, deadline);
       native.release();
     }
@@ -266,7 +268,7 @@ class CondVar {
   }
 
  private:
-  std::condition_variable cv_;
+  std::condition_variable cv_;  // NOLINT-DACSCHED(raw-sync)
 };
 
 }  // namespace dac

@@ -131,7 +131,8 @@ void Fabric::delivery_loop() {
       continue;
     }
     Message msg = std::move(const_cast<Pending&>(pending_.top()).msg);
-    pending_.pop();
+    // priority_queue::pop, not a BlockingQueue: never blocks.
+    pending_.pop();  // NOLINT-DACSCHED(blocking-under-lock)
     lock.unlock();
     deliver(std::move(msg));
     lock.lock();

@@ -1,0 +1,27 @@
+// Seeded violation: a blocking RPC while a dac lock guard is live.
+#include "svc/caller.hpp"
+#include "svc/deadlines.hpp"
+#include "util/sync.hpp"
+
+namespace fixture {
+
+struct Daemon {
+  dac::util::Mutex mu;
+  dac::svc::Caller* caller = nullptr;
+
+  void bad(dac::util::Bytes body) {
+    dac::util::ScopedLock lock(mu);
+    (void)caller->call(dac::svc::MsgType{}, std::move(body),  // line 14
+                       {.deadline = dac::svc::deadlines::kDefault});
+  }
+
+  void good(dac::util::Bytes body) {
+    {
+      dac::util::ScopedLock lock(mu);
+    }
+    (void)caller->call(dac::svc::MsgType{}, std::move(body),
+                       {.deadline = dac::svc::deadlines::kDefault});
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Seeded violation: a side-effecting expression inside a check macro.
+#include "util/check.hpp"
+
+void fixture_check(int items) {
+  int seen = 0;
+  DAC_CHECK(++seen <= items, "consumed too many");  // line 6
+  DAC_CHECK(seen <= items, "fine: no side effect");
+}

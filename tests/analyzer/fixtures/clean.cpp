@@ -1,0 +1,36 @@
+// A file every rule accepts: dac:: sync wrappers, joined threads, seeded
+// RNG, named deadlines, side-effect-free checks.
+#include <random>
+#include <thread>
+
+#include "svc/caller.hpp"
+#include "svc/deadlines.hpp"
+#include "util/check.hpp"
+#include "util/sync.hpp"
+
+namespace fixture {
+
+struct Worker {
+  dac::util::Mutex mu;
+  int value = 0;
+
+  int read() {
+    dac::util::ScopedLock lock(mu);
+    return value;
+  }
+};
+
+inline unsigned roll(unsigned seed) {
+  std::mt19937 rng(seed);
+  return static_cast<unsigned>(rng());
+}
+
+inline void run(const dac::svc::Caller& caller, dac::util::Bytes body) {
+  DAC_CHECK(!body.empty(), "body required");
+  (void)caller.call(dac::svc::MsgType{}, std::move(body),
+                    {.deadline = dac::svc::deadlines::kDefault});
+  std::thread t([] {});
+  t.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Seeded violations: a Caller::call with no explicit deadline, and one with
+// a bare chrono literal. Scanned with a non-test path (the rule is relaxed
+// for tests).
+#include "svc/caller.hpp"
+
+namespace fixture {
+
+void calls(const dac::svc::Caller& caller, dac::util::Bytes body) {
+  (void)caller.call(dac::svc::MsgType{}, body);  // line 9: implicit default
+  (void)caller.call(dac::svc::MsgType{}, body,  // diagnostic anchors here (10)
+                    {.deadline = std::chrono::milliseconds(500)});
+}
+
+}  // namespace fixture

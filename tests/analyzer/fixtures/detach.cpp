@@ -1,0 +1,7 @@
+// Seeded violation: detached thread.
+#include <thread>
+
+void fixture_detach() {
+  std::thread worker([] {});
+  worker.detach();  // line 6: detach
+}

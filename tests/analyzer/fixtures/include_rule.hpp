@@ -1,0 +1,7 @@
+// Seeded violation: header without #pragma once (line 3 is the first
+// meaningful line) and a parent-relative include.
+#include "../somewhere/else.hpp"
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Mini must-check API surface. Scanned as src/mini/api.hpp.
+#pragma once
+
+namespace fixture {
+
+enum class Status { kOk, kFail };
+
+Status do_thing(int arg);                 // line 8: missing [[nodiscard]]
+[[nodiscard]] Status do_other(int arg);   // fine
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Mini wire enum for the cross-file rules. The test scans this with the
+// path src/torque/protocol.hpp so it is picked up as the wire-enum source.
+#pragma once
+
+namespace fixture {
+
+enum class MsgType : unsigned {
+  kAlpha = 1,
+  kBeta,       // line 9: no handler registered -> handler-coverage
+  kGamma,
+  kEvSynthetic,  // auto-exempt from handler coverage
+  kReply,        // auto-exempt from handler coverage
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Mini call sites for unchecked-status. Scanned as src/mini/use.cpp.
+#include "mini_api.hpp"
+
+namespace fixture {
+
+void use() {
+  do_thing(1);                            // line 7: result dropped
+  (void)do_thing(2);                      // explicit opt-out: fine
+  const Status s = do_other(3);           // checked: fine
+  if (s == Status::kFail) do_other(4);    // not a statement start: fine
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Mini span table. Scanned as src/svc/wire.cpp. kGamma has no case (span
+// coverage hole) and kBeta reuses kAlpha's span name (uniqueness hole).
+#include "mini_protocol.hpp"
+
+namespace fixture {
+
+const char* msg_type_name(unsigned type) {  // line 7: missing-span anchor
+  switch (type) {
+    case as_u32(MsgType::kAlpha): return "ALPHA";
+    case as_u32(MsgType::kBeta): return "ALPHA";  // line 10: duplicate name
+    case as_u32(MsgType::kEvSynthetic): return "EV_SYNTHETIC";
+    case as_u32(MsgType::kReply): return "REPLY";
+    default: return "?";
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Seeded violation: nondeterministic RNG seeding.
+#include <random>
+
+unsigned fixture_seed() {
+  std::random_device rd;  // line 5: nondet-seed
+  return rd();
+}

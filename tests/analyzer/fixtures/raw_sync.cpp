@@ -1,0 +1,6 @@
+// Seeded violation: raw std sync primitive outside util/sync.hpp.
+#include <mutex>
+
+namespace fixture {
+std::mutex g_lock;  // line 5: raw-sync
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Seeded violation: sleep_for polling (only flagged in test files).
+#include <chrono>
+#include <thread>
+
+void fixture_poll() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // line 6
+}

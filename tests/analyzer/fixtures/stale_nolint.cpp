@@ -1,0 +1,4 @@
+// Seeded violation: a suppression that suppresses nothing.
+namespace fixture {
+inline int harmless() { return 0; }  // NOLINT-DACSCHED(raw-sync) line 3
+}  // namespace fixture

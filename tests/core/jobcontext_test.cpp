@@ -127,12 +127,12 @@ TEST_F(JobContextTest, InterruptibleSleepThrowsOnKill) {
     }
   });
   const auto id = cluster_.submit_program("sleeper", 1, 0);
-  while (!started) std::this_thread::sleep_for(1ms);
+  while (!started) std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   cluster_.client().delete_job(id);
   // qdel kills the tasks; the sleep must notice promptly.
   const auto deadline = std::chrono::steady_clock::now() + 5s;
   while (!threw && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(2ms);
+    std::this_thread::sleep_for(2ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_TRUE(threw);
 }

@@ -102,7 +102,7 @@ TEST_P(SoakTest, MixedWorkloadRunsClean) {
         break;
       }
     }
-    if (rng() % 2 == 0) std::this_thread::sleep_for(2ms);
+    if (rng() % 2 == 0) std::this_thread::sleep_for(2ms);  // NOLINT-DACSCHED(sleep-poll)
   }
 
   for (const auto id : ids) {

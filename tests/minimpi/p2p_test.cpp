@@ -211,7 +211,7 @@ TEST_F(MpiTest, StopKillsBlockedWorld) {
     (void)p.recv(p.world(), kAnySource, kAnyTag);  // never satisfied
   });
   auto handle = runtime_.launch_world("blocker", {0, 1}, {});
-  std::this_thread::sleep_for(20ms);
+  std::this_thread::sleep_for(20ms);  // NOLINT-DACSCHED(sleep-poll)
   handle.stop();
   handle.join();  // must not hang
   for (const auto& proc : handle.processes) EXPECT_TRUE(proc->finished());

@@ -57,7 +57,7 @@ TEST_F(SvcTest, CallerRetransmitsUntilServerAppears) {
   const auto server_addr = node_.allocate_address();
 
   std::thread server([&] {
-    std::this_thread::sleep_for(30ms);
+    std::this_thread::sleep_for(30ms);  // NOLINT-DACSCHED(sleep-poll)
     vnet::Endpoint ep(fabric_, server_addr);
     auto msg = ep.recv_for(5000ms);
     ASSERT_TRUE(msg.has_value());
@@ -201,7 +201,7 @@ TEST_F(SvcTest, ReadOnlyRunsConcurrentlyWithMutatingLane) {
     EXPECT_NO_THROW(
         (void)caller.call(MsgType::kStatJobs, {}, {.deadline = 8000ms}));
   });
-  std::this_thread::sleep_for(20ms);  // let the read reach the pool
+  std::this_thread::sleep_for(20ms);  // let the read reach the pool  // NOLINT-DACSCHED(sleep-poll)
   const Caller caller(node_, ep->address(), RetryPolicy::none());
   EXPECT_NO_THROW(
       (void)caller.call(MsgType::kSubmit, {}, {.deadline = 8000ms}));

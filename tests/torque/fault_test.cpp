@@ -41,7 +41,7 @@ class FaultTest : public ::testing::Test {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (std::chrono::steady_clock::now() < deadline) {
       if (node_up(hostname) == want) return true;
-      std::this_thread::sleep_for(5ms);
+      std::this_thread::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
     }
     return false;
   }
@@ -154,7 +154,7 @@ TEST_F(FaultTest, JobOnDeadComputeNodeIsFailedAndFreed) {
   spec.resources.acpn = 1;  // also holds an accelerator
   spec.resources.walltime = std::chrono::milliseconds(120'000);
   const auto id = cluster_.submit(spec);
-  while (!started) std::this_thread::sleep_for(1ms);
+  while (!started) std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
 
   auto running = cluster_.client().stat_job(id);
   ASSERT_TRUE(running.has_value());
@@ -169,7 +169,7 @@ TEST_F(FaultTest, JobOnDeadComputeNodeIsFailedAndFreed) {
   while (std::chrono::steady_clock::now() < deadline) {
     info = cluster_.client().stat_job(id);
     if (info && info->state == torque::JobState::kCancelled) break;
-    std::this_thread::sleep_for(10ms);
+    std::this_thread::sleep_for(10ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   ASSERT_TRUE(info.has_value());
   EXPECT_EQ(info->state, torque::JobState::kCancelled);

@@ -135,7 +135,7 @@ TEST_F(MomTest, DisjoinKillsOnlyThatSetsTasks) {
       }
       flag = true;
     });
-    while (!started) std::this_thread::sleep_for(100us);
+    while (!started) std::this_thread::sleep_for(100us);  // NOLINT-DACSCHED(sleep-poll)
     tasks_.add(9, cluster_.node(1).id(), p, set);
   };
   spawn_task(base_killed, 0);   // base job task
@@ -148,7 +148,7 @@ TEST_F(MomTest, DisjoinKillsOnlyThatSetsTasks) {
                   set_body(9, 77));
   const auto deadline = std::chrono::steady_clock::now() + 2s;
   while (!set_killed && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(1ms);
+    std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_TRUE(set_killed);
   EXPECT_FALSE(base_killed);
@@ -157,7 +157,7 @@ TEST_F(MomTest, DisjoinKillsOnlyThatSetsTasks) {
   (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDisjoinJob,
                   set_body(9, 0));
   while (!base_killed && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(1ms);
+    std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_TRUE(base_killed);
 }

@@ -42,7 +42,7 @@ TEST_F(FabricTest, DropsToUnregisteredAddress) {
   Fabric fabric(fast_model());
   fabric.send(Message{Address{0, 0}, Address{5, 5}, 1, {}});
   // Wait out the latency; the message must be counted as dropped.
-  std::this_thread::sleep_for(20ms);
+  std::this_thread::sleep_for(20ms);  // NOLINT-DACSCHED(sleep-poll)
   EXPECT_EQ(fabric.messages_dropped(), 1u);
   EXPECT_EQ(fabric.messages_delivered(), 0u);
 }
@@ -64,7 +64,7 @@ TEST_F(FabricTest, CountsDropsPerDestination) {
   const auto deadline = std::chrono::steady_clock::now() + 2s;
   while (fabric.messages_dropped() < 3 &&
          std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(1ms);
+    std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_EQ(fabric.drops_to(dead), 2u);
   EXPECT_EQ(fabric.drops_to(other), 1u);
@@ -83,7 +83,7 @@ TEST_F(FabricTest, ClosedMailboxCountsAsDrop) {
   const auto deadline = std::chrono::steady_clock::now() + 2s;
   while (fabric.drops_to(dst) < 1 &&
          std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(1ms);
+    std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_EQ(fabric.drops_to(dst), 1u);
 }
@@ -197,7 +197,7 @@ TEST_F(FabricTest, UnregisterDropsSubsequentSends) {
   fabric.register_mailbox(Address{1, 0}, box);
   fabric.unregister_mailbox(Address{1, 0});
   fabric.send(Message{Address{0, 0}, Address{1, 0}, 0, {}});
-  std::this_thread::sleep_for(10ms);
+  std::this_thread::sleep_for(10ms);  // NOLINT-DACSCHED(sleep-poll)
   EXPECT_EQ(fabric.messages_dropped(), 1u);
 }
 

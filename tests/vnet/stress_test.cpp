@@ -46,10 +46,10 @@ TEST_P(PairFifoProperty, HoldsUnderConcurrentTraffic) {
         // Random size so a non-FIFO fabric would reorder.
         w.put_raw(std::string(rng() % 20000, 'x').data(), rng() % 20000);
         ep->send(sink->address(), 1, std::move(w).take());
-        if (rng() % 3 == 0) std::this_thread::sleep_for(100us);
+        if (rng() % 3 == 0) std::this_thread::sleep_for(100us);  // NOLINT-DACSCHED(sleep-poll)
       }
       // Keep the endpoint alive until everything is delivered.
-      std::this_thread::sleep_for(50ms);
+      std::this_thread::sleep_for(50ms);  // NOLINT-DACSCHED(sleep-poll)
     });
   }
 

@@ -1,0 +1,62 @@
+// Suppression-count baseline: a checked-in `rule-id count` table compared
+// exactly against the current run, so every NOLINT added or removed shows up
+// as reviewable drift in CI.
+#include <sstream>
+
+#include "analyzer/analyzer.hpp"
+
+namespace dac::analyzer {
+
+std::map<std::string, int> parse_baseline(const std::string& text) {
+  std::map<std::string, int> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string id;
+    int count = 0;
+    if (fields >> id >> count) out[id] = count;
+  }
+  return out;
+}
+
+std::string format_baseline(const std::map<std::string, int>& counts) {
+  std::ostringstream out;
+  out << "# dacsched-analyzer suppression baseline: NOLINT-DACSCHED counts\n"
+      << "# per rule. Regenerate with `dacsched-analyzer --update-baseline`;\n"
+      << "# CI fails on any drift from these numbers.\n";
+  for (const auto& [id, count] : counts) {
+    out << id << ' ' << count << '\n';
+  }
+  return out.str();
+}
+
+std::vector<std::string> compare_baseline(
+    const std::map<std::string, int>& baseline,
+    const std::map<std::string, int>& current) {
+  std::vector<std::string> drift;
+  for (const auto& [id, count] : current) {
+    const auto it = baseline.find(id);
+    const int base = it == baseline.end() ? 0 : it->second;
+    if (count > base) {
+      drift.push_back("suppressions for '" + id + "' grew from " +
+                      std::to_string(base) + " to " + std::to_string(count) +
+                      "; fix the code instead of adding NOLINTs");
+    } else if (count < base) {
+      drift.push_back("suppressions for '" + id + "' shrank from " +
+                      std::to_string(base) + " to " + std::to_string(count) +
+                      "; run --update-baseline to record the win");
+    }
+  }
+  for (const auto& [id, base] : baseline) {
+    if (base != 0 && current.find(id) == current.end()) {
+      drift.push_back("suppressions for '" + id + "' shrank from " +
+                      std::to_string(base) +
+                      " to 0; run --update-baseline to record the win");
+    }
+  }
+  return drift;
+}
+
+}  // namespace dac::analyzer

@@ -1,0 +1,169 @@
+// CLI for dacsched-analyzer: loads the scan set, runs every rule, prints
+// `file:line: rule: message` diagnostics, and optionally compares or rewrites
+// the suppression baseline.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+
+namespace dac::analyzer {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool has_cpp_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool under_fixtures(const std::string& rel) {
+  return rel.find("/fixtures/") != std::string::npos ||
+         rel.rfind("fixtures/", 0) == 0;
+}
+
+}  // namespace
+
+std::vector<SourceFile> load_tree(const std::string& root) {
+  std::vector<SourceFile> files;
+  for (const char* dir : {"src", "tests", "examples", "bench", "tools"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !has_cpp_extension(entry.path())) {
+        continue;
+      }
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      if (under_fixtures(rel)) continue;  // seeded-violation test inputs
+      SourceFile f;
+      f.path = rel;
+      f.is_test = rel.rfind("tests/", 0) == 0;
+      if (!read_file(entry.path(), &f.text)) continue;
+      files.push_back(std::move(f));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  bool update_baseline = false;
+  std::vector<std::string> explicit_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--root needs a directory\n");
+        return 2;
+      }
+      root = argv[i];
+    } else if (arg == "--baseline") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--baseline needs a file\n");
+        return 2;
+      }
+      baseline_path = argv[i];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg == "--list-rules") {
+      for (const Rule rule : all_rules()) {
+        std::printf("%s\n", rule_id(rule));
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: dacsched-analyzer [--root DIR] [--baseline FILE]\n"
+          "                         [--update-baseline] [--list-rules]\n"
+          "                         [file...]\n"
+          "Scans src/ tests/ examples/ bench/ tools/ under --root (or the\n"
+          "given files) and reports dacsched rule violations. Exit codes:\n"
+          "0 clean, 1 diagnostics or baseline drift, 2 usage/IO error.\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+  if (update_baseline && baseline_path.empty()) {
+    baseline_path = (fs::path(root) / "tools/analyzer/baseline.txt").string();
+  }
+
+  std::vector<SourceFile> files;
+  if (explicit_files.empty()) {
+    files = load_tree(root);
+    if (files.empty()) {
+      std::fprintf(stderr, "no sources found under %s\n", root.c_str());
+      return 2;
+    }
+  } else {
+    for (const auto& path : explicit_files) {
+      SourceFile f;
+      f.path = path;
+      f.is_test = path.find("tests/") != std::string::npos;
+      if (!read_file(path, &f.text)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 2;
+      }
+      files.push_back(std::move(f));
+    }
+  }
+
+  const Report report = analyze(files);
+  for (const auto& d : report.diagnostics) {
+    std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, rule_id(d.rule),
+                d.message.c_str());
+  }
+
+  int exit_code = report.clean() ? 0 : 1;
+  if (update_baseline) {
+    std::ofstream out(baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", baseline_path.c_str());
+      return 2;
+    }
+    out << format_baseline(report.suppressions);
+    std::printf("wrote %s (%d suppressions)\n", baseline_path.c_str(),
+                report.total_suppressions());
+  } else if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text)) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    const auto drift =
+        compare_baseline(parse_baseline(text), report.suppressions);
+    for (const auto& line : drift) {
+      std::printf("baseline: %s\n", line.c_str());
+    }
+    if (!drift.empty()) exit_code = 1;
+  }
+  std::printf("%d file(s), %zu diagnostic(s), %d suppression(s)\n",
+              report.files_scanned, report.diagnostics.size(),
+              report.total_suppressions());
+  return exit_code;
+}
+
+}  // namespace dac::analyzer

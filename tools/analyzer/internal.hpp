@@ -1,0 +1,83 @@
+// Internal interfaces shared by the analyzer's translation units: the
+// comment/string-stripped view of a file, the diagnostic sink that applies
+// line-anchored suppressions, and small lexing helpers. Nothing here is part
+// of the public surface in analyzer.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+
+namespace dac::analyzer::internal {
+
+// One scanned file: per-line text with comments and string/char literals
+// blanked (offsets preserved), plus the NOLINT-DACSCHED suppressions parsed
+// out of the raw comments before they were stripped.
+struct CleanFile {
+  const SourceFile* src = nullptr;
+  std::vector<std::string> raw;              // unmodified source lines
+  std::vector<std::string> clean;            // same line count as the source
+  std::vector<std::vector<Rule>> nolint;     // rules suppressed on each line
+  std::vector<std::vector<bool>> nolint_hit; // parallel: suppression fired
+  // NOLINT comments naming unknown rules, reported as stale-nolint.
+  std::vector<Diagnostic> nolint_errors;
+};
+
+CleanFile clean_source(const SourceFile& src);
+
+// Collects diagnostics, honoring same-line NOLINT suppressions and counting
+// the ones that fire. finish() turns every suppression that never fired into
+// a stale-nolint diagnostic, then sorts.
+class Sink {
+ public:
+  explicit Sink(std::vector<CleanFile>& files) : files_(&files) {}
+
+  void report(CleanFile& file, int line, Rule rule, std::string message);
+  [[nodiscard]] Report finish();
+
+ private:
+  std::vector<CleanFile>* files_;
+  Report out_;
+};
+
+// ---- lexing helpers -------------------------------------------------------
+
+[[nodiscard]] bool is_ident_char(char c);
+// True when text[pos..] starts with `word` at an identifier boundary on both
+// sides.
+[[nodiscard]] bool word_at(const std::string& text, std::size_t pos,
+                           const std::string& word);
+// Position of the first boundary-delimited occurrence of `word`, or npos.
+[[nodiscard]] std::size_t find_word(const std::string& text,
+                                    const std::string& word,
+                                    std::size_t from = 0);
+[[nodiscard]] std::string trim(const std::string& s);
+
+// Gathers the balanced parenthesized argument text starting at the '(' at
+// (line0, col) — 0-based line index — spanning up to `max_lines` lines.
+// Returns the text between the outer parens (exclusive) or empty when the
+// close was not found in range.
+[[nodiscard]] std::string balanced_args(const CleanFile& file,
+                                        std::size_t line0, std::size_t col,
+                                        std::size_t max_lines = 16);
+
+// ---- rule passes ----------------------------------------------------------
+
+struct MustCheck {
+  // Function names whose every header declaration returns a must-check
+  // type; bare statement-expression calls to these are unchecked-status.
+  std::vector<std::string> names;
+};
+
+// Per-file rules: include hygiene, raw-sync, detach, sleep-poll,
+// nondet-seed, blocking-under-lock, deadline-literal, check-side-effect,
+// unchecked-status call sites.
+void check_file(CleanFile& file, const MustCheck& mustcheck, Sink& sink);
+
+// Cross-file rules: handler-coverage, span-name, and [[nodiscard]]
+// declaration enforcement (which also yields the must-check name set).
+MustCheck check_tree(std::vector<CleanFile>& files, const Config& config,
+                     Sink& sink);
+
+}  // namespace dac::analyzer::internal

@@ -1,0 +1,5 @@
+#include "analyzer/analyzer.hpp"
+
+int main(int argc, char** argv) {
+  return dac::analyzer::run_cli(argc, argv);
+}

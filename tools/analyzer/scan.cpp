@@ -1,0 +1,236 @@
+// Source preparation: strips comments and string/char literals (preserving
+// offsets so diagnostics and scope tracking line up with the raw file) and
+// parses NOLINT-DACSCHED suppression comments. Also the diagnostic sink.
+#include <algorithm>
+#include <cctype>
+
+#include "analyzer/internal.hpp"
+
+namespace dac::analyzer::internal {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// Parses a NOLINT-DACSCHED suppression (rule ids in parentheses, comma-
+// separated) out of a raw line. Unknown rule ids become stale-nolint
+// diagnostics (a typo must not silently suppress nothing). The tag string is
+// assembled from two literals so the analyzer never trips over its own
+// sources.
+void parse_nolint(const std::string& raw, const std::string& path, int lineno,
+                  std::vector<Rule>* rules,
+                  std::vector<Diagnostic>* errors) {
+  static const std::string kTag = "NOLINT-DACSCHED" "(";
+  const auto tag = raw.find(kTag);
+  if (tag == std::string::npos) return;
+  const auto close = raw.find(')', tag);
+  if (close == std::string::npos) {
+    errors->push_back({path, lineno, Rule::kStaleNolint,
+                       "malformed NOLINT-DACSCHED comment (missing ')')"});
+    return;
+  }
+  std::string list = raw.substr(tag + kTag.size(), close - tag - kTag.size());
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    auto comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string id = trim(list.substr(start, comma - start));
+    start = comma + 1;
+    if (id.empty()) continue;
+    Rule rule{};
+    if (!rule_from_id(id, &rule)) {
+      errors->push_back({path, lineno, Rule::kStaleNolint,
+                         "NOLINT-DACSCHED names unknown rule '" + id + "'"});
+      continue;
+    }
+    rules->push_back(rule);
+  }
+}
+
+}  // namespace
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool word_at(const std::string& text, std::size_t pos,
+             const std::string& word) {
+  if (pos + word.size() > text.size()) return false;
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident_char(text[pos - 1])) return false;
+  const auto end = pos + word.size();
+  return end >= text.size() || !is_ident_char(text[end]);
+}
+
+std::size_t find_word(const std::string& text, const std::string& word,
+                      std::size_t from) {
+  for (auto pos = text.find(word, from); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    if (word_at(text, pos, word)) return pos;
+  }
+  return std::string::npos;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) --b;
+  return s.substr(a, b - a);
+}
+
+std::string balanced_args(const CleanFile& file, std::size_t line0,
+                          std::size_t col, std::size_t max_lines) {
+  std::string out;
+  int depth = 0;
+  for (std::size_t li = line0;
+       li < file.clean.size() && li < line0 + max_lines; ++li) {
+    const std::string& line = file.clean[li];
+    for (std::size_t i = li == line0 ? col : 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;  // skip the opening paren itself
+      } else if (c == ')') {
+        --depth;
+        if (depth == 0) return out;
+      }
+      if (depth >= 1) out.push_back(c);
+    }
+    out.push_back(' ');  // line break inside the argument list
+  }
+  return {};
+}
+
+CleanFile clean_source(const SourceFile& src) {
+  CleanFile out;
+  out.src = &src;
+  out.raw = split_lines(src.text);
+  out.clean.reserve(out.raw.size());
+  out.nolint.resize(out.raw.size());
+  out.nolint_hit.resize(out.raw.size());
+
+  bool in_block_comment = false;
+  for (std::size_t li = 0; li < out.raw.size(); ++li) {
+    const std::string& raw = out.raw[li];
+    parse_nolint(raw, src.path, static_cast<int>(li) + 1, &out.nolint[li],
+                 &out.nolint_errors);
+    out.nolint_hit[li].assign(out.nolint[li].size(), false);
+
+    std::string clean(raw.size(), ' ');
+    for (std::size_t i = 0; i < raw.size();) {
+      if (in_block_comment) {
+        if (raw.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      const char c = raw[i];
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') break;
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        // Raw string literals: R"delim( ... )delim". Single-line support is
+        // enough for this codebase; an unterminated one blanks to EOL.
+        if (i > 0 && raw[i - 1] == 'R') {
+          const auto open = raw.find('(', i);
+          if (open == std::string::npos) break;
+          const std::string delim = raw.substr(i + 1, open - i - 1);
+          const auto close = raw.find(")" + delim + "\"", open);
+          if (close == std::string::npos) break;
+          i = close + delim.size() + 2;
+          continue;
+        }
+        ++i;
+        while (i < raw.size() && raw[i] != '"') {
+          i += raw[i] == '\\' ? 2 : 1;
+        }
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        // Apostrophes inside numbers (10'000) are digit separators, not
+        // char literals: skip only the separator itself.
+        if (i > 0 && is_ident_char(raw[i - 1])) {
+          ++i;
+          continue;
+        }
+        ++i;
+        while (i < raw.size() && raw[i] != '\'') {
+          i += raw[i] == '\\' ? 2 : 1;
+        }
+        ++i;
+        continue;
+      }
+      clean[i] = c;
+      ++i;
+    }
+    out.clean.push_back(std::move(clean));
+  }
+  return out;
+}
+
+void Sink::report(CleanFile& file, int line, Rule rule, std::string message) {
+  const auto idx = static_cast<std::size_t>(line - 1);
+  if (idx < file.nolint.size()) {
+    const auto& rules = file.nolint[idx];
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i] == rule) {
+        file.nolint_hit[idx][i] = true;
+        return;  // suppressed; counted when the report is finished
+      }
+    }
+  }
+  out_.diagnostics.push_back(
+      {file.src->path, line, rule, std::move(message)});
+}
+
+Report Sink::finish() {
+  for (auto& file : *files_) {
+    for (auto& diag : file.nolint_errors) {
+      out_.diagnostics.push_back(std::move(diag));
+    }
+    for (std::size_t li = 0; li < file.nolint.size(); ++li) {
+      for (std::size_t i = 0; i < file.nolint[li].size(); ++i) {
+        const Rule rule = file.nolint[li][i];
+        if (file.nolint_hit[li][i]) {
+          ++out_.suppressions[rule_id(rule)];
+        } else {
+          out_.diagnostics.push_back(
+              {file.src->path, static_cast<int>(li) + 1, Rule::kStaleNolint,
+               std::string("NOLINT-DACSCHED") + "(" + rule_id(rule) +
+                   ") suppresses nothing; remove it"});
+        }
+      }
+    }
+  }
+  std::sort(out_.diagnostics.begin(), out_.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return rule_id(a.rule) < std::string(rule_id(b.rule));
+            });
+  out_.files_scanned = static_cast<int>(files_->size());
+  return std::move(out_);
+}
+
+}  // namespace dac::analyzer::internal
