@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-rev/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("trace")
+subdirs("vnet")
+subdirs("minimpi")
+subdirs("gpusim")
+subdirs("svc")
+subdirs("faults")
+subdirs("dacc")
+subdirs("torque")
+subdirs("maui")
+subdirs("rmlib")
+subdirs("arm")
+subdirs("core")
+subdirs("workload")

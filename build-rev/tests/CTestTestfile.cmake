@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-rev/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-rev/tests/util_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/vnet_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/vnet_stress_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/svc_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/svc_stress_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/minimpi_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/core_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/core_stress_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/harness_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/gpusim_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/dacc_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/torque_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/faults_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/maui_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/rmlib_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/arm_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-rev/tests/analyzer_test[1]_include.cmake")
