@@ -14,6 +14,7 @@
 // under contention (reported).
 #include <atomic>
 #include <cstdio>
+#include "simtime/clock.hpp"
 #include "util/sync.hpp"
 #include <thread>
 
@@ -68,7 +69,7 @@ Result run_strategy(bool dynamic) {
     auto statics = s.ac_init();
     // Static strategy: the accelerators are held from here to finalize.
 
-    std::this_thread::sleep_for(kCpuPhase);
+    dac::simtime::sleep_for(kCpuPhase);
 
     double useful = 0.0;
     std::uint64_t client = 0;
@@ -86,7 +87,7 @@ Result run_strategy(bool dynamic) {
     }
     if (have > 0) {
       util::Stopwatch phase;
-      std::this_thread::sleep_for(kAccelPhase);  // the accelerator phase
+      dac::simtime::sleep_for(kAccelPhase);  // the accelerator phase
       useful = have * phase.elapsed_seconds();
     }
     if (client != 0) {
@@ -94,7 +95,7 @@ Result run_strategy(bool dynamic) {
       s.ac_free(client);
     }
 
-    std::this_thread::sleep_for(kCpuPhase);
+    dac::simtime::sleep_for(kCpuPhase);
     if (ctx.info().acpn > 0) {
       tally.add(ctx.info().acpn * hold.elapsed_seconds(), useful);
     }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "simtime/clock.hpp"
 #include "bench/harness.hpp"
 #include "core/cluster.hpp"
 
@@ -42,7 +43,7 @@ double measure(bool dynamic_first, int load, int n_trials) {
     ready.store(false);
     const auto id = cluster.submit_program("dynprio", 1, 0);
     while (!ready.load()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      dac::simtime::sleep_for(std::chrono::milliseconds(1));
     }
     std::vector<torque::JobId> background;
     for (int i = 0; i < load; ++i) {
@@ -53,9 +54,9 @@ double measure(bool dynamic_first, int load, int n_trials) {
     }
     const auto c0 = cluster.scheduler_stats().cycles;
     while (cluster.scheduler_stats().cycles == c0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      dac::simtime::sleep_for(std::chrono::milliseconds(1));
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    dac::simtime::sleep_for(std::chrono::milliseconds(10));
     g.open();
     auto v = slot.take(std::chrono::milliseconds(120'000));
     if (!v || *v < 0.0 ||

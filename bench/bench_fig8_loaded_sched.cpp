@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "simtime/clock.hpp"
 #include "bench/harness.hpp"
 #include "core/cluster.hpp"
 
@@ -63,7 +64,7 @@ int main() {
       // The requesting job must already be running (and parked at the gate)
       // before the background load exists, as in the paper's setup.
       while (!ready.load()) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        dac::simtime::sleep_for(std::chrono::milliseconds(1));
       }
 
       // Submit the background load: jobs that can never run (they ask for
@@ -83,9 +84,9 @@ int main() {
       if (load > 0) {
         const auto c0 = cluster.scheduler_stats().cycles;
         while (cluster.scheduler_stats().cycles == c0) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          dac::simtime::sleep_for(std::chrono::milliseconds(1));
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        dac::simtime::sleep_for(std::chrono::milliseconds(10));
       }
       g.open();
 

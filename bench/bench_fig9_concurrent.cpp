@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "simtime/clock.hpp"
 #include "bench/harness.hpp"
 #include "core/cluster.hpp"
 
@@ -67,7 +68,7 @@ int main() {
       ids.push_back(cluster.submit_program("fig9", 1, 0));
     }
     while (r.load() < 3) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      dac::simtime::sleep_for(std::chrono::milliseconds(1));
     }
     g.open();
 

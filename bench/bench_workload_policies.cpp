@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "simtime/clock.hpp"
 #include "bench/harness.hpp"
 #include "core/cluster.hpp"
 #include "util/clock.hpp"
@@ -62,7 +63,7 @@ workload::ScheduleMetrics run_policy(
   for (const auto& j : trace) {
     const double lead = j.arrival_s - clock.elapsed_seconds();
     if (lead > 0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(lead));
+      dac::simtime::sleep_for(std::chrono::duration<double>(lead));
     }
     auto spec = workload::to_spec(j, core::kSleepProgram);
     spec.resources.ppn = 8;  // whole-node jobs

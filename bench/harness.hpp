@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "simtime/clock.hpp"
 #include "util/stats.hpp"
 #include "util/sync.hpp"
 
@@ -91,7 +92,7 @@ class Slot {
     cv_.notify_all();
   }
   std::optional<T> take(std::chrono::milliseconds timeout) {
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const auto deadline = dac::simtime::now() + timeout;
     UniqueLock lock(mu_);
     while (!value_.has_value()) {
       if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&

@@ -1,4 +1,5 @@
 #include "core/cluster.hpp"
+#include "simtime/clock.hpp"
 
 #include <cstdlib>
 #include <thread>
@@ -120,12 +121,12 @@ DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
   // Wait until every mom registered so the first submission can schedule.
   auto ifl = client();
   const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      simtime::now() + std::chrono::seconds(10);
   while (ifl.stat_nodes().size() < cluster_->size() - 1) {
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (simtime::now() > deadline) {
       throw util::ProtocolError("DacCluster: moms did not register in time");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    simtime::sleep_for(std::chrono::milliseconds(1));
   }
   kLog.info("DAC cluster up: {} compute, {} accelerator node(s)",
             config_.compute_nodes, config_.accel_nodes);
@@ -162,13 +163,13 @@ bool DacCluster::await_node_liveness(const std::string& hostname,
                                      torque::Liveness target,
                                      std::chrono::milliseconds timeout) {
   auto ifl = client();
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto deadline = simtime::now() + timeout;
   for (;;) {
     for (const auto& st : ifl.stat_nodes()) {
       if (st.hostname == hostname && st.liveness == target) return true;
     }
-    if (std::chrono::steady_clock::now() > deadline) return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (simtime::now() > deadline) return false;
+    simtime::sleep_for(std::chrono::milliseconds(1));
   }
 }
 

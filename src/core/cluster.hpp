@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "simtime/clock.hpp"
 #include "util/sync.hpp"
 
 #include "core/config.hpp"
@@ -107,6 +108,13 @@ class DacCluster {
  private:
   void register_builtin_executables();
   rmlib::AcSessionConfig session_base() const;
+
+  // First member: registers the owning (driver) thread as a simtime actor
+  // before any daemon thread exists, and stays registered until every one of
+  // them has been joined (members destroy in reverse order). Without it a
+  // DiscreteEvent clock could see "all actors blocked" while the driver is
+  // runnable between submit() and wait_job().
+  simtime::ActorScope sim_actor_;
 
   DacClusterConfig config_;
   std::unique_ptr<vnet::Cluster> cluster_;

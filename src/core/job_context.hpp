@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "minimpi/proc.hpp"
+#include "simtime/clock.hpp"
 #include "util/error.hpp"
 #include "rmlib/ac_session.hpp"
 #include "torque/ifl.hpp"
@@ -110,14 +111,14 @@ using JobProgram = std::function<void(JobContext&)>;
 // this (or otherwise poll stop_requested()) to die promptly.
 inline void interruptible_sleep(JobContext& ctx,
                                 std::chrono::milliseconds duration) {
-  const auto deadline = std::chrono::steady_clock::now() + duration;
+  const auto deadline = simtime::now() + duration;
   auto& process = ctx.mpi().process();
-  while (std::chrono::steady_clock::now() < deadline) {
+  while (simtime::now() < deadline) {
     if (process.stop_requested()) throw util::StoppedError();
-    std::this_thread::sleep_for(std::min(
+    simtime::sleep_for(std::min(
         std::chrono::milliseconds(5),
         std::chrono::duration_cast<std::chrono::milliseconds>(
-            deadline - std::chrono::steady_clock::now()) +
+            deadline - simtime::now()) +
             std::chrono::milliseconds(1)));
   }
 }

@@ -1,4 +1,5 @@
 #include "gpusim/device.hpp"
+#include "simtime/clock.hpp"
 
 #include <algorithm>
 #include <thread>
@@ -140,7 +141,7 @@ void Device::launch(const std::string& name, Dim3 grid, Dim3 block,
     const auto cost = kernel.cost(ctx);
     const auto scaled = std::chrono::nanoseconds(static_cast<long long>(
         static_cast<double>(cost.count()) * config_.time_scale));
-    if (scaled.count() > 0) std::this_thread::sleep_for(scaled);
+    if (scaled.count() > 0) simtime::sleep_for(scaled);
   }
   kLog.trace("kernel '{}' <<<{},{}>>> done", name, grid.total(),
              block.total());

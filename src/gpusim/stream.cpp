@@ -3,7 +3,9 @@
 namespace dac::gpusim {
 
 Stream::Stream(Device& device) : device_(device) {
+  simtime::Clock::instance().actor_started();
   worker_ = std::thread([this] {
+    simtime::AdoptScope actor;
     while (auto op = queue_.pop()) {
       try {
         (*op)();
@@ -22,7 +24,10 @@ Stream::Stream(Device& device) : device_(device) {
 
 Stream::~Stream() {
   queue_.close();
-  if (worker_.joinable()) worker_.join();
+  if (worker_.joinable()) {
+    simtime::ExternalWaitScope quiescent;  // native join, clock-invisible
+    worker_.join();
+  }
 }
 
 void Stream::enqueue(std::function<void()> op) {

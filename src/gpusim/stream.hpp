@@ -8,6 +8,7 @@
 #include <memory>
 #include <thread>
 
+#include "simtime/clock.hpp"
 #include "gpusim/device.hpp"
 #include "util/queue.hpp"
 #include "util/sync.hpp"
@@ -54,7 +55,7 @@ class Event {
     {
       ScopedLock lock(state_->mu);
       state_->done = true;
-      state_->when = std::chrono::steady_clock::now();
+      state_->when = simtime::now();
     }
     state_->cv.notify_all();
   }

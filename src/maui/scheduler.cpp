@@ -1,4 +1,5 @@
 #include "maui/scheduler.hpp"
+#include "simtime/clock.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -20,7 +21,7 @@ const util::Logger kLog("maui");
 std::uint64_t steady_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          simtime::now().time_since_epoch())
           .count());
 }
 
@@ -142,7 +143,7 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
     const auto pickup = steady_ns();
     const auto work = config_.timing.sched_dyn_base_cost +
                       d.count * config_.timing.sched_per_node_cost;
-    if (work.count() > 0) std::this_thread::sleep_for(work);
+    if (work.count() > 0) simtime::sleep_for(work);
 
     // Fairshare cap: reject a grant that would push one owner above its
     // share of the accelerator pool (the paper's future-work fairness
@@ -364,7 +365,7 @@ void MauiScheduler::schedule_static(vnet::Process& proc,
   // Prioritization phase: Maui evaluates every queued job each cycle (this
   // per-job cost is what delays a mid-cycle dynamic request — Figure 8).
   if (config_.timing.sched_job_eval_cost.count() > 0) {
-    std::this_thread::sleep_for(queued.size() *
+    simtime::sleep_for(queued.size() *
                                 config_.timing.sched_job_eval_cost);
   }
 

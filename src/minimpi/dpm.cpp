@@ -4,6 +4,7 @@
 // every step is charged real network latency by the fabric.
 #include <thread>
 
+#include "simtime/clock.hpp"
 #include "minimpi/proc.hpp"
 #include "svc/backoff.hpp"
 #include "util/error.hpp"
@@ -78,7 +79,7 @@ Comm Proc::comm_connect(const std::string& port, const Comm& comm, int root,
     // Resolve the port name, waiting for the accept side to publish it (the
     // paper's compute node likewise waits for the daemons' port file). This
     // wait is the dominant share of Figure 7(a)'s AC_Init time.
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const auto deadline = simtime::now() + timeout;
     std::optional<vnet::Address> accept_root;
     svc::Backoff backoff(svc::BackoffPolicy{std::chrono::microseconds(100),
                                             2.0,
@@ -88,7 +89,7 @@ Comm Proc::comm_connect(const std::string& port, const Comm& comm, int root,
       accept_root = runtime_.lookup_port(port);
       if (accept_root) break;
       if (process_.stop_requested()) throw util::StoppedError();
-      if (std::chrono::steady_clock::now() >= deadline) {
+      if (simtime::now() >= deadline) {
         throw util::ProtocolError("comm_connect: port '" + port +
                                   "' not published within timeout");
       }

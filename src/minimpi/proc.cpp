@@ -1,4 +1,5 @@
 #include "minimpi/proc.hpp"
+#include "simtime/clock.hpp"
 
 #include <algorithm>
 
@@ -108,7 +109,7 @@ Proc::Stored Proc::recv_stored(
 std::optional<Proc::Stored> Proc::recv_stored_for(
     const std::function<bool(const Stored&)>& pred,
     std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto deadline = simtime::now() + timeout;
   while (true) {
     for (auto it = store_.begin(); it != store_.end(); ++it) {
       if (pred(*it)) {
@@ -117,7 +118,7 @@ std::optional<Proc::Stored> Proc::recv_stored_for(
         return s;
       }
     }
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = simtime::now();
     if (now >= deadline) return std::nullopt;
     const auto remaining =
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);

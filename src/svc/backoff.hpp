@@ -7,7 +7,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <thread>
+
+#include "simtime/clock.hpp"
 
 namespace dac::svc {
 
@@ -40,7 +41,7 @@ class Backoff {
     return delay;
   }
 
-  void sleep() { std::this_thread::sleep_for(next()); }
+  void sleep() { simtime::sleep_for(next()); }
 
   void reset() { next_ = policy_.initial; }
 

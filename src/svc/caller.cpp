@@ -1,4 +1,5 @@
 #include "svc/caller.hpp"
+#include "simtime/clock.hpp"
 
 #include <algorithm>
 
@@ -14,7 +15,7 @@ const util::Logger kLog("svc.caller");
 
 double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
+             simtime::now() - start)
       .count();
 }
 
@@ -43,7 +44,7 @@ util::Bytes Caller::call(MsgType type, util::Bytes body,
   const auto payload = envelope(id, span.context(), body);
   auto ep = open_endpoint();
 
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = simtime::now();
   const auto deadline = start + opts.deadline;
   const int attempts = opts.idempotent ? std::max(1, policy_.max_attempts) : 1;
   Backoff backoff(
@@ -68,10 +69,10 @@ util::Bytes Caller::call(MsgType type, util::Bytes body,
     const auto resend_at =
         (sent < attempts)
             ? std::min(deadline,
-                       std::chrono::steady_clock::now() + backoff.next())
+                       simtime::now() + backoff.next())
             : deadline;
     while (true) {
-      const auto now = std::chrono::steady_clock::now();
+      const auto now = simtime::now();
       if (now >= resend_at) break;
       const auto remaining =
           std::chrono::ceil<std::chrono::milliseconds>(resend_at - now);
@@ -91,7 +92,7 @@ util::Bytes Caller::call(MsgType type, util::Bytes body,
         throw;
       }
     }
-    if (std::chrono::steady_clock::now() >= deadline) {
+    if (simtime::now() >= deadline) {
       span.note("error", "deadline");
       if (metrics_) metrics_->record(as_u32(type), ms_since(start), true);
       throw DeadlineError("svc: deadline exceeded calling " +

@@ -1,4 +1,5 @@
 #include "svc/service_loop.hpp"
+#include "simtime/clock.hpp"
 
 #include <algorithm>
 
@@ -63,13 +64,15 @@ void ServiceLoop::add_tick(std::chrono::milliseconds interval, TickFn fn) {
 }
 
 void ServiceLoop::run() {
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = simtime::now();
   for (auto& t : ticks_) t.last = now;
   trace::set_thread_actor(cfg_.name);
 
   workers_.reserve(static_cast<std::size_t>(std::max(0, cfg_.read_workers)));
   for (int i = 0; i < cfg_.read_workers; ++i) {
+    simtime::Clock::instance().actor_started();
     workers_.emplace_back([this] {
+      simtime::AdoptScope actor;
       trace::set_thread_actor(cfg_.name);
       while (auto work = read_queue_.pop()) {
         try {
@@ -83,6 +86,7 @@ void ServiceLoop::run() {
 
   const auto drain = [this] {
     read_queue_.close();
+    simtime::ExternalWaitScope quiescent;  // native joins, clock-invisible
     for (auto& w : workers_) w.join();
     workers_.clear();
   };
@@ -156,7 +160,7 @@ void ServiceLoop::serve(vnet::Message msg) {
   work.st->loop = this;
   work.st->id = req.id;
   work.st->type = as_u32(req.type);
-  work.st->start = std::chrono::steady_clock::now();
+  work.st->start = simtime::now();
   work.st->to = req.from;
   work.req = std::move(req);
   {
@@ -179,7 +183,7 @@ void ServiceLoop::serve(vnet::Message msg) {
 
 void ServiceLoop::execute(Work work) {
   if (cfg_.service_cost.count() > 0) {
-    std::this_thread::sleep_for(cfg_.service_cost);
+    simtime::sleep_for(cfg_.service_cost);
   }
   Responder resp(work.st);
   // Handler-side span, child of the caller's rpc.* span via the wire
@@ -202,7 +206,7 @@ void ServiceLoop::execute(Work work) {
     if (metrics_) {
       metrics_->record(work.st->type,
                        std::chrono::duration<double, std::milli>(
-                           std::chrono::steady_clock::now() - work.st->start)
+                           simtime::now() - work.st->start)
                            .count(),
                        false);
     }
@@ -230,7 +234,7 @@ void ServiceLoop::finish_reply(detail::ResponderState& st,
   if (metrics_) {
     metrics_->record(st.type,
                      std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - st.start)
+                         simtime::now() - st.start)
                          .count(),
                      error);
   }
@@ -244,7 +248,7 @@ void ServiceLoop::forget_pending(std::uint64_t id) {
 
 std::optional<std::chrono::milliseconds> ServiceLoop::next_tick_timeout() {
   if (ticks_.empty()) return std::nullopt;
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = simtime::now();
   auto soonest = std::chrono::milliseconds::max();
   for (const auto& t : ticks_) {
     const auto due = t.last + t.interval;
@@ -256,7 +260,7 @@ std::optional<std::chrono::milliseconds> ServiceLoop::next_tick_timeout() {
 
 void ServiceLoop::fire_due_ticks() {
   if (ticks_.empty()) return;
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = simtime::now();
   for (auto& t : ticks_) {
     if (now - t.last >= t.interval) {
       t.last = now;

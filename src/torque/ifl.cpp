@@ -1,4 +1,5 @@
 #include "torque/ifl.hpp"
+#include "simtime/clock.hpp"
 
 #include <thread>
 
@@ -39,10 +40,13 @@ std::vector<JobInfo> Ifl::stat_jobs() {
 }
 
 std::optional<JobInfo> Ifl::stat_job(JobId id) {
-  for (auto& j : stat_jobs()) {
-    if (j.id == id) return j;
-  }
-  return std::nullopt;
+  util::ByteWriter w;
+  w.put<std::uint64_t>(id);
+  auto reply =
+      call(MsgType::kStatJob, std::move(w).take(), rpc::kDefaultTimeout);
+  util::ByteReader r(reply);
+  if (!r.get_bool()) return std::nullopt;
+  return get_job_info(r);
 }
 
 std::vector<NodeStatus> Ifl::stat_nodes() {
@@ -95,8 +99,8 @@ void Ifl::dynfree(JobId id, std::uint64_t client_id) {
 std::optional<JobInfo> Ifl::wait_for_state(JobId id, JobState state,
                                            std::chrono::milliseconds timeout,
                                            std::chrono::milliseconds poll) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
-  while (std::chrono::steady_clock::now() < deadline) {
+  const auto deadline = simtime::now() + timeout;
+  while (simtime::now() < deadline) {
     auto info = stat_job(id);
     if (info) {
       if (info->state == state) return info;
@@ -104,7 +108,7 @@ std::optional<JobInfo> Ifl::wait_for_state(JobId id, JobState state,
                             info->state == JobState::kCancelled;
       if (terminal) return info;
     }
-    std::this_thread::sleep_for(poll);
+    simtime::sleep_for(poll);
   }
   return std::nullopt;
 }

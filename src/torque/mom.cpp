@@ -1,4 +1,5 @@
 #include "torque/mom.hpp"
+#include "simtime/clock.hpp"
 
 #include <algorithm>
 #include <thread>
@@ -27,7 +28,7 @@ PbsMom::PbsMom(vnet::Node& node, MomConfig config, minimpi::Runtime& runtime,
 
 void PbsMom::apply_join_cost() const {
   if (config_.timing.mom_join_cost.count() > 0) {
-    std::this_thread::sleep_for(config_.timing.mom_join_cost);
+    simtime::sleep_for(config_.timing.mom_join_cost);
   }
 }
 
@@ -137,7 +138,7 @@ void PbsMom::on_run_job(vnet::Process& proc, const rpc::Request& req) {
   job.info = get_job_info(r);
   job.hosts = get_host_refs(r);
   job.is_ms = true;
-  job.started = std::chrono::steady_clock::now();
+  job.started = simtime::now();
   const auto id = job.info.id;
   trace::note("job", std::to_string(id));
   // Ambient context of the serve.MOM_RUN_JOB span (already part of the
@@ -359,7 +360,7 @@ void PbsMom::on_task_done(vnet::Process& proc, const rpc::Request& req) {
 
 void PbsMom::enforce_walltime(vnet::Process& proc) {
   if (!config_.enforce_walltime) return;
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = simtime::now();
   for (auto it = jobs_.begin(); it != jobs_.end();) {
     auto& job = it->second;
     const bool over =

@@ -28,6 +28,7 @@ enum class MsgType : std::uint32_t {
   kJobComplete,               // MS -> server: job id
   kMsDynReady,                // MS -> server: dynjoin finished (req id)
   kMsReleaseDone,             // MS -> server: disjoin finished (client id)
+  kStatJob,                   // job id -> found flag + JobInfo
 
   // scheduler <-> server
   // Consumed by the scheduler's plain wake endpoint, not a ServiceLoop.

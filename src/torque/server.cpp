@@ -1,4 +1,5 @@
 #include "torque/server.hpp"
+#include "simtime/clock.hpp"
 
 #include <algorithm>
 
@@ -15,7 +16,7 @@ const util::Logger kLog("pbs_server");
 std::uint64_t steady_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          simtime::now().time_since_epoch())
           .count());
 }
 }  // namespace
@@ -91,10 +92,10 @@ PbsServer::PbsServer(vnet::Node& node, BatchTiming timing,
       timing_(timing),
       tuning_(tuning),
       endpoint_(node.open_endpoint()),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(simtime::now()) {}
 
 double PbsServer::now_s() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+  return std::chrono::duration<double>(simtime::now() -
                                        start_)
       .count();
 }
@@ -183,6 +184,7 @@ void PbsServer::register_handlers(svc::ServiceLoop& loop) {
           [](const Request&, Responder&) {});  // informational
 
   read(MsgType::kStatJobs, &PbsServer::on_stat_jobs);
+  read(MsgType::kStatJob, &PbsServer::on_stat_job);
   read(MsgType::kGetQueue, &PbsServer::on_get_queue);
   read_excl(MsgType::kStatNodes, &PbsServer::on_stat_nodes);
   read_excl(MsgType::kGetNodes, &PbsServer::on_get_nodes);
@@ -288,6 +290,21 @@ void PbsServer::on_stat_jobs(const rpc::Request& req, svc::Responder& resp) {
   util::ByteWriter w;
   w.put<std::uint32_t>(static_cast<std::uint32_t>(jobs_.size()));
   for (const auto& [id, rec] : jobs_) put_job_info(w, rec.info);
+  resp.ok(std::move(w).take());
+}
+
+void PbsServer::on_stat_job(const rpc::Request& req, svc::Responder& resp) {
+  // Point query for pollers (wait_for_state): O(1) instead of shipping the
+  // whole — ever-growing — job table on every poll.
+  util::ByteReader r(req.body);
+  const auto id = r.get<std::uint64_t>();
+  util::ByteWriter w;
+  if (auto it = jobs_.find(id); it != jobs_.end()) {
+    w.put_bool(true);
+    put_job_info(w, it->second.info);
+  } else {
+    w.put_bool(false);
+  }
   resp.ok(std::move(w).take());
 }
 
@@ -678,7 +695,15 @@ void PbsServer::on_get_queue(const rpc::Request& req, svc::Responder& resp) {
   QueueSnapshot snap;
   snap.now = now_s();
   snap.jobs.reserve(jobs_.size());
-  for (const auto& [id, rec] : jobs_) snap.jobs.push_back(rec.info);
+  for (const auto& [id, rec] : jobs_) {
+    // Terminal jobs are invisible to scheduling; copying them would make
+    // every cycle O(all jobs ever submitted) — quadratic over a long run.
+    if (rec.info.state == JobState::kComplete ||
+        rec.info.state == JobState::kCancelled) {
+      continue;
+    }
+    snap.jobs.push_back(rec.info);
+  }
   for (const auto dyn_id : dyn_fifo_) {
     const auto& d = dyn_.at(dyn_id);
     snap.dyn.push_back(DynQueueEntry{d.id, d.job, d.count, d.min_count,

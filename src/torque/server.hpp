@@ -125,6 +125,8 @@ class PbsServer {
       DAC_REQUIRES(state_mu_);
   void on_stat_jobs(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES_SHARED(state_mu_);
+  void on_stat_job(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES_SHARED(state_mu_);
   void on_stat_nodes(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
   void on_delete_job(const rpc::Request& req, svc::Responder& resp)

@@ -1,4 +1,5 @@
 #include "trace/trace.hpp"
+#include "simtime/clock.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -12,7 +13,7 @@ std::atomic<Recorder*> g_recorder{nullptr};
 
 std::int64_t steady_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             simtime::now().time_since_epoch())
       .count();
 }
 
@@ -77,18 +78,18 @@ std::size_t Recorder::size() const {
 bool Recorder::await_quiet(std::uint64_t trace_id,
                            std::chrono::milliseconds idle,
                            std::chrono::milliseconds timeout) {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto deadline = simtime::now() + timeout;
   UniqueLock lock(mu_);
   while (true) {
     const std::size_t seen = count_locked(trace_id);
-    const auto quiet_until = std::chrono::steady_clock::now() + idle;
+    const auto quiet_until = simtime::now() + idle;
     // Wait out the idle window; a matching recording restarts it.
     while (count_locked(trace_id) == seen &&
            recorded_.wait_until(lock, quiet_until) !=
                std::cv_status::timeout) {
     }
     if (count_locked(trace_id) == seen) return true;  // window untouched
-    if (std::chrono::steady_clock::now() >= deadline) return false;
+    if (simtime::now() >= deadline) return false;
   }
 }
 

@@ -1,22 +1,32 @@
-// Time helpers: a steady-clock stopwatch used by the benchmark harness to
-// split phase timings (e.g. Figure 7's waiting-vs-connect decomposition).
+// Time helpers: a stopwatch used by the benchmark harness to split phase
+// timings (e.g. Figure 7's waiting-vs-connect decomposition). All readings
+// come from the simtime clock, so stopwatches measure virtual time in
+// DiscreteEvent mode and real time otherwise.
 #pragma once
 
 #include <chrono>
 
+#include "simtime/clock.hpp"
+
 namespace dac::util {
 
+// Type aliases only: steady_clock supplies the time_point/duration types the
+// whole tree shares, but "now" must always come from util::now() /
+// simtime::now(), never Clock::now() (the analyzer's raw-clock rule catches
+// the latter spelled as steady_clock).
 using Clock = std::chrono::steady_clock;
 using TimePoint = Clock::time_point;
 using Duration = Clock::duration;
 
+inline TimePoint now() { return simtime::now(); }
+
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(util::now()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ = util::now(); }
 
-  [[nodiscard]] Duration elapsed() const { return Clock::now() - start_; }
+  [[nodiscard]] Duration elapsed() const { return util::now() - start_; }
 
   [[nodiscard]] double elapsed_seconds() const {
     return std::chrono::duration<double>(elapsed()).count();
@@ -28,9 +38,9 @@ class Stopwatch {
 
   // Returns the lap time and restarts the watch; used for phase splits.
   [[nodiscard]] double lap_seconds() {
-    const auto now = Clock::now();
-    const double dt = std::chrono::duration<double>(now - start_).count();
-    start_ = now;
+    const auto t = util::now();
+    const double dt = std::chrono::duration<double>(t - start_).count();
+    start_ = t;
     return dt;
   }
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "simtime/clock.hpp"
 #include "util/sync.hpp"
 
 namespace dac::util {
@@ -55,7 +56,9 @@ namespace detail {
 void log_line(LogLevel level, std::string_view component,
               std::string_view msg) {
   using namespace std::chrono;
-  const auto now = steady_clock::now().time_since_epoch();
+  // simtime::now(): log timestamps track virtual time in DiscreteEvent mode,
+  // which is what makes interleaved daemon logs legible in a simulation.
+  const auto now = simtime::now().time_since_epoch();
   const auto ms = duration_cast<milliseconds>(now).count();
   ScopedLock lock(g_io_mutex);
   std::fprintf(stderr, "%9lld.%03lld [%s] [%.*s] %.*s\n",

@@ -54,10 +54,11 @@ class BlockingQueue {
     return item;
   }
 
-  // Waits up to `timeout`; nullopt on timeout or closed-and-drained.
+  // Waits up to `timeout` (virtual time in DiscreteEvent mode); nullopt on
+  // timeout or closed-and-drained.
   template <typename Rep, typename Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const auto deadline = simtime::now() + timeout;
     UniqueLock lock(mu_);
     while (items_.empty() && !closed_) {
       if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&

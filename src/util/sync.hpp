@@ -20,9 +20,12 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <mutex>
 #include <shared_mutex>
+#include <type_traits>
 
+#include "simtime/clock.hpp"
 #include "util/lockorder.hpp"
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -221,6 +224,14 @@ class DAC_SCOPED_CAPABILITY ReaderLock {
 // sees the caller holding the capability across the wait — which is the
 // truth at every instant the caller can observe.
 //
+// Every wait is registered with the simtime clock (simtime/clock.hpp): in
+// DiscreteEvent mode a timed wait parks until virtual time reaches the
+// deadline instead of really timing out, and untimed waits by actor threads
+// count toward the quiescence check that lets virtual time advance. In
+// RealTime mode the registration is a no-op and the native path runs
+// unchanged. Either way a wait can return spuriously — which the required
+// predicate loop already absorbs.
+//
 // There are deliberately no predicate overloads: write the loop yourself so
 // guarded reads stay visible to the analysis (see file header).
 class CondVar {
@@ -229,8 +240,23 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void notify_one() noexcept { cv_.notify_one(); }
-  void notify_all() noexcept { cv_.notify_all(); }
+  void notify_one() noexcept {
+    auto& clk = simtime::Clock::instance();
+    if (clk.mode() == simtime::Mode::kDiscreteEvent) {
+      // on_notify transfers runnability to every waiter parked on this cv
+      // (the clock cannot know which one the OS would pick), so wake them
+      // all — spurious wakeups are part of the cv contract, and a not-due
+      // waiter re-blocks and re-counts on its next predicate check.
+      clk.on_notify(&cv_);
+      cv_.notify_all();
+      return;
+    }
+    cv_.notify_one();
+  }
+  void notify_all() noexcept {
+    simtime::Clock::instance().on_notify(&cv_);
+    cv_.notify_all();
+  }
 
   void wait(UniqueLock& lock) {
     Mutex& mu = *lock.mu_;
@@ -238,7 +264,17 @@ class CondVar {
     {
       std::unique_lock<std::mutex> native(  // NOLINT-DACSCHED(raw-sync)
           mu.mu_, std::adopt_lock);
+      bool prefired = false;
+      const auto w = simtime::Clock::instance().begin_wait(
+          &cv_, &mu.mu_, std::nullopt, &prefired);
       cv_.wait(native);
+      if (w != nullptr) {
+        // end_wait may block handshaking with the clock's advancer, which
+        // needs this mutex — so drop it first (spurious-wakeup equivalent).
+        native.unlock();
+        simtime::Clock::instance().end_wait(w);
+        native.lock();
+      }
       native.release();  // ownership stays with `lock`
     }
     lockorder::on_acquire(&mu, mu.name_);
@@ -254,7 +290,7 @@ class CondVar {
     {
       std::unique_lock<std::mutex> native(  // NOLINT-DACSCHED(raw-sync)
           mu.mu_, std::adopt_lock);
-      status = cv_.wait_until(native, deadline);
+      status = timed_wait(native, deadline);
       native.release();
     }
     lockorder::on_acquire(&mu, mu.name_);
@@ -264,11 +300,74 @@ class CondVar {
   template <typename Rep, typename Period>
   std::cv_status wait_for(UniqueLock& lock,
                           const std::chrono::duration<Rep, Period>& timeout) {
-    return wait_until(lock, std::chrono::steady_clock::now() + timeout);
+    return wait_until(lock, simtime::now() + timeout);
   }
 
  private:
+  // The native wait, clock-registered. Steady-clock deadlines are simulation
+  // deadlines and go through the simtime waiter protocol; any other clock
+  // (none in this tree) stays native.
+  template <typename Clock, typename Duration>
+  std::cv_status timed_wait(
+      std::unique_lock<std::mutex>& native,  // NOLINT-DACSCHED(raw-sync)
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    if constexpr (std::is_same_v<Clock, std::chrono::steady_clock>) {
+      auto& clk = simtime::Clock::instance();
+      bool prefired = false;
+      const auto w = clk.begin_wait(
+          &cv_, native.mutex(),
+          std::chrono::time_point_cast<simtime::Duration>(deadline),
+          &prefired);
+      if (w != nullptr) {
+        if (!prefired) cv_.wait(native);
+        native.unlock();
+        clk.end_wait(w);
+        native.lock();
+        return clk.now() >= deadline ? std::cv_status::timeout
+                                     : std::cv_status::no_timeout;
+      }
+    }
+    return cv_.wait_until(native, deadline);
+  }
+
   std::condition_variable cv_;  // NOLINT-DACSCHED(raw-sync)
+};
+
+// A clock-visible std::latch replacement. count_down() notifies through
+// dac::CondVar, so in discrete-event mode the clock hands the woken waiter
+// its runnability before time can move (docs/SIMTIME.md). A native
+// std::latch wake is invisible to the clock: between the wake and the
+// waiter's next clock-visible action the world looks quiescent, and virtual
+// time can jump a deadline the waiter was about to cancel.
+class Latch {
+ public:
+  explicit Latch(std::ptrdiff_t count) : count_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void count_down() {
+    ScopedLock lock(mu_);
+    if (--count_ <= 0) cv_.notify_all();
+  }
+
+  void wait() {
+    UniqueLock lock(mu_);
+    while (count_ > 0) cv_.wait(lock);
+  }
+
+  void arrive_and_wait() {
+    UniqueLock lock(mu_);
+    if (--count_ <= 0) {
+      cv_.notify_all();
+      return;
+    }
+    while (count_ > 0) cv_.wait(lock);
+  }
+
+ private:
+  Mutex mu_{"util.latch"};
+  CondVar cv_;
+  std::ptrdiff_t count_ DAC_GUARDED_BY(mu_);
 };
 
 }  // namespace dac

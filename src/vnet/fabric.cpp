@@ -1,4 +1,5 @@
 #include "vnet/fabric.hpp"
+#include "simtime/clock.hpp"
 
 #include "trace/trace.hpp"
 #include "util/logging.hpp"
@@ -11,7 +12,13 @@ const util::Logger kLog("fabric");
 
 Fabric::Fabric(NetworkModel model)
     : model_(model), jitter_rng_(model.jitter_seed) {
-  thread_ = std::thread([this] { delivery_loop(); });
+  // Actor handoff: registered before the thread exists so the clock never
+  // undercounts runnable actors (see simtime/clock.hpp).
+  simtime::Clock::instance().actor_started();
+  thread_ = std::thread([this] {
+    simtime::AdoptScope actor;
+    delivery_loop();
+  });
 }
 
 Fabric::~Fabric() { shutdown(); }
@@ -57,7 +64,7 @@ void Fabric::send(Message msg) {
   {
     ScopedLock lock(mu_);
     if (stop_) return;
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = simtime::now();
     std::chrono::steady_clock::time_point deliver_at;
     if (same_node) {
       deliver_at = now + model_.delay(msg.payload.size(), /*same_node=*/true);
@@ -99,6 +106,18 @@ void Fabric::send(Message msg) {
 
 void Fabric::enqueue_locked(Message msg,
                             std::chrono::steady_clock::time_point deliver_at) {
+  if (simtime::Clock::instance().mode() == simtime::Mode::kDiscreteEvent) {
+    // Quantize delivery instants to a coarse grid: concurrent sends land a
+    // few nanoseconds apart (NIC-serialization offsets), and each distinct
+    // instant would cost one full clock advance + fabric wakeup. Rounding up
+    // lets one advance drain the whole grid slot — at 1,000-node scale this
+    // is the difference between minutes and seconds of wall time. Round-up
+    // is monotone, so per-pair FIFO (clamped below) is unaffected; ties
+    // across pairs break by send seq, deterministically.
+    constexpr std::chrono::nanoseconds kGrid(10'000);  // 10 us
+    const auto rem = deliver_at.time_since_epoch() % kGrid;
+    if (rem.count() != 0) deliver_at += kGrid - rem;
+  }
   auto& last = pair_last_[{msg.from, msg.to}];
   if (deliver_at < last) deliver_at = last;
   last = deliver_at;
@@ -112,7 +131,12 @@ void Fabric::shutdown() {
     stop_ = true;
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (thread_.joinable()) {
+    // The join is invisible to the simtime clock; count as quiescent so a
+    // DiscreteEvent teardown cannot stall virtual time.
+    simtime::ExternalWaitScope quiescent;
+    thread_.join();
+  }
 }
 
 void Fabric::delivery_loop() {
@@ -124,7 +148,7 @@ void Fabric::delivery_loop() {
       continue;
     }
     const auto deadline = pending_.top().deliver_at;
-    if (std::chrono::steady_clock::now() < deadline) {
+    if (simtime::now() < deadline) {
       // Plain wait_until: a notify (new message, possibly with an earlier
       // deadline) or the timeout both re-enter the loop and recompute top().
       cv_.wait_until(lock, deadline);

@@ -1,4 +1,5 @@
 #include "vnet/node.hpp"
+#include "simtime/clock.hpp"
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -44,7 +45,9 @@ Process::Process(Node& node, std::uint64_t pid, SpawnOptions opts, Entry entry)
     : node_(node), pid_(pid), name_(std::move(opts.name)),
       env_(std::move(opts.env)) {
   const auto delay = opts.start_delay.value_or(node.default_start_delay());
+  simtime::Clock::instance().actor_started();
   thread_ = std::thread([this, entry = std::move(entry), delay]() mutable {
+    simtime::AdoptScope actor;
     run(std::move(entry), delay);
   });
 }
@@ -52,7 +55,7 @@ Process::Process(Node& node, std::uint64_t pid, SpawnOptions opts, Entry entry)
 Process::~Process() { join(); }
 
 void Process::run(Entry entry, std::chrono::microseconds start_delay) {
-  if (start_delay.count() > 0) std::this_thread::sleep_for(start_delay);
+  if (start_delay.count() > 0) simtime::sleep_for(start_delay);
   if (!stop_requested()) {
     try {
       entry(*this);
@@ -63,6 +66,9 @@ void Process::run(Entry entry, std::chrono::microseconds start_delay) {
     }
   }
   finished_.store(true, std::memory_order_release);
+  // Whoever reaps this thread resumes from a native join the clock cannot
+  // see; hold advancement across that window (released in Process::join).
+  simtime::Clock::instance().exit_hold();
 }
 
 std::unique_ptr<Endpoint> Process::open_endpoint() {
@@ -108,7 +114,13 @@ void Process::request_stop() {
 }
 
 void Process::join() {
-  if (thread_.joinable()) thread_.join();
+  if (thread_.joinable()) {
+    {
+      simtime::ExternalWaitScope quiescent;  // native join, clock-invisible
+      thread_.join();
+    }
+    simtime::Clock::instance().exit_release();
+  }
 }
 
 // -------------------------------------------------------------------- Node

@@ -74,11 +74,36 @@ TEST(PerFileRules, SleepPollFlagsTestsOnly) {
   ASSERT_EQ(in_test.diagnostics.size(), 1u);
   EXPECT_EQ(diag_key(in_test.diagnostics[0]),
             "tests/fixture/sleep_poll.cpp:6:sleep-poll");
-  // The same content outside tests/ is not sleep-poll (production sleeps are
-  // the blocking-under-lock rule's business when a guard is live).
+  // The same content outside tests/ is not sleep-poll — there the raw-clock
+  // rule owns the line: a production this_thread sleep bypasses the simtime
+  // clock entirely, so DiscreteEvent mode would stall on it.
   const auto in_src =
       analyze({fixture("sleep_poll.cpp", "src/fixture/sleep_poll.cpp")});
-  EXPECT_TRUE(in_src.clean());
+  ASSERT_EQ(in_src.diagnostics.size(), 1u);
+  EXPECT_EQ(diag_key(in_src.diagnostics[0]),
+            "src/fixture/sleep_poll.cpp:6:raw-clock");
+}
+
+TEST(PerFileRules, RawClock) {
+  // steady_clock::now() is flagged everywhere except src/simtime/ — in tests
+  // too, because a test reading the real clock while the suite runs in
+  // DiscreteEvent mode would compare wall time against virtual time.
+  const auto in_src =
+      analyze({fixture("raw_clock.cpp", "src/fixture/raw_clock.cpp")});
+  ASSERT_EQ(in_src.diagnostics.size(), 1u);
+  EXPECT_EQ(diag_key(in_src.diagnostics[0]),
+            "src/fixture/raw_clock.cpp:6:raw-clock");
+  const auto in_test = analyze(
+      {fixture("raw_clock.cpp", "tests/fixture/raw_clock.cpp",
+               /*is_test=*/true)});
+  ASSERT_EQ(in_test.diagnostics.size(), 1u);
+  EXPECT_EQ(diag_key(in_test.diagnostics[0]),
+            "tests/fixture/raw_clock.cpp:6:raw-clock");
+  // src/simtime/ is the one place allowed to touch the real clock (it is
+  // the RealTime backend), so the same content there is clean.
+  const auto in_simtime =
+      analyze({fixture("raw_clock.cpp", "src/simtime/fixture.cpp")});
+  EXPECT_TRUE(in_simtime.clean());
 }
 
 TEST(PerFileRules, NondetSeed) {

@@ -1,0 +1,9 @@
+// Seeded violation: reading the ambient clock instead of simtime::now().
+#include <chrono>
+
+namespace {
+void fixture_read_clock() {
+  auto t = std::chrono::steady_clock::now();  // line 6
+  (void)t;
+}
+}  // namespace

@@ -2,6 +2,7 @@
 // environment variables, per-rank identity, MPI world, and the IFL client
 // from inside a job.
 #include "core/job_context.hpp"
+#include "simtime/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -127,12 +128,12 @@ TEST_F(JobContextTest, InterruptibleSleepThrowsOnKill) {
     }
   });
   const auto id = cluster_.submit_program("sleeper", 1, 0);
-  while (!started) std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
+  while (!started) dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   cluster_.client().delete_job(id);
   // qdel kills the tasks; the sleep must notice promptly.
-  const auto deadline = std::chrono::steady_clock::now() + 5s;
-  while (!threw && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(2ms);  // NOLINT-DACSCHED(sleep-poll)
+  const auto deadline = dac::simtime::now() + 5s;
+  while (!threw && dac::simtime::now() < deadline) {
+    dac::simtime::sleep_for(2ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_TRUE(threw);
 }

@@ -5,6 +5,7 @@
 
 #include <atomic>
 
+#include "simtime/clock.hpp"
 #include "core/cluster.hpp"
 
 namespace dac::core {
@@ -125,14 +126,14 @@ TEST_F(MalleableTest, ReleaseKillsLeftoverWorkers) {
                             ctx.mpi().self(), 0, grant.client_id);
     ctx.release_compute(grant.client_id);
     // Give the DISJOIN a moment, then prove the job itself is still alive.
-    std::this_thread::sleep_for(20ms);  // NOLINT-DACSCHED(sleep-poll)
+    dac::simtime::sleep_for(20ms);  // NOLINT-DACSCHED(sleep-poll)
     job_survived = true;
   });
   EXPECT_TRUE(job_survived);
   // All slots free: the stuck worker was killed with its set.
-  const auto deadline = std::chrono::steady_clock::now() + 5s;
-  while (used_slots() != 0 && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
+  const auto deadline = dac::simtime::now() + 5s;
+  while (used_slots() != 0 && dac::simtime::now() < deadline) {
+    dac::simtime::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_EQ(used_slots(), 0);
 }

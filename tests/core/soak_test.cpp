@@ -8,6 +8,7 @@
 #include <atomic>
 #include <random>
 
+#include "simtime/clock.hpp"
 #include "core/cluster.hpp"
 
 namespace dac::core {
@@ -102,7 +103,7 @@ TEST_P(SoakTest, MixedWorkloadRunsClean) {
         break;
       }
     }
-    if (rng() % 2 == 0) std::this_thread::sleep_for(2ms);  // NOLINT-DACSCHED(sleep-poll)
+    if (rng() % 2 == 0) dac::simtime::sleep_for(2ms);  // NOLINT-DACSCHED(sleep-poll)
   }
 
   for (const auto id : ids) {

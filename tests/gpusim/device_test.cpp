@@ -1,4 +1,5 @@
 #include "gpusim/device.hpp"
+#include "simtime/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -343,9 +344,9 @@ TEST(DeviceTiming, CostModelConsumesTime) {
                              [](const KernelContext&) {
                                return std::chrono::nanoseconds(20'000'000);
                              }});
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   dev.launch("slow", {1, 1, 1}, {1, 1, 1}, {});
-  EXPECT_GE(std::chrono::steady_clock::now() - start,
+  EXPECT_GE(dac::simtime::now() - start,
             std::chrono::milliseconds(15));
 }
 
@@ -356,9 +357,9 @@ TEST(DeviceTiming, TimeScaleZeroDisablesCost) {
                              [](const KernelContext&) {
                                return std::chrono::nanoseconds(50'000'000);
                              }});
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   dev.launch("slow", {1, 1, 1}, {1, 1, 1}, {});
-  EXPECT_LT(std::chrono::steady_clock::now() - start,
+  EXPECT_LT(dac::simtime::now() - start,
             std::chrono::milliseconds(20));
 }
 

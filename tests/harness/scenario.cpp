@@ -188,6 +188,9 @@ Scenario::~Scenario() {
   // so spans from any later scenario in the same process start clean.
   cluster_.reset();
   recorder_.uninstall();
+  if (restore_mode_) {
+    simtime::Clock::instance().set_mode(*restore_mode_);
+  }
 }
 
 Scenario& Scenario::compute_nodes(std::size_t n) {
@@ -215,8 +218,20 @@ Scenario& Scenario::program(const std::string& name, core::JobProgram prog) {
   return *this;
 }
 
+Scenario& Scenario::clock_mode(simtime::Mode mode) {
+  clock_mode_ = mode;
+  return *this;
+}
+
 core::DacCluster& Scenario::boot() {
   if (!cluster_) {
+    if (clock_mode_) {
+      auto& clk = simtime::Clock::instance();
+      if (clk.mode() != *clock_mode_) {
+        restore_mode_ = clk.mode();
+        clk.set_mode(*clock_mode_);
+      }
+    }
     recorder_.install();
     cluster_ = std::make_unique<core::DacCluster>(config_);
     for (auto& [name, prog] : programs_) {

@@ -104,6 +104,11 @@ class Scenario {
   Scenario& compute_nodes(std::size_t n);
   Scenario& accel_nodes(std::size_t n);
   Scenario& policy(maui::Policy p);
+  // Selects the simtime backend for this scenario (applied at boot). The
+  // default is whatever DACSCHED_CLOCK picked at process start, so a plain
+  // Scenario runs identically under both CI legs; an explicit choice makes a
+  // single test DiscreteEvent (or forces RealTime) regardless of env.
+  Scenario& clock_mode(simtime::Mode mode);
   Scenario& fault_plan(std::shared_ptr<faults::FaultPlan> plan);
   Scenario& program(const std::string& name, core::JobProgram prog);
   [[nodiscard]] core::DacClusterConfig& config() { return config_; }
@@ -145,6 +150,10 @@ class Scenario {
  private:
   core::DacClusterConfig config_;
   std::map<std::string, core::JobProgram> programs_;
+  std::optional<simtime::Mode> clock_mode_;
+  // Restores the process-wide mode a clock_mode() scenario switched away
+  // from, so later tests in the same binary see the env-selected backend.
+  std::optional<simtime::Mode> restore_mode_;
   // Declared before the cluster so spans recorded during cluster shutdown
   // still have a live recorder; uninstalled in ~Scenario before destruction.
   trace::Recorder recorder_;

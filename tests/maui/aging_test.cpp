@@ -3,6 +3,7 @@
 // job's resources release.
 #include <gtest/gtest.h>
 
+#include "simtime/clock.hpp"
 #include "core/cluster.hpp"
 
 namespace dac::maui {
@@ -46,7 +47,7 @@ TEST(Aging, QueueTimeLiftsOldJobs) {
       holder, torque::JobState::kRunning, 10'000ms));
   // The old low-QoS job waits a while before the fresh high-QoS arrives.
   auto old_low = cluster.submit(sleep_job("old", 1, 10, 30, /*priority=*/0));
-  std::this_thread::sleep_for(100ms);  // NOLINT-DACSCHED(sleep-poll)
+  dac::simtime::sleep_for(100ms);  // NOLINT-DACSCHED(sleep-poll)
   auto new_high = cluster.submit(sleep_job("new", 1, 10, 30, /*priority=*/5));
   ASSERT_TRUE(cluster.wait_job(old_low, 30'000ms).has_value());
   ASSERT_TRUE(cluster.wait_job(new_high, 30'000ms).has_value());

@@ -5,6 +5,7 @@
 
 #include <atomic>
 
+#include "simtime/clock.hpp"
 #include "mpi_test_util.hpp"
 #include "util/error.hpp"
 
@@ -95,7 +96,7 @@ TEST_F(MpiTest, WorldHandleStopKillsChildren) {
     (void)p.recv(p.world(), kAnySource, 1);  // blocks forever
   });
   auto h = runtime_.launch_world("immortal", {0, 1, 2}, {});
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // NOLINT-DACSCHED(sleep-poll)
+  dac::simtime::sleep_for(std::chrono::milliseconds(20));  // NOLINT-DACSCHED(sleep-poll)
   h.stop();
   h.join();
   for (const auto& proc : h.processes) EXPECT_TRUE(proc->finished());

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include "simtime/clock.hpp"
 #include "util/sync.hpp"
 
 #include "mpi_test_util.hpp"
@@ -83,7 +84,7 @@ TEST_F(MpiTest, ConnectWaitsForLatePublish) {
   std::atomic<bool> ok{false};
   runtime_.register_executable("late_acceptor",
                                [&](Proc& p, const util::Bytes&) {
-    std::this_thread::sleep_for(50ms);  // publish late  // NOLINT-DACSCHED(sleep-poll)
+    dac::simtime::sleep_for(50ms);  // publish late  // NOLINT-DACSCHED(sleep-poll)
     p.publish_port("lateport");
     (void)p.comm_accept("lateport", p.world(), 0);
   });

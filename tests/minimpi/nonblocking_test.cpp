@@ -4,6 +4,7 @@
 
 #include <atomic>
 
+#include "simtime/clock.hpp"
 #include "mpi_test_util.hpp"
 
 namespace dac::minimpi {
@@ -48,7 +49,7 @@ TEST_F(MpiTest, TestIsFalseBeforeArrival) {
       // Handshake: tell rank 0 to send now.
       p.send(p.world(), 0, 1, {});
       // Poll until it lands.
-      while (!req.test()) std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
+      while (!req.test()) dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
       late = true;
       EXPECT_EQ(int_of(req.take().data), 9);
     } else {
@@ -83,7 +84,7 @@ TEST_F(MpiTest, ComputeWhileWaiting) {
   std::atomic<bool> ok{false};
   run_world(2, [&](Proc& p, const util::Bytes&) {
     if (p.rank() == 0) {
-      std::this_thread::sleep_for(10ms);  // the remote data takes a while  // NOLINT-DACSCHED(sleep-poll)
+      dac::simtime::sleep_for(10ms);  // the remote data takes a while  // NOLINT-DACSCHED(sleep-poll)
       p.isend(p.world(), 1, 3, bytes_of(5));
     } else {
       auto req = p.irecv(p.world(), 0, 3);

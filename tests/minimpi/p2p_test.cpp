@@ -4,6 +4,7 @@
 #include <mutex>
 #include <vector>
 
+#include "simtime/clock.hpp"
 #include "mpi_test_util.hpp"
 #include "util/error.hpp"
 
@@ -211,7 +212,7 @@ TEST_F(MpiTest, StopKillsBlockedWorld) {
     (void)p.recv(p.world(), kAnySource, kAnyTag);  // never satisfied
   });
   auto handle = runtime_.launch_world("blocker", {0, 1}, {});
-  std::this_thread::sleep_for(20ms);  // NOLINT-DACSCHED(sleep-poll)
+  dac::simtime::sleep_for(20ms);  // NOLINT-DACSCHED(sleep-poll)
   handle.stop();
   handle.join();  // must not hang
   for (const auto& proc : handle.processes) EXPECT_TRUE(proc->finished());

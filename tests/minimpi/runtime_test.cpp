@@ -1,6 +1,7 @@
 // Runtime-level tests: context allocation, executable registry, launch
 // options (env propagation, start stagger), and world handle bookkeeping.
 #include "minimpi/runtime.hpp"
+#include "simtime/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -71,7 +72,7 @@ TEST_F(RuntimeTest, StartStaggerDelaysHigherRanks) {
   std::vector<std::pair<int, std::chrono::steady_clock::time_point>> starts;
   runtime_.register_executable("stagger", [&](Proc& p, const util::Bytes&) {
     dac::ScopedLock lock(mu);
-    starts.emplace_back(p.rank(), std::chrono::steady_clock::now());
+    starts.emplace_back(p.rank(), dac::simtime::now());
   });
   LaunchOptions opts;
   opts.start_delay = std::chrono::microseconds(1000);

@@ -9,6 +9,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "simtime/clock.hpp"
 #include "core/cluster.hpp"
 #include "util/sync.hpp"
 #include "svc/backoff.hpp"
@@ -57,7 +58,7 @@ TEST_F(SvcTest, CallerRetransmitsUntilServerAppears) {
   const auto server_addr = node_.allocate_address();
 
   std::thread server([&] {
-    std::this_thread::sleep_for(30ms);  // NOLINT-DACSCHED(sleep-poll)
+    dac::simtime::sleep_for(30ms);  // NOLINT-DACSCHED(sleep-poll)
     vnet::Endpoint ep(fabric_, server_addr);
     auto msg = ep.recv_for(5000ms);
     ASSERT_TRUE(msg.has_value());
@@ -168,7 +169,7 @@ TEST_F(SvcTest, ReadOnlyRunsConcurrentlyWithMutatingLane) {
   ServiceLoop loop(*ep, cfg);
   loop.on(MsgType::kStatJobs, ExecClass::kReadOnly,
           [&](const Request&, Responder& resp) {
-            const auto deadline = std::chrono::steady_clock::now() + 5000ms;
+            const auto deadline = dac::simtime::now() + 5000ms;
             dac::UniqueLock lock(mu);
             bool ok = true;
             while (!mut_ran) {
@@ -201,7 +202,7 @@ TEST_F(SvcTest, ReadOnlyRunsConcurrentlyWithMutatingLane) {
     EXPECT_NO_THROW(
         (void)caller.call(MsgType::kStatJobs, {}, {.deadline = 8000ms}));
   });
-  std::this_thread::sleep_for(20ms);  // let the read reach the pool  // NOLINT-DACSCHED(sleep-poll)
+  dac::simtime::sleep_for(20ms);  // let the read reach the pool  // NOLINT-DACSCHED(sleep-poll)
   const Caller caller(node_, ep->address(), RetryPolicy::none());
   EXPECT_NO_THROW(
       (void)caller.call(MsgType::kSubmit, {}, {.deadline = 8000ms}));

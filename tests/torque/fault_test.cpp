@@ -5,6 +5,7 @@
 
 #include <atomic>
 
+#include "simtime/clock.hpp"
 #include "core/cluster.hpp"
 
 namespace dac::torque {
@@ -38,10 +39,10 @@ class FaultTest : public ::testing::Test {
   // Polls until `hostname` reaches the wanted liveness (or times out).
   bool await_liveness(const std::string& hostname, bool want,
                       std::chrono::milliseconds timeout = 3000ms) {
-    const auto deadline = std::chrono::steady_clock::now() + timeout;
-    while (std::chrono::steady_clock::now() < deadline) {
+    const auto deadline = dac::simtime::now() + timeout;
+    while (dac::simtime::now() < deadline) {
       if (node_up(hostname) == want) return true;
-      std::this_thread::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
+      dac::simtime::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
     }
     return false;
   }
@@ -154,7 +155,7 @@ TEST_F(FaultTest, JobOnDeadComputeNodeIsFailedAndFreed) {
   spec.resources.acpn = 1;  // also holds an accelerator
   spec.resources.walltime = std::chrono::milliseconds(120'000);
   const auto id = cluster_.submit(spec);
-  while (!started) std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
+  while (!started) dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
 
   auto running = cluster_.client().stat_job(id);
   ASSERT_TRUE(running.has_value());
@@ -164,12 +165,12 @@ TEST_F(FaultTest, JobOnDeadComputeNodeIsFailedAndFreed) {
   ASSERT_TRUE(await_liveness(host, false));
 
   // The server notices on its next node refresh and fails the job.
-  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  const auto deadline = dac::simtime::now() + 5s;
   std::optional<torque::JobInfo> info;
-  while (std::chrono::steady_clock::now() < deadline) {
+  while (dac::simtime::now() < deadline) {
     info = cluster_.client().stat_job(id);
     if (info && info->state == torque::JobState::kCancelled) break;
-    std::this_thread::sleep_for(10ms);  // NOLINT-DACSCHED(sleep-poll)
+    dac::simtime::sleep_for(10ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   ASSERT_TRUE(info.has_value());
   EXPECT_EQ(info->state, torque::JobState::kCancelled);

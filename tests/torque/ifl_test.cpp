@@ -1,6 +1,7 @@
 // IFL client behaviors not covered by the server tests: polling helpers,
 // terminal-state short-circuits, and missing-job queries.
 #include "torque/ifl.hpp"
+#include "simtime/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -68,11 +69,11 @@ TEST_F(IflTest, WaitForStateStopsAtTerminalState) {
   client().delete_job(id);
   // Waiting for kRunning must return promptly with the terminal state
   // instead of burning the whole timeout.
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   auto info = client().wait_for_state(id, JobState::kRunning, 10'000ms);
   ASSERT_TRUE(info.has_value());
   EXPECT_EQ(info->state, JobState::kCancelled);
-  EXPECT_LT(std::chrono::steady_clock::now() - start, 2s);
+  EXPECT_LT(dac::simtime::now() - start, 2s);
 }
 
 TEST_F(IflTest, StatNodesEmptyBeforeRegistration) {

@@ -2,6 +2,7 @@
 // DISJOIN_JOB / JOB_UPDATE) driven directly with synthetic requests against
 // a fake server, without a scheduler or mother superior.
 #include "torque/mom.hpp"
+#include "simtime/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -58,8 +59,8 @@ class MomTest : public ::testing::Test {
         {.name = "pbs_mom"},
         [this](vnet::Process& proc) { mom_->run(proc); });
 
-    const auto deadline = std::chrono::steady_clock::now() + 5s;
-    while (std::chrono::steady_clock::now() < deadline) {
+    const auto deadline = dac::simtime::now() + 5s;
+    while (dac::simtime::now() < deadline) {
       dac::ScopedLock lock(mu_);
       if (registered_) break;
     }
@@ -135,7 +136,7 @@ TEST_F(MomTest, DisjoinKillsOnlyThatSetsTasks) {
       }
       flag = true;
     });
-    while (!started) std::this_thread::sleep_for(100us);  // NOLINT-DACSCHED(sleep-poll)
+    while (!started) dac::simtime::sleep_for(100us);  // NOLINT-DACSCHED(sleep-poll)
     tasks_.add(9, cluster_.node(1).id(), p, set);
   };
   spawn_task(base_killed, 0);   // base job task
@@ -146,9 +147,9 @@ TEST_F(MomTest, DisjoinKillsOnlyThatSetsTasks) {
   // Set-scoped disjoin: only the set-77 task dies.
   (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDisjoinJob,
                   set_body(9, 77));
-  const auto deadline = std::chrono::steady_clock::now() + 2s;
-  while (!set_killed && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
+  const auto deadline = dac::simtime::now() + 2s;
+  while (!set_killed && dac::simtime::now() < deadline) {
+    dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_TRUE(set_killed);
   EXPECT_FALSE(base_killed);
@@ -156,8 +157,8 @@ TEST_F(MomTest, DisjoinKillsOnlyThatSetsTasks) {
   // Full disjoin (client 0): the base task dies too.
   (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDisjoinJob,
                   set_body(9, 0));
-  while (!base_killed && std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
+  while (!base_killed && dac::simtime::now() < deadline) {
+    dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_TRUE(base_killed);
 }

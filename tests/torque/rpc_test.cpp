@@ -1,8 +1,8 @@
 #include "torque/rpc.hpp"
+#include "util/sync.hpp"
 
 #include <gtest/gtest.h>
 
-#include <latch>
 
 #include "vnet/cluster.hpp"
 
@@ -93,7 +93,7 @@ TEST_F(RpcTest, CallToDeadAddressTimesOut) {
 
 TEST_F(RpcTest, CallFromProcessIsKillable) {
   std::atomic<bool> threw{false};
-  std::latch calling{1};
+  dac::Latch calling{1};
   auto p = cluster_.node(0).spawn({.name = "caller"}, [&](vnet::Process& proc) {
     try {
       // Target never replies; the kill must unblock the call whether it

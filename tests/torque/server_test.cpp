@@ -3,6 +3,7 @@
 // the DYNQUEUED state machine, per-job dynamic-request serialization, and
 // the scheduler-facing allocation protocol.
 #include "torque/server.hpp"
+#include "simtime/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -212,7 +213,7 @@ TEST_F(ServerTest, QueueSnapshotContainsDynEntries) {
   // Wait for the dyn entry to appear.
   QueueSnapshot snap;
   for (int i = 0; i < 100 && snap.dyn.empty(); ++i) {
-    std::this_thread::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
+    dac::simtime::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
     snap = get_queue(cluster_.node(2));
   }
   ASSERT_EQ(snap.dyn.size(), 1u);
@@ -247,12 +248,12 @@ TEST_F(ServerTest, SecondDynRequestWaitsBehindFirst) {
   // Wait for the first to become active.
   QueueSnapshot snap;
   for (int i = 0; i < 100 && snap.dyn.empty(); ++i) {
-    std::this_thread::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
+    dac::simtime::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
     snap = get_queue(cluster_.node(2));
   }
   ASSERT_EQ(snap.dyn.size(), 1u);
   std::thread g2(getter);
-  std::this_thread::sleep_for(50ms);  // NOLINT-DACSCHED(sleep-poll)
+  dac::simtime::sleep_for(50ms);  // NOLINT-DACSCHED(sleep-poll)
   // The second request must NOT be visible yet (one at a time per job).
   snap = get_queue(cluster_.node(2));
   ASSERT_EQ(snap.dyn.size(), 1u);
@@ -267,7 +268,7 @@ TEST_F(ServerTest, SecondDynRequestWaitsBehindFirst) {
   for (int i = 0; i < 100; ++i) {
     snap = get_queue(cluster_.node(2));
     if (!snap.dyn.empty() && snap.dyn[0].dyn_id != first_dyn) break;
-    std::this_thread::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
+    dac::simtime::sleep_for(5ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   ASSERT_EQ(snap.dyn.size(), 1u);
   EXPECT_NE(snap.dyn[0].dyn_id, first_dyn);

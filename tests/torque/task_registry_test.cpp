@@ -1,9 +1,9 @@
 #include "torque/task_registry.hpp"
+#include "util/sync.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <latch>
 
 #include "util/queue.hpp"
 #include "vnet/cluster.hpp"
@@ -26,7 +26,7 @@ class TaskRegistryTest : public ::testing::Test {
   // Waits until the task is actually blocking, so a kill cannot land before
   // the entry runs (which would skip it entirely, like SIGKILL pre-exec).
   vnet::ProcessPtr spawn_blocker(std::size_t node, std::atomic<int>& counter) {
-    std::latch started{1};
+    dac::Latch started{1};
     auto p = cluster_.node(node).spawn(
         {.name = "task"}, [&counter, &started](vnet::Process& proc) {
           auto ep = proc.open_endpoint();

@@ -4,6 +4,7 @@
 
 #include <chrono>
 
+#include "simtime/clock.hpp"
 #include "util/logging.hpp"
 
 namespace dac::util {
@@ -12,11 +13,10 @@ namespace {
 using namespace std::chrono_literals;
 
 // The subject under test is the clock itself, so there is no event to
-// synchronize on; spin against steady_clock instead of sleeping.
+// synchronize on; the Stopwatch reads simtime, so time must pass *through*
+// simtime — a real-time spin would never move a DiscreteEvent clock.
 void spin_for(std::chrono::milliseconds d) {
-  const auto until = std::chrono::steady_clock::now() + d;
-  while (std::chrono::steady_clock::now() < until) {
-  }
+  simtime::sleep_for(d);  // NOLINT-DACSCHED(sleep-poll)
 }
 
 TEST(Stopwatch, MeasuresElapsed) {

@@ -1,10 +1,11 @@
 #include "util/queue.hpp"
+#include "util/sync.hpp"
+#include "simtime/clock.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
-#include <latch>
 #include <thread>
 #include <vector>
 
@@ -33,15 +34,15 @@ TEST(BlockingQueue, TryPopEmpty) {
 
 TEST(BlockingQueue, PopForTimesOut) {
   BlockingQueue<int> q;
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   EXPECT_FALSE(q.pop_for(20ms).has_value());
-  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+  EXPECT_GE(dac::simtime::now() - start, 15ms);
 }
 
 TEST(BlockingQueue, CloseReleasesBlockedPopper) {
   BlockingQueue<int> q;
   std::atomic<bool> released{false};
-  std::latch entered{1};
+  dac::Latch entered{1};
   std::thread t([&] {
     entered.count_down();
     EXPECT_FALSE(q.pop().has_value());
@@ -72,7 +73,7 @@ TEST(BlockingQueue, CloseWakesAllBlockedWaiters) {
   BlockingQueue<int> q;
   constexpr int kWaiters = 6;
   std::atomic<int> released{0};
-  std::latch entered{kWaiters};
+  dac::Latch entered{kWaiters};
   std::vector<std::thread> waiters;
   for (int i = 0; i < kWaiters; ++i) {
     waiters.emplace_back([&] {

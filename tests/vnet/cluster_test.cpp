@@ -1,9 +1,9 @@
 #include "vnet/cluster.hpp"
+#include "util/sync.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <latch>
 
 namespace dac::vnet {
 namespace {
@@ -57,7 +57,7 @@ TEST(Cluster, CrossNodeMessaging) {
 
 TEST(Cluster, ShutdownStopsProcesses) {
   Cluster c(small_topo());
-  std::latch started{4};
+  dac::Latch started{4};
   std::atomic<int> stopped{0};
   for (std::size_t i = 0; i < c.size(); ++i) {
     c.node(i).spawn({.name = "d"}, [&](Process& proc) {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "simtime/clock.hpp"
 #include "vnet/fabric.hpp"
 #include "vnet/node.hpp"
 
@@ -68,7 +69,12 @@ TEST(FabricStressTest, CountersConserveUnderConcurrentSendersAndReaders) {
     });
   }
 
-  std::vector<std::thread> senders;
+  // ActorThread, not std::thread: the drain below opens a 10 s virtual
+  // window, and on the discrete-event clock an unregistered sender that has
+  // not reached its first send yet would let that deadline fire. The readers
+  // stay plain threads on purpose — they spin on counters and never touch
+  // virtual time.
+  std::vector<simtime::ActorThread> senders;
   for (int s = 0; s < kSenders; ++s) {
     senders.emplace_back([&, s] {
       auto ep = node.open_endpoint();

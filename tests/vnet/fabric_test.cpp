@@ -1,4 +1,5 @@
 #include "vnet/fabric.hpp"
+#include "simtime/clock.hpp"
 
 #include <gtest/gtest.h>
 
@@ -42,7 +43,7 @@ TEST_F(FabricTest, DropsToUnregisteredAddress) {
   Fabric fabric(fast_model());
   fabric.send(Message{Address{0, 0}, Address{5, 5}, 1, {}});
   // Wait out the latency; the message must be counted as dropped.
-  std::this_thread::sleep_for(20ms);  // NOLINT-DACSCHED(sleep-poll)
+  dac::simtime::sleep_for(20ms);  // NOLINT-DACSCHED(sleep-poll)
   EXPECT_EQ(fabric.messages_dropped(), 1u);
   EXPECT_EQ(fabric.messages_delivered(), 0u);
 }
@@ -61,10 +62,10 @@ TEST_F(FabricTest, CountsDropsPerDestination) {
   fabric.send(Message{Address{0, 0}, live, 1, {}});
 
   ASSERT_TRUE(box->pop_for(1000ms).has_value());
-  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  const auto deadline = dac::simtime::now() + 2s;
   while (fabric.messages_dropped() < 3 &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
+         dac::simtime::now() < deadline) {
+    dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_EQ(fabric.drops_to(dead), 2u);
   EXPECT_EQ(fabric.drops_to(other), 1u);
@@ -80,10 +81,10 @@ TEST_F(FabricTest, ClosedMailboxCountsAsDrop) {
   box->close();
 
   fabric.send(Message{Address{0, 0}, dst, 1, {}});
-  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  const auto deadline = dac::simtime::now() + 2s;
   while (fabric.drops_to(dst) < 1 &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
+         dac::simtime::now() < deadline) {
+    dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
   }
   EXPECT_EQ(fabric.drops_to(dst), 1u);
 }
@@ -96,10 +97,10 @@ TEST_F(FabricTest, ChargesCrossNodeLatency) {
   auto box = std::make_shared<Mailbox>();
   fabric.register_mailbox(Address{1, 0}, box);
 
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   fabric.send(Message{Address{0, 0}, Address{1, 0}, 0, {}});
   auto msg = box->pop_for(1000ms);
-  const auto dt = std::chrono::steady_clock::now() - start;
+  const auto dt = dac::simtime::now() - start;
   ASSERT_TRUE(msg.has_value());
   EXPECT_GE(dt, 25ms);
 }
@@ -112,10 +113,10 @@ TEST_F(FabricTest, LoopbackIsCheaperThanCrossNode) {
   auto box = std::make_shared<Mailbox>();
   fabric.register_mailbox(Address{0, 1}, box);
 
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   fabric.send(Message{Address{0, 0}, Address{0, 1}, 0, {}});
   auto msg = box->pop_for(1000ms);
-  const auto dt = std::chrono::steady_clock::now() - start;
+  const auto dt = dac::simtime::now() - start;
   ASSERT_TRUE(msg.has_value());
   EXPECT_LT(dt, 20ms);
 }
@@ -128,10 +129,10 @@ TEST_F(FabricTest, ChargesBandwidthForLargePayloads) {
   auto box = std::make_shared<Mailbox>();
   fabric.register_mailbox(Address{1, 0}, box);
 
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   fabric.send(Message{Address{0, 0}, Address{1, 0}, 0, payload(50000)});
   auto msg = box->pop_for(5000ms);
-  const auto dt = std::chrono::steady_clock::now() - start;
+  const auto dt = dac::simtime::now() - start;
   ASSERT_TRUE(msg.has_value());
   EXPECT_GE(dt, 40ms);
 }
@@ -197,7 +198,7 @@ TEST_F(FabricTest, UnregisterDropsSubsequentSends) {
   fabric.register_mailbox(Address{1, 0}, box);
   fabric.unregister_mailbox(Address{1, 0});
   fabric.send(Message{Address{0, 0}, Address{1, 0}, 0, {}});
-  std::this_thread::sleep_for(10ms);  // NOLINT-DACSCHED(sleep-poll)
+  dac::simtime::sleep_for(10ms);  // NOLINT-DACSCHED(sleep-poll)
   EXPECT_EQ(fabric.messages_dropped(), 1u);
 }
 

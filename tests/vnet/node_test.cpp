@@ -1,10 +1,11 @@
 #include "vnet/node.hpp"
+#include "util/sync.hpp"
+#include "simtime/clock.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
-#include <latch>
 
 #include "vnet/fabric.hpp"
 
@@ -36,13 +37,13 @@ TEST_F(NodeTest, SpawnRunsEntry) {
 }
 
 TEST_F(NodeTest, StartDelayDelaysEntry) {
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   std::atomic<bool> ran{false};
   auto p = node_.spawn({.name = "t", .start_delay = 30000us},
                        [&](Process&) { ran = true; });
   p->join();
   EXPECT_TRUE(ran);
-  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+  EXPECT_GE(dac::simtime::now() - start, 25ms);
 }
 
 TEST_F(NodeTest, EnvVisibleToEntry) {
@@ -68,7 +69,7 @@ TEST_F(NodeTest, EndpointRoundTrip) {
 
 TEST_F(NodeTest, RequestStopClosesProcessEndpoints) {
   std::atomic<bool> returned{false};
-  std::latch entered{1};
+  dac::Latch entered{1};
   auto p = node_.spawn({.name = "daemon"}, [&](Process& proc) {
     auto ep = proc.open_endpoint();
     entered.count_down();

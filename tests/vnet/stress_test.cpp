@@ -7,6 +7,7 @@
 #include <random>
 #include <thread>
 
+#include "simtime/clock.hpp"
 #include "vnet/cluster.hpp"
 
 namespace dac::vnet {
@@ -34,7 +35,10 @@ TEST_P(PairFifoProperty, HoldsUnderConcurrentTraffic) {
 
   constexpr int kSenders = 4;
   constexpr int kPerSender = 40;
-  std::vector<std::thread> senders;
+  // ActorThread, not std::thread: the receive below opens a 10 s virtual
+  // window, and an unregistered sender that has not reached its first
+  // clock-visible wait would let the clock fire it on a loaded machine.
+  std::vector<simtime::ActorThread> senders;
   for (int snd = 0; snd < kSenders; ++snd) {
     senders.emplace_back([&, snd] {
       std::mt19937_64 rng(GetParam() * 977 + static_cast<unsigned>(snd));
@@ -46,10 +50,10 @@ TEST_P(PairFifoProperty, HoldsUnderConcurrentTraffic) {
         // Random size so a non-FIFO fabric would reorder.
         w.put_raw(std::string(rng() % 20000, 'x').data(), rng() % 20000);
         ep->send(sink->address(), 1, std::move(w).take());
-        if (rng() % 3 == 0) std::this_thread::sleep_for(100us);  // NOLINT-DACSCHED(sleep-poll)
+        if (rng() % 3 == 0) dac::simtime::sleep_for(100us);  // NOLINT-DACSCHED(sleep-poll)
       }
       // Keep the endpoint alive until everything is delivered.
-      std::this_thread::sleep_for(50ms);  // NOLINT-DACSCHED(sleep-poll)
+      dac::simtime::sleep_for(50ms);  // NOLINT-DACSCHED(sleep-poll)
     });
   }
 
@@ -76,14 +80,14 @@ TEST(LinkModel, BandwidthSerializesBurst) {
   Cluster c(topo(2, std::chrono::microseconds(10), 1e7));
   auto src = c.node(0).open_endpoint();
   auto dst = c.node(1).open_endpoint();
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   for (int i = 0; i < 8; ++i) {
     src->send(dst->address(), 1, util::Bytes(100'000));
   }
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(dst->recv_for(10'000ms).has_value());
   }
-  const auto dt = std::chrono::steady_clock::now() - start;
+  const auto dt = dac::simtime::now() - start;
   EXPECT_GE(dt, 70ms);
 }
 
@@ -93,7 +97,7 @@ TEST(LinkModel, DistinctSendersDoNotSerialize) {
   auto a = c.node(0).open_endpoint();
   auto b = c.node(1).open_endpoint();
   auto dst = c.node(2).open_endpoint();
-  const auto start = std::chrono::steady_clock::now();
+  const auto start = dac::simtime::now();
   for (int i = 0; i < 4; ++i) {
     a->send(dst->address(), 1, util::Bytes(100'000));
     b->send(dst->address(), 1, util::Bytes(100'000));
@@ -101,7 +105,7 @@ TEST(LinkModel, DistinctSendersDoNotSerialize) {
   for (int i = 0; i < 8; ++i) {
     ASSERT_TRUE(dst->recv_for(10'000ms).has_value());
   }
-  const auto dt = std::chrono::steady_clock::now() - start;
+  const auto dt = dac::simtime::now() - start;
   EXPECT_LT(dt, 70ms);
 }
 

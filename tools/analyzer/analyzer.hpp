@@ -27,6 +27,11 @@
 //   raw-sync, detach, sleep-poll, nondet-seed, include
 //                         the hygiene rules folded in from the retired
 //                         tools/lint.py.
+//   raw-clock             ambient time is banned outside src/simtime/:
+//                         steady_clock::now() and this_thread sleeps must go
+//                         through dac::simtime so DiscreteEvent mode can
+//                         virtualize them (tests' sleep discipline stays
+//                         sleep-poll's job).
 //   stale-nolint          a NOLINT-DACSCHED comment that suppressed nothing
 //                         (or names an unknown rule) is itself an error, so
 //                         the suppression set only shrinks.
@@ -53,6 +58,7 @@ enum class Rule {
   kDeadlineLiteral,
   kCheckSideEffect,
   kRawSync,
+  kRawClock,
   kDetach,
   kSleepPoll,
   kNondetSeed,

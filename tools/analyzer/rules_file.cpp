@@ -21,6 +21,13 @@ bool is_header(const CleanFile& file) {
   return ends_with(file.src->path, ".hpp") || ends_with(file.src->path, ".h");
 }
 
+// src/simtime/ is the one place allowed to touch raw time and raw sync: the
+// clock sits below util in the dependency order (dac::Mutex/CondVar are built
+// on top of it) and is precisely where real time gets virtualized.
+bool is_simtime(const CleanFile& file) {
+  return file.src->path.find("src/simtime/") != std::string::npos;
+}
+
 // ---- include hygiene ------------------------------------------------------
 
 void check_includes(CleanFile& file, Sink& sink) {
@@ -59,13 +66,15 @@ void check_simple(CleanFile& file, Sink& sink) {
     const std::string& line = file.clean[li];
     const int lineno = static_cast<int>(li) + 1;
     if (line.find("std::") != std::string::npos) {
-      for (const char* banned : kRawSync) {
-        if (find_word(line, banned) != std::string::npos) {
-          sink.report(file, lineno, Rule::kRawSync,
-                      std::string(banned) +
-                          " is banned; use the dac:: wrappers from "
-                          "util/sync.hpp");
-          break;
+      if (!is_simtime(file)) {
+        for (const char* banned : kRawSync) {
+          if (find_word(line, banned) != std::string::npos) {
+            sink.report(file, lineno, Rule::kRawSync,
+                        std::string(banned) +
+                            " is banned; use the dac:: wrappers from "
+                            "util/sync.hpp");
+            break;
+          }
         }
       }
       if (find_word(line, "std::random_device") != std::string::npos) {
@@ -104,6 +113,24 @@ void check_simple(CleanFile& file, Sink& sink) {
       sink.report(file, lineno, Rule::kSleepPoll,
                   "sleep_for polling in tests is banned; synchronize on an "
                   "event (see docs/ANALYSIS.md)");
+    }
+    // raw-clock: ambient time outside src/simtime/ breaks DiscreteEvent
+    // mode — the virtual clock cannot see it. steady_clock::now() applies
+    // everywhere; the this_thread sleeps only outside tests, where
+    // sleep-poll already governs (one diagnostic per offense, not two).
+    if (!is_simtime(file)) {
+      if (line.find("steady_clock::now") != std::string::npos) {
+        sink.report(file, lineno, Rule::kRawClock,
+                    "steady_clock::now() is banned outside src/simtime/; "
+                    "read simtime::now() so DiscreteEvent mode works");
+      } else if (!file.src->is_test &&
+                 (line.find("this_thread::sleep_for") != std::string::npos ||
+                  line.find("this_thread::sleep_until") !=
+                      std::string::npos)) {
+        sink.report(file, lineno, Rule::kRawClock,
+                    "this_thread sleeps are banned outside src/simtime/; "
+                    "use simtime::sleep_for so DiscreteEvent mode works");
+      }
     }
   }
 }

@@ -19,7 +19,7 @@ struct RuleEntry {
   const char* id;
 };
 
-constexpr std::array<RuleEntry, 13> kRules = {{
+constexpr std::array<RuleEntry, 14> kRules = {{
     {Rule::kBlockingUnderLock, "blocking-under-lock"},
     {Rule::kHandlerCoverage, "handler-coverage"},
     {Rule::kSpanName, "span-name"},
@@ -28,6 +28,7 @@ constexpr std::array<RuleEntry, 13> kRules = {{
     {Rule::kDeadlineLiteral, "deadline-literal"},
     {Rule::kCheckSideEffect, "check-side-effect"},
     {Rule::kRawSync, "raw-sync"},
+    {Rule::kRawClock, "raw-clock"},
     {Rule::kDetach, "detach"},
     {Rule::kSleepPoll, "sleep-poll"},
     {Rule::kNondetSeed, "nondet-seed"},
