@@ -291,6 +291,137 @@ TEST(Cli, ExitCodesAndExplicitFiles) {
   }
 }
 
+// ---- whole-program rules ---------------------------------------------------
+
+TEST(WholeProgram, BlockingReachableTwoCallsDeepAcrossFiles) {
+  // notify() holds a guard and calls relay_hop() -> transmit_rpc() ->
+  // Caller::call, with the lower hops in a second file. The scope-local rule
+  // sees nothing; the call-graph fixpoint reports the call site.
+  const auto report = analyze(
+      {fixture("blocking_reachable.cpp", "src/fixture/blocking_reachable.cpp"),
+       fixture("blocking_reachable_lib.cpp",
+               "src/fixture/blocking_reachable_lib.cpp")});
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(diag_key(report.diagnostics[0]),
+            "src/fixture/blocking_reachable.cpp:16:"
+            "blocking-reachable-under-lock");
+  // The diagnostic carries the full witness chain.
+  EXPECT_NE(report.diagnostics[0].message.find(
+                "relay_hop -> transmit_rpc -> Caller::call"),
+            std::string::npos)
+      << report.diagnostics[0].message;
+  // Without the companion file the callee never resolves, and an unresolved
+  // call contributes nothing (precision-first resolution).
+  const auto alone = analyze({fixture("blocking_reachable.cpp",
+                                      "src/fixture/blocking_reachable.cpp")});
+  EXPECT_TRUE(alone.clean());
+}
+
+TEST(WholeProgram, BlockingReachableSuppressionAnchorsAtCallSite) {
+  SourceFile caller =
+      fixture("blocking_reachable.cpp", "src/fixture/blocking_reachable.cpp");
+  const auto pos = caller.text.find("relay_hop();  // line 16");
+  ASSERT_NE(pos, std::string::npos);
+  caller.text.replace(pos, std::string("relay_hop();").size(),
+                      "relay_hop();  " +
+                          nolint("blocking-reachable-under-lock"));
+  const auto report = analyze(
+      {caller, fixture("blocking_reachable_lib.cpp",
+                       "src/fixture/blocking_reachable_lib.cpp")});
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressions.at("blocking-reachable-under-lock"), 1);
+}
+
+TEST(WholeProgram, LockOrderStaticThreeMutexCycle) {
+  const auto report =
+      analyze({fixture("lock_cycle.cpp", "src/fixture/lock_cycle.cpp")});
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  // One diagnostic per cycle, anchored at its lexically smallest edge.
+  EXPECT_EQ(diag_key(report.diagnostics[0]),
+            "src/fixture/lock_cycle.cpp:16:lock-order-static");
+  EXPECT_NE(report.diagnostics[0].message.find(
+                "{cycle.alpha, cycle.beta, cycle.gamma}"),
+            std::string::npos)
+      << report.diagnostics[0].message;
+  // All three edges are exported for the DOT artifact, all cycle-marked.
+  ASSERT_EQ(report.lock_edges.size(), 3u);
+  for (const auto& e : report.lock_edges) {
+    EXPECT_TRUE(e.in_cycle) << e.from << " -> " << e.to;
+  }
+  const std::string dot = format_lock_dot(report.lock_edges);
+  EXPECT_NE(dot.find("digraph lock_order"), std::string::npos);
+  EXPECT_NE(dot.find("\"cycle.alpha\" -> \"cycle.beta\""), std::string::npos);
+  EXPECT_NE(dot.find("src/fixture/lock_cycle.cpp:16"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(WholeProgram, ClockVisibilityFromActorThread) {
+  const auto report = analyze(
+      {fixture("clock_visibility.cpp", "src/fixture/clock_visibility.cpp")});
+  // The raw join in stop_bad() and the std::latch in the actor entry's
+  // callee are flagged; stop_good()'s ExternalWaitScope join is exempt.
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(diag_key(report.diagnostics[0]),
+            "src/fixture/clock_visibility.cpp:18:clock-visibility");
+  EXPECT_EQ(diag_key(report.diagnostics[1]),
+            "src/fixture/clock_visibility.cpp:38:clock-visibility");
+  EXPECT_NE(report.diagnostics[1].message.find("spawned via Runner::drive"),
+            std::string::npos)
+      << report.diagnostics[1].message;
+}
+
+// ---- JSON output -----------------------------------------------------------
+
+TEST(Json, FormatPinsSchema) {
+  Report r;
+  r.files_scanned = 2;
+  r.diagnostics.push_back(
+      {"src/a.cpp", 7, Rule::kRawSync, "std::mutex is \"banned\""});
+  r.suppressions["sleep-poll"] = 3;
+  EXPECT_EQ(format_json(r),
+            "{\n"
+            "  \"files_scanned\": 2,\n"
+            "  \"clean\": false,\n"
+            "  \"diagnostics\": [\n"
+            "    {\"file\": \"src/a.cpp\", \"line\": 7, \"rule\": "
+            "\"raw-sync\", \"message\": \"std::mutex is \\\"banned\\\"\"}\n"
+            "  ],\n"
+            "  \"suppressions\": {\n"
+            "    \"sleep-poll\": 3\n"
+            "  }\n"
+            "}\n");
+  Report empty;
+  EXPECT_EQ(format_json(empty),
+            "{\n"
+            "  \"files_scanned\": 0,\n"
+            "  \"clean\": true,\n"
+            "  \"diagnostics\": [],\n"
+            "  \"suppressions\": {}\n"
+            "}\n");
+}
+
+TEST(Cli, JsonFormatAndLockDot) {
+  const std::string good =
+      std::string(DACSCHED_ANALYZER_FIXTURES) + "/clean.cpp";
+  const std::string cycle =
+      std::string(DACSCHED_ANALYZER_FIXTURES) + "/lock_cycle.cpp";
+  {
+    const char* argv[] = {"dacsched-analyzer", "--format=json", good.c_str()};
+    EXPECT_EQ(run_cli(3, argv), 0);
+  }
+  const std::string dot_path = testing::TempDir() + "dacsched_lock.dot";
+  {
+    const char* argv[] = {"dacsched-analyzer", "--lock-dot", dot_path.c_str(),
+                          cycle.c_str()};
+    EXPECT_EQ(run_cli(4, argv), 1);  // the seeded cycle is a diagnostic
+  }
+  std::ifstream in(dot_path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("color=red"), std::string::npos);
+}
+
 // The acceptance gate: the real tree is clean and matches the checked-in
 // suppression baseline. This is the same invocation the CI analyzer job
 // runs, so a regression fails tier-1 locally before it ever reaches CI.

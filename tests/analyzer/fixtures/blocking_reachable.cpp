@@ -1,0 +1,25 @@
+// Seeded violation: a blocking RPC reachable through two calls while a dac
+// guard is live — invisible to the scope-local rule, caught by the
+// whole-program blocking-reachable-under-lock pass (the chain's lower hops
+// live in blocking_reachable_lib.cpp to prove cross-file resolution).
+#include "util/sync.hpp"
+
+namespace fixture {
+
+void relay_hop();
+
+struct Gateway {
+  dac::util::Mutex mu{"fixture.gateway"};
+
+  void notify() {
+    dac::util::ScopedLock lock(mu);
+    relay_hop();  // line 16: transitively reaches Caller::call
+  }
+
+  void quiet() {
+    { dac::util::ScopedLock lock(mu); }
+    relay_hop();  // guard dead before the call: clean
+  }
+};
+
+}  // namespace fixture

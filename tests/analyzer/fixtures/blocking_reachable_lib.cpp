@@ -1,0 +1,18 @@
+// Companion to blocking_reachable.cpp: the lower hops of the blocking
+// chain. Neither function holds a lock, so the scope-local rule stays quiet
+// here too — only the call-graph fixpoint connects the dots.
+#include "svc/caller.hpp"
+#include "svc/deadlines.hpp"
+
+namespace fixture {
+
+dac::svc::Caller* the_caller();
+
+void transmit_rpc() {
+  (void)the_caller()->call(dac::svc::MsgType{}, {},
+                           {.deadline = dac::svc::deadlines::kDefault});
+}
+
+void relay_hop() { transmit_rpc(); }
+
+}  // namespace fixture

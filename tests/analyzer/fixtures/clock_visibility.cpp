@@ -1,0 +1,42 @@
+// Seeded violations: native synchronization reachable from an ActorThread
+// entry. DACSCHED_CLOCK=virtual cannot see threads parked on a std::latch
+// or a raw join, so the discrete-event advancer would declare quiescence
+// and stall the sim. stop_good() shows the sanctioned escape hatch.
+#include <latch>
+#include <thread>
+
+#include "simtime/clock.hpp"
+
+namespace fixture {
+
+void wait_native();
+
+struct Pool {
+  std::thread worker;
+
+  void stop_bad() {
+    worker.join();  // line 18: native join, no ExternalWaitScope
+  }
+
+  void stop_good() {
+    dac::simtime::ExternalWaitScope scope;
+    worker.join();  // clock-visible: the scope parks this thread as quiescent
+  }
+};
+
+struct Runner {
+  void drive() {
+    dac::simtime::ActorThread actor([] { wait_native(); });
+    actor.join();
+    Pool pool;
+    pool.stop_bad();
+    pool.stop_good();
+  }
+};
+
+void wait_native() {
+  std::latch gate{1};  // line 38: invisible to the DE clock
+  gate.wait();
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Seeded violation: a 3-mutex static lock-order cycle (cycle.alpha ->
+// cycle.beta -> cycle.gamma -> cycle.alpha). No execution ever takes all
+// three paths, so the runtime lock-order detector never sees it; the static
+// acquired-while-holding graph does.
+#include "util/sync.hpp"
+
+namespace fixture {
+
+struct Tangle {
+  dac::util::Mutex a{"cycle.alpha"};
+  dac::util::Mutex b{"cycle.beta"};
+  dac::util::Mutex c{"cycle.gamma"};
+
+  void ab() {
+    dac::util::ScopedLock la(a);
+    dac::util::ScopedLock lb(b);  // line 16: cycle.alpha -> cycle.beta
+  }
+
+  void bc() {
+    dac::util::ScopedLock lb(b);
+    dac::util::ScopedLock lc(c);  // cycle.beta -> cycle.gamma
+  }
+
+  void ca() {
+    dac::util::ScopedLock lc(c);
+    dac::util::ScopedLock la(a);  // cycle.gamma -> cycle.alpha
+  }
+};
+
+}  // namespace fixture

@@ -117,9 +117,9 @@ TEST_F(JobContextTest, UnknownProgramCompletesWithoutCrash) {
 
 TEST_F(JobContextTest, InterruptibleSleepThrowsOnKill) {
   std::atomic<bool> threw{false};
-  std::atomic<bool> started{false};
+  dac::Latch started{1};
   cluster_.register_program("sleeper", [&](JobContext& ctx) {
-    started = true;
+    started.count_down();
     try {
       interruptible_sleep(ctx, 30'000ms);
     } catch (const util::StoppedError&) {
@@ -128,7 +128,7 @@ TEST_F(JobContextTest, InterruptibleSleepThrowsOnKill) {
     }
   });
   const auto id = cluster_.submit_program("sleeper", 1, 0);
-  while (!started) dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
+  started.wait();
   cluster_.client().delete_job(id);
   // qdel kills the tasks; the sleep must notice promptly.
   const auto deadline = dac::simtime::now() + 5s;

@@ -5,6 +5,8 @@
 
 #include <atomic>
 
+#include "util/sync.hpp"
+
 #include "simtime/clock.hpp"
 #include "core/cluster.hpp"
 
@@ -144,9 +146,9 @@ TEST_F(FaultTest, ComputeNodeFailureDetected) {
 TEST_F(FaultTest, JobOnDeadComputeNodeIsFailedAndFreed) {
   // A long job runs on a compute node that then dies: the server must fail
   // the job and release everything it held.
-  std::atomic<bool> started{false};
+  dac::Latch started{1};
   cluster_.register_program("victim", [&](core::JobContext& ctx) {
-    started = true;
+    started.count_down();
     core::interruptible_sleep(ctx, 60'000ms);
   });
   torque::JobSpec spec;
@@ -155,7 +157,7 @@ TEST_F(FaultTest, JobOnDeadComputeNodeIsFailedAndFreed) {
   spec.resources.acpn = 1;  // also holds an accelerator
   spec.resources.walltime = std::chrono::milliseconds(120'000);
   const auto id = cluster_.submit(spec);
-  while (!started) dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
+  started.wait();
 
   auto running = cluster_.client().stat_job(id);
   ASSERT_TRUE(running.has_value());

@@ -126,40 +126,39 @@ TEST_F(MomTest, DynJoinThenDisjoinAck) {
 TEST_F(MomTest, DisjoinKillsOnlyThatSetsTasks) {
   std::atomic<bool> base_killed{false};
   std::atomic<bool> set_killed{false};
-  auto spawn_task = [&](std::atomic<bool>& flag, std::uint64_t set) {
-    std::atomic<bool> started{false};
-    auto p = cluster_.node(1).spawn({.name = "task"},
-                                    [&flag, &started](vnet::Process& proc) {
-      auto ep = proc.open_endpoint();
-      started = true;
-      while (auto m = ep->recv()) {
-      }
-      flag = true;
-    });
-    while (!started) dac::simtime::sleep_for(100us);  // NOLINT-DACSCHED(sleep-poll)
+  dac::Latch base_done{1};
+  dac::Latch set_done{1};
+  auto spawn_task = [&](std::atomic<bool>& flag, dac::Latch& done,
+                        std::uint64_t set) {
+    dac::Latch started{1};
+    auto p = cluster_.node(1).spawn(
+        {.name = "task"}, [&flag, &done, &started](vnet::Process& proc) {
+          auto ep = proc.open_endpoint();
+          started.count_down();
+          while (auto m = ep->recv()) {
+          }
+          flag = true;
+          done.count_down();
+        });
+    started.wait();
     tasks_.add(9, cluster_.node(1).id(), p, set);
   };
-  spawn_task(base_killed, 0);   // base job task
-  spawn_task(set_killed, 77);   // dynamic-set task
+  spawn_task(base_killed, base_done, 0);   // base job task
+  spawn_task(set_killed, set_done, 77);    // dynamic-set task
 
   (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kJoinJob,
                   join_body(9));
   // Set-scoped disjoin: only the set-77 task dies.
   (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDisjoinJob,
                   set_body(9, 77));
-  const auto deadline = dac::simtime::now() + 2s;
-  while (!set_killed && dac::simtime::now() < deadline) {
-    dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
-  }
+  set_done.wait();
   EXPECT_TRUE(set_killed);
   EXPECT_FALSE(base_killed);
 
   // Full disjoin (client 0): the base task dies too.
   (void)rpc::call(cluster_.node(2), mom_addr(), MsgType::kDisjoinJob,
                   set_body(9, 0));
-  while (!base_killed && dac::simtime::now() < deadline) {
-    dac::simtime::sleep_for(1ms);  // NOLINT-DACSCHED(sleep-poll)
-  }
+  base_done.wait();
   EXPECT_TRUE(base_killed);
 }
 

@@ -8,6 +8,23 @@
 //                         SharedMutex guard is live in the same scope; a
 //                         condvar wait is flagged when a *second* guard is
 //                         held across it.
+//   blocking-reachable-under-lock
+//                         whole-program companion to blocking-under-lock:
+//                         a call site reached while a dac guard is live must
+//                         not *transitively* reach a blocking operation
+//                         through the call graph.
+//   lock-order-static     the tree-wide acquired-while-holding graph (guard
+//                         nesting plus calls into lock-acquiring functions,
+//                         mutexes identified by their declared dac name
+//                         string) must be acyclic; complements the runtime
+//                         lock-order detector, which only sees orders that
+//                         actually execute. --lock-dot dumps the graph.
+//   clock-visibility      native synchronization the discrete-event clock
+//                         cannot see (std::latch/barrier/semaphore, raw
+//                         std::thread joins without an ExternalWaitScope)
+//                         must not be reachable from actor context
+//                         (simtime::ActorThread / vnet process spawns);
+//                         DACSCHED_CLOCK=virtual would deadlock on it.
 //   handler-coverage      every wire MsgType has exactly one registered
 //                         ServiceLoop handler across src/, and no handler
 //                         registers a type outside the enum.
@@ -51,6 +68,9 @@ namespace dac::analyzer {
 
 enum class Rule {
   kBlockingUnderLock,
+  kBlockingReachableUnderLock,
+  kLockOrderStatic,
+  kClockVisibility,
   kHandlerCoverage,
   kSpanName,
   kNodiscard,
@@ -94,13 +114,35 @@ struct Config {
   std::string span_table_file = "src/svc/wire.cpp";
 };
 
+// One edge of the static acquired-while-holding graph: mutex `to` (by its
+// declared dac name string) is acquired — directly or through a call chain —
+// while a guard over mutex `from` is live. file/line anchor the acquisition
+// or call site that established the edge.
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  int line = 0;
+  bool in_cycle = false;
+};
+
 struct Report {
   std::vector<Diagnostic> diagnostics;     // unsuppressed, sorted
   std::map<std::string, int> suppressions; // rule id -> NOLINTs that fired
+  std::vector<LockEdge> lock_edges;        // static lock-order graph, sorted
   int files_scanned = 0;
   [[nodiscard]] bool clean() const { return diagnostics.empty(); }
   [[nodiscard]] int total_suppressions() const;
 };
+
+// Renders the lock-order graph as Graphviz DOT (cycle edges highlighted);
+// the CI analyzer job archives this as a build artifact (--lock-dot).
+[[nodiscard]] std::string format_lock_dot(const std::vector<LockEdge>& edges);
+
+// Renders a report as a stable JSON document (schema pinned by
+// tests/analyzer): {"files_scanned", "clean", "diagnostics": [{"file",
+// "line", "rule", "message"}], "suppressions": {rule-id: count}}.
+[[nodiscard]] std::string format_json(const Report& report);
 
 // Runs every rule over `files`. Cross-file facts (the MsgType enum, handler
 // registrations, span names, must-check declarations) are collected from the
@@ -128,8 +170,9 @@ struct Report {
 [[nodiscard]] std::vector<SourceFile> load_tree(const std::string& root);
 
 // `dacsched-analyzer [--root DIR] [--baseline FILE] [--update-baseline]
-//  [--list-rules] [file...]`. Returns the process exit code: 0 clean,
-// 1 diagnostics or baseline drift, 2 usage/IO error.
+//  [--format=text|json] [--lock-dot FILE] [--list-rules] [file...]`.
+// Returns the process exit code: 0 clean, 1 diagnostics or baseline drift,
+// 2 usage/IO error.
 [[nodiscard]] int run_cli(int argc, const char* const* argv);
 
 }  // namespace dac::analyzer

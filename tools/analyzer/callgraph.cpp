@@ -1,0 +1,400 @@
+// Call-graph fixpoints over the tree-wide index (index.cpp) and the three
+// whole-program rules built on them:
+//
+//   blocking-reachable-under-lock  may-block propagated bottom-up; any call
+//                                  site under a live dac guard that reaches
+//                                  a blocker transitively is flagged.
+//   lock-order-static              acquired-while-holding edges (guard
+//                                  nesting + calls into lock-acquiring
+//                                  functions) form a graph that must be
+//                                  acyclic; every edge feeds the DOT dump.
+//   clock-visibility               native waits reachable from actor roots.
+//
+// Call resolution is by base name and precision-first: a call site with
+// several same-name definitions only contributes when *all* of them agree
+// (may-block) or is skipped (lock-sets, actor reachability) — the analyzer
+// would rather miss a path than cry wolf on `stop()`.
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyzer/wholeprogram.hpp"
+
+namespace dac::analyzer::internal {
+
+namespace {
+
+// True when every definition of `name` may block; `witness` gets the first
+// one (for the diagnostic chain). False for unknown names — an unresolved
+// call contributes nothing rather than guessing.
+bool callee_blocks(const Index& index, const std::string& name,
+                   const Function** witness) {
+  const auto it = index.by_name.find(name);
+  if (it == index.by_name.end() || it->second.empty()) return false;
+  for (const Function* f : it->second) {
+    if (!f->may_block) return false;
+  }
+  *witness = it->second.front();
+  return true;
+}
+
+// Unique-definition resolution for the lock-set and actor passes.
+Function* resolve_unique(const Index& index, const std::string& name) {
+  const auto it = index.by_name.find(name);
+  if (it == index.by_name.end() || it->second.size() != 1) return nullptr;
+  return it->second.front();
+}
+
+bool in_simtime(const Function& fn) {
+  const std::string& path = fn.file->src->path;
+  return path.rfind("src/simtime/", 0) == 0 ||
+         path.find("/src/simtime/") != std::string::npos;
+}
+
+std::string capped_chain(const std::string& chain) {
+  constexpr std::size_t kMax = 160;
+  if (chain.size() <= kMax) return chain;
+  return chain.substr(0, kMax) + "...";
+}
+
+}  // namespace
+
+void propagate(Index& index) {
+  // may_block: bottom-up fixpoint. Direct blockers seed it; a call site
+  // propagates when every same-name definition blocks.
+  for (auto& fn : index.functions) {
+    if (!fn.direct_blocks.empty()) {
+      fn.may_block = true;
+      fn.block_witness = fn.direct_blocks.front().what;
+    }
+    fn.acquires_trans.insert(fn.acquires.begin(), fn.acquires.end());
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& fn : index.functions) {
+      if (!fn.may_block) {
+        for (const auto& call : fn.calls) {
+          const Function* w = nullptr;
+          if (callee_blocks(index, call.callee, &w) && w != &fn) {
+            fn.may_block = true;
+            fn.block_witness =
+                capped_chain(w->qualified + " -> " + w->block_witness);
+            changed = true;
+            break;
+          }
+        }
+      }
+      // Transitive acquired-mutex sets, through uniquely resolved calls.
+      for (const auto& call : fn.calls) {
+        const Function* callee = resolve_unique(index, call.callee);
+        if (callee == nullptr || callee == &fn) continue;
+        for (const auto& id : callee->acquires_trans) {
+          if (fn.acquires_trans.insert(id).second) changed = true;
+        }
+      }
+    }
+  }
+  // Actor-context reachability: BFS from spawn roots through uniquely
+  // resolved calls. The root itself is actor-adjacent (its entry lambdas
+  // attribute to it).
+  std::deque<Function*> queue;
+  for (auto& fn : index.functions) {
+    if (fn.is_actor_root) {
+      fn.actor_reachable = true;
+      fn.actor_witness = fn.qualified;
+      queue.push_back(&fn);
+    }
+  }
+  while (!queue.empty()) {
+    Function* fn = queue.front();
+    queue.pop_front();
+    for (const auto& call : fn->calls) {
+      Function* callee = resolve_unique(index, call.callee);
+      if (callee == nullptr || callee->actor_reachable) continue;
+      callee->actor_reachable = true;
+      callee->actor_witness = fn->actor_witness;
+      queue.push_back(callee);
+    }
+  }
+}
+
+namespace {
+
+struct EdgeWitness {
+  CleanFile* file = nullptr;
+  int line = 0;
+};
+
+bool witness_less(const EdgeWitness& a, const EdgeWitness& b) {
+  if (a.file->src->path != b.file->src->path) {
+    return a.file->src->path < b.file->src->path;
+  }
+  return a.line < b.line;
+}
+
+// Tarjan strongly-connected components over the mutex-id graph (iterative).
+std::map<std::string, int> scc_of(
+    const std::set<std::string>& nodes,
+    const std::map<std::string, std::set<std::string>>& adj) {
+  std::map<std::string, int> scc;
+  std::map<std::string, int> idx;
+  std::map<std::string, int> low;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+  int next_scc = 0;
+  struct Frame {
+    std::string node;
+    std::set<std::string>::const_iterator it;
+    std::set<std::string>::const_iterator end;
+  };
+  static const std::set<std::string> kEmpty;
+  for (const auto& start : nodes) {
+    if (idx.count(start) != 0) continue;
+    std::vector<Frame> frames;
+    const auto& edges0 = adj.count(start) != 0 ? adj.at(start) : kEmpty;
+    idx[start] = low[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    frames.push_back({start, edges0.begin(), edges0.end()});
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.it != top.end) {
+        const std::string next = *top.it++;
+        if (idx.count(next) == 0) {
+          const auto& edges = adj.count(next) != 0 ? adj.at(next) : kEmpty;
+          idx[next] = low[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, edges.begin(), edges.end()});
+        } else if (on_stack[next]) {
+          low[top.node] = std::min(low[top.node], idx[next]);
+        }
+      } else {
+        const std::string done = top.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] = std::min(low[frames.back().node],
+                                             low[done]);
+        }
+        if (low[done] == idx[done]) {
+          while (true) {
+            const std::string member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            scc[member] = next_scc;
+            if (member == done) break;
+          }
+          ++next_scc;
+        }
+      }
+    }
+  }
+  return scc;
+}
+
+}  // namespace
+
+void check_wholeprogram(Index& index, Sink& sink,
+                        std::vector<LockEdge>* edges) {
+  // ---- blocking-reachable-under-lock ---------------------------------------
+  for (auto& fn : index.functions) {
+    for (const auto& call : fn.calls) {
+      if (call.held_count == 0) continue;
+      const Function* w = nullptr;
+      if (!callee_blocks(index, call.callee, &w)) continue;
+      if (w == &fn) continue;  // self-recursion; scope-local rule owns it
+      sink.report(*fn.file, call.line, Rule::kBlockingReachableUnderLock,
+                  "'" + call.callee + "' may block (" +
+                      capped_chain(w->qualified + " -> " + w->block_witness) +
+                      ") but is called from " + fn.qualified +
+                      " while guard '" + call.held_guard +
+                      "' (declared on line " +
+                      std::to_string(call.held_guard_line) + ") is live");
+    }
+  }
+
+  // ---- lock-order-static ---------------------------------------------------
+  // Edge set: direct guard nesting plus call sites whose (uniquely resolved)
+  // callee transitively acquires while the caller holds. Self-edges are
+  // skipped: identity is the declared name string, which cannot tell two
+  // instances of the same class apart (e.g. per-node mutexes).
+  std::map<std::pair<std::string, std::string>, EdgeWitness> edge_map;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      CleanFile* file, int line) {
+    if (from == to) return;
+    const EdgeWitness witness{file, line};
+    auto [it, inserted] = edge_map.emplace(std::make_pair(from, to), witness);
+    if (!inserted && witness_less(witness, it->second)) {
+      it->second = witness;
+    }
+  };
+  for (auto& fn : index.functions) {
+    for (const auto& e : fn.intra_edges) {
+      add_edge(e.from, e.to, fn.file, e.line);
+    }
+    for (const auto& call : fn.calls) {
+      if (call.held.empty()) continue;
+      const Function* callee = resolve_unique(index, call.callee);
+      if (callee == nullptr || callee == &fn) continue;
+      for (const auto& held : call.held) {
+        for (const auto& acquired : callee->acquires_trans) {
+          add_edge(held, acquired, fn.file, call.line);
+        }
+      }
+    }
+  }
+  std::set<std::string> nodes;
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [key, witness] : edge_map) {
+    nodes.insert(key.first);
+    nodes.insert(key.second);
+    adj[key.first].insert(key.second);
+  }
+  const std::map<std::string, int> scc = scc_of(nodes, adj);
+  std::map<int, int> scc_sizes;
+  for (const auto& [node, id] : scc) ++scc_sizes[id];
+  // One diagnostic per cyclic component, anchored at its smallest witness.
+  std::map<int, std::pair<EdgeWitness, std::set<std::string>>> cycles;
+  for (const auto& [key, witness] : edge_map) {
+    const int from_scc = scc.at(key.first);
+    const bool cyclic =
+        from_scc == scc.at(key.second) && scc_sizes.at(from_scc) > 1;
+    if (edges != nullptr) {
+      edges->push_back({key.first, key.second, witness.file->src->path,
+                        witness.line, cyclic});
+    }
+    if (!cyclic) continue;
+    auto [it, inserted] = cycles.emplace(
+        from_scc, std::make_pair(witness, std::set<std::string>{}));
+    if (!inserted && witness_less(witness, it->second.first)) {
+      it->second.first = witness;
+    }
+    it->second.second.insert(key.first);
+    it->second.second.insert(key.second);
+  }
+  for (const auto& [id, cycle] : cycles) {
+    std::string members;
+    for (const auto& m : cycle.second) {
+      if (!members.empty()) members += ", ";
+      members += m;
+    }
+    sink.report(*cycle.first.file, cycle.first.line, Rule::kLockOrderStatic,
+                "static lock-order cycle among mutexes {" + members +
+                    "}; some interleaving of these acquisition chains "
+                    "deadlocks (see --lock-dot for the full graph)");
+  }
+
+  // ---- clock-visibility ----------------------------------------------------
+  for (auto& fn : index.functions) {
+    if (!fn.actor_reachable || in_simtime(fn)) continue;
+    for (const auto& wait : fn.native_waits) {
+      if (wait.is_join && fn.has_external_wait_scope) continue;
+      sink.report(*fn.file, wait.line, Rule::kClockVisibility,
+                  wait.what + " in " + fn.qualified +
+                      " is invisible to the discrete-event clock but "
+                      "reachable from actor context (spawned via " +
+                      fn.actor_witness +
+                      "); use the dac:: equivalent or wrap the join in "
+                      "simtime::ExternalWaitScope");
+    }
+  }
+}
+
+}  // namespace dac::analyzer::internal
+
+namespace dac::analyzer {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_lock_dot(const std::vector<LockEdge>& edges) {
+  std::string out;
+  out += "digraph lock_order {\n";
+  out += "  rankdir=LR;\n";
+  out += "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const auto& e : edges) {
+    out += "  \"" + dot_escape(e.from) + "\" -> \"" + dot_escape(e.to) +
+           "\" [label=\"" + dot_escape(e.file) + ":" +
+           std::to_string(e.line) + "\"";
+    if (e.in_cycle) out += ", color=red, penwidth=2.0";
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string format_json(const Report& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"files_scanned\": " + std::to_string(report.files_scanned) +
+         ",\n";
+  out += std::string("  \"clean\": ") + (report.clean() ? "true" : "false") +
+         ",\n";
+  out += "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"" + json_escape(d.file) +
+           "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"" +
+           rule_id(d.rule) + "\", \"message\": \"" + json_escape(d.message) +
+           "\"}";
+  }
+  out += report.diagnostics.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"suppressions\": {";
+  bool first = true;
+  for (const auto& [id, count] : report.suppressions) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(id) + "\": " + std::to_string(count);
+  }
+  out += report.suppressions.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dac::analyzer

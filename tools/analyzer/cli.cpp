@@ -67,6 +67,8 @@ std::vector<SourceFile> load_tree(const std::string& root) {
 int run_cli(int argc, const char* const* argv) {
   std::string root = ".";
   std::string baseline_path;
+  std::string lock_dot_path;
+  bool json = false;
   bool update_baseline = false;
   std::vector<std::string> explicit_files;
   for (int i = 1; i < argc; ++i) {
@@ -85,6 +87,16 @@ int run_cli(int argc, const char* const* argv) {
       baseline_path = argv[i];
     } else if (arg == "--update-baseline") {
       update_baseline = true;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--lock-dot") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--lock-dot needs a file\n");
+        return 2;
+      }
+      lock_dot_path = argv[i];
     } else if (arg == "--list-rules") {
       for (const Rule rule : all_rules()) {
         std::printf("%s\n", rule_id(rule));
@@ -93,10 +105,13 @@ int run_cli(int argc, const char* const* argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: dacsched-analyzer [--root DIR] [--baseline FILE]\n"
-          "                         [--update-baseline] [--list-rules]\n"
+          "                         [--update-baseline] [--format=text|json]\n"
+          "                         [--lock-dot FILE] [--list-rules]\n"
           "                         [file...]\n"
           "Scans src/ tests/ examples/ bench/ tools/ under --root (or the\n"
-          "given files) and reports dacsched rule violations. Exit codes:\n"
+          "given files) and reports dacsched rule violations. --format=json\n"
+          "emits the machine-readable report; --lock-dot writes the static\n"
+          "lock-order graph as Graphviz DOT. Exit codes:\n"
           "0 clean, 1 diagnostics or baseline drift, 2 usage/IO error.\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -131,9 +146,21 @@ int run_cli(int argc, const char* const* argv) {
   }
 
   const Report report = analyze(files);
-  for (const auto& d : report.diagnostics) {
-    std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, rule_id(d.rule),
-                d.message.c_str());
+  if (json) {
+    std::fputs(format_json(report).c_str(), stdout);
+  } else {
+    for (const auto& d : report.diagnostics) {
+      std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, rule_id(d.rule),
+                  d.message.c_str());
+    }
+  }
+  if (!lock_dot_path.empty()) {
+    std::ofstream dot(lock_dot_path, std::ios::binary);
+    if (!dot) {
+      std::fprintf(stderr, "cannot write %s\n", lock_dot_path.c_str());
+      return 2;
+    }
+    dot << format_lock_dot(report.lock_edges);
   }
 
   int exit_code = report.clean() ? 0 : 1;
@@ -156,13 +183,16 @@ int run_cli(int argc, const char* const* argv) {
     const auto drift =
         compare_baseline(parse_baseline(text), report.suppressions);
     for (const auto& line : drift) {
-      std::printf("baseline: %s\n", line.c_str());
+      // Keep stdout parseable under --format=json.
+      std::fprintf(json ? stderr : stdout, "baseline: %s\n", line.c_str());
     }
     if (!drift.empty()) exit_code = 1;
   }
-  std::printf("%d file(s), %zu diagnostic(s), %d suppression(s)\n",
-              report.files_scanned, report.diagnostics.size(),
-              report.total_suppressions());
+  if (!json) {
+    std::printf("%d file(s), %zu diagnostic(s), %d suppression(s)\n",
+                report.files_scanned, report.diagnostics.size(),
+                report.total_suppressions());
+  }
   return exit_code;
 }
 

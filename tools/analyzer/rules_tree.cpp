@@ -9,6 +9,7 @@
 #include <string>
 
 #include "analyzer/internal.hpp"
+#include "analyzer/wholeprogram.hpp"
 
 namespace dac::analyzer {
 
@@ -19,8 +20,11 @@ struct RuleEntry {
   const char* id;
 };
 
-constexpr std::array<RuleEntry, 14> kRules = {{
+constexpr std::array<RuleEntry, 17> kRules = {{
     {Rule::kBlockingUnderLock, "blocking-under-lock"},
+    {Rule::kBlockingReachableUnderLock, "blocking-reachable-under-lock"},
+    {Rule::kLockOrderStatic, "lock-order-static"},
+    {Rule::kClockVisibility, "clock-visibility"},
     {Rule::kHandlerCoverage, "handler-coverage"},
     {Rule::kSpanName, "span-name"},
     {Rule::kNodiscard, "nodiscard"},
@@ -506,7 +510,13 @@ Report analyze(const std::vector<SourceFile>& files, const Config& config) {
   for (auto& f : cleaned) {
     internal::check_file(f, mustcheck, sink);
   }
-  return sink.finish();
+  internal::Index index = internal::build_index(cleaned);
+  internal::propagate(index);
+  std::vector<LockEdge> lock_edges;
+  internal::check_wholeprogram(index, sink, &lock_edges);
+  Report report = sink.finish();
+  report.lock_edges = std::move(lock_edges);
+  return report;
 }
 
 }  // namespace dac::analyzer

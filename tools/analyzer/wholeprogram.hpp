@@ -1,0 +1,112 @@
+// Interprocedural layer: a tree-wide symbol index (function and method
+// definitions with body extents, resolved-by-name call sites, lock-guard
+// acquisitions and mutex identities as dataflow facts) and the call-graph
+// fixpoint that propagates "may block", "may acquire", and actor-context
+// reachability across it. The three whole-program rules —
+// blocking-reachable-under-lock, lock-order-static, clock-visibility — are
+// emitted from these facts. Internal to the analyzer; nothing here is part
+// of the public surface in analyzer.hpp.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer/internal.hpp"
+
+namespace dac::analyzer::internal {
+
+// A blocking operation performed directly in a function body (the same kinds
+// the scope-local blocking-under-lock rule matches).
+struct DirectBlock {
+  int line = 0;
+  std::string what;        // "Caller::call", "BlockingQueue pop", ...
+  bool is_cond_wait = false;  // waits release their own lock; see the rules
+};
+
+// A native synchronization primitive the discrete-event clock cannot see.
+struct NativeWait {
+  int line = 0;
+  std::string what;  // "std::latch", "native join of std::thread 'thread_'"
+  bool is_join = false;  // joins are exempt under an ExternalWaitScope
+};
+
+// A call site, resolved later by callee base name against the index. Held
+// guard state is snapshotted at the call so the interprocedural rules can
+// reason about locks without re-walking the body.
+struct CallSite {
+  int line = 0;
+  std::string callee;               // base name after any . -> :: qualifier
+  std::vector<std::string> held;    // resolved mutex ids live at the call
+  int held_count = 0;               // live guards incl. unresolved ones
+  std::string held_guard;           // innermost live guard variable name
+  int held_guard_line = 0;          // its declaration line
+};
+
+// Mutex B acquired while mutex A's guard is live in the same body.
+struct IntraLockEdge {
+  int line = 0;
+  std::string from;  // held mutex id
+  std::string to;    // newly acquired mutex id
+};
+
+// One function or method definition.
+struct Function {
+  std::string name;       // base name ("assign")
+  std::string cls;        // owning class ("" for free functions)
+  std::string qualified;  // "NodeDb::assign" when the class is known
+  CleanFile* file = nullptr;
+  CleanFile* body_file = nullptr;  // file holding the body (== file today)
+  int line = 0;             // 1-based definition line
+  int body_begin_line = 0;  // 1-based line of the opening '{'
+  int body_begin_col = 0;   // 0-based column of the opening '{'
+  int body_end_line = 0;    // 1-based line of the closing '}'
+  std::vector<DirectBlock> direct_blocks;
+  std::vector<CallSite> calls;
+  std::vector<NativeWait> native_waits;
+  std::vector<IntraLockEdge> intra_edges;
+  std::vector<std::string> acquires;  // mutex ids acquired directly
+  bool has_external_wait_scope = false;
+  // Spawns simulation actors (simtime::ActorThread, vnet Process spawn,
+  // AdoptScope): the body — including any entry lambdas, which attribute to
+  // the enclosing function — runs in or next to actor context.
+  bool is_actor_root = false;
+
+  // ---- computed by propagate() --------------------------------------------
+  bool may_block = false;
+  std::string block_witness;  // "recv_grant -> Caller::call" style chain
+  std::set<std::string> acquires_trans;
+  bool actor_reachable = false;
+  std::string actor_witness;  // the root function this was reached from
+};
+
+// The tree-wide index: every recognized definition, a name -> definitions
+// map for call resolution, and the mutex identity table. Mutex identity is
+// the declared dac name string (`Mutex mu_{"fabric.pending"}` => id
+// "fabric.pending") resolved through the owning class when known; guards
+// over mutexes whose identity cannot be resolved still count as held locks
+// but contribute no lock-order edges.
+struct Index {
+  std::vector<Function> functions;  // stable storage; pointers stay valid
+  std::map<std::string, std::vector<Function*>> by_name;
+  // (class name, field name) -> declared mutex id; class "" = namespace
+  // scope. field name -> ids is the fallback for unqualified resolution.
+  std::map<std::pair<std::string, std::string>, std::string> mutex_ids;
+  std::map<std::string, std::set<std::string>> mutex_ids_by_field;
+};
+
+// Builds the index over the scanned set (both passes of parsing: mutex
+// declarations first, then function bodies with guard resolution).
+[[nodiscard]] Index build_index(std::vector<CleanFile>& files);
+
+// Bottom-up fixpoint over the call graph: may_block / block_witness,
+// transitive acquired-mutex sets, and actor-context reachability.
+void propagate(Index& index);
+
+// The three interprocedural rules. Appends every static acquired-while-held
+// edge (with cycle marks) to `edges` for the DOT artifact.
+void check_wholeprogram(Index& index, Sink& sink,
+                        std::vector<LockEdge>* edges);
+
+}  // namespace dac::analyzer::internal
