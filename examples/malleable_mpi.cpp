@@ -4,15 +4,29 @@
 // processes on them with MPI_Comm_spawn, computes with the enlarged world,
 // and shrinks back — the same dynamic-request machinery network-attached
 // accelerators use, pointed at the compute pool.
+//
+// Ported onto the rmlib malleability API (src/elastic): besides asking for
+// nodes itself, the job registers an ElasticAgent so the *scheduler* can
+// also reclaim the grown set under pressure. If a shrink negotiation lands
+// first, the job skips its own release — the set already went back.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 
 #include "core/cluster.hpp"
+#include "elastic/agent.hpp"
+#include "elastic/policy.hpp"
 
 using namespace dac;
+using namespace std::chrono_literals;
 
 int main() {
   auto config = core::DacClusterConfig::paper_testbed(4, 3);
+  // Scheduler-initiated elasticity is live: under dynqueue pressure Maui may
+  // negotiate the grown compute set back before the job releases it.
+  config.elastic_policy = std::make_shared<elastic::BalancedPolicy>();
   core::DacCluster cluster(config);
 
   // The worker executable spawned onto dynamically granted nodes: receives
@@ -49,6 +63,21 @@ int main() {
     std::printf("(client id %llu)\n",
                 static_cast<unsigned long long>(grant.client_id));
 
+    // Malleability API: declare the grown set reclaimable. If the scheduler
+    // shrinks us, the apply callback records it so phase 3 skips the manual
+    // release — dynamic sets are released exactly once.
+    std::atomic<bool> reclaimed{false};
+    auto ecfg = ctx.elastic_config();
+    ecfg.accept_shrink = true;
+    elastic::ElasticAgent agent(ctx.mpi().process(), ecfg);
+    agent.on_shrink([&](const elastic::Reconfig& r) {
+      if (r.client_id == grant.client_id) {
+        std::printf("[job] scheduler reclaimed the grown set\n");
+        reclaimed = true;
+      }
+    });
+    agent.announce();
+
     // Spawn one worker per granted node and scatter slices of the data.
     auto inter = ctx.spawn_workers("malleable.worker", {}, grant.nodes,
                                    ctx.mpi().self(), 0, grant.client_id);
@@ -74,9 +103,17 @@ int main() {
     std::printf("[job] distributed sum = %.0f (expected %.0f)\n", total,
                 expect);
 
-    // Phase 3: shrink back; the nodes return to the pool.
-    ctx.release_compute(grant.client_id);
-    std::printf("[job] released the extra nodes\n");
+    // Phase 3: shrink back; the nodes return to the pool. Drain the agent
+    // first — a reclaim negotiated while we were computing must be applied
+    // before we decide whether a manual release is still needed.
+    (void)agent.service(10ms);
+    agent.stop();
+    if (reclaimed.load()) {
+      std::printf("[job] nothing to release: the scheduler took it back\n");
+    } else {
+      ctx.release_compute(grant.client_id);
+      std::printf("[job] released the extra nodes\n");
+    }
   });
 
   const auto id = cluster.submit_program("malleable", /*nodes=*/1,

@@ -75,6 +75,31 @@ void PrototypeArm::run(vnet::Process& proc) {
             }
           });
 
+  loop.on(msg(kArmReclaim), svc::ExecClass::kMutating,
+          [this](const svc::Request& req, svc::Responder& resp) {
+            util::ByteReader r(req.body);
+            const auto count = r.get<std::int32_t>();
+            int freed = 0;
+            for (const auto& s : pool_) freed += s.held_by == 0 ? 1 : 0;
+            std::vector<std::uint64_t> revoked;
+            // Newest set first (highest id): the most recent holder loses
+            // its accelerators, mirroring the LIFO release order sessions
+            // use voluntarily.
+            while (freed < count && !sets_.empty()) {
+              auto it = std::prev(sets_.end());
+              for (auto i : it->second) pool_[i].held_by = 0;
+              freed += static_cast<int>(it->second.size());
+              revoked.push_back(it->first);
+              kLog.warn("ARM reclaim: revoked set {} ({} accelerator(s))",
+                        it->first, it->second.size());
+              sets_.erase(it);
+            }
+            util::ByteWriter reply;
+            reply.put_bool(freed >= count);
+            reply.put_vector<std::uint64_t>(revoked);
+            resp.ok(std::move(reply).take());
+          });
+
   loop.on(msg(kArmStatus), svc::ExecClass::kReadOnly,
           [this](const svc::Request&, svc::Responder& resp) {
             util::ByteWriter reply;
@@ -123,6 +148,15 @@ void ArmClient::free_set(std::uint64_t set_id) {
   w.put<std::uint64_t>(set_id);
   // An unknown set id comes back as an error reply -> svc::CallError.
   (void)call(kArmFree, std::move(w).take());
+}
+
+std::vector<std::uint64_t> ArmClient::reclaim(int count) {
+  util::ByteWriter w;
+  w.put<std::int32_t>(count);
+  auto payload = call(kArmReclaim, std::move(w).take());
+  util::ByteReader r(payload);
+  (void)r.get_bool();  // satisfied flag; revoked list says what happened
+  return r.get_vector<std::uint64_t>();
 }
 
 ArmPoolStatus ArmClient::status() {

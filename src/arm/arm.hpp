@@ -26,6 +26,7 @@ namespace dac::arm {
 inline constexpr std::uint32_t kArmAlloc = 0x41524D01;    // count -> set
 inline constexpr std::uint32_t kArmFree = 0x41524D02;     // set id
 inline constexpr std::uint32_t kArmStatus = 0x41524D03;   // -> pool state
+inline constexpr std::uint32_t kArmReclaim = 0x41524D04;  // count -> set ids
 inline constexpr std::uint32_t kArmReply = 0x41524D10;    // legacy reply code
 
 struct ArmAllocation {
@@ -90,6 +91,12 @@ class ArmClient {
   ArmAllocation alloc(int count);
   void free_set(std::uint64_t set_id);
   ArmPoolStatus status();
+  // Forcibly revokes whole sets (newest first) until at least `count`
+  // accelerators are back in the pool; returns the revoked set ids. The
+  // standalone ARM has no way to ask the holder — this is the blunt
+  // counterpart of the batch system's negotiated elastic shrink
+  // (docs/ELASTIC.md), kept for the ablation contrast.
+  std::vector<std::uint64_t> reclaim(int count);
 
  private:
   util::Bytes call(std::uint32_t type, util::Bytes body);

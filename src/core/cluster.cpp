@@ -92,6 +92,8 @@ DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
   sched.timing = config_.timing;
   sched.dynamic_first = config_.dynamic_first;
   sched.dyn_owner_pool_cap = config_.dyn_owner_pool_cap;
+  sched.elastic_policy = config_.elastic_policy;
+  sched.elastic_defer_window = config_.elastic_defer_window;
   sched.retry = config_.svc.retry;
   scheduler_ = std::make_unique<maui::MauiScheduler>(head(), sched);
   daemons_.push_back(head().spawn(

@@ -30,6 +30,13 @@ struct DacClusterConfig {
   bool dynamic_first = true;  // the paper's dyn-priority mechanism
   // < 1.0 enables the fairshare cap on dynamic allocations (future work).
   double dyn_owner_pool_cap = 1.0;
+  // Elastic negotiation (src/elastic, docs/ELASTIC.md): a utilization policy
+  // lets the scheduler grow/shrink running jobs. Null keeps elasticity off —
+  // the seed scheduler behaviour.
+  std::shared_ptr<elastic::Policy> elastic_policy;
+  // How long a starved dynamic request waits for a shrink negotiated on its
+  // behalf before it is decided normally.
+  std::chrono::milliseconds elastic_defer_window{5'000};
 
   gpusim::DeviceConfig device;
   dacc::TransferOptions transfer;

@@ -7,6 +7,7 @@
 #include <memory>
 #include <thread>
 
+#include "elastic/agent.hpp"
 #include "minimpi/proc.hpp"
 #include "simtime/clock.hpp"
 #include "util/error.hpp"
@@ -47,6 +48,25 @@ class JobContext {
       session_ = std::make_unique<rmlib::AcSession>(proc_, session_base_);
     }
     return *session_;
+  }
+
+  // ---- elastic negotiation (src/elastic) -------------------------------
+  // Base configuration for an ElasticAgent of this job: pre-filled with the
+  // job id, server address and retry policy; the caller sets capabilities
+  // and wires grow/shrink callbacks before announce(). Typically:
+  //
+  //   elastic::ElasticAgent agent(ctx.mpi().process(), ctx.elastic_config());
+  //   agent.on_shrink([&](const elastic::Reconfig& r) {
+  //     ctx.session().ac_detach(r.client_id);
+  //   });
+  //   agent.announce();
+  //   while (working) { compute(); agent.service(); }
+  [[nodiscard]] elastic::AgentConfig elastic_config() const {
+    elastic::AgentConfig cfg;
+    cfg.job = info_.job;
+    cfg.server = session_base_.server;
+    cfg.retry = session_base_.retry;
+    return cfg;
   }
 
   // ---- malleability (paper §V generalization) --------------------------

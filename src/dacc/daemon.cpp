@@ -297,6 +297,10 @@ void serve(Proc& proc, Comm merged, gpusim::Device& device,
           if (origin.context != minimpi::kControlContext) {
             proc.disconnect(origin);
           }
+          // The accelerator goes back to the pool: wipe its allocations so
+          // the next holder sees a clean device (elastic shrink hands the
+          // node straight to another job).
+          device.mem_reset();
           kLog.debug("daemon rank {} released", st.merged.rank);
           return;
         }
@@ -320,6 +324,7 @@ void serve(Proc& proc, Comm merged, gpusim::Device& device,
         util::ByteReader r(msg.data);
         const auto boundary = r.get<std::int32_t>();
         if (st.merged.rank >= boundary) {
+          device.mem_reset();
           kLog.debug("daemon rank {} abandoned", st.merged.rank);
           return;
         }

@@ -1,0 +1,118 @@
+#include "elastic/broker.hpp"
+
+#include <algorithm>
+
+namespace dac::elastic {
+
+void Broker::register_job(const Registration& reg) {
+  agents_[reg.job] = reg;
+}
+
+const Registration* Broker::agent(torque::JobId job) const {
+  const auto it = agents_.find(job);
+  return it == agents_.end() ? nullptr : &it->second;
+}
+
+bool Broker::offer_pending(torque::JobId job) const {
+  return std::any_of(offers_.begin(), offers_.end(), [job](const auto& kv) {
+    return kv.second.job == job;
+  });
+}
+
+std::uint64_t Broker::start_offer(OfferRecord rec) {
+  rec.id = next_offer_id_++;
+  rec.state = OfferState::kPending;
+  const auto id = rec.id;
+  offers_.emplace(id, std::move(rec));
+  return id;
+}
+
+Broker::OfferRecord* Broker::find(std::uint64_t offer_id) {
+  const auto it = offers_.find(offer_id);
+  return it == offers_.end() ? nullptr : &it->second;
+}
+
+void Broker::erase(std::uint64_t offer_id) { offers_.erase(offer_id); }
+
+void Broker::mark_draining(std::uint64_t offer_id) {
+  if (auto* rec = find(offer_id)) rec->state = OfferState::kDraining;
+}
+
+std::optional<Broker::OfferRecord> Broker::take_draining(
+    torque::JobId job, std::uint64_t client_id) {
+  for (auto it = offers_.begin(); it != offers_.end(); ++it) {
+    if (it->second.state == OfferState::kDraining && it->second.job == job &&
+        it->second.client_id == client_id) {
+      OfferRecord rec = std::move(it->second);
+      offers_.erase(it);
+      return rec;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Broker::OfferRecord> Broker::take_expired(double now) {
+  std::vector<OfferRecord> out;
+  for (auto it = offers_.begin(); it != offers_.end();) {
+    if (it->second.state == OfferState::kPending &&
+        it->second.deadline <= now) {
+      clear_capability(it->second.job, it->second.kind);
+      out.push_back(std::move(it->second));
+      it = offers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<Broker::OfferRecord> Broker::cancel_job(torque::JobId job) {
+  agents_.erase(job);
+  std::vector<OfferRecord> out;
+  for (auto it = offers_.begin(); it != offers_.end();) {
+    if (it->second.job == job) {
+      out.push_back(std::move(it->second));
+      it = offers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<Broker::OfferRecord> Broker::cancel_on_host(
+    const std::string& hostname) {
+  std::vector<OfferRecord> out;
+  for (auto it = offers_.begin(); it != offers_.end();) {
+    const auto& hosts = it->second.hosts;
+    if (std::find(hosts.begin(), hosts.end(), hostname) != hosts.end()) {
+      // Like a nack or timeout, a crash-cancelled negotiation drops the
+      // capability: the agent must re-register (or set_appetite) before the
+      // policy may target this job again.
+      clear_capability(it->second.job, it->second.kind);
+      out.push_back(std::move(it->second));
+      it = offers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void Broker::clear_capability(torque::JobId job, OfferKind kind) {
+  const auto it = agents_.find(job);
+  if (it == agents_.end()) return;
+  if (kind == OfferKind::kGrow) {
+    it->second.can_grow = false;
+  } else {
+    it->second.can_shrink = false;
+  }
+}
+
+void Broker::consume_appetite(torque::JobId job, std::int32_t granted) {
+  const auto it = agents_.find(job);
+  if (it == agents_.end()) return;
+  it->second.appetite = std::max(0, it->second.appetite - granted);
+}
+
+}  // namespace dac::elastic

@@ -1,0 +1,102 @@
+// Server-side bookkeeping of the elastic negotiation: which jobs registered
+// an agent, and every offer in flight with its deadline and (for grow) the
+// slot reservation it pins. The broker is pure state — the PbsServer does
+// all messaging and NodeDb accounting — so the offer lifecycle
+//
+//   pending ──ack-accept──> committed (erased; shrink: draining until the
+//        │                  mother superior's release completes)
+//        ├──nack──────────> reverted (erased, capability cleared)
+//        └──timeout────────> reverted (erased, capability cleared)
+//
+// can be tested exhaustively without a cluster. Not thread-safe: owned by
+// the server and accessed only under its state lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "elastic/protocol.hpp"
+
+namespace dac::elastic {
+
+class Broker {
+ public:
+  enum class OfferState : std::uint8_t {
+    kPending,   // offered, waiting for the agent's ack
+    kDraining,  // shrink accepted; waiting for MS_RELEASE_DONE
+  };
+
+  struct OfferRecord {
+    std::uint64_t id = 0;
+    torque::JobId job = torque::kInvalidJob;
+    OfferKind kind = OfferKind::kGrow;
+    std::uint64_t client_id = 0;  // shrink: the dynamic set on offer
+    std::vector<std::string> hosts;   // grow: reserved; shrink: set members
+    std::vector<std::int32_t> nodes;  // vnet node ids, same order
+    double deadline = 0.0;            // server seconds; pending offers only
+    OfferState state = OfferState::kPending;
+  };
+
+  // Upserts the job's registration (kElastRegister). Re-registration
+  // restores capability bits cleared by an earlier nack/timeout.
+  void register_job(const Registration& reg);
+
+  // The registration, or nullptr when the job never registered (or was
+  // cancelled). Mutable access so the server can decrement the appetite.
+  [[nodiscard]] const Registration* agent(torque::JobId job) const;
+
+  // True while any offer (pending or draining) exists for the job.
+  [[nodiscard]] bool offer_pending(torque::JobId job) const;
+
+  // Inserts a new pending offer and returns its assigned id.
+  std::uint64_t start_offer(OfferRecord rec);
+
+  [[nodiscard]] OfferRecord* find(std::uint64_t offer_id);
+  void erase(std::uint64_t offer_id);
+
+  // Shrink accepted: the offer stays visible (offer_pending == true, so
+  // policies do not re-propose) until the release round-trip completes.
+  void mark_draining(std::uint64_t offer_id);
+
+  // Removes and returns the draining offer matching (job, client_id), if
+  // any — called from the MS_RELEASE_DONE handler.
+  std::optional<OfferRecord> take_draining(torque::JobId job,
+                                           std::uint64_t client_id);
+
+  // Removes and returns every pending offer whose deadline passed. The
+  // caller reverts reservations; capabilities are cleared here.
+  std::vector<OfferRecord> take_expired(double now);
+
+  // Job ended (complete/deleted/failed): drop its registration and return
+  // its removed offers so the caller can revert what the job's own
+  // release_all did not already cover.
+  std::vector<OfferRecord> cancel_job(torque::JobId job);
+
+  // A node died: remove and return every offer that references `hostname`
+  // (grow reservations there must be released; shrink targets are gone).
+  std::vector<OfferRecord> cancel_on_host(const std::string& hostname);
+
+  // Nack/timeout: drop the offered capability so the policy stops proposing
+  // a change the job keeps declining; the agent restores it by
+  // re-registering.
+  void clear_capability(torque::JobId job, OfferKind kind);
+
+  // Grow committed: the job absorbed `granted` nodes.
+  void consume_appetite(torque::JobId job, std::int32_t granted);
+
+  [[nodiscard]] const std::map<torque::JobId, Registration>& registrations()
+      const {
+    return agents_;
+  }
+  [[nodiscard]] std::size_t offer_count() const { return offers_.size(); }
+
+ private:
+  std::map<torque::JobId, Registration> agents_;
+  std::map<std::uint64_t, OfferRecord> offers_;
+  std::uint64_t next_offer_id_ = 1;
+};
+
+}  // namespace dac::elastic

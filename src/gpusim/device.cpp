@@ -77,6 +77,14 @@ void Device::mem_free(DevicePtr ptr) {
   }
 }
 
+void Device::mem_reset() {
+  ScopedLock lock(mu_);
+  stats_.frees += allocated_.size();
+  stats_.bytes_in_use = 0;
+  allocated_.clear();
+  free_list_.assign(1, Block{0, arena_.size()});
+}
+
 std::size_t Device::bytes_free() const {
   ScopedLock lock(mu_);
   std::size_t total = 0;

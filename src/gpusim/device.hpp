@@ -114,6 +114,10 @@ class Device {
   // First-fit allocation; throws DeviceError when out of memory.
   DevicePtr mem_alloc(std::size_t bytes);
   void mem_free(DevicePtr ptr);
+  // Frees every outstanding allocation at once, returning the whole arena to
+  // the free list (cudaDeviceReset analogue). Used when a daemon's set is
+  // released or reclaimed so the next holder starts from a clean device.
+  void mem_reset();
   [[nodiscard]] std::size_t bytes_free() const;
 
   void memcpy_h2d(DevicePtr dst, const void* src, std::size_t bytes);

@@ -42,6 +42,7 @@ SchedulerStatsSnapshot MauiScheduler::stats() const {
   s.dyn_rejected = dyn_rejected_.load();
   s.dyn_capped = dyn_capped_.load();
   s.backfilled = backfilled_.load();
+  s.elast_proposed = elast_proposed_.load();
   return s;
 }
 
@@ -111,9 +112,88 @@ void MauiScheduler::cycle(vnet::Process& proc) {
 
   decay_fairshare(snap.now);
 
+  service_elastic(proc, snap, view);
   if (config_.dynamic_first) service_dynamic(proc, snap, view);
   schedule_static(proc, snap, view);
   if (!config_.dynamic_first) service_dynamic(proc, snap, view);
+}
+
+void MauiScheduler::service_elastic(vnet::Process& proc,
+                                    const torque::QueueSnapshot& snap,
+                                    const std::vector<NodeView>& nodes) {
+  if (!config_.elastic_policy) return;
+  // Drop deferrals whose request left the queue (granted, rejected, or the
+  // job died) so the map cannot grow without bound.
+  std::erase_if(deferred_, [&](const auto& kv) {
+    return std::none_of(
+        snap.dyn.begin(), snap.dyn.end(),
+        [&](const torque::DynQueueEntry& d) { return d.dyn_id == kv.first; });
+  });
+
+  elastic::PoolPressure pressure;
+  pressure.now = snap.now;
+  for (const auto& n : nodes) {
+    if (n.free < 1) continue;
+    if (n.kind == torque::NodeKind::kAccelerator) {
+      ++pressure.free_accel;
+    } else {
+      ++pressure.free_compute;
+    }
+  }
+  pressure.queued_dyn = static_cast<int>(snap.dyn.size());
+
+  std::vector<elastic::DynDemand> demand;
+  demand.reserve(snap.dyn.size());
+  for (const auto& d : snap.dyn) {
+    elastic::DynDemand dd;
+    dd.dyn_id = d.dyn_id;
+    dd.job = d.job;
+    dd.count = d.count;
+    dd.min_count = d.min_count;
+    dd.kind = d.kind;
+    dd.waited_s = std::max(0.0, snap.now - d.arrival);
+    dd.trace_id = d.trace_id;
+    dd.origin_span = d.origin_span;
+    demand.push_back(dd);
+  }
+
+  const auto actions =
+      config_.elastic_policy->evaluate(pressure, snap.elastic, demand);
+  if (actions.empty()) return;
+  const svc::Caller caller(proc, config_.server, config_.retry);
+  // try_emplace: a deferral window starts at the request's first deferral
+  // and is never refreshed — re-deferring every cycle must not extend it.
+  const double defer_until =
+      snap.now +
+      std::chrono::duration<double>(config_.elastic_defer_window).count();
+  for (const auto& a : actions) {
+    if (a.proposal.count <= 0) {
+      // Defer-only: a reclaim already in flight will free the capacity this
+      // request is waiting for; no proposal, no span (deferral is silent).
+      if (a.defer_dyn != 0) deferred_.try_emplace(a.defer_dyn, defer_until);
+      continue;
+    }
+    // A shrink made on a starved request's behalf joins that request's
+    // trace, so the whole negotiation is one causal tree from the dynget.
+    trace::SpanScope span(a.proposal.kind == elastic::OfferKind::kShrink
+                              ? "maui.propose_shrink"
+                              : "maui.propose_grow",
+                          trace::Context{a.trace_id, a.origin_span});
+    span.note("job", std::to_string(a.proposal.job));
+    span.note("count", std::to_string(a.proposal.count));
+    util::ByteWriter w;
+    elastic::put_proposal(w, a.proposal);
+    try {
+      (void)caller.call(torque::MsgType::kElastPropose, std::move(w).take(),
+                        {.deadline = svc::deadlines::kDefault});
+      elast_proposed_.fetch_add(1, std::memory_order_relaxed);
+      if (a.defer_dyn != 0) deferred_.try_emplace(a.defer_dyn, defer_until);
+    } catch (const util::ProtocolError& e) {
+      span.note("error", e.what());
+      kLog.warn("elastic proposal for job {} not applied: {}", a.proposal.job,
+                e.what());
+    }
+  }
 }
 
 void MauiScheduler::service_dynamic(vnet::Process& proc,
@@ -140,6 +220,20 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
   // Strictly FIFO, one at a time — the serialization the paper's Figure 9
   // observes across concurrent requesters.
   for (const auto& d : snap.dyn) {
+    // A request deferred for an in-flight shrink negotiation is skipped
+    // silently (a reject is final, a deferral is not): no decision span, no
+    // simulated decision cost. It is serviced the moment freed capacity can
+    // satisfy it, or decided normally once the window expires.
+    if (const auto dit = deferred_.find(d.dyn_id); dit != deferred_.end()) {
+      if (snap.now < dit->second) {
+        int free = 0;
+        for (const auto& n : nodes) {
+          if (n.kind == d.kind && n.free >= 1) ++free;
+        }
+        if (free < d.min_count) continue;
+      }
+      deferred_.erase(dit);
+    }
     const auto pickup = steady_ns();
     const auto work = config_.timing.sched_dyn_base_cost +
                       d.count * config_.timing.sched_per_node_cost;

@@ -14,9 +14,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "elastic/policy.hpp"
 #include "svc/caller.hpp"
 #include "torque/batch_config.hpp"
 #include "torque/node_db.hpp"
@@ -52,6 +54,14 @@ struct SchedulerConfig {
   // deduplicates retransmitted request-ids, so run/reject decisions are
   // retry-safe.
   svc::RetryPolicy retry;
+  // Elastic negotiation policy (src/elastic). Null disables elasticity
+  // entirely — no proposals, no deferrals, cycle behaviour identical to the
+  // seed scheduler.
+  std::shared_ptr<elastic::Policy> elastic_policy;
+  // How long a dynamic request may be deferred while a shrink negotiation
+  // made on its behalf runs. Past the window the request is decided
+  // normally (usually rejected, since the pool is still short).
+  std::chrono::milliseconds elastic_defer_window{5'000};
 };
 
 struct SchedulerStatsSnapshot {
@@ -61,6 +71,7 @@ struct SchedulerStatsSnapshot {
   std::uint64_t dyn_rejected = 0;
   std::uint64_t dyn_capped = 0;  // rejected by the owner pool cap
   std::uint64_t backfilled = 0;
+  std::uint64_t elast_proposed = 0;  // grow/shrink proposals sent
 };
 
 class MauiScheduler {
@@ -84,6 +95,12 @@ class MauiScheduler {
   };
 
   void cycle(vnet::Process& proc);
+  // Feeds pool pressure and elasticity views to the configured policy and
+  // sends its proposals to the server; a shrink proposal defers the starved
+  // dynamic request it serves instead of rejecting it.
+  void service_elastic(vnet::Process& proc,
+                       const torque::QueueSnapshot& snap,
+                       const std::vector<NodeView>& nodes);
   void service_dynamic(vnet::Process& proc,
                        const torque::QueueSnapshot& snap,
                        std::vector<NodeView>& nodes);
@@ -118,12 +135,18 @@ class MauiScheduler {
   std::map<std::string, double> usage_;  // owner -> node-seconds (decayed)
   double last_decay_s_ = -1.0;
 
+  // Dynamic requests deferred for an in-flight shrink negotiation:
+  // dyn_id -> deadline (server seconds). A deferred request is skipped
+  // silently — no decision span — until capacity arrives or the window ends.
+  std::map<std::uint64_t, double> deferred_;
+
   std::atomic<std::uint64_t> cycles_{0};
   std::atomic<std::uint64_t> jobs_started_{0};
   std::atomic<std::uint64_t> dyn_granted_{0};
   std::atomic<std::uint64_t> dyn_rejected_{0};
   std::atomic<std::uint64_t> dyn_capped_{0};
   std::atomic<std::uint64_t> backfilled_{0};
+  std::atomic<std::uint64_t> elast_proposed_{0};
 };
 
 }  // namespace dac::maui

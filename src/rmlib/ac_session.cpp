@@ -202,6 +202,37 @@ void AcSession::ac_report_lost(std::uint64_t client_id) {
             client_id, gen.count);
 }
 
+std::vector<AcHandle> AcSession::ac_attach(
+    std::uint64_t client_id, const std::vector<vnet::NodeId>& placement) {
+  if (!initialized_) throw util::ProtocolError("AC_Attach before AC_Init");
+  kLog.debug("AC_Attach: client {} ({} accelerator(s), elastic grow)",
+             client_id, placement.size());
+  return attach_set(client_id, placement);
+}
+
+void AcSession::ac_detach(std::uint64_t client_id) {
+  trace::SpanScope span("ac.detach");
+  span.note("job", std::to_string(config_.job));
+  span.note("client", std::to_string(client_id));
+  if (generations_.empty() || generations_.back().client_id != client_id) {
+    throw util::ProtocolError(
+        "AC_Detach: dynamic sets are released as sets, newest first "
+        "(client id " + std::to_string(client_id) + " is not the newest)");
+  }
+  Generation gen = std::move(generations_.back());
+  generations_.pop_back();
+
+  // Survivors pop the generation; the released daemons exit on the abandon
+  // control (or are killed by the mother superior's release protocol, which
+  // the server started when the shrink committed).
+  util::ByteWriter w;
+  w.put<std::int32_t>(gen.first_rank);
+  broadcast_control(dacc::kCtlAbandon, w.bytes());
+  current_ = gen.previous;
+  kLog.info("AC_Detach: dropped client {} ({} accelerator(s))", client_id,
+            gen.count);
+}
+
 void AcSession::release_newest(std::uint64_t client_id, bool send_dynfree) {
   if (generations_.empty() || generations_.back().client_id != client_id) {
     throw util::ProtocolError(

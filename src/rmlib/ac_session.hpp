@@ -113,6 +113,20 @@ class AcSession {
   void ac_report_lost(std::uint64_t client_id);
   void ac_finalize();
 
+  // ---- elastic negotiation (src/elastic) ------------------------------
+  // Attaches a dynamic set the batch system granted WITHOUT a pbs_dynget —
+  // an accepted elastic grow offer: the kElastReconfig message carries the
+  // client id and placement, and the slots are already accounted to the job.
+  // Spawns the daemons and merges them in exactly like AC_Get's MPI phase.
+  std::vector<AcHandle> ac_attach(std::uint64_t client_id,
+                                  const std::vector<vnet::NodeId>& placement);
+  // Drops the newest dynamic set after the batch system reclaimed it — an
+  // accepted elastic shrink offer. Like AC_Free this pops the generation,
+  // but no pbs_dynfree is sent (the server releases the slots itself) and
+  // no collective disconnect runs (the moms may already be tearing the
+  // daemons down; a blocking collective with dying peers would hang).
+  void ac_detach(std::uint64_t client_id);
+
   // Collective AC_Get over the job's compute-node world (paper §III-D):
   // rank 0 aggregates every node's count into a single pbs_dynget, so the
   // server handles one request instead of k serialized ones. All-or-nothing;

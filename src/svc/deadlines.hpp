@@ -17,4 +17,10 @@ inline constexpr std::chrono::milliseconds kDefault{30'000};
 // no scheduling work behind them, so a hung daemon should surface fast.
 inline constexpr std::chrono::milliseconds kControl{10'000};
 
+// Elastic negotiation: the job-side agent answering an offer with its
+// ack/nack. Short — the agent decides from in-memory config, and the server
+// side independently times the offer out (BatchTiming::elastic_offer_timeout)
+// so a silent agent must not pin a reservation for long.
+inline constexpr std::chrono::milliseconds kElasticAck{5'000};
+
 }  // namespace dac::svc::deadlines

@@ -142,6 +142,11 @@ std::string msg_type_name(std::uint32_t type) {
     case as_u32(MsgType::kEvJobRequeue): return "EV_JOB_REQUEUE";
     case as_u32(MsgType::kEvJobFailed): return "EV_JOB_FAILED";
     case as_u32(MsgType::kEvAcReclaim): return "EV_AC_RECLAIM";
+    case as_u32(MsgType::kElastRegister): return "ELAST_REGISTER";
+    case as_u32(MsgType::kElastPropose): return "ELAST_PROPOSE";
+    case as_u32(MsgType::kElastOffer): return "ELAST_OFFER";
+    case as_u32(MsgType::kElastAck): return "ELAST_ACK";
+    case as_u32(MsgType::kElastReconfig): return "ELAST_RECONFIG";
     // Fault-injection event codes (src/faults/fault_plan.hpp); raw hex so
     // svc does not depend on the faults library for a string table.
     case 0xFA000001: return "EV_FAULT_DROP";
@@ -153,6 +158,7 @@ std::string msg_type_name(std::uint32_t type) {
     case 0x41524D01: return "ARM_ALLOC";
     case 0x41524D02: return "ARM_FREE";
     case 0x41524D03: return "ARM_STATUS";
+    case 0x41524D04: return "ARM_RECLAIM";
     case 0x41524D10: return "ARM_REPLY";
     default: break;
   }

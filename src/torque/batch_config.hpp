@@ -63,6 +63,12 @@ struct BatchTiming {
   // up enforcement without also shrinking the liveness window.
   msec mom_walltime_check_interval{0};
 
+  // Elastic negotiation: how long a pending offer (and its grow-side slot
+  // reservation) may wait for the job agent's ack before the server reverts
+  // it. Swept on the server's liveness tick, so effective resolution is
+  // mom_heartbeat_interval.
+  msec elastic_offer_timeout{2'000};
+
   // Test profile: everything fast, shapes preserved.
   static BatchTiming fast() { return BatchTiming{}; }
 

@@ -75,6 +75,16 @@ enum class MsgType : std::uint32_t {
   kEvJobRequeue,
   kEvJobFailed,
   kEvAcReclaim,
+
+  // Elastic negotiation (scheduler-initiated grow/shrink, src/elastic):
+  // offer -> ack/nack -> reconfigure. Register/Propose/Ack are handled by
+  // the server's ServiceLoop; Offer/Reconfig by the job-side ElasticAgent
+  // loop. Wire structs live in elastic/protocol.hpp.
+  kElastRegister = 0x5430'0700,  // agent -> server: job, address, caps
+  kElastPropose,                 // maui -> server: grow/shrink proposal
+  kElastOffer,                   // server -> agent: offer id, kind, hosts
+  kElastAck,                     // agent -> server: offer id, accept flag
+  kElastReconfig,                // server -> agent: committed new footprint
 };
 
 inline constexpr std::uint32_t as_u32(MsgType t) {

@@ -61,6 +61,8 @@ void put_queue_snapshot(util::ByteWriter& w, const QueueSnapshot& s) {
     w.put<std::uint64_t>(d.trace_id);
     w.put<std::uint64_t>(d.origin_span);
   }
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(s.elastic.size()));
+  for (const auto& v : s.elastic) elastic::put_job_view(w, v);
 }
 
 QueueSnapshot get_queue_snapshot(util::ByteReader& r) {
@@ -82,6 +84,11 @@ QueueSnapshot get_queue_snapshot(util::ByteReader& r) {
     d.trace_id = r.get<std::uint64_t>();
     d.origin_span = r.get<std::uint64_t>();
     s.dyn.push_back(d);
+  }
+  const auto ne = r.get<std::uint32_t>();
+  s.elastic.reserve(ne);
+  for (std::uint32_t i = 0; i < ne; ++i) {
+    s.elastic.push_back(elastic::get_job_view(r));
   }
   return s;
 }
@@ -112,10 +119,12 @@ void PbsServer::run(vnet::Process& proc) {
   svc::ServiceLoop loop(*endpoint_, cfg, &metrics_);
   register_handlers(loop);
   // Failure detector: advance liveness at the heartbeat cadence so a dead
-  // node is declared suspect/down even when nobody runs pbsnodes.
+  // node is declared suspect/down even when nobody runs pbsnodes. The same
+  // tick sweeps elastic offers whose ack deadline passed.
   loop.add_tick(timing_.mom_heartbeat_interval, [this] {
     WriterLock lock(state_mu_);
     refresh_liveness();
+    sweep_elastic_offers();
   });
   loop.run();
   kLog.info("pbs_server shutting down");
@@ -176,6 +185,9 @@ void PbsServer::register_handlers(svc::ServiceLoop& loop) {
   mut(MsgType::kRunJob, &PbsServer::on_run_job);
   mut(MsgType::kRunDyn, &PbsServer::on_run_dyn);
   mut(MsgType::kRejectDyn, &PbsServer::on_reject_dyn);
+  mut(MsgType::kElastRegister, &PbsServer::on_elast_register);
+  mut(MsgType::kElastPropose, &PbsServer::on_elast_propose);
+  mut(MsgType::kElastAck, &PbsServer::on_elast_ack);
 
   note(MsgType::kJobStarted, &PbsServer::on_job_started);
   note(MsgType::kJobComplete, &PbsServer::on_job_complete);
@@ -366,6 +378,7 @@ void PbsServer::fail_jobs_on(const std::string& hostname) {
       rec.ms_valid = false;
     }
     nodes_.release_all(id);
+    elastic_.cancel_job(id);  // reservations freed by release_all above
     reject_job_dyns(rec);
     rec.dyn_sets.clear();
     rec.info.compute_hosts.clear();
@@ -413,6 +426,18 @@ void PbsServer::reclaim_accel_slots(const std::string& hostname) {
       reclaimed = true;
     }
   }
+  // Elastic offers touching the dead host cannot complete. Grow
+  // reservations are not in any job host list (the loop above never sees
+  // them), so release every reserved slot here — including those on hosts
+  // that are still alive.
+  for (const auto& offer : elastic_.cancel_on_host(hostname)) {
+    if (offer.kind == elastic::OfferKind::kGrow) {
+      for (const auto& h : offer.hosts) nodes_.release(h, offer.job);
+    }
+    kLog.warn("elastic offer {} for job {} cancelled: node '{}' down",
+              offer.id, offer.job, hostname);
+    reclaimed = true;
+  }
   if (reclaimed) wake_scheduler();
 }
 
@@ -434,6 +459,7 @@ void PbsServer::on_delete_job(const rpc::Request& req, svc::Responder& resp) {
     }
     nodes_.release_all(id);
   }
+  elastic_.cancel_job(id);  // reservations freed by release_all above
   rec.info.state = JobState::kCancelled;
   rec.info.end_time = now_s();
   resp.ok();
@@ -576,6 +602,13 @@ void PbsServer::on_dynfree(const rpc::Request& req, svc::Responder& resp) {
   // Positive reply first; disassociation proceeds while the application
   // continues (paper §III-D).
   resp.ok();
+  (void)release_dyn_set(job_id, rec, client_id);
+}
+
+bool PbsServer::release_dyn_set(JobId job_id, JobRecord& rec,
+                                std::uint64_t client_id) {
+  auto set = rec.dyn_sets.find(client_id);
+  if (set == rec.dyn_sets.end()) return false;
 
   // The mother superior's DISJOIN protocol is a blocking collective with
   // every released mom — a down host would hang it. Release dead hosts
@@ -597,16 +630,17 @@ void PbsServer::on_dynfree(const rpc::Request& req, svc::Responder& resp) {
     w.put<std::uint64_t>(client_id);
     put_host_refs(w, host_refs(live));
     rpc::notify(*endpoint_, rec.ms, MsgType::kMomRelease, std::move(w).take());
-  } else {
-    // No mother superior (already exiting) or nothing left alive: free
-    // directly.
-    for (const auto& h : live) nodes_.release(h, job_id);
-    std::erase_if(rec.info.dyn_accel_hosts, [&](const std::string& h) {
-      return std::find(live.begin(), live.end(), h) != live.end();
-    });
-    rec.dyn_sets.erase(set);
-    wake_scheduler();
+    return true;
   }
+  // No mother superior (already exiting) or nothing left alive: free
+  // directly.
+  for (const auto& h : live) nodes_.release(h, job_id);
+  std::erase_if(rec.info.dyn_accel_hosts, [&](const std::string& h) {
+    return std::find(live.begin(), live.end(), h) != live.end();
+  });
+  rec.dyn_sets.erase(set);
+  wake_scheduler();
+  return false;
 }
 
 void PbsServer::on_ms_release_done(const rpc::Request& req) {
@@ -625,6 +659,12 @@ void PbsServer::on_ms_release_done(const rpc::Request& req) {
   });
   rec.dyn_sets.erase(set);
   kLog.info("job {} released dynamic set {}", job_id, client_id);
+  // If this release completed an accepted elastic shrink, the negotiation is
+  // over: the offer stops blocking new proposals for the job.
+  if (const auto offer = elastic_.take_draining(job_id, client_id)) {
+    kLog.info("elastic shrink of job {} committed (offer {}, set {})",
+              job_id, offer->id, client_id);
+  }
   wake_scheduler();
 }
 
@@ -673,6 +713,9 @@ void PbsServer::on_job_complete(const rpc::Request& req) {
   if (it == jobs_.end()) return;
   auto& rec = it->second;
   nodes_.release_all(id);
+  // Drop elastic state with the job. Grow reservations are assigned under
+  // the job id, so release_all above already freed them — no extra release.
+  elastic_.cancel_job(id);
   rec.info.state = JobState::kComplete;
   rec.info.exit_status = exit_status;
   rec.info.end_time = now_s();
@@ -709,6 +752,30 @@ void PbsServer::on_get_queue(const rpc::Request& req, svc::Responder& resp) {
     snap.dyn.push_back(DynQueueEntry{d.id, d.job, d.count, d.min_count,
                                      d.kind, d.arrival_s, d.trace_id,
                                      d.origin_span});
+  }
+  for (const auto& [job_id, reg] : elastic_.registrations()) {
+    const auto jit = jobs_.find(job_id);
+    if (jit == jobs_.end()) continue;
+    const auto& rec = jit->second;
+    if (rec.info.state != JobState::kRunning &&
+        rec.info.state != JobState::kDynQueued) {
+      continue;
+    }
+    elastic::JobView v;
+    v.job = job_id;
+    v.can_grow = reg.can_grow;
+    v.can_shrink = reg.can_shrink;
+    v.grow_kind = reg.grow_kind;
+    v.appetite = reg.appetite;
+    v.offer_pending = elastic_.offer_pending(job_id);
+    for (const auto& [cid, hosts] : rec.dyn_sets) {
+      v.shrinkable_sets.push_back(cid);
+    }
+    if (!rec.dyn_sets.empty()) {
+      v.newest_set_size =
+          static_cast<std::int32_t>(rec.dyn_sets.rbegin()->second.size());
+    }
+    snap.elastic.push_back(std::move(v));
   }
   util::ByteWriter w;
   put_queue_snapshot(w, snap);
@@ -897,6 +964,256 @@ void PbsServer::on_reject_dyn(const rpc::Request& req, svc::Responder& resp) {
   reply.service_seconds = static_cast<double>(done_ns - pickup_ns) * 1e-9;
   kLog.info("dyn {} for job {} rejected by scheduler", dyn_id, dyn.job);
   finish_dyn(dyn, reply);
+}
+
+// ---------------------------------------------------- elastic negotiation
+
+void PbsServer::on_elast_register(const rpc::Request& req,
+                                  svc::Responder& resp) {
+  util::ByteReader r(req.body);
+  const auto reg = elastic::get_registration(r);
+  auto it = jobs_.find(reg.job);
+  if (it == jobs_.end()) {
+    resp.error(ReplyCode::kUnknownJob, "elast_register: no such job");
+    return;
+  }
+  const auto state = it->second.info.state;
+  if (state != JobState::kRunning && state != JobState::kDynQueued) {
+    resp.error(ReplyCode::kBadRequest, "elast_register: job not running");
+    return;
+  }
+  trace::note("job", std::to_string(reg.job));
+  elastic_.register_job(reg);
+  kLog.info("job {} registered elastic agent at {} (grow {}, shrink {}, "
+            "appetite {})",
+            reg.job, reg.agent.str(), static_cast<int>(reg.can_grow),
+            static_cast<int>(reg.can_shrink), reg.appetite);
+  resp.ok();
+  wake_scheduler();
+}
+
+void PbsServer::on_elast_propose(const rpc::Request& req,
+                                 svc::Responder& resp) {
+  util::ByteReader r(req.body);
+  const auto prop = elastic::get_proposal(r);
+  const auto* reg = elastic_.agent(prop.job);
+  auto it = jobs_.find(prop.job);
+  if (reg == nullptr || it == jobs_.end()) {
+    resp.error(ReplyCode::kBadRequest, "elast_propose: job not registered");
+    return;
+  }
+  auto& rec = it->second;
+  if (rec.info.state != JobState::kRunning &&
+      rec.info.state != JobState::kDynQueued) {
+    resp.error(ReplyCode::kBadRequest, "elast_propose: job not running");
+    return;
+  }
+  if (elastic_.offer_pending(prop.job)) {
+    resp.error(ReplyCode::kBadRequest, "elast_propose: negotiation in flight");
+    return;
+  }
+  if (prop.count <= 0) {
+    resp.error(ReplyCode::kBadRequest, "elast_propose: need count > 0");
+    return;
+  }
+  trace::note("job", std::to_string(prop.job));
+
+  elastic::Broker::OfferRecord offer;
+  offer.job = prop.job;
+  offer.kind = prop.kind;
+  offer.deadline =
+      now_s() +
+      std::chrono::duration<double>(timing_.elastic_offer_timeout).count();
+
+  if (prop.kind == elastic::OfferKind::kGrow) {
+    if (!reg->can_grow) {
+      resp.error(ReplyCode::kBadRequest, "elast_propose: job cannot grow");
+      return;
+    }
+    // Reserve free slots immediately so the offer window cannot be raced by
+    // a normal grant. The reservation is assigned under the job id, so a
+    // dying job's release_all frees it without knowing about the offer.
+    const int slots = prop.node_kind == NodeKind::kAccelerator
+                          ? 1
+                          : rec.info.spec.resources.ppn;
+    for (const auto& n : nodes_.snapshot()) {
+      if (static_cast<std::int32_t>(offer.hosts.size()) >= prop.count) break;
+      if (n.kind != prop.node_kind || !n.up || n.free_slots() < slots) {
+        continue;
+      }
+      if (!nodes_.assign(n.hostname, prop.job, slots)) continue;
+      offer.hosts.push_back(n.hostname);
+      offer.nodes.push_back(n.node_id);
+    }
+    if (offer.hosts.empty()) {
+      resp.error(ReplyCode::kError, "elast_propose: no free nodes");
+      return;
+    }
+  } else {
+    if (!reg->can_shrink) {
+      resp.error(ReplyCode::kBadRequest, "elast_propose: job cannot shrink");
+      return;
+    }
+    if (rec.dyn_sets.empty()) {
+      resp.error(ReplyCode::kBadRequest, "elast_propose: nothing to shrink");
+      return;
+    }
+    // Dynamic sets release LIFO (rmlib generations): offer the newest.
+    const auto newest = rec.dyn_sets.rbegin();
+    offer.client_id = newest->first;
+    offer.hosts = newest->second;
+    for (const auto& ref : host_refs(offer.hosts)) {
+      offer.nodes.push_back(ref.node);
+    }
+  }
+
+  const auto offer_id = elastic_.start_offer(offer);
+  elastic::Offer wire;
+  wire.offer_id = offer_id;
+  wire.job = prop.job;
+  wire.kind = prop.kind;
+  wire.client_id = offer.client_id;
+  wire.hosts = offer.hosts;
+  wire.nodes = offer.nodes;
+  util::ByteWriter w;
+  elastic::put_offer(w, wire);
+  rpc::notify(*endpoint_, reg->agent, MsgType::kElastOffer,
+              std::move(w).take());
+  kLog.info("elastic {} offer {} for job {}: {} host(s)",
+            elastic::offer_kind_name(prop.kind), offer_id, prop.job,
+            wire.hosts.size());
+  util::ByteWriter reply;
+  reply.put<std::uint64_t>(offer_id);
+  resp.ok(std::move(reply).take());
+}
+
+void PbsServer::on_elast_ack(const rpc::Request& req, svc::Responder& resp) {
+  util::ByteReader r(req.body);
+  const auto ack = elastic::get_ack(r);
+  auto* offer = elastic_.find(ack.offer_id);
+  if (offer == nullptr ||
+      offer->state != elastic::Broker::OfferState::kPending ||
+      offer->job != ack.job) {
+    // Late ack: the offer expired (or the job died) and was reverted
+    // already; the agent just lost the race.
+    resp.error(ReplyCode::kBadRequest, "elast_ack: no such pending offer");
+    return;
+  }
+  trace::note("job", std::to_string(ack.job));
+  auto it = jobs_.find(ack.job);
+  if (!ack.accept || it == jobs_.end()) {
+    // Nack (or the job record vanished under the offer): revert the
+    // reservation and stop proposing this direction until the agent
+    // re-registers with fresh capabilities.
+    const elastic::Broker::OfferRecord removed = *offer;
+    elastic_.erase(ack.offer_id);
+    elastic_.clear_capability(removed.job, removed.kind);
+    if (removed.kind == elastic::OfferKind::kGrow) {
+      for (const auto& h : removed.hosts) nodes_.release(h, removed.job);
+    }
+    kLog.info("elastic offer {} for job {} declined; reverted", ack.offer_id,
+              ack.job);
+    resp.ok();
+    wake_scheduler();
+    return;
+  }
+  auto& rec = it->second;
+  if (offer->kind == elastic::OfferKind::kGrow) {
+    const elastic::Broker::OfferRecord committed = *offer;
+    elastic_.erase(ack.offer_id);
+    commit_elastic_grow(rec, committed);
+  } else {
+    // Tell the agent the committed footprint first so the application
+    // detaches from the set, then run the regular release path.
+    const std::uint64_t client_id = offer->client_id;
+    elastic::Reconfig re;
+    re.offer_id = ack.offer_id;
+    re.job = ack.job;
+    re.kind = elastic::OfferKind::kShrink;
+    re.client_id = client_id;
+    re.hosts = offer->hosts;
+    re.nodes = offer->nodes;
+    if (const auto* areg = elastic_.agent(ack.job)) {
+      util::ByteWriter w;
+      elastic::put_offer(w, re);
+      rpc::notify(*endpoint_, areg->agent, MsgType::kElastReconfig,
+                  std::move(w).take());
+    }
+    if (rec.dyn_sets.find(client_id) == rec.dyn_sets.end()) {
+      // The application freed the set itself while the offer was pending:
+      // nothing left to reclaim.
+      elastic_.erase(ack.offer_id);
+    } else if (release_dyn_set(ack.job, rec, client_id)) {
+      // Forwarded to the mother superior; the offer drains until
+      // MS_RELEASE_DONE so policies do not re-propose meanwhile.
+      elastic_.mark_draining(ack.offer_id);
+    } else {
+      elastic_.erase(ack.offer_id);
+    }
+    kLog.info("elastic shrink accepted by job {}: releasing set {}", ack.job,
+              client_id);
+  }
+  resp.ok();
+  wake_scheduler();
+}
+
+void PbsServer::commit_elastic_grow(
+    JobRecord& rec, const elastic::Broker::OfferRecord& offer) {
+  // The reservation must still be intact: every reserved host shows the job
+  // among its holders. Slot conservation is the invariant the negotiation
+  // promises — no double grant, no leak.
+  for (const auto& h : offer.hosts) {
+    const NodeStatus* n = nodes_.find(h);
+    DAC_CHECK(n != nullptr &&
+                  std::find(n->jobs.begin(), n->jobs.end(), offer.job) !=
+                      n->jobs.end(),
+              "elastic grow: reservation on '{}' lost before commit", h);
+  }
+  const auto client_id = next_client_id_++;
+  rec.dyn_sets[client_id] = offer.hosts;
+  rec.info.dyn_accel_hosts.insert(rec.info.dyn_accel_hosts.end(),
+                                  offer.hosts.begin(), offer.hosts.end());
+  elastic_.consume_appetite(offer.job,
+                            static_cast<std::int32_t>(offer.hosts.size()));
+
+  const auto refs = host_refs(offer.hosts);
+  // Forward the addition to the mother superior first, then tell the agent —
+  // the same ordering as a dynget grant (§III-D), so the moms know the set
+  // before the application starts using it.
+  if (rec.ms_valid) {
+    util::ByteWriter w;
+    w.put<std::uint64_t>(offer.job);
+    w.put<std::uint64_t>(0);  // no dynget behind this addition
+    w.put<std::uint64_t>(client_id);
+    put_host_refs(w, refs);
+    rpc::notify(*endpoint_, rec.ms, MsgType::kMomDynAdd, std::move(w).take());
+  }
+  if (const auto* reg = elastic_.agent(offer.job)) {
+    elastic::Reconfig re;
+    re.offer_id = offer.id;
+    re.job = offer.job;
+    re.kind = elastic::OfferKind::kGrow;
+    re.client_id = client_id;
+    re.hosts = offer.hosts;
+    re.nodes = offer.nodes;
+    util::ByteWriter w;
+    elastic::put_offer(w, re);
+    rpc::notify(*endpoint_, reg->agent, MsgType::kElastReconfig,
+                std::move(w).take());
+  }
+  kLog.info("elastic grow committed for job {}: {} host(s), client id {}",
+            offer.job, offer.hosts.size(), client_id);
+}
+
+void PbsServer::sweep_elastic_offers() {
+  for (const auto& offer : elastic_.take_expired(now_s())) {
+    if (offer.kind == elastic::OfferKind::kGrow) {
+      for (const auto& h : offer.hosts) nodes_.release(h, offer.job);
+    }
+    kLog.warn("elastic offer {} for job {} timed out; reverted", offer.id,
+              offer.job);
+    wake_scheduler();
+  }
 }
 
 }  // namespace dac::torque

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "elastic/broker.hpp"
 #include "svc/config.hpp"
 #include "svc/metrics.hpp"
 #include "svc/service_loop.hpp"
@@ -61,6 +62,9 @@ struct QueueSnapshot {
   double now = 0.0;                   // server clock, for backfill horizons
   std::vector<JobInfo> jobs;          // every known job, all states
   std::vector<DynQueueEntry> dyn;     // active dynamic requests, FIFO
+  // Elasticity views of registered jobs (src/elastic), for the scheduler's
+  // grow/shrink policies.
+  std::vector<elastic::JobView> elastic;
 };
 
 void put_queue_snapshot(util::ByteWriter& w, const QueueSnapshot& s);
@@ -158,6 +162,32 @@ class PbsServer {
   void on_reject_dyn(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
 
+  // ---- elastic negotiation (src/elastic) -------------------------------
+  // kElastRegister/kElastPropose/kElastAck handlers. Offers never block the
+  // serialized lane: an offer is a notification to the job's agent, the ack
+  // arrives as a separate request, and stale offers are swept on the
+  // liveness tick.
+  void on_elast_register(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_elast_propose(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_elast_ack(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  // Commits an accepted grow offer: turns the reservation into a dynamic
+  // set, notifies the mother superior, tells the agent the new footprint.
+  void commit_elastic_grow(JobRecord& rec,
+                           const elastic::Broker::OfferRecord& offer)
+      DAC_REQUIRES(state_mu_);
+  // Reverts expired offers (grow: releases the reserved slots).
+  void sweep_elastic_offers() DAC_REQUIRES(state_mu_);
+
+  // Releases dynamic set `client_id` of `rec` the way on_dynfree does: dead
+  // hosts freed directly, the live remainder forwarded to the mother
+  // superior. Returns true when forwarded (MS_RELEASE_DONE completes it
+  // later), false when the set was freed and erased here.
+  bool release_dyn_set(JobId job_id, JobRecord& rec, std::uint64_t client_id)
+      DAC_REQUIRES(state_mu_);
+
   void wake_scheduler() DAC_REQUIRES(state_mu_);
 
   // ---- failure detector + recovery (fault-tolerance extension) ---------
@@ -199,6 +229,7 @@ class PbsServer {
   SharedMutex state_mu_{"server.state"};
 
   NodeDb nodes_ DAC_GUARDED_BY(state_mu_);
+  elastic::Broker elastic_ DAC_GUARDED_BY(state_mu_);
   std::map<JobId, JobRecord> jobs_ DAC_GUARDED_BY(state_mu_);
   std::map<std::uint64_t, DynRecord> dyn_ DAC_GUARDED_BY(state_mu_);
   // Active dyn ids, FIFO.

@@ -7,8 +7,13 @@
 // order race-dependent even after normalization.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <memory>
 
+#include "elastic/agent.hpp"
+#include "elastic/policy.hpp"
 #include "harness/scenario.hpp"
 
 namespace dac::testing {
@@ -68,12 +73,76 @@ std::string run_dyn_flow() {
   return s.trace().normalized(trace_id);
 }
 
+// Elastic shrink flow: a hog job holds the only accelerator and registers a
+// shrink-capable ElasticAgent; a second job's dynget starves, and the
+// ShrinkUnderPressure policy negotiates the hog's set back. The golden is
+// the requester's trace — one causal tree from its serve.DYN_GET through
+// maui.propose_shrink, the offer/ack round-trip, the hog's elastic.apply /
+// ac.detach, and the re-grant of the reclaimed slot. Deferred dyngets are
+// silent (no spans), so the number of scheduler cycles before the proposal
+// does not perturb the tree.
+std::string run_elastic_shrink_flow() {
+  using namespace std::chrono_literals;
+  std::atomic<bool> hog_ready{false};
+  std::atomic<bool> done{false};
+  Scenario s;
+  s.compute_nodes(2).accel_nodes(1);
+  s.config().elastic_policy =
+      std::make_shared<elastic::ShrinkUnderPressurePolicy>(
+          elastic::ShrinkUnderPressurePolicy::Config{.queue_threshold = 1,
+                                                     .min_wait_s = 0.0});
+  s.program("golden_hog", [&](core::JobContext& ctx) {
+    auto& ses = ctx.session();
+    (void)ses.ac_init();
+    auto got = ses.ac_get(1);
+    ASSERT_TRUE(got.granted);
+    auto cfg = ctx.elastic_config();
+    cfg.accept_shrink = true;
+    elastic::ElasticAgent agent(ctx.mpi().process(), cfg);
+    agent.on_shrink(
+        [&](const elastic::Reconfig& r) { ses.ac_detach(r.client_id); });
+    agent.announce();
+    hog_ready = true;
+    while (!done.load()) (void)agent.service(5ms);
+    // Grace drain: apply a reconfigure committed just before `done`.
+    const auto grace = simtime::now() + 200ms;
+    while (simtime::now() < grace) (void)agent.service(5ms);
+    agent.stop();
+    ses.ac_finalize();
+  });
+  s.program("golden_req", [](core::JobContext& ctx) {
+    auto& ses = ctx.session();
+    (void)ses.ac_init();
+    auto got = ses.ac_get(1);
+    ASSERT_TRUE(got.granted);
+    const auto p = ses.ac_mem_alloc(got.handles[0], 64);
+    ses.ac_mem_free(got.handles[0], p);
+    ses.ac_free(got.client_id);
+    ses.ac_finalize();
+  });
+  const auto hog_id = s.submit_program("golden_hog", /*nodes=*/1, /*acpn=*/0);
+  EXPECT_TRUE(await([&] { return hog_ready.load(); }, 30'000ms));
+  const auto req_id = s.submit_program("golden_req", /*nodes=*/1, /*acpn=*/0);
+  EXPECT_TRUE(s.wait_job(req_id, 30'000ms).has_value());
+  done = true;
+  EXPECT_TRUE(s.wait_job(hog_id, 30'000ms).has_value());
+  const auto trace_id = s.await_job_trace(req_id);
+  EXPECT_NE(trace_id, 0u);
+  export_if_requested(s, "elastic_shrink_flow.trace.json");
+  return s.trace().normalized(trace_id);
+}
+
 TEST(GoldenTraceTest, StaticAllocationFlowGolden) {
   EXPECT_TRUE(matches_golden("static_flow", run_static_flow()));
 }
 
 TEST(GoldenTraceTest, DynGetDynFreeFlowGolden) {
   EXPECT_TRUE(matches_golden("dyn_flow", run_dyn_flow()));
+}
+
+TEST(GoldenTraceTest, ElasticShrinkRegrantFlowGolden) {
+  EXPECT_TRUE(
+      matches_golden("elastic_shrink_flow", run_elastic_shrink_flow()));
 }
 
 TEST(GoldenTraceTest, NormalizedTraceIsDeterministicAcrossRuns) {

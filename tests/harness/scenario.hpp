@@ -17,6 +17,7 @@
 // CI uploads those files when a golden test fails (see docs/TRACING.md).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -29,9 +30,27 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.hpp"
+#include "simtime/clock.hpp"
 #include "trace/trace.hpp"
 
 namespace dac::testing {
+
+// Polls `cond` every `interval` until it returns true or `timeout` of
+// scenario time elapses; returns the predicate's final value. The predicate
+// may have side effects (e.g. retrying a dynget until it is granted). This
+// is the one sanctioned sleep-poll of the test tree — use it instead of
+// hand-rolled sleep loops so the suppression stays centralized here.
+inline bool await(const std::function<bool()>& cond,
+                  std::chrono::milliseconds timeout,
+                  std::chrono::milliseconds interval =
+                      std::chrono::milliseconds(5)) {
+  const auto deadline = simtime::now() + timeout;
+  while (!cond()) {
+    if (simtime::now() >= deadline) return cond();
+    simtime::sleep_for(interval);  // NOLINT-DACSCHED(sleep-poll)
+  }
+  return true;
+}
 
 // Read-only view over a snapshot of recorded spans.
 class TraceView {
