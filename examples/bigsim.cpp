@@ -121,6 +121,14 @@ int main(int argc, char** argv) {
   const auto events = stats1.waiters_fired - stats0.waiters_fired;
   const auto advances = stats1.advances - stats0.advances;
 
+  // A partial run must not leave a fresh-looking benchmark artifact behind:
+  // fail before touching BENCH_sim_scale.json, not after.
+  if (completed != jobs) {
+    std::fprintf(stderr, "bigsim: FAILED — %zu/%zu jobs completed\n", completed,
+                 jobs);
+    return 1;
+  }
+
   std::FILE* out = std::fopen("BENCH_sim_scale.json", "w");
   if (out != nullptr) {
     std::fprintf(out,
@@ -151,5 +159,5 @@ int main(int argc, char** argv) {
       virtual_seconds / wall_seconds,
       static_cast<unsigned long long>(events),
       static_cast<double>(events) / wall_seconds);
-  return completed == jobs ? 0 : 1;
+  return 0;
 }

@@ -60,8 +60,8 @@ DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
   // The server object must exist before the daemon executables register:
   // back-end heartbeats need its address, and the fault plan exports its
   // event counters into the server's metrics registry.
-  server_ =
-      std::make_unique<torque::PbsServer>(head(), config_.timing, config_.svc);
+  server_ = std::make_unique<torque::PbsServer>(
+      head(), config_.timing, config_.svc, config_.node_db_shards);
 
   fault_plan_ = config_.fault_plan ? config_.fault_plan : plan_from_env();
   if (fault_plan_) {
@@ -95,6 +95,9 @@ DacCluster::DacCluster(DacClusterConfig config) : config_(std::move(config)) {
   sched.elastic_policy = config_.elastic_policy;
   sched.elastic_defer_window = config_.elastic_defer_window;
   sched.retry = config_.svc.retry;
+  sched.incremental_fetch = config_.sched_incremental_fetch;
+  sched.full_rescan_every = config_.sched_full_rescan_every;
+  sched.batched_dyn = config_.sched_batched_dyn;
   scheduler_ = std::make_unique<maui::MauiScheduler>(head(), sched);
   daemons_.push_back(head().spawn(
       {.name = "maui"},

@@ -51,6 +51,17 @@ struct DacClusterConfig {
   // defaults keep the seed behavior — and the Figure 7-9 shapes — unchanged.
   svc::ServiceTuning svc;
 
+  // ---- high-throughput scheduling (docs/SCHEDULING.md) ------------------
+  // Incremental kGetSched cycles folded into the scheduler's QueueMirror;
+  // off = the legacy full kGetQueue + kGetNodes fetch pair (ablation).
+  bool sched_incremental_fetch = true;
+  // Forced full-rescan cadence while incremental (drift backstop).
+  int sched_full_rescan_every = 16;
+  // One kDynDecide batch per cycle instead of per-request kRunDyn/kRejectDyn.
+  bool sched_batched_dyn = true;
+  // Lock shards in the server's node database; <= 0 uses the default.
+  int node_db_shards = 0;
+
   // Deterministic failure injection (docs/FAULTS.md): when set, the plan is
   // installed as the fabric's fault injector and wired into the server's
   // metrics registry before any daemon boots. fail_node()/recover_node()

@@ -1,0 +1,66 @@
+// The scheduler's local mirror of the server's scheduling state, fed by
+// kGetSched deltas (torque/sched_feed.hpp).
+//
+// The contract that makes incremental fetching safe is reconstruction
+// equivalence: after apply()ing any prefix of deltas, queue() and
+// node_views() must be byte-identical to what a full fetch at the same
+// instant would have produced. The server guarantees the inputs (every
+// scheduler-visible job/node mutation marks the entity dirty; terminal jobs
+// are shipped one last time so the mirror can drop them); the mirror
+// guarantees the fold (insert_or_assign semantics, deterministic ordering:
+// jobs ascending by id, nodes ascending by hostname — exactly the orders a
+// full fetch ships). tests/maui/sched_equivalence_test.cpp pins this
+// property over randomized event streams.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "torque/sched_feed.hpp"
+#include "torque/server.hpp"
+
+namespace dac::maui {
+
+// Scheduler-local free-slot view, debited as a cycle allocates.
+struct NodeView {
+  std::string hostname;
+  torque::NodeKind kind;
+  int free = 0;
+};
+
+class QueueMirror {
+ public:
+  // Folds one fetch result in. A full delta resets the mirror; an
+  // incremental delta upserts changed jobs/nodes and erases jobs that
+  // arrived in a terminal state. Dynamic requests and elastic views are
+  // always shipped complete and replace the previous set wholesale.
+  void apply(const torque::SchedDelta& d);
+
+  // Epoch of the last applied delta; echo into the next kGetSched. Zero
+  // means nothing applied yet (the first fetch must be full).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  // Number of job records the last delta carried — the incremental cycle's
+  // re-evaluation cost model (docs/SCHEDULING.md).
+  [[nodiscard]] std::size_t last_changed() const { return last_changed_; }
+
+  // Reconstructed fetch inputs, in full-fetch order.
+  [[nodiscard]] torque::QueueSnapshot queue() const;
+  [[nodiscard]] std::vector<NodeView> node_views() const;
+
+  [[nodiscard]] std::size_t job_count() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  double now_ = 0.0;
+  std::size_t last_changed_ = 0;
+  std::map<torque::JobId, torque::JobInfo> jobs_;
+  std::map<std::string, torque::NodeStatus> nodes_;
+  std::vector<torque::DynQueueEntry> dyn_;
+  std::vector<elastic::JobView> elastic_;
+};
+
+}  // namespace dac::maui

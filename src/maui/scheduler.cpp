@@ -83,32 +83,54 @@ void MauiScheduler::run(vnet::Process& proc) {
 }
 
 void MauiScheduler::cycle(vnet::Process& proc) {
-  cycles_.fetch_add(1, std::memory_order_relaxed);
+  const auto cycle_no = cycles_.fetch_add(1, std::memory_order_relaxed);
 
   const svc::Caller caller(proc, config_.server, config_.retry);
-  auto queue_reply = caller.call(torque::MsgType::kGetQueue, {},
-                                 {.deadline = svc::deadlines::kDefault});
-  util::ByteReader qr(queue_reply);
-  const auto snap = torque::get_queue_snapshot(qr);
-
-  auto nodes_reply = caller.call(torque::MsgType::kGetNodes, {},
-                                 {.deadline = svc::deadlines::kDefault});
-  util::ByteReader nr(nodes_reply);
-  const auto count = nr.get<std::uint32_t>();
+  torque::QueueSnapshot snap;
   std::vector<NodeView> view;
-  view.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const auto st = torque::get_node_status(nr);
-    // Only place on kUp nodes: `up` is false for both suspect and down
-    // (NodeStatus invariant), so a flapping node is skipped without being
-    // reclaimed.
-    if (!st.up) continue;
-    view.push_back(NodeView{st.hostname, st.kind, st.free_slots()});
+  if (config_.incremental_fetch) {
+    // One combined fetch: a delta against the mirror's epoch, or a full
+    // rescan on first contact and every full_rescan_every cycles. The
+    // reconstruction is byte-identical either way (queue_mirror.hpp).
+    const bool force_full =
+        mirror_.epoch() == 0 ||
+        (config_.full_rescan_every > 0 &&
+         cycle_no % static_cast<std::uint64_t>(config_.full_rescan_every) ==
+             0);
+    util::ByteWriter w;
+    w.put<std::uint64_t>(mirror_.epoch());
+    w.put_bool(force_full);
+    auto reply = caller.call(torque::MsgType::kGetSched, std::move(w).take(),
+                             {.deadline = svc::deadlines::kDefault});
+    util::ByteReader r(reply);
+    mirror_.apply(torque::get_sched_delta(r));
+    snap = mirror_.queue();
+    view = mirror_.node_views();
+  } else {
+    // Legacy (ablation) path: full queue + full node list, two round trips.
+    auto queue_reply = caller.call(torque::MsgType::kGetQueue, {},
+                                   {.deadline = svc::deadlines::kDefault});
+    util::ByteReader qr(queue_reply);
+    snap = torque::get_queue_snapshot(qr);
+
+    auto nodes_reply = caller.call(torque::MsgType::kGetNodes, {},
+                                   {.deadline = svc::deadlines::kDefault});
+    util::ByteReader nr(nodes_reply);
+    const auto count = nr.get<std::uint32_t>();
+    view.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto st = torque::get_node_status(nr);
+      // Only place on kUp nodes: `up` is false for both suspect and down
+      // (NodeStatus invariant), so a flapping node is skipped without being
+      // reclaimed.
+      if (!st.up) continue;
+      view.push_back(NodeView{st.hostname, st.kind, st.free_slots()});
+    }
+    std::sort(view.begin(), view.end(),
+              [](const NodeView& a, const NodeView& b) {
+                return a.hostname < b.hostname;
+              });
   }
-  std::sort(view.begin(), view.end(),
-            [](const NodeView& a, const NodeView& b) {
-              return a.hostname < b.hostname;
-            });
 
   decay_fairshare(snap.now);
 
@@ -218,7 +240,12 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
   }
 
   // Strictly FIFO, one at a time — the serialization the paper's Figure 9
-  // observes across concurrent requesters.
+  // observes across concurrent requesters. In batched mode the decisions
+  // are still made one at a time against the same shared view (identical
+  // outcomes), but they ship to the server as one kDynDecide message, and
+  // the per-request base cost is charged once for the whole batch.
+  std::vector<torque::DynDecision> decisions;
+  bool batch_base_charged = false;
   for (const auto& d : snap.dyn) {
     // A request deferred for an in-flight shrink negotiation is skipped
     // silently (a reject is final, a deferral is not): no decision span, no
@@ -235,9 +262,19 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
       deferred_.erase(dit);
     }
     const auto pickup = steady_ns();
-    const auto work = config_.timing.sched_dyn_base_cost +
-                      d.count * config_.timing.sched_per_node_cost;
-    if (work.count() > 0) simtime::sleep_for(work);
+    if (config_.batched_dyn) {
+      if (!batch_base_charged &&
+          config_.timing.sched_dyn_base_cost.count() > 0) {
+        simtime::sleep_for(config_.timing.sched_dyn_base_cost);
+      }
+      batch_base_charged = true;
+      const auto work = d.count * config_.timing.sched_per_node_cost;
+      if (work.count() > 0) simtime::sleep_for(work);
+    } else {
+      const auto work = config_.timing.sched_dyn_base_cost +
+                        d.count * config_.timing.sched_per_node_cost;
+      if (work.count() > 0) simtime::sleep_for(work);
+    }
 
     // Fairshare cap: reject a grant that would push one owner above its
     // share of the accelerator pool (the paper's future-work fairness
@@ -287,6 +324,18 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
       }
     }
     const bool grant = static_cast<int>(hosts.size()) >= d.min_count;
+    if (grant && pool_view == &filtered) {
+      // The debit landed on the per-request filtered copy; mirror it into
+      // the shared view, or every later request in this cycle re-sees the
+      // same free slots and its grant dies as an allocation conflict at the
+      // server.
+      for (const auto& h : hosts) {
+        const auto it = std::find_if(
+            nodes.begin(), nodes.end(),
+            [&](const NodeView& n) { return n.hostname == h; });
+        if (it != nodes.end()) it->free -= 1;
+      }
+    }
     // The decision span joins the requester's trace (context shipped in the
     // queue snapshot), so one trace covers dynget -> decision -> attach.
     trace::SpanScope span(grant ? "maui.grant_dyn" : "maui.reject_dyn",
@@ -294,29 +343,64 @@ void MauiScheduler::service_dynamic(vnet::Process& proc,
     span.note("dyn", std::to_string(d.dyn_id));
     span.note("job", std::to_string(d.job));
     if (capped) span.note("capped", "1");
+    if (grant) span.note("hosts", std::to_string(hosts.size()));
+
+    // Stats count the *decision*; in batched mode a grant the server later
+    // rolls back (allocation race) is still counted as granted here, the
+    // same optimism the per-request path has between call and conflict
+    // reply.
+    if (grant) {
+      dyn_granted_.fetch_add(1, std::memory_order_relaxed);
+      if (auto it = job_by_id.find(d.job); it != job_by_id.end()) {
+        holdings[it->second->spec.owner] += static_cast<int>(hosts.size());
+      }
+    } else {
+      dyn_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (capped) dyn_capped_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (config_.batched_dyn) {
+      torque::DynDecision dec;
+      dec.dyn_id = d.dyn_id;
+      dec.grant = grant;
+      dec.pickup_ns = pickup;
+      if (grant) dec.hosts = std::move(hosts);
+      // Ship the decision span's identity so the server-side application
+      // runs as its child — same causal tree as the per-request path.
+      const auto ctx = span.context();
+      dec.trace_id = ctx.trace;
+      dec.span = ctx.span;
+      decisions.push_back(std::move(dec));
+      continue;
+    }
+
     util::ByteWriter w;
     w.put<std::uint64_t>(d.dyn_id);
     w.put<std::uint64_t>(pickup);
     try {
       if (grant) {
-        span.note("hosts", std::to_string(hosts.size()));
         w.put_string_vector(hosts);
         (void)caller.call(torque::MsgType::kRunDyn, std::move(w).take(),
                           {.deadline = svc::deadlines::kDefault});
-        dyn_granted_.fetch_add(1, std::memory_order_relaxed);
-        if (auto it = job_by_id.find(d.job); it != job_by_id.end()) {
-          holdings[it->second->spec.owner] +=
-              static_cast<int>(hosts.size());
-        }
       } else {
         (void)caller.call(torque::MsgType::kRejectDyn, std::move(w).take(),
                           {.deadline = svc::deadlines::kDefault});
-        dyn_rejected_.fetch_add(1, std::memory_order_relaxed);
-        if (capped) dyn_capped_.fetch_add(1, std::memory_order_relaxed);
       }
     } catch (const util::ProtocolError& e) {
       span.note("error", e.what());
       kLog.warn("dyn {} decision not applied: {}", d.dyn_id, e.what());
+    }
+  }
+
+  if (!decisions.empty()) {
+    util::ByteWriter w;
+    torque::put_dyn_decisions(w, decisions);
+    try {
+      (void)caller.call(torque::MsgType::kDynDecide, std::move(w).take(),
+                        {.deadline = svc::deadlines::kDefault});
+    } catch (const util::ProtocolError& e) {
+      kLog.warn("dyn decision batch ({} decision(s)) not applied: {}",
+                decisions.size(), e.what());
     }
   }
 }
@@ -458,9 +542,18 @@ void MauiScheduler::schedule_static(vnet::Process& proc,
 
   // Prioritization phase: Maui evaluates every queued job each cycle (this
   // per-job cost is what delays a mid-cycle dynamic request — Figure 8).
+  // Incremental cycles re-evaluate only the jobs the delta touched and use
+  // cached priorities for the rest, so the modeled cost is bounded by the
+  // delta size; the decisions themselves are unchanged (same sort, same
+  // allocation attempts).
   if (config_.timing.sched_job_eval_cost.count() > 0) {
-    simtime::sleep_for(queued.size() *
-                                config_.timing.sched_job_eval_cost);
+    auto evaluated = queued.size();
+    if (config_.incremental_fetch) {
+      evaluated = std::min(evaluated, mirror_.last_changed());
+    }
+    if (evaluated > 0) {
+      simtime::sleep_for(evaluated * config_.timing.sched_job_eval_cost);
+    }
   }
 
   switch (config_.policy) {

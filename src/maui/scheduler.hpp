@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "elastic/policy.hpp"
+#include "maui/queue_mirror.hpp"
 #include "svc/caller.hpp"
 #include "torque/batch_config.hpp"
 #include "torque/node_db.hpp"
@@ -62,6 +63,23 @@ struct SchedulerConfig {
   // made on its behalf runs. Past the window the request is decided
   // normally (usually rejected, since the pool is still short).
   std::chrono::milliseconds elastic_defer_window{5'000};
+
+  // ---- high-throughput scheduling (docs/SCHEDULING.md) ------------------
+  // Fetch the cycle's state through one incremental kGetSched call folded
+  // into a local QueueMirror, instead of the full kGetQueue + kGetNodes
+  // pair. Decisions are identical either way (the equivalence contract in
+  // tests/maui); only the fetch volume and modeled evaluation cost change.
+  bool incremental_fetch = true;
+  // Cycles between forced full rescans while incremental (drift backstop;
+  // the equivalence tests assert the rescan changes nothing). <= 0 never
+  // forces a rescan after the first fetch.
+  int full_rescan_every = 16;
+  // Ship all of a cycle's dynamic grant/reject decisions in one kDynDecide
+  // batch instead of one kRunDyn/kRejectDyn round-trip each. Decision logic
+  // is unchanged; the per-request scheduling cost drops from
+  // (base + count*per_node) to per-node only, with the base charged once
+  // per batch.
+  bool batched_dyn = true;
 };
 
 struct SchedulerStatsSnapshot {
@@ -87,13 +105,6 @@ class MauiScheduler {
   [[nodiscard]] SchedulerStatsSnapshot stats() const;
 
  private:
-  // Scheduler-local free-slot view, updated as the cycle allocates.
-  struct NodeView {
-    std::string hostname;
-    torque::NodeKind kind;
-    int free = 0;
-  };
-
   void cycle(vnet::Process& proc);
   // Feeds pool pressure and elasticity views to the configured policy and
   // sends its proposals to the server; a shrink proposal defers the starved
@@ -131,6 +142,9 @@ class MauiScheduler {
 
   vnet::Node& node_;
   SchedulerConfig config_;
+
+  // Local fold of kGetSched deltas (incremental_fetch mode).
+  QueueMirror mirror_;
 
   std::map<std::string, double> usage_;  // owner -> node-seconds (decayed)
   double last_decay_s_ = -1.0;

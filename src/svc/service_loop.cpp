@@ -84,11 +84,32 @@ void ServiceLoop::run() {
     });
   }
 
+  const bool want_conc =
+      std::any_of(handlers_.begin(), handlers_.end(), [](const auto& h) {
+        return h.second.klass == ExecClass::kConcurrent;
+      });
+  if (want_conc) {
+    simtime::Clock::instance().actor_started();
+    conc_worker_ = std::thread([this] {
+      simtime::AdoptScope actor;
+      trace::set_thread_actor(cfg_.name);
+      while (auto work = conc_queue_.pop()) {
+        try {
+          execute(std::move(*work));
+        } catch (const util::StoppedError&) {
+          break;
+        }
+      }
+    });
+  }
+
   const auto drain = [this] {
     read_queue_.close();
+    conc_queue_.close();
     simtime::ExternalWaitScope quiescent;  // native joins, clock-invisible
     for (auto& w : workers_) w.join();
     workers_.clear();
+    if (conc_worker_.joinable()) conc_worker_.join();
   };
 
   try {
@@ -170,7 +191,12 @@ void ServiceLoop::serve(vnet::Message msg) {
     pending_[work.st->id] = work.st;
   }
 
-  if (work.entry->klass == ExecClass::kReadOnly && !workers_.empty()) {
+  if (work.entry->klass == ExecClass::kConcurrent && conc_worker_.joinable()) {
+    if (!conc_queue_.push(std::move(work))) {
+      DAC_CHECK(false, "{}: concurrent-lane queue closed while serving",
+                cfg_.name);
+    }
+  } else if (work.entry->klass == ExecClass::kReadOnly && !workers_.empty()) {
     if (!read_queue_.push(std::move(work))) {
       // The pool queue only closes after run() exits, so this cannot happen
       // while serving; if it ever does, the request was dropped silently.

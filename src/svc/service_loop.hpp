@@ -8,6 +8,15 @@
 //    qstat/pbsnodes/heartbeats stop queueing behind scheduling work. With
 //    read_workers = 0 (the default) they stay on the serialized lane and the
 //    daemon behaves exactly like the seed implementation.
+//  - kConcurrent requests run on their own dedicated lane: one extra thread,
+//    serialized among themselves, spawned iff any handler registered for it.
+//    This is for handlers that BLOCK in outbound calls (a mother superior's
+//    JOIN/DYNJOIN/DISJOIN fan-outs): if they ran on the loop thread, the
+//    endpoint would stop being drained while they wait, so two daemons
+//    calling each other would deadlock until the RPC deadline. The loop
+//    thread keeps dispatching (and serving the fast kMutating handlers)
+//    while the kConcurrent lane waits; handlers on the two lanes synchronize
+//    shared state themselves.
 //
 // Handlers reply through a Responder, which may outlive the handler call:
 // storing the Responder and completing it later is the supported way to defer
@@ -39,8 +48,9 @@
 namespace dac::svc {
 
 enum class ExecClass {
-  kMutating,  // serialized lane (the loop thread)
-  kReadOnly,  // worker pool when read_workers > 0
+  kMutating,    // serialized lane (the loop thread)
+  kReadOnly,    // worker pool when read_workers > 0
+  kConcurrent,  // dedicated serialized lane; may block in outbound calls
 };
 
 struct ServiceConfig {
@@ -164,6 +174,10 @@ class ServiceLoop {
 
   util::BlockingQueue<Work> read_queue_;
   std::vector<std::thread> workers_;
+  // kConcurrent lane: one thread, created in run() iff any handler was
+  // registered under kConcurrent. Serialized among its own requests.
+  util::BlockingQueue<Work> conc_queue_;
+  std::thread conc_worker_;
 };
 
 }  // namespace dac::svc

@@ -1,0 +1,38 @@
+// Edge-triggered wakeup coalescing. A producer that notifies a consumer on
+// every state change (the pbs_server waking the scheduler on every submit,
+// completion, and release) floods the consumer's mailbox under load — 10k
+// submissions used to mean 10k kSchedWake messages for cycles that each
+// consume the whole backlog anyway.
+//
+// WakeGate collapses the storm to at most one in-flight wake: try_arm()
+// succeeds only on the not-armed -> armed edge (the caller then sends the
+// notification); the consumer disarm()s at the top of its state fetch, so
+// any change that lands after the fetch began re-arms and re-notifies. No
+// wake is ever lost, and a burst of N changes costs one message.
+#pragma once
+
+#include <atomic>
+
+namespace dac::svc {
+
+class WakeGate {
+ public:
+  // True exactly when this caller took the not-armed -> armed edge and must
+  // send the wake notification.
+  [[nodiscard]] bool try_arm() {
+    return !armed_.exchange(true, std::memory_order_acq_rel);
+  }
+
+  // Called by the consumer before it reads the producer's state: changes
+  // observed by the read are covered by this fetch, later ones re-arm.
+  void disarm() { armed_.store(false, std::memory_order_release); }
+
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+};
+
+}  // namespace dac::svc

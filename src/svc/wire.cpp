@@ -121,6 +121,8 @@ std::string msg_type_name(std::uint32_t type) {
     case as_u32(MsgType::kRunJob): return "RUN_JOB";
     case as_u32(MsgType::kRunDyn): return "RUN_DYN";
     case as_u32(MsgType::kRejectDyn): return "REJECT_DYN";
+    case as_u32(MsgType::kGetSched): return "GET_SCHED";
+    case as_u32(MsgType::kDynDecide): return "DYN_DECIDE";
     case as_u32(MsgType::kMomRunJob): return "MOM_RUN_JOB";
     case as_u32(MsgType::kMomDynAdd): return "MOM_DYN_ADD";
     case as_u32(MsgType::kMomRelease): return "MOM_RELEASE";

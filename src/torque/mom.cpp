@@ -76,7 +76,7 @@ void PbsMom::run(vnet::Process& proc) {
       config_.timing.mom_walltime_check_interval.count() > 0
           ? config_.timing.mom_walltime_check_interval
           : config_.timing.mom_heartbeat_interval;
-  loop.add_tick(walltime_tick, [this, &proc] { enforce_walltime(proc); });
+  loop.add_tick(walltime_tick, [this] { enforce_walltime(); });
   try {
     loop.run();
   } catch (const util::StoppedError&) {
@@ -89,11 +89,20 @@ void PbsMom::register_handlers(svc::ServiceLoop& loop, vnet::Process& proc) {
   using svc::Request;
   using svc::Responder;
 
-  // Everything a mom does mutates its job table or talks to sister moms, so
-  // every handler stays on the serialized lane.
+  // Mother-superior duties block in JOIN/DYNJOIN fan-outs to other moms, so
+  // on a compute node they run on the dedicated kConcurrent lane — one job
+  // protocol at a time, exactly as serialized as before, but off the loop
+  // thread, which keeps draining the endpoint. Without this, two mother
+  // superiors granted onto each other's nodes in the same scheduling batch
+  // would block calling each other's (undrained) endpoints and deadlock
+  // until the RPC deadline. Accelerator moms are never mother superiors and
+  // never block, so they keep the paper's single thread.
+  const auto ms_class = config_.kind == NodeKind::kCompute
+                            ? ExecClass::kConcurrent
+                            : ExecClass::kMutating;
   const auto ms = [&](MsgType type, void (PbsMom::*fn)(vnet::Process&,
                                                        const rpc::Request&)) {
-    loop.on(type, ExecClass::kMutating,
+    loop.on(type, ms_class,
             [this, &proc, fn](const Request& req, Responder&) {
               (this->*fn)(proc, req);
             });
@@ -104,6 +113,9 @@ void PbsMom::register_handlers(svc::ServiceLoop& loop, vnet::Process& proc) {
   ms(MsgType::kMomKillJob, &PbsMom::on_kill_job);
   ms(MsgType::kTaskDone, &PbsMom::on_task_done);
 
+  // Sister duties stay on the loop thread: they make no outbound calls and
+  // finish fast, so the lane that another MS blocks on always progresses.
+  // They share the job table with the kConcurrent lane under mu_.
   const auto sister = [&](MsgType type,
                           void (PbsMom::*fn)(const rpc::Request&,
                                              Responder&)) {
@@ -218,7 +230,10 @@ void PbsMom::on_run_job(vnet::Process& proc, const rpc::Request& req) {
     tasks_.add(id, cn_placement[i], handle.processes[i]);
   }
 
-  jobs_[id] = std::move(job);
+  {
+    ScopedLock lock(mu_);
+    jobs_[id] = std::move(job);
+  }
   notify_server(MsgType::kJobStarted, job_id_body(id));
 }
 
@@ -229,17 +244,20 @@ void PbsMom::on_dyn_add(vnet::Process& proc, const rpc::Request& req) {
   const auto client_id = r.get<std::uint64_t>();
   auto new_hosts = get_host_refs(r);
 
-  auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) {
-    kLog.warn("MS '{}': dyn add for unknown job {}", node_.hostname(),
-              job_id);
-    return;
+  {
+    ScopedLock lock(mu_);
+    if (!jobs_.contains(job_id)) {
+      kLog.warn("MS '{}': dyn add for unknown job {}", node_.hostname(),
+                job_id);
+      return;
+    }
   }
-  auto& job = it->second;
   trace::note("job", std::to_string(job_id));
   trace::note("dyn", std::to_string(dyn_id));
 
   // DYNJOIN_JOB with each newly allocated accelerator mom (paper Figure 6).
+  // Off-lock and deadline-bounded: a sister wedged (or dead) must not stall
+  // this mom past its own heartbeat window.
   util::ByteWriter body;
   body.put<std::uint64_t>(job_id);
   body.put<std::uint64_t>(client_id);
@@ -247,18 +265,59 @@ void PbsMom::on_dyn_add(vnet::Process& proc, const rpc::Request& req) {
   const auto body_bytes = body.bytes();
   for (const auto& h : new_hosts) {
     if (h.node == node_.id()) continue;  // our own record is updated below
-    (void)rpc::call(proc, h.mom, MsgType::kDynJoinJob, body_bytes,
-                    rpc::kDefaultTimeout);
+    try {
+      (void)rpc::call(proc, h.mom, MsgType::kDynJoinJob, body_bytes,
+                      sister_call_timeout());
+    } catch (const util::ProtocolError& e) {
+      kLog.warn("MS '{}': DYNJOIN to '{}' failed: {}", node_.hostname(),
+                h.hostname, e.what());
+    }
+  }
+
+  // The job may have completed or been killed while the joins were in
+  // flight (it finished its own business before the grant fully attached);
+  // the membership update must not resurrect it.
+  bool attached = false;
+  std::vector<HostRef> members;
+  {
+    ScopedLock lock(mu_);
+    auto it = jobs_.find(job_id);
+    if (it != jobs_.end()) {
+      auto& job = it->second;
+      job.dyn_sets[client_id] = new_hosts;
+      members = job.hosts;  // the pre-addition membership, for the update
+      job.hosts.insert(job.hosts.end(), new_hosts.begin(), new_hosts.end());
+      attached = true;
+    }
+  }
+  if (!attached) {
+    // Gone mid-join: undo the sister-side joins so the granted moms do not
+    // keep membership for a dead job. The server reclaims the slots through
+    // its own completion path.
+    kLog.warn("MS '{}': job {} vanished during dyn add, disjoining set {}",
+              node_.hostname(), job_id, client_id);
+    util::ByteWriter dis;
+    dis.put<std::uint64_t>(job_id);
+    dis.put<std::uint64_t>(client_id);
+    const auto dis_bytes = dis.bytes();
+    for (const auto& h : new_hosts) {
+      if (h.node == node_.id()) continue;
+      try {
+        (void)rpc::call(proc, h.mom, MsgType::kDisjoinJob, dis_bytes,
+                        sister_call_timeout());
+      } catch (const util::ProtocolError& e) {
+        kLog.warn("MS '{}': DISJOIN to '{}' failed: {}", node_.hostname(),
+                  h.hostname, e.what());
+      }
+    }
+    return;
   }
 
   // Update the existing moms' databases with the addition.
-  for (const auto& h : job.hosts) {
+  for (const auto& h : members) {
     if (h.node == node_.id()) continue;
     rpc::notify(*endpoint_, h.mom, MsgType::kJobUpdate, body_bytes);
   }
-
-  job.dyn_sets[client_id] = new_hosts;
-  job.hosts.insert(job.hosts.end(), new_hosts.begin(), new_hosts.end());
 
   util::ByteWriter done;
   done.put<std::uint64_t>(dyn_id);
@@ -271,12 +330,14 @@ void PbsMom::on_release(vnet::Process& proc, const rpc::Request& req) {
   const auto client_id = r.get<std::uint64_t>();
   auto hosts = get_host_refs(r);
 
-  auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) return;
-  auto& job = it->second;
+  {
+    ScopedLock lock(mu_);
+    if (!jobs_.contains(job_id)) return;
+  }
 
   // DISJOIN_JOB: the departing moms kill any remaining daemon tasks and
-  // drop their membership (paper §III-D).
+  // drop their membership (paper §III-D). Off-lock: the lane owns the
+  // protocol, the lock only guards the table.
   util::ByteWriter body;
   body.put<std::uint64_t>(job_id);
   body.put<std::uint64_t>(client_id);
@@ -302,20 +363,30 @@ void PbsMom::on_release(vnet::Process& proc, const rpc::Request& req) {
 
   // Drop the released hosts from the job's membership (at most one entry
   // per released host, so a node the job also holds statically survives)
-  // and tell the others.
-  for (const auto& g : hosts) {
-    auto it2 = std::find_if(job.hosts.begin(), job.hosts.end(),
-                            [&](const HostRef& h) {
-                              return h.hostname == g.hostname;
-                            });
-    if (it2 != job.hosts.end()) job.hosts.erase(it2);
+  // and tell the others. The job may have finished while the DISJOINs were
+  // in flight; the release is still done from the server's point of view.
+  std::vector<HostRef> members;
+  {
+    ScopedLock lock(mu_);
+    auto it = jobs_.find(job_id);
+    if (it != jobs_.end()) {
+      auto& job = it->second;
+      for (const auto& g : hosts) {
+        auto it2 = std::find_if(job.hosts.begin(), job.hosts.end(),
+                                [&](const HostRef& h) {
+                                  return h.hostname == g.hostname;
+                                });
+        if (it2 != job.hosts.end()) job.hosts.erase(it2);
+      }
+      job.dyn_sets.erase(client_id);
+      members = job.hosts;
+    }
   }
-  job.dyn_sets.erase(client_id);
   util::ByteWriter upd;
   upd.put<std::uint64_t>(job_id);
   upd.put<std::uint64_t>(client_id);
   put_host_refs(upd, hosts);
-  for (const auto& h : job.hosts) {
+  for (const auto& h : members) {
     if (h.node == node_.id()) continue;
     rpc::notify(*endpoint_, h.mom, MsgType::kJobUpdate, upd.bytes());
   }
@@ -326,77 +397,100 @@ void PbsMom::on_release(vnet::Process& proc, const rpc::Request& req) {
   notify_server(MsgType::kMsReleaseDone, std::move(done).take());
 }
 
-void PbsMom::on_kill_job(vnet::Process& proc, const rpc::Request& req) {
+void PbsMom::on_kill_job(vnet::Process& /*proc*/, const rpc::Request& req) {
   util::ByteReader r(req.body);
   const auto job_id = r.get<std::uint64_t>();
-  auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) {
+  bool is_here = false;
+  std::vector<HostRef> hosts;
+  {
+    ScopedLock lock(mu_);
+    auto it = jobs_.find(job_id);
+    if (it != jobs_.end()) {
+      is_here = true;
+      hosts = std::move(it->second.hosts);
+      jobs_.erase(it);
+    }
+  }
+  if (!is_here) {
     // Not the MS (or unknown): kill whatever runs locally.
     tasks_.kill_node_tasks(job_id, node_.id());
     return;
   }
-  teardown_job(proc, it->second, /*kill_tasks=*/true);
-  jobs_.erase(it);
+  teardown_job(job_id, std::move(hosts), /*kill_tasks=*/true);
 }
 
-void PbsMom::on_task_done(vnet::Process& proc, const rpc::Request& req) {
+void PbsMom::on_task_done(vnet::Process& /*proc*/, const rpc::Request& req) {
   util::ByteReader r(req.body);
   const auto job_id = r.get<std::uint64_t>();
   const auto rank = r.get<std::int32_t>();
-  auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) return;
-  auto& job = it->second;
-  ++job.tasks_done;
-  kLog.debug("MS '{}': job {} rank {} done ({}/{})", node_.hostname(), job_id,
-             rank, job.tasks_done, job.info.spec.resources.nodes);
-  if (job.tasks_done < job.info.spec.resources.nodes) return;
-  teardown_job(proc, job, /*kill_tasks=*/true);
+  std::vector<HostRef> hosts;
+  {
+    ScopedLock lock(mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return;
+    auto& job = it->second;
+    ++job.tasks_done;
+    kLog.debug("MS '{}': job {} rank {} done ({}/{})", node_.hostname(),
+               job_id, rank, job.tasks_done, job.info.spec.resources.nodes);
+    if (job.tasks_done < job.info.spec.resources.nodes) return;
+    hosts = std::move(job.hosts);
+    jobs_.erase(it);
+  }
+  teardown_job(job_id, std::move(hosts), /*kill_tasks=*/true);
   util::ByteWriter w;
   w.put<std::uint64_t>(job_id);
   w.put<std::int32_t>(kExitOk);
   notify_server(MsgType::kJobComplete, std::move(w).take());
-  jobs_.erase(it);
 }
 
-void PbsMom::enforce_walltime(vnet::Process& proc) {
+void PbsMom::enforce_walltime() {
   if (!config_.enforce_walltime) return;
   const auto now = simtime::now();
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    auto& job = it->second;
-    const bool over =
-        job.is_ms && job.info.spec.resources.walltime.count() > 0 &&
-        now - job.started > job.info.spec.resources.walltime;
-    if (!over) {
-      ++it;
-      continue;
+  // Collect the expired jobs under the lock, tear them down outside it:
+  // this runs on a loop-thread tick, which must stay non-blocking (teardown
+  // fans out DISJOIN notifies, never calls), and the kConcurrent lane needs
+  // the table meanwhile.
+  std::vector<std::pair<JobId, std::vector<HostRef>>> expired;
+  {
+    ScopedLock lock(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      auto& job = it->second;
+      const bool over =
+          job.is_ms && job.info.spec.resources.walltime.count() > 0 &&
+          now - job.started > job.info.spec.resources.walltime;
+      if (!over) {
+        ++it;
+        continue;
+      }
+      expired.emplace_back(job.info.id, std::move(job.hosts));
+      it = jobs_.erase(it);
     }
-    const auto id = job.info.id;
+  }
+  for (auto& [id, hosts] : expired) {
     kLog.warn("MS '{}': job {} exceeded its walltime, killing it",
               node_.hostname(), id);
-    teardown_job(proc, job, /*kill_tasks=*/true);
+    teardown_job(id, std::move(hosts), /*kill_tasks=*/true);
     util::ByteWriter w;
     w.put<std::uint64_t>(id);
     w.put<std::int32_t>(kExitWalltime);
     notify_server(MsgType::kJobComplete, std::move(w).take());
-    it = jobs_.erase(it);
   }
 }
 
-void PbsMom::teardown_job(vnet::Process& proc, MomJob& job, bool kill_tasks) {
-  const auto id = job.info.id;
+void PbsMom::teardown_job(JobId id, std::vector<HostRef> hosts,
+                          bool kill_tasks) {
+  // Fire-and-forget DISJOINs: nothing waits on teardown (completions and
+  // kills are already reported through their own paths), and not blocking
+  // here lets the walltime tick run this directly on the loop thread. A
+  // notify to a dead sister is simply lost; the server reclaims its slots
+  // once the heartbeat goes stale.
   util::ByteWriter body;
   body.put<std::uint64_t>(id);
   body.put<std::uint64_t>(0);  // client id 0: whole job
   const auto body_bytes = body.bytes();
-  for (const auto& h : job.hosts) {
+  for (const auto& h : hosts) {
     if (h.node == node_.id()) continue;
-    try {
-      (void)rpc::call(proc, h.mom, MsgType::kDisjoinJob, body_bytes,
-                      sister_call_timeout());
-    } catch (const std::exception& e) {
-      kLog.warn("MS '{}': DISJOIN to '{}' failed: {}", node_.hostname(),
-                h.hostname, e.what());
-    }
+    rpc::notify(*endpoint_, h.mom, MsgType::kDisjoinJob, body_bytes);
   }
   if (kill_tasks) tasks_.kill_node_tasks(id, node_.id());
   kLog.info("MS '{}': job {} torn down", node_.hostname(), id);
@@ -412,7 +506,10 @@ void PbsMom::on_join(const rpc::Request& req, svc::Responder& resp) {
   job.hosts = get_host_refs(r);
   job.is_ms = false;
   kLog.debug("mom '{}': joined job {}", node_.hostname(), job.info.id);
-  jobs_[job.info.id] = std::move(job);
+  {
+    ScopedLock lock(mu_);
+    jobs_[job.info.id] = std::move(job);
+  }
   resp.ok();
 }
 
@@ -422,9 +519,12 @@ void PbsMom::on_dynjoin(const rpc::Request& req, svc::Responder& resp) {
   const auto job_id = r.get<std::uint64_t>();
   const auto client_id = r.get<std::uint64_t>();
   auto hosts = get_host_refs(r);
-  auto& job = jobs_[job_id];  // may create a thin record on a new accel mom
-  job.info.id = job_id;
-  job.dyn_sets[client_id] = hosts;
+  {
+    ScopedLock lock(mu_);
+    auto& job = jobs_[job_id];  // may create a thin record on a new accel mom
+    job.info.id = job_id;
+    job.dyn_sets[client_id] = hosts;
+  }
   kLog.debug("mom '{}': DYNJOIN job {} set {}", node_.hostname(), job_id,
              client_id);
   resp.ok();
@@ -439,12 +539,15 @@ void PbsMom::on_disjoin(const rpc::Request& req, svc::Responder& resp) {
   // disjoin (client 0), only the released set's otherwise — a shared
   // compute node must not lose the job script itself.
   tasks_.kill_node_tasks(job_id, node_.id(), client_id);
-  auto it = jobs_.find(job_id);
-  if (it != jobs_.end()) {
-    if (client_id == 0) {
-      jobs_.erase(it);
-    } else {
-      it->second.dyn_sets.erase(client_id);
+  {
+    ScopedLock lock(mu_);
+    auto it = jobs_.find(job_id);
+    if (it != jobs_.end()) {
+      if (client_id == 0) {
+        jobs_.erase(it);
+      } else {
+        it->second.dyn_sets.erase(client_id);
+      }
     }
   }
   kLog.debug("mom '{}': DISJOIN job {} (set {})", node_.hostname(), job_id,
@@ -457,6 +560,7 @@ void PbsMom::on_job_update(const rpc::Request& req) {
   const auto job_id = r.get<std::uint64_t>();
   const auto client_id = r.get<std::uint64_t>();
   auto hosts = get_host_refs(r);
+  ScopedLock lock(mu_);
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return;
   auto& job = it->second;

@@ -20,6 +20,7 @@
 #include "torque/protocol.hpp"
 #include "torque/rpc.hpp"
 #include "torque/task_registry.hpp"
+#include "util/sync.hpp"
 #include "vnet/node.hpp"
 
 namespace dac::torque {
@@ -70,7 +71,10 @@ class PbsMom {
   void on_release(vnet::Process& proc, const rpc::Request& req);
   void on_kill_job(vnet::Process& proc, const rpc::Request& req);
   void on_task_done(vnet::Process& proc, const rpc::Request& req);
-  void teardown_job(vnet::Process& proc, MomJob& job, bool kill_tasks);
+  // DISJOIN fan-out (notifies, non-blocking) + local task kill for a job
+  // this mom was MS of. Takes the membership by value so the caller can
+  // erase the jobs_ entry (under mu_) first and fan out without the lock.
+  void teardown_job(JobId id, std::vector<HostRef> hosts, bool kill_tasks);
 
   // Sister duties.
   void on_join(const rpc::Request& req, svc::Responder& resp);
@@ -85,15 +89,23 @@ class PbsMom {
   // mom's loop long enough for its own heartbeats to go stale.
   [[nodiscard]] std::chrono::milliseconds sister_call_timeout() const;
   // Kills jobs that exceeded their requested walltime (MS duty); runs on a
-  // periodic service-loop tick.
-  void enforce_walltime(vnet::Process& proc);
+  // periodic service-loop tick, so it must never block.
+  void enforce_walltime();
 
   vnet::Node& node_;
   MomConfig config_;
   minimpi::Runtime& runtime_;
   TaskRegistry& tasks_;
   std::unique_ptr<vnet::Endpoint> endpoint_;  // created in run()
-  std::map<JobId, MomJob> jobs_;
+  // On compute nodes the MS handlers run on the service loop's kConcurrent
+  // lane (they block in JOIN/DYNJOIN calls to other moms), while the loop
+  // thread keeps draining the endpoint and serving the non-blocking sister
+  // handlers — so two mother superiors granting onto each other's nodes in
+  // the same scheduling batch cannot deadlock. The job table is the state
+  // the two lanes share; MS handlers must never hold mu_ across a blocking
+  // sister call.
+  Mutex mu_{"mom.jobs"};
+  std::map<JobId, MomJob> jobs_ DAC_GUARDED_BY(mu_);
 };
 
 }  // namespace dac::torque

@@ -49,12 +49,32 @@ NodeStatus get_node_status(util::ByteReader& r) {
   return n;
 }
 
+NodeDb::NodeDb(int shards)
+    : shards_(static_cast<std::size_t>(std::max(1, shards))) {}
+
+NodeDb::Shard& NodeDb::shard_of(const std::string& hostname) {
+  return shards_[std::hash<std::string>{}(hostname) % shards_.size()];
+}
+
+const NodeDb::Shard& NodeDb::shard_of(const std::string& hostname) const {
+  return shards_[std::hash<std::string>{}(hostname) % shards_.size()];
+}
+
+void NodeDb::mark_dirty(Shard& s, const std::string& hostname) {
+  if (std::find(s.dirty.begin(), s.dirty.end(), hostname) == s.dirty.end()) {
+    s.dirty.push_back(hostname);
+  }
+}
+
 void NodeDb::upsert(NodeStatus status) {
-  auto it = nodes_.find(status.hostname);
-  if (it == nodes_.end()) {
+  auto& s = shard_of(status.hostname);
+  ScopedLock lock(s.mu);
+  mark_dirty(s, status.hostname);
+  auto it = s.nodes.find(status.hostname);
+  if (it == s.nodes.end()) {
     Entry e;
     e.status = std::move(status);
-    nodes_.emplace(e.status.hostname, std::move(e));
+    s.nodes.emplace(e.status.hostname, std::move(e));
     return;
   }
   // Refresh identity fields but keep current assignments. A re-registering
@@ -67,21 +87,53 @@ void NodeDb::upsert(NodeStatus status) {
   it->second.status.liveness = Liveness::kUp;
 }
 
-const NodeStatus* NodeDb::find(const std::string& hostname) const {
-  auto it = nodes_.find(hostname);
-  return it == nodes_.end() ? nullptr : &it->second.status;
+std::optional<NodeStatus> NodeDb::lookup(const std::string& hostname) const {
+  const auto& s = shard_of(hostname);
+  ScopedLock lock(s.mu);
+  auto it = s.nodes.find(hostname);
+  if (it == s.nodes.end()) return std::nullopt;
+  return it->second.status;
 }
 
-std::vector<NodeStatus> NodeDb::snapshot() const {
+std::vector<NodeStatus> NodeDb::snapshot() const
+    DAC_NO_THREAD_SAFETY_ANALYSIS {
+  // One consistent cut across every shard: the scheduler's allocation pass
+  // and the conservation invariants want a point-in-time view, not a merge
+  // of per-shard views taken at different moments.
+  const auto all = lock_all();
   std::vector<NodeStatus> out;
-  out.reserve(nodes_.size());
-  for (const auto& [name, e] : nodes_) out.push_back(e.status);
+  for (const auto& s : shards_) {
+    for (const auto& [name, e] : s.nodes) out.push_back(e.status);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodeStatus& a, const NodeStatus& b) {
+              return a.hostname < b.hostname;
+            });
   return out;
 }
 
+void NodeDb::for_each(
+    const std::function<void(const NodeStatus&)>& fn) const {
+  for (const auto& s : shards_) {
+    ScopedLock lock(s.mu);
+    for (const auto& [name, e] : s.nodes) fn(e.status);
+  }
+}
+
+std::size_t NodeDb::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    ScopedLock lock(s.mu);
+    total += s.nodes.size();
+  }
+  return total;
+}
+
 bool NodeDb::assign(const std::string& hostname, JobId job, int slots) {
-  auto it = nodes_.find(hostname);
-  if (it == nodes_.end()) return false;
+  auto& sh = shard_of(hostname);
+  ScopedLock lock(sh.mu);
+  auto it = sh.nodes.find(hostname);
+  if (it == sh.nodes.end()) return false;
   auto& e = it->second;
   if (e.status.free_slots() < slots) return false;
   e.status.used += slots;
@@ -93,6 +145,7 @@ bool NodeDb::assign(const std::string& hostname, JobId job, int slots) {
       e.status.jobs.end()) {
     e.status.jobs.push_back(job);
   }
+  mark_dirty(sh, hostname);
   // Instantaneous trace event; the property tests replay these to check
   // slot conservation and overlap invariants.
   trace::event("alloc.assign", {{"host", hostname},
@@ -102,8 +155,10 @@ bool NodeDb::assign(const std::string& hostname, JobId job, int slots) {
 }
 
 void NodeDb::release(const std::string& hostname, JobId job) {
-  auto it = nodes_.find(hostname);
-  if (it == nodes_.end()) return;
+  auto& sh = shard_of(hostname);
+  ScopedLock lock(sh.mu);
+  auto it = sh.nodes.find(hostname);
+  if (it == sh.nodes.end()) return;
   auto& e = it->second;
   auto held = e.held.find(job);
   if (held == e.held.end()) return;
@@ -114,66 +169,98 @@ void NodeDb::release(const std::string& hostname, JobId job) {
             e.status.used, job);
   e.held.erase(held);
   std::erase(e.status.jobs, job);
+  mark_dirty(sh, hostname);
   trace::event("alloc.release", {{"host", hostname},
                                  {"job", std::to_string(job)},
                                  {"slots", std::to_string(slots)}});
 }
 
-void NodeDb::release_all(JobId job) {
-  for (auto& [name, e] : nodes_) {
-    auto held = e.held.find(job);
-    if (held == e.held.end()) continue;
-    const int slots = held->second;
-    e.status.used -= slots;
-    DAC_CHECK(e.status.used >= 0,
-              "node {} slot count went negative ({}) releasing job {}", name,
-              e.status.used, job);
-    e.held.erase(held);
-    std::erase(e.status.jobs, job);
-    trace::event("alloc.release", {{"host", name},
-                                   {"job", std::to_string(job)},
-                                   {"slots", std::to_string(slots)}});
+void NodeDb::release_all(JobId job) DAC_NO_THREAD_SAFETY_ANALYSIS {
+  const auto all = lock_all();
+  for (auto& s : shards_) {
+    for (auto& [name, e] : s.nodes) {
+      auto held = e.held.find(job);
+      if (held == e.held.end()) continue;
+      const int slots = held->second;
+      e.status.used -= slots;
+      DAC_CHECK(e.status.used >= 0,
+                "node {} slot count went negative ({}) releasing job {}", name,
+                e.status.used, job);
+      e.held.erase(held);
+      std::erase(e.status.jobs, job);
+      mark_dirty(s, name);
+      trace::event("alloc.release", {{"host", name},
+                                     {"job", std::to_string(job)},
+                                     {"slots", std::to_string(slots)}});
+    }
   }
 }
 
 std::optional<vnet::Address> NodeDb::mom_of(const std::string& hostname) const {
-  if (const auto* n = find(hostname); n != nullptr) return n->mom_addr;
-  return std::nullopt;
+  const auto& s = shard_of(hostname);
+  ScopedLock lock(s.mu);
+  auto it = s.nodes.find(hostname);
+  if (it == s.nodes.end()) return std::nullopt;
+  return it->second.status.mom_addr;
 }
 
 bool NodeDb::heartbeat(const std::string& hostname, double now) {
-  auto it = nodes_.find(hostname);
-  if (it == nodes_.end()) return false;
+  auto& sh = shard_of(hostname);
+  ScopedLock lock(sh.mu);
+  auto it = sh.nodes.find(hostname);
+  if (it == sh.nodes.end()) return false;
   it->second.last_seen = now;
   const bool revived = it->second.status.liveness != Liveness::kUp;
   it->second.status.up = true;
   it->second.status.liveness = Liveness::kUp;
+  // A bare timestamp refresh is not scheduler-visible; only a revival is.
+  if (revived) mark_dirty(sh, hostname);
   return revived;
 }
 
 NodeDb::LivenessChanges NodeDb::refresh_liveness(double now,
                                                  double suspect_after,
-                                                 double down_after) {
+                                                 double down_after)
+    DAC_NO_THREAD_SAFETY_ANALYSIS {
   LivenessChanges changes;
-  for (auto& [name, e] : nodes_) {
-    const double silence = now - e.last_seen;
-    Liveness next = e.status.liveness;
-    if (silence >= down_after) {
-      next = Liveness::kDown;
-    } else if (silence >= suspect_after) {
-      // Never promote: a down node stays down until a real heartbeat.
-      if (e.status.liveness == Liveness::kUp) next = Liveness::kSuspect;
-    }
-    if (next == e.status.liveness) continue;
-    e.status.liveness = next;
-    e.status.up = next == Liveness::kUp;
-    if (next == Liveness::kSuspect) {
-      changes.went_suspect.push_back(name);
-    } else if (next == Liveness::kDown) {
-      changes.went_down.push_back(name);
+  const auto all = lock_all();
+  for (auto& sh : shards_) {
+    for (auto& [name, e] : sh.nodes) {
+      const double silence = now - e.last_seen;
+      Liveness next = e.status.liveness;
+      if (silence >= down_after) {
+        next = Liveness::kDown;
+      } else if (silence >= suspect_after) {
+        // Never promote: a down node stays down until a real heartbeat.
+        if (e.status.liveness == Liveness::kUp) next = Liveness::kSuspect;
+      }
+      if (next == e.status.liveness) continue;
+      e.status.liveness = next;
+      e.status.up = next == Liveness::kUp;
+      mark_dirty(sh, name);
+      if (next == Liveness::kSuspect) {
+        changes.went_suspect.push_back(name);
+      } else if (next == Liveness::kDown) {
+        changes.went_down.push_back(name);
+      }
     }
   }
+  // Shard order is hash order; report transitions in a stable order so the
+  // recovery paths (and their logs) are deterministic.
+  std::sort(changes.went_suspect.begin(), changes.went_suspect.end());
+  std::sort(changes.went_down.begin(), changes.went_down.end());
   return changes;
+}
+
+std::vector<std::string> NodeDb::drain_dirty() {
+  std::vector<std::string> out;
+  for (auto& s : shards_) {
+    ScopedLock lock(s.mu);
+    out.insert(out.end(), s.dirty.begin(), s.dirty.end());
+    s.dirty.clear();
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace dac::torque

@@ -1,9 +1,18 @@
 // The server's node database: every mom registers its host here, and the
 // server tracks which jobs hold slots on which hosts. Accelerator nodes are
 // exclusive (one job at a time); compute nodes have ppn slots.
+//
+// Sharded and internally synchronized: hosts hash onto N lock shards so
+// server-side slot accounting stops being one global mutex — heartbeats,
+// pbsnodes reads, and grant/release traffic on different hosts proceed in
+// parallel. Cross-shard operations (snapshot, release_all, the failure
+// detector) take the whole-DB guard, which locks every shard in index order.
+// The guard is an implementation detail of this file: new code outside the
+// shard API must not take it (dacsched-analyzer rule `global-nodedb-lock`).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -11,6 +20,7 @@
 
 #include "torque/job.hpp"
 #include "util/bytes.hpp"
+#include "util/sync.hpp"
 #include "vnet/message.hpp"
 
 namespace dac::torque {
@@ -46,22 +56,39 @@ struct NodeStatus {
 void put_node_status(util::ByteWriter& w, const NodeStatus& n);
 NodeStatus get_node_status(util::ByteReader& r);
 
-// Not thread-safe: owned and accessed only by the single-threaded server.
 class NodeDb {
  public:
+  static constexpr int kDefaultShards = 8;
+
+  explicit NodeDb(int shards = kDefaultShards);
+
+  NodeDb(const NodeDb&) = delete;
+  NodeDb& operator=(const NodeDb&) = delete;
+
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(shards_.size());
+  }
+
   // Adds or refreshes a node record (mom registration).
   void upsert(NodeStatus status);
 
-  [[nodiscard]] const NodeStatus* find(const std::string& hostname) const;
+  // Point query; returns a copy so the caller holds no shard lock.
+  [[nodiscard]] std::optional<NodeStatus> lookup(
+      const std::string& hostname) const;
+  // Consistent whole-DB copy (all shards held at once), sorted by hostname.
   [[nodiscard]] std::vector<NodeStatus> snapshot() const;
-  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  // Per-shard iteration: `fn` runs under one shard lock at a time, so the
+  // view is consistent per host but not across hosts. Cheap for accounting
+  // sweeps that do not need a global cut.
+  void for_each(const std::function<void(const NodeStatus&)>& fn) const;
+  [[nodiscard]] std::size_t size() const;
 
   // Assigns `slots` slots on `hostname` to `job`; false if unknown host or
   // not enough free slots.
   bool assign(const std::string& hostname, JobId job, int slots);
   // Releases all slots `job` holds on `hostname`.
   void release(const std::string& hostname, JobId job);
-  // Releases everything `job` holds anywhere.
+  // Releases everything `job` holds anywhere (one atomic cross-shard cut).
   void release_all(JobId job);
 
   [[nodiscard]] std::optional<vnet::Address> mom_of(
@@ -83,13 +110,52 @@ class NodeDb {
   LivenessChanges refresh_liveness(double now, double suspect_after,
                                    double down_after);
 
+  // ---- dirty tracking (incremental scheduler feed) ---------------------
+  // Hostnames whose scheduler-visible status changed since the last drain
+  // (registration, slot traffic, liveness transitions — not bare heartbeat
+  // timestamps). Returned sorted; the dirty sets are cleared.
+  [[nodiscard]] std::vector<std::string> drain_dirty();
+
  private:
   struct Entry {
     NodeStatus status;
     std::map<JobId, int> held;  // job -> slots held
     double last_seen = 0.0;     // server seconds of the last heartbeat
   };
-  std::map<std::string, Entry> nodes_;
+  struct Shard {
+    mutable Mutex mu{"node_db.shard"};
+    std::map<std::string, Entry> nodes DAC_GUARDED_BY(mu);
+    std::vector<std::string> dirty DAC_GUARDED_BY(mu);  // unsorted, deduped
+  };
+
+  // Whole-DB guard: locks every shard in index order (deadlock-free by
+  // construction). Internal to node_db.cpp — see the analyzer rule note in
+  // the file header.
+  class ExclusiveAll {
+   public:
+    explicit ExclusiveAll(const NodeDb& db) DAC_NO_THREAD_SAFETY_ANALYSIS
+        : db_(db) {
+      for (const auto& s : db_.shards_) s.mu.lock();
+    }
+    ~ExclusiveAll() DAC_NO_THREAD_SAFETY_ANALYSIS {
+      for (auto it = db_.shards_.rbegin(); it != db_.shards_.rend(); ++it) {
+        it->mu.unlock();
+      }
+    }
+    ExclusiveAll(const ExclusiveAll&) = delete;
+    ExclusiveAll& operator=(const ExclusiveAll&) = delete;
+
+   private:
+    const NodeDb& db_;
+  };
+  [[nodiscard]] ExclusiveAll lock_all() const { return ExclusiveAll(*this); }
+
+  [[nodiscard]] Shard& shard_of(const std::string& hostname);
+  [[nodiscard]] const Shard& shard_of(const std::string& hostname) const;
+  static void mark_dirty(Shard& s, const std::string& hostname)
+      DAC_REQUIRES(s.mu);
+
+  std::vector<Shard> shards_;
 };
 
 }  // namespace dac::torque

@@ -38,6 +38,11 @@ enum class MsgType : std::uint32_t {
   kRunJob,                    // scheduler -> server: job id + host lists
   kRunDyn,                    // scheduler -> server: dyn req id + hosts
   kRejectDyn,                 // scheduler -> server: dyn req id
+  // High-throughput extensions (docs/SCHEDULING.md): one combined
+  // (incremental) state fetch per cycle, one batched decision message per
+  // cycle. Wire structs live in sched_feed.hpp.
+  kGetSched,                  // scheduler -> server: epoch -> SchedDelta
+  kDynDecide,                 // scheduler -> server: vector<DynDecision>
 
   // server -> mom
   kMomRunJob = 0x5430'0200,   // full job info; recipient becomes MS

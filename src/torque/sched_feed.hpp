@@ -1,0 +1,108 @@
+// The high-throughput scheduler feed: wire structures and server-side
+// bookkeeping for the incremental (delta-driven) Maui cycle and for batched
+// dynamic-request servicing.
+//
+// kGetSched replaces the kGetQueue + kGetNodes pair with one fetch that is
+// either *full* (every non-terminal job, every node) or a *delta* (only the
+// jobs and nodes whose scheduler-visible state changed since the previous
+// fetch). The server feeds DirtyTracker from its mutation handlers and the
+// NodeDb's own dirty sets; the scheduler folds deltas into a QueueMirror
+// (src/maui/queue_mirror.hpp) that reconstructs bit-identical fetch inputs —
+// the incremental ≡ full-rescan contract pinned by tests/maui.
+//
+// kDynDecide carries one cycle's worth of dynamic grant/reject decisions in
+// a single message, applied under one server lock acquisition instead of one
+// kRunDyn/kRejectDyn round-trip per request (docs/SCHEDULING.md).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "elastic/protocol.hpp"
+#include "torque/job.hpp"
+#include "torque/node_db.hpp"
+#include "util/bytes.hpp"
+
+namespace dac::torque {
+
+// A dynamic request as the scheduler sees it in the queue snapshot.
+struct DynQueueEntry {
+  std::uint64_t dyn_id = 0;
+  JobId job = kInvalidJob;
+  int count = 0;      // requested
+  int min_count = 0;  // smallest acceptable grant (== count: all-or-nothing)
+  NodeKind kind = NodeKind::kAccelerator;  // pool to allocate from
+  double arrival = 0.0;  // server seconds; FIFO order for the scheduler
+  // Trace context captured at the DYN_GET, so the scheduler's decision span
+  // joins the requester's trace (src/trace).
+  std::uint64_t trace_id = 0;
+  std::uint64_t origin_span = 0;
+};
+
+void put_dyn_queue_entry(util::ByteWriter& w, const DynQueueEntry& d);
+DynQueueEntry get_dyn_queue_entry(util::ByteReader& r);
+
+// What kGetSched returns. Dynamic requests and elastic views are always
+// shipped complete — both are bounded by the *active* request/registration
+// count, not the queue length — while jobs and nodes are delta'd.
+struct SchedDelta {
+  std::uint64_t epoch = 0;  // echo into the next fetch for a delta
+  bool full = true;
+  double now = 0.0;  // server clock, for backfill horizons
+  // full: every non-terminal job. delta: every job touched since the last
+  // fetch, *including* newly-terminal ones so the mirror can drop them.
+  std::vector<JobInfo> jobs;
+  // full: every node. delta: nodes whose scheduler-visible status changed.
+  std::vector<NodeStatus> nodes;
+  std::vector<DynQueueEntry> dyn;  // active dynamic requests, FIFO
+  std::vector<elastic::JobView> elastic;
+};
+
+void put_sched_delta(util::ByteWriter& w, const SchedDelta& d);
+SchedDelta get_sched_delta(util::ByteReader& r);
+
+// One scheduler decision inside a kDynDecide batch. The span fields carry
+// the scheduler's grant/reject decision span so the server-side application
+// (slot assignment, MOM_DYN_ADD, the dynget reply) stays inside the
+// requester's causal tree.
+struct DynDecision {
+  std::uint64_t dyn_id = 0;
+  bool grant = false;
+  std::uint64_t pickup_ns = 0;  // scheduler pickup, for the timing split
+  std::vector<std::string> hosts;  // grant only
+  std::uint64_t trace_id = 0;
+  std::uint64_t span = 0;
+};
+
+void put_dyn_decisions(util::ByteWriter& w,
+                       const std::vector<DynDecision>& ds);
+std::vector<DynDecision> get_dyn_decisions(util::ByteReader& r);
+
+// Server-side dirty-job bookkeeping for the incremental feed. Not
+// thread-safe: the server mutates it under its state lock. There is one
+// consumer (the registered scheduler), so one epoch counter and one dirty
+// set suffice: a fetch whose client epoch matches the tracker's is served
+// the accumulated delta; anything else (first contact, a restarted
+// scheduler, a forced full rescan) is served the full state. Either way the
+// dirty set drains and the epoch advances.
+class DirtyTracker {
+ public:
+  void touch(JobId id) { dirty_.insert(id); }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t pending() const { return dirty_.size(); }
+
+  struct Fetch {
+    bool full = true;
+    std::uint64_t epoch = 0;       // new epoch to stamp into the reply
+    std::vector<JobId> jobs;       // dirty ids (ascending), delta fetches
+  };
+  Fetch begin_fetch(std::uint64_t client_epoch, bool force_full);
+
+ private:
+  std::set<JobId> dirty_;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace dac::torque

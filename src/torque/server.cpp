@@ -51,16 +51,7 @@ void put_queue_snapshot(util::ByteWriter& w, const QueueSnapshot& s) {
   w.put<std::uint32_t>(static_cast<std::uint32_t>(s.jobs.size()));
   for (const auto& j : s.jobs) put_job_info(w, j);
   w.put<std::uint32_t>(static_cast<std::uint32_t>(s.dyn.size()));
-  for (const auto& d : s.dyn) {
-    w.put<std::uint64_t>(d.dyn_id);
-    w.put<std::uint64_t>(d.job);
-    w.put<std::int32_t>(d.count);
-    w.put<std::int32_t>(d.min_count);
-    w.put_enum(d.kind);
-    w.put<double>(d.arrival);
-    w.put<std::uint64_t>(d.trace_id);
-    w.put<std::uint64_t>(d.origin_span);
-  }
+  for (const auto& d : s.dyn) put_dyn_queue_entry(w, d);
   w.put<std::uint32_t>(static_cast<std::uint32_t>(s.elastic.size()));
   for (const auto& v : s.elastic) elastic::put_job_view(w, v);
 }
@@ -73,18 +64,7 @@ QueueSnapshot get_queue_snapshot(util::ByteReader& r) {
   for (std::uint32_t i = 0; i < nj; ++i) s.jobs.push_back(get_job_info(r));
   const auto nd = r.get<std::uint32_t>();
   s.dyn.reserve(nd);
-  for (std::uint32_t i = 0; i < nd; ++i) {
-    DynQueueEntry d;
-    d.dyn_id = r.get<std::uint64_t>();
-    d.job = r.get<std::uint64_t>();
-    d.count = r.get<std::int32_t>();
-    d.min_count = r.get<std::int32_t>();
-    d.kind = r.get_enum<NodeKind>();
-    d.arrival = r.get<double>();
-    d.trace_id = r.get<std::uint64_t>();
-    d.origin_span = r.get<std::uint64_t>();
-    s.dyn.push_back(d);
-  }
+  for (std::uint32_t i = 0; i < nd; ++i) s.dyn.push_back(get_dyn_queue_entry(r));
   const auto ne = r.get<std::uint32_t>();
   s.elastic.reserve(ne);
   for (std::uint32_t i = 0; i < ne; ++i) {
@@ -94,12 +74,13 @@ QueueSnapshot get_queue_snapshot(util::ByteReader& r) {
 }
 
 PbsServer::PbsServer(vnet::Node& node, BatchTiming timing,
-                     svc::ServiceTuning tuning)
+                     svc::ServiceTuning tuning, int node_db_shards)
     : node_(node),
       timing_(timing),
       tuning_(tuning),
       endpoint_(node.open_endpoint()),
-      start_(simtime::now()) {}
+      start_(simtime::now()),
+      nodes_(node_db_shards > 0 ? node_db_shards : NodeDb::kDefaultShards) {}
 
 double PbsServer::now_s() const {
   return std::chrono::duration<double>(simtime::now() -
@@ -195,21 +176,35 @@ void PbsServer::register_handlers(svc::ServiceLoop& loop) {
   loop.on(MsgType::kMsDynReady, ExecClass::kMutating,
           [](const Request&, Responder&) {});  // informational
 
+  // Node-only handlers: the sharded NodeDb synchronizes itself, so these run
+  // on the read pool without touching state_mu_ at all. Under a 1k-node
+  // heartbeat storm this is the difference between the mutating lane
+  // stalling behind pbsnodes traffic and not noticing it.
+  const auto node_only = [&](MsgType type,
+                             void (PbsServer::*fn)(const rpc::Request&,
+                                                   Responder&)) {
+    loop.on(type, ExecClass::kReadOnly,
+            [this, fn](const Request& req, Responder& resp) {
+              (this->*fn)(req, resp);
+            });
+  };
+
   read(MsgType::kStatJobs, &PbsServer::on_stat_jobs);
   read(MsgType::kStatJob, &PbsServer::on_stat_job);
-  read(MsgType::kGetQueue, &PbsServer::on_get_queue);
-  read_excl(MsgType::kStatNodes, &PbsServer::on_stat_nodes);
-  read_excl(MsgType::kGetNodes, &PbsServer::on_get_nodes);
+  // Queue fetches drain the dirty-feed bookkeeping, so they need the lock
+  // exclusively even though they do not change job state.
+  read_excl(MsgType::kGetQueue, &PbsServer::on_get_queue);
+  read_excl(MsgType::kGetSched, &PbsServer::on_get_sched);
+  mut(MsgType::kDynDecide, &PbsServer::on_dyn_decide);
+  node_only(MsgType::kStatNodes, &PbsServer::on_stat_nodes);
+  node_only(MsgType::kGetNodes, &PbsServer::on_get_nodes);
   // Mom and dacc-backend heartbeats carry the same body (hostname) and feed
   // the same detector; two codes keep the metrics table honest about who is
-  // beating.
+  // beating. They touch only the NodeDb: no state lock.
   for (const auto type :
        {MsgType::kMomHeartbeat, MsgType::kBackendHeartbeat}) {
     loop.on(type, ExecClass::kReadOnly,
-            [this](const Request& req, Responder&) {
-              WriterLock lock(state_mu_);
-              on_heartbeat(req);
-            });
+            [this](const Request& req, Responder&) { on_heartbeat(req); });
   }
 }
 
@@ -241,8 +236,8 @@ void PbsServer::refresh_liveness() {
 }
 
 void PbsServer::handle_node_down(const std::string& hostname) {
-  const NodeStatus* n = nodes_.find(hostname);
-  if (n == nullptr) return;
+  const auto n = nodes_.lookup(hostname);
+  if (!n) return;
   if (n->kind == NodeKind::kCompute) {
     fail_jobs_on(hostname);
   } else {
@@ -252,6 +247,9 @@ void PbsServer::handle_node_down(const std::string& hostname) {
 
 void PbsServer::wake_scheduler() {
   if (!scheduler_known_) return;
+  // Coalesce: a wake already in flight covers this change too — the
+  // scheduler disarms before it fetches state.
+  if (!wake_gate_.try_arm()) return;
   rpc::notify(*endpoint_, scheduler_, MsgType::kSchedWake, {});
 }
 
@@ -260,10 +258,9 @@ std::vector<HostRef> PbsServer::host_refs(
   std::vector<HostRef> out;
   out.reserve(hostnames.size());
   for (const auto& h : hostnames) {
-    const NodeStatus* n = nodes_.find(h);
     HostRef ref;
     ref.hostname = h;
-    if (n != nullptr) {
+    if (const auto n = nodes_.lookup(h)) {
       ref.node = n->node_id;
       ref.mom = n->mom_addr;
     }
@@ -288,6 +285,7 @@ void PbsServer::on_submit(const rpc::Request& req, svc::Responder& resp) {
   const auto id = rec.info.id;
   trace::note("job", std::to_string(id));
   jobs_.emplace(id, std::move(rec));
+  touch_job(id);
   kLog.info("job {} '{}' queued ({} nodes, acpn {})", id,
             jobs_[id].info.spec.name, jobs_[id].info.spec.resources.nodes,
             jobs_[id].info.spec.resources.acpn);
@@ -321,8 +319,10 @@ void PbsServer::on_stat_job(const rpc::Request& req, svc::Responder& resp) {
 }
 
 void PbsServer::on_stat_nodes(const rpc::Request& req, svc::Responder& resp) {
+  // No detector advance here: the liveness tick runs at the heartbeat
+  // cadence regardless of pbsnodes traffic, and this handler holds no lock
+  // that would let it mutate job state anyway.
   (void)req;
-  refresh_liveness();
   util::ByteWriter w;
   const auto snap = nodes_.snapshot();
   w.put<std::uint32_t>(static_cast<std::uint32_t>(snap.size()));
@@ -400,6 +400,7 @@ void PbsServer::fail_jobs_on(const std::string& hostname) {
       rec.info.end_time = now_s();
       record_event(MsgType::kEvJobFailed);
     }
+    touch_job(id);
     wake_scheduler();
   }
 }
@@ -420,6 +421,7 @@ void PbsServer::reclaim_accel_slots(const std::string& hostname) {
     }
     if (held) {
       nodes_.release(hostname, id);
+      touch_job(id);
       kLog.warn("reclaimed accelerator '{}' from job {} (node down)",
                 hostname, id);
       record_event(MsgType::kEvAcReclaim);
@@ -462,6 +464,7 @@ void PbsServer::on_delete_job(const rpc::Request& req, svc::Responder& resp) {
   elastic_.cancel_job(id);  // reservations freed by release_all above
   rec.info.state = JobState::kCancelled;
   rec.info.end_time = now_s();
+  touch_job(id);
   resp.ok();
   wake_scheduler();
 }
@@ -485,6 +488,7 @@ void PbsServer::on_alter_job(const rpc::Request& req, svc::Responder& resp) {
         std::chrono::milliseconds(r.get<std::int64_t>());
   }
   if (r.get_bool()) rec.info.spec.name = r.get_string();
+  touch_job(id);
   kLog.info("job {} altered", id);
   resp.ok();
   wake_scheduler();
@@ -549,6 +553,7 @@ void PbsServer::on_dynget(const rpc::Request& req, svc::Responder& resp) {
   rec.info.state = JobState::kDynQueued;
   dyn_.at(dyn_id).active = true;
   dyn_fifo_.push_back(dyn_id);
+  touch_job(job_id);
   kLog.info("job {} dynqueued: +{} accelerators (dyn {})", job_id, count,
             dyn_id);
   wake_scheduler();
@@ -580,6 +585,9 @@ void PbsServer::finish_dyn(DynRecord& dyn, const DynGetReply& reply) {
   std::erase(dyn_fifo_, dyn.id);
   auto job_it = jobs_.find(dyn.job);
   const auto dyn_id = dyn.id;
+  // Finishing a dyn flips the job's DYNQUEUED/RUNNING state (and a grant
+  // changed its host lists before calling here).
+  touch_job(dyn.job);
   if (job_it != jobs_.end()) activate_next_dyn(job_it->second);
   dyn_.erase(dyn_id);
 }
@@ -616,12 +624,13 @@ bool PbsServer::release_dyn_set(JobId job_id, JobRecord& rec,
   std::vector<std::string> live;
   std::vector<std::string> dead;
   for (const auto& h : set->second) {
-    const NodeStatus* n = nodes_.find(h);
-    (n != nullptr && n->liveness == Liveness::kDown ? dead : live).push_back(h);
+    const auto n = nodes_.lookup(h);
+    (n && n->liveness == Liveness::kDown ? dead : live).push_back(h);
   }
   for (const auto& h : dead) {
     nodes_.release(h, job_id);
     std::erase(rec.info.dyn_accel_hosts, h);
+    touch_job(job_id);
   }
   if (rec.ms_valid && !live.empty()) {
     set->second = live;  // ms_release_done frees exactly what was forwarded
@@ -639,6 +648,7 @@ bool PbsServer::release_dyn_set(JobId job_id, JobRecord& rec,
     return std::find(live.begin(), live.end(), h) != live.end();
   });
   rec.dyn_sets.erase(set);
+  touch_job(job_id);
   wake_scheduler();
   return false;
 }
@@ -658,6 +668,7 @@ void PbsServer::on_ms_release_done(const rpc::Request& req) {
            set->second.end();
   });
   rec.dyn_sets.erase(set);
+  touch_job(job_id);
   kLog.info("job {} released dynamic set {}", job_id, client_id);
   // If this release completed an accepted elastic shrink, the negotiation is
   // over: the offer stops blocking new proposals for the job.
@@ -699,6 +710,7 @@ void PbsServer::on_job_started(const rpc::Request& req) {
   const auto id = r.get<std::uint64_t>();
   if (auto it = jobs_.find(id); it != jobs_.end()) {
     it->second.info.start_time = now_s();
+    touch_job(id);
     kLog.info("job {} started", id);
   }
 }
@@ -720,6 +732,7 @@ void PbsServer::on_job_complete(const rpc::Request& req) {
   rec.info.exit_status = exit_status;
   rec.info.end_time = now_s();
   rec.ms_valid = false;
+  touch_job(id);
   // Fail any dynamic request still pending for the departed job.
   if (rec.dyn_active != 0) {
     if (auto dit = dyn_.find(rec.dyn_active); dit != dyn_.end()) {
@@ -733,26 +746,19 @@ void PbsServer::on_job_complete(const rpc::Request& req) {
 
 // ------------------------------------------------------------- scheduler
 
-void PbsServer::on_get_queue(const rpc::Request& req, svc::Responder& resp) {
-  (void)req;
-  QueueSnapshot snap;
-  snap.now = now_s();
-  snap.jobs.reserve(jobs_.size());
-  for (const auto& [id, rec] : jobs_) {
-    // Terminal jobs are invisible to scheduling; copying them would make
-    // every cycle O(all jobs ever submitted) — quadratic over a long run.
-    if (rec.info.state == JobState::kComplete ||
-        rec.info.state == JobState::kCancelled) {
-      continue;
-    }
-    snap.jobs.push_back(rec.info);
-  }
+std::vector<DynQueueEntry> PbsServer::dyn_entries() const {
+  std::vector<DynQueueEntry> out;
+  out.reserve(dyn_fifo_.size());
   for (const auto dyn_id : dyn_fifo_) {
     const auto& d = dyn_.at(dyn_id);
-    snap.dyn.push_back(DynQueueEntry{d.id, d.job, d.count, d.min_count,
-                                     d.kind, d.arrival_s, d.trace_id,
-                                     d.origin_span});
+    out.push_back(DynQueueEntry{d.id, d.job, d.count, d.min_count, d.kind,
+                                d.arrival_s, d.trace_id, d.origin_span});
   }
+  return out;
+}
+
+std::vector<elastic::JobView> PbsServer::elastic_views() const {
+  std::vector<elastic::JobView> out;
   for (const auto& [job_id, reg] : elastic_.registrations()) {
     const auto jit = jobs_.find(job_id);
     if (jit == jobs_.end()) continue;
@@ -775,10 +781,78 @@ void PbsServer::on_get_queue(const rpc::Request& req, svc::Responder& resp) {
       v.newest_set_size =
           static_cast<std::int32_t>(rec.dyn_sets.rbegin()->second.size());
     }
-    snap.elastic.push_back(std::move(v));
+    out.push_back(std::move(v));
   }
+  return out;
+}
+
+void PbsServer::on_get_queue(const rpc::Request& req, svc::Responder& resp) {
+  (void)req;
+  // The legacy full-fetch path. It still drains the incremental feed's
+  // bookkeeping: a scheduler running in ablation (incremental off) would
+  // otherwise grow the dirty sets without bound.
+  wake_gate_.disarm();
+  (void)sched_feed_.begin_fetch(0, /*force_full=*/true);
+  (void)nodes_.drain_dirty();
+  QueueSnapshot snap;
+  snap.now = now_s();
+  snap.jobs.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) {
+    // Terminal jobs are invisible to scheduling; copying them would make
+    // every cycle O(all jobs ever submitted) — quadratic over a long run.
+    if (rec.info.state == JobState::kComplete ||
+        rec.info.state == JobState::kCancelled) {
+      continue;
+    }
+    snap.jobs.push_back(rec.info);
+  }
+  snap.dyn = dyn_entries();
+  snap.elastic = elastic_views();
   util::ByteWriter w;
   put_queue_snapshot(w, snap);
+  resp.ok(std::move(w).take());
+}
+
+void PbsServer::on_get_sched(const rpc::Request& req, svc::Responder& resp) {
+  util::ByteReader r(req.body);
+  const auto client_epoch = r.get<std::uint64_t>();
+  const bool force_full = r.get_bool();
+  // Disarm before reading: every change serialized before this point is in
+  // the fetch; anything later re-arms the gate and wakes us again.
+  wake_gate_.disarm();
+  const auto fetch = sched_feed_.begin_fetch(client_epoch, force_full);
+
+  SchedDelta d;
+  d.epoch = fetch.epoch;
+  d.full = fetch.full;
+  d.now = now_s();
+  if (fetch.full) {
+    for (const auto& [id, rec] : jobs_) {
+      if (rec.info.state == JobState::kComplete ||
+          rec.info.state == JobState::kCancelled) {
+        continue;
+      }
+      d.jobs.push_back(rec.info);
+    }
+    d.nodes = nodes_.snapshot();
+    (void)nodes_.drain_dirty();  // the snapshot supersedes any pending delta
+  } else {
+    for (const auto id : fetch.jobs) {
+      // Terminal jobs ARE shipped in a delta — the mirror needs to see the
+      // transition to drop them. (Job records are never erased server-side,
+      // so every dirty id resolves.)
+      if (const auto it = jobs_.find(id); it != jobs_.end()) {
+        d.jobs.push_back(it->second.info);
+      }
+    }
+    for (const auto& host : nodes_.drain_dirty()) {
+      if (auto st = nodes_.lookup(host)) d.nodes.push_back(*std::move(st));
+    }
+  }
+  d.dyn = dyn_entries();
+  d.elastic = elastic_views();
+  util::ByteWriter w;
+  put_sched_delta(w, d);
   resp.ok(std::move(w).take());
 }
 
@@ -828,6 +902,7 @@ void PbsServer::on_run_job(const rpc::Request& req, svc::Responder& resp) {
   rec.info.compute_hosts = compute_hosts;
   rec.info.accel_hosts = accel_hosts;
   rec.info.state = JobState::kRunning;
+  touch_job(id);
   resp.ok();
 
   if (rec.info.spec.program.empty()) {
@@ -861,23 +936,14 @@ void PbsServer::on_run_job(const rpc::Request& req, svc::Responder& resp) {
             compute_hosts.front());
 }
 
-void PbsServer::on_run_dyn(const rpc::Request& req, svc::Responder& resp) {
-  util::ByteReader r(req.body);
-  const auto dyn_id = r.get<std::uint64_t>();
-  const auto pickup_ns = r.get<std::uint64_t>();
-  auto hosts = r.get_string_vector();
-
+PbsServer::DynApply PbsServer::apply_dyn_grant(
+    std::uint64_t dyn_id, std::uint64_t pickup_ns,
+    const std::vector<std::string>& hosts) {
   auto dit = dyn_.find(dyn_id);
-  if (dit == dyn_.end()) {
-    resp.error(ReplyCode::kBadRequest, "run_dyn: unknown dyn request");
-    return;
-  }
+  if (dit == dyn_.end()) return DynApply::kUnknownRequest;
   auto& dyn = dit->second;
   auto jit = jobs_.find(dyn.job);
-  if (jit == jobs_.end()) {
-    resp.error(ReplyCode::kUnknownJob, "run_dyn: job vanished");
-    return;
-  }
+  if (jit == jobs_.end()) return DynApply::kJobVanished;
   auto& rec = jit->second;
 
   std::vector<std::pair<std::string, int>> applied;
@@ -893,14 +959,12 @@ void PbsServer::on_run_dyn(const rpc::Request& req, svc::Responder& resp) {
   }
   if (!ok) {
     for (const auto& [h, slots] : applied) nodes_.release(h, dyn.job);
-    resp.error(ReplyCode::kError, "run_dyn: allocation conflict");
     DynGetReply reply;  // rejected
     reply.queue_wait_seconds =
         static_cast<double>(pickup_ns - dyn.arrival_ns) * 1e-9;
     finish_dyn(dyn, reply);
-    return;
+    return DynApply::kConflict;
   }
-  resp.ok();
 
   // The grant came entirely from the free pool (every assign succeeded) and
   // honors the request bounds the scheduler saw.
@@ -944,18 +1008,13 @@ void PbsServer::on_run_dyn(const rpc::Request& req, svc::Responder& resp) {
   kLog.info("dyn {} for job {} granted: {} accelerator(s), client id {}",
             dyn_id, dyn.job, reply.hosts.size(), client_id);
   finish_dyn(dyn, reply);
+  return DynApply::kApplied;
 }
 
-void PbsServer::on_reject_dyn(const rpc::Request& req, svc::Responder& resp) {
-  util::ByteReader r(req.body);
-  const auto dyn_id = r.get<std::uint64_t>();
-  const auto pickup_ns = r.get<std::uint64_t>();
+bool PbsServer::apply_dyn_reject(std::uint64_t dyn_id,
+                                 std::uint64_t pickup_ns) {
   auto dit = dyn_.find(dyn_id);
-  if (dit == dyn_.end()) {
-    resp.error(ReplyCode::kBadRequest, "reject_dyn: unknown dyn request");
-    return;
-  }
-  resp.ok();
+  if (dit == dyn_.end()) return false;
   auto& dyn = dit->second;
   DynGetReply reply;  // granted = false
   const auto done_ns = steady_ns();
@@ -964,6 +1023,67 @@ void PbsServer::on_reject_dyn(const rpc::Request& req, svc::Responder& resp) {
   reply.service_seconds = static_cast<double>(done_ns - pickup_ns) * 1e-9;
   kLog.info("dyn {} for job {} rejected by scheduler", dyn_id, dyn.job);
   finish_dyn(dyn, reply);
+  return true;
+}
+
+void PbsServer::on_run_dyn(const rpc::Request& req, svc::Responder& resp) {
+  util::ByteReader r(req.body);
+  const auto dyn_id = r.get<std::uint64_t>();
+  const auto pickup_ns = r.get<std::uint64_t>();
+  const auto hosts = r.get_string_vector();
+  switch (apply_dyn_grant(dyn_id, pickup_ns, hosts)) {
+    case DynApply::kApplied:
+      resp.ok();
+      break;
+    case DynApply::kUnknownRequest:
+      resp.error(ReplyCode::kBadRequest, "run_dyn: unknown dyn request");
+      break;
+    case DynApply::kJobVanished:
+      resp.error(ReplyCode::kUnknownJob, "run_dyn: job vanished");
+      break;
+    case DynApply::kConflict:
+      resp.error(ReplyCode::kError, "run_dyn: allocation conflict");
+      break;
+  }
+}
+
+void PbsServer::on_reject_dyn(const rpc::Request& req, svc::Responder& resp) {
+  util::ByteReader r(req.body);
+  const auto dyn_id = r.get<std::uint64_t>();
+  const auto pickup_ns = r.get<std::uint64_t>();
+  if (!apply_dyn_reject(dyn_id, pickup_ns)) {
+    resp.error(ReplyCode::kBadRequest, "reject_dyn: unknown dyn request");
+    return;
+  }
+  resp.ok();
+}
+
+void PbsServer::on_dyn_decide(const rpc::Request& req, svc::Responder& resp) {
+  // One cycle's worth of scheduler decisions, applied under a single lock
+  // acquisition. Each decision replays inside the requester's trace (the
+  // scheduler shipped its per-decision span), so the causal tree looks the
+  // same as with per-request kRunDyn/kRejectDyn. Stale or conflicting
+  // decisions are not batch errors: the conflict path already rejected the
+  // request, and a vanished id means the job died after the fetch.
+  util::ByteReader r(req.body);
+  const auto decisions = get_dyn_decisions(r);
+  std::uint32_t applied = 0;
+  for (const auto& dec : decisions) {
+    trace::SpanScope span("serve.dyn_apply",
+                          trace::Context{dec.trace_id, dec.span});
+    trace::note("dyn", std::to_string(dec.dyn_id));
+    if (dec.grant) {
+      if (apply_dyn_grant(dec.dyn_id, dec.pickup_ns, dec.hosts) ==
+          DynApply::kApplied) {
+        ++applied;
+      }
+    } else if (apply_dyn_reject(dec.dyn_id, dec.pickup_ns)) {
+      ++applied;
+    }
+  }
+  util::ByteWriter w;
+  w.put<std::uint32_t>(applied);
+  resp.ok(std::move(w).take());
 }
 
 // ---------------------------------------------------- elastic negotiation
@@ -1163,8 +1283,8 @@ void PbsServer::commit_elastic_grow(
   // among its holders. Slot conservation is the invariant the negotiation
   // promises — no double grant, no leak.
   for (const auto& h : offer.hosts) {
-    const NodeStatus* n = nodes_.find(h);
-    DAC_CHECK(n != nullptr &&
+    const auto n = nodes_.lookup(h);
+    DAC_CHECK(n.has_value() &&
                   std::find(n->jobs.begin(), n->jobs.end(), offer.job) !=
                       n->jobs.end(),
               "elastic grow: reservation on '{}' lost before commit", h);
@@ -1173,6 +1293,7 @@ void PbsServer::commit_elastic_grow(
   rec.dyn_sets[client_id] = offer.hosts;
   rec.info.dyn_accel_hosts.insert(rec.info.dyn_accel_hosts.end(),
                                   offer.hosts.begin(), offer.hosts.end());
+  touch_job(offer.job);
   elastic_.consume_appetite(offer.job,
                             static_cast<std::int32_t>(offer.hosts.size()));
 

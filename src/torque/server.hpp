@@ -10,6 +10,14 @@
 // can be moved to a worker pool via ServiceTuning::server_read_workers. With
 // the default of 0 workers the server is exactly the paper's single-threaded
 // daemon.
+//
+// High-throughput extensions (docs/SCHEDULING.md): the node database is
+// sharded and internally synchronized, so heartbeats and node reads bypass
+// the server state lock entirely; job mutations feed a DirtyTracker that
+// serves the scheduler incremental kGetSched deltas; and one kDynDecide
+// message applies a whole cycle's dynamic grant/reject decisions under a
+// single lock acquisition. A WakeGate coalesces scheduler wakeups to at
+// most one in flight.
 #pragma once
 
 #include <cstdint>
@@ -23,11 +31,13 @@
 #include "svc/config.hpp"
 #include "svc/metrics.hpp"
 #include "svc/service_loop.hpp"
+#include "svc/wake_gate.hpp"
 #include "torque/batch_config.hpp"
 #include "torque/job.hpp"
 #include "torque/node_db.hpp"
 #include "torque/protocol.hpp"
 #include "torque/rpc.hpp"
+#include "torque/sched_feed.hpp"
 #include "vnet/node.hpp"
 
 namespace dac::torque {
@@ -43,21 +53,8 @@ struct HostRef {
 void put_host_refs(util::ByteWriter& w, const std::vector<HostRef>& hosts);
 std::vector<HostRef> get_host_refs(util::ByteReader& r);
 
-// A dynamic request as the scheduler sees it in the queue snapshot.
-struct DynQueueEntry {
-  std::uint64_t dyn_id = 0;
-  JobId job = kInvalidJob;
-  int count = 0;      // requested
-  int min_count = 0;  // smallest acceptable grant (== count: all-or-nothing)
-  NodeKind kind = NodeKind::kAccelerator;  // pool to allocate from
-  double arrival = 0.0;  // server seconds; FIFO order for the scheduler
-  // Trace context captured at the DYN_GET, so the scheduler's decision span
-  // joins the requester's trace (src/trace).
-  std::uint64_t trace_id = 0;
-  std::uint64_t origin_span = 0;
-};
-
-// What GET_QUEUE returns to the scheduler.
+// What GET_QUEUE returns to the scheduler (the legacy full-fetch path; the
+// incremental path is SchedDelta in sched_feed.hpp).
 struct QueueSnapshot {
   double now = 0.0;                   // server clock, for backfill horizons
   std::vector<JobInfo> jobs;          // every known job, all states
@@ -74,9 +71,9 @@ class PbsServer {
  public:
   // Opens the server endpoint on `node` immediately so the address is known
   // before any mom or client starts; run() must then be invoked inside a
-  // process on that node.
+  // process on that node. `node_db_shards <= 0` uses NodeDb::kDefaultShards.
   PbsServer(vnet::Node& node, BatchTiming timing,
-            svc::ServiceTuning tuning = {});
+            svc::ServiceTuning tuning = {}, int node_db_shards = 0);
 
   PbsServer(const PbsServer&) = delete;
   PbsServer& operator=(const PbsServer&) = delete;
@@ -124,15 +121,16 @@ class PbsServer {
 
   // IFL / mom-facing handlers. All run with state_mu_ held (shared for the
   // pure reads, exclusive otherwise); the REQUIRES annotations document and
-  // (under clang) enforce that.
+  // (under clang) enforce that. Handlers that touch only the internally
+  // synchronized NodeDb (heartbeats, node listings) carry no annotation and
+  // run lock-free on the read pool.
   void on_submit(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
   void on_stat_jobs(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES_SHARED(state_mu_);
   void on_stat_job(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES_SHARED(state_mu_);
-  void on_stat_nodes(const rpc::Request& req, svc::Responder& resp)
-      DAC_REQUIRES(state_mu_);
+  void on_stat_nodes(const rpc::Request& req, svc::Responder& resp);
   void on_delete_job(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
   void on_alter_job(const rpc::Request& req, svc::Responder& resp)
@@ -141,26 +139,51 @@ class PbsServer {
       DAC_REQUIRES(state_mu_);
   void on_dynfree(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
-  void on_register_node(const rpc::Request& req, svc::Responder& resp)
-      DAC_REQUIRES(state_mu_);
+  void on_register_node(const rpc::Request& req, svc::Responder& resp);
   void on_register_scheduler(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
   void on_job_started(const rpc::Request& req) DAC_REQUIRES(state_mu_);
   void on_job_complete(const rpc::Request& req) DAC_REQUIRES(state_mu_);
   void on_ms_release_done(const rpc::Request& req) DAC_REQUIRES(state_mu_);
-  void on_heartbeat(const rpc::Request& req) DAC_REQUIRES(state_mu_);
+  void on_heartbeat(const rpc::Request& req);
 
   // Scheduler-facing handlers.
   void on_get_queue(const rpc::Request& req, svc::Responder& resp)
-      DAC_REQUIRES_SHARED(state_mu_);
-  void on_get_nodes(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
+  void on_get_sched(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+  void on_get_nodes(const rpc::Request& req, svc::Responder& resp);
   void on_run_job(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
   void on_run_dyn(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
   void on_reject_dyn(const rpc::Request& req, svc::Responder& resp)
       DAC_REQUIRES(state_mu_);
+  void on_dyn_decide(const rpc::Request& req, svc::Responder& resp)
+      DAC_REQUIRES(state_mu_);
+
+  // Decision application shared by the per-request handlers and the
+  // kDynDecide batch. kConflict means the allocation raced a concurrent
+  // assignment; the request is then already finished as rejected.
+  enum class DynApply { kApplied, kUnknownRequest, kJobVanished, kConflict };
+  DynApply apply_dyn_grant(std::uint64_t dyn_id, std::uint64_t pickup_ns,
+                           const std::vector<std::string>& hosts)
+      DAC_REQUIRES(state_mu_);
+  // False only when the request vanished (stale decision).
+  bool apply_dyn_reject(std::uint64_t dyn_id, std::uint64_t pickup_ns)
+      DAC_REQUIRES(state_mu_);
+
+  // Queue-snapshot building blocks shared by kGetQueue and kGetSched.
+  [[nodiscard]] std::vector<DynQueueEntry> dyn_entries() const
+      DAC_REQUIRES_SHARED(state_mu_);
+  [[nodiscard]] std::vector<elastic::JobView> elastic_views() const
+      DAC_REQUIRES_SHARED(state_mu_);
+
+  // Marks `id`'s scheduler-visible state changed since the last fetch.
+  // Every mutation of a JobRecord's info must route through here or the
+  // incremental feed goes stale — the equivalence suite (tests/maui) exists
+  // to catch exactly that.
+  void touch_job(JobId id) DAC_REQUIRES(state_mu_) { sched_feed_.touch(id); }
 
   // ---- elastic negotiation (src/elastic) -------------------------------
   // kElastRegister/kElastPropose/kElastAck handlers. Offers never block the
@@ -191,8 +214,7 @@ class PbsServer {
   void wake_scheduler() DAC_REQUIRES(state_mu_);
 
   // ---- failure detector + recovery (fault-tolerance extension) ---------
-  // Advances the suspect/down detector; called from the liveness tick and
-  // from pbsnodes-style requests so detection does not depend on polling.
+  // Advances the suspect/down detector from the liveness tick.
   void refresh_liveness() DAC_REQUIRES(state_mu_);
   // Recovery entry point once a node is declared down, branching on kind.
   void handle_node_down(const std::string& hostname) DAC_REQUIRES(state_mu_);
@@ -200,7 +222,7 @@ class PbsServer {
   // fail them, freeing everything they held.
   void fail_jobs_on(const std::string& hostname) DAC_REQUIRES(state_mu_);
   // Accelerator node died: reclaim its slots from every job server-side;
-  // the application learns through the DAC frontend and re-issues dynget.
+  // the application learns through the DAC frontend and may re-issue dynget.
   void reclaim_accel_slots(const std::string& hostname)
       DAC_REQUIRES(state_mu_);
   // Rejects the active and any waiting dynamic requests of `job`.
@@ -213,8 +235,7 @@ class PbsServer {
       DAC_REQUIRES(state_mu_);
   [[nodiscard]] double now_s() const;
   [[nodiscard]] std::vector<HostRef> host_refs(
-      const std::vector<std::string>& hostnames) const
-      DAC_REQUIRES_SHARED(state_mu_);
+      const std::vector<std::string>& hostnames) const;
 
   vnet::Node& node_;
   BatchTiming timing_;
@@ -223,17 +244,22 @@ class PbsServer {
   std::chrono::steady_clock::time_point start_;
   svc::MetricsRegistry metrics_;
 
-  // Guards all server state below. The mutating lane takes it exclusively;
-  // pooled read-only handlers take it shared (or exclusively when they touch
-  // liveness bookkeeping). With server_read_workers == 0 it is uncontended.
+  // Guards the job-side server state below. The mutating lane takes it
+  // exclusively; pooled read-only handlers take it shared. The NodeDb is
+  // NOT under this lock: it is sharded and internally synchronized, so
+  // heartbeat and pbsnodes traffic never contends with job mutations.
   SharedMutex state_mu_{"server.state"};
 
-  NodeDb nodes_ DAC_GUARDED_BY(state_mu_);
+  NodeDb nodes_;  // internally synchronized (see node_db.hpp)
   elastic::Broker elastic_ DAC_GUARDED_BY(state_mu_);
   std::map<JobId, JobRecord> jobs_ DAC_GUARDED_BY(state_mu_);
   std::map<std::uint64_t, DynRecord> dyn_ DAC_GUARDED_BY(state_mu_);
   // Active dyn ids, FIFO.
   std::deque<std::uint64_t> dyn_fifo_ DAC_GUARDED_BY(state_mu_);
+  // Dirty-job bookkeeping for the incremental scheduler feed.
+  DirtyTracker sched_feed_ DAC_GUARDED_BY(state_mu_);
+  // Wakeup coalescing: at most one kSchedWake in flight.
+  svc::WakeGate wake_gate_;
 
   vnet::Address scheduler_ DAC_GUARDED_BY(state_mu_);
   bool scheduler_known_ DAC_GUARDED_BY(state_mu_) = false;

@@ -106,6 +106,23 @@ TEST(PerFileRules, RawClock) {
   EXPECT_TRUE(in_simtime.clean());
 }
 
+TEST(PerFileRules, GlobalNodeDbLock) {
+  // Both spellings of the whole-DB guard are flagged: the lock_all() call
+  // and the ExclusiveAll guard type. The identifier-with-suffix mention on
+  // the fixture's last function is not.
+  const auto report = analyze({fixture(
+      "global_nodedb_lock.cpp", "src/fixture/global_nodedb_lock.cpp")});
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(diag_key(report.diagnostics[0]),
+            "src/fixture/global_nodedb_lock.cpp:6:global-nodedb-lock");
+  EXPECT_EQ(diag_key(report.diagnostics[1]),
+            "src/fixture/global_nodedb_lock.cpp:11:global-nodedb-lock");
+  // node_db itself owns the guard: the same content there is clean.
+  const auto in_db =
+      analyze({fixture("global_nodedb_lock.cpp", "src/torque/node_db.cpp")});
+  EXPECT_TRUE(in_db.clean());
+}
+
 TEST(PerFileRules, NondetSeed) {
   const auto report =
       analyze({fixture("nondet_seed.cpp", "src/fixture/nondet_seed.cpp")});

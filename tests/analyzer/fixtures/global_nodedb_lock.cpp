@@ -1,0 +1,20 @@
+// Seeded violations: taking the whole-NodeDb guard outside node_db itself,
+// via the lock_all() accessor and via the guard type spelled out.
+struct NodeDb;
+
+void fixture_take_global_lock(const NodeDb& db) {
+  const auto all = db.lock_all();  // line 6
+  (void)all;
+}
+
+void fixture_name_guard_type(const NodeDb& db) {
+  const NodeDb::ExclusiveAll guard(db);  // line 11
+}
+
+void fixture_shard_api_is_clean(const NodeDb& db) {
+  // Mentions of lock_all without a call (docs, identifiers like
+  // lock_all_shards_counter) are not flagged.
+  const int lock_all_count = 0;
+  (void)lock_all_count;
+  (void)db;
+}

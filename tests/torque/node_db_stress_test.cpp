@@ -1,0 +1,134 @@
+// Multi-threaded stress of the sharded NodeDb (tier-1, so the TSan and
+// ASan CI legs run it on every change): seeded worker threads hammer
+// assign/release/heartbeat/lookup while others take whole-DB snapshots and
+// drain the dirty sets. Checks, while the storm runs, that every snapshot is
+// a consistent cut (per-host slot bounds hold); at quiesce, that the sum of
+// free slots across all shards equals the cluster total — nothing leaked,
+// nothing double-freed — and that the dirty channel drained every change.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "torque/node_db.hpp"
+
+namespace dac::torque {
+namespace {
+
+constexpr int kHosts = 24;
+constexpr int kSlotsPerHost = 4;
+constexpr int kWorkers = 8;
+constexpr int kOpsPerWorker = 2'000;
+
+std::string host_name(int i) { return "stress-cn" + std::to_string(i); }
+
+TEST(NodeDbStress, ShardedConcurrentTrafficConserves) {
+  NodeDb db(/*shards=*/4);  // fewer shards than workers: real contention
+  for (int i = 0; i < kHosts; ++i) {
+    NodeStatus n;
+    n.hostname = host_name(i);
+    n.kind = NodeKind::kCompute;
+    n.np = kSlotsPerHost;
+    db.upsert(n);
+    (void)db.heartbeat(n.hostname, 0.0);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> snapshots_checked{0};
+
+  // Snapshot reader: every whole-DB copy must be a consistent cut.
+  std::thread reader([&] {
+    std::mt19937 rng(0xC0FFEEu);
+    while (!stop.load()) {
+      const auto snap = db.snapshot();
+      EXPECT_EQ(snap.size(), static_cast<std::size_t>(kHosts));
+      for (const auto& n : snap) {
+        EXPECT_GE(n.used, 0) << n.hostname;
+        EXPECT_LE(n.used, n.np) << n.hostname;
+        EXPECT_EQ(n.np, kSlotsPerHost) << n.hostname;
+      }
+      snapshots_checked.fetch_add(1);
+      // Interleave per-shard iteration and dirty draining with the copies.
+      if ((rng() % 2) != 0) {
+        std::size_t seen = 0;
+        db.for_each([&seen](const NodeStatus&) { ++seen; });
+        EXPECT_EQ(seen, static_cast<std::size_t>(kHosts));
+      } else {
+        (void)db.drain_dirty();
+      }
+    }
+  });
+
+  // Workers: each owns a disjoint JobId range so a release never races a
+  // *different* job's bookkeeping for the same id; hosts are shared and
+  // contended freely.
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&db, w] {
+      std::mt19937 rng(0x5EED'0000u + static_cast<std::uint32_t>(w));
+      std::vector<std::pair<std::string, JobId>> held;
+      for (int op = 0; op < kOpsPerWorker; ++op) {
+        const auto host = host_name(static_cast<int>(rng() % kHosts));
+        const JobId job = 1'000u * static_cast<JobId>(w + 1) + rng() % 8;
+        switch (rng() % 6) {
+          case 0:
+          case 1:
+            if (db.assign(host, job, 1)) held.emplace_back(host, job);
+            break;
+          case 2:
+            if (!held.empty()) {
+              const auto [h, j] = held.back();
+              held.pop_back();
+              db.release(h, j);
+            }
+            break;
+          case 3:
+            (void)db.heartbeat(host, static_cast<double>(op));
+            break;
+          case 4:
+            if (const auto st = db.lookup(host)) {
+              EXPECT_GE(st->used, 0);
+              EXPECT_LE(st->used, st->np);
+            }
+            break;
+          case 5:
+            (void)db.mom_of(host);
+            break;
+        }
+      }
+      // Quiesce this worker: return everything it still holds. release()
+      // frees all slots a job holds on the host, so drop duplicates cheaply
+      // by releasing every (host, job) pair we recorded.
+      for (const auto& [h, j] : held) db.release(h, j);
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true);
+  reader.join();
+
+  EXPECT_GT(snapshots_checked.load(), 0);
+
+  // Quiesce: the sum of free slots across every shard must equal the
+  // cluster total — conservation across all the concurrent traffic.
+  int total_free = 0;
+  int total_used = 0;
+  for (const auto& n : db.snapshot()) {
+    total_free += n.free_slots();
+    total_used += n.used;
+    EXPECT_TRUE(n.jobs.empty()) << n.hostname << " still lists holders";
+  }
+  EXPECT_EQ(total_used, 0);
+  EXPECT_EQ(total_free, kHosts * kSlotsPerHost);
+
+  // The dirty channel reports each host at most once and clears on drain.
+  const auto dirty = db.drain_dirty();
+  EXPECT_TRUE(std::is_sorted(dirty.begin(), dirty.end()));
+  EXPECT_TRUE(db.drain_dirty().empty());
+}
+
+}  // namespace
+}  // namespace dac::torque

@@ -15,12 +15,12 @@ NodeStatus make_node(const std::string& name, NodeKind kind, int np) {
   return n;
 }
 
-TEST(NodeDb, UpsertAndFind) {
+TEST(NodeDb, UpsertAndLookup) {
   NodeDb db;
   db.upsert(make_node("cn0", NodeKind::kCompute, 8));
-  ASSERT_NE(db.find("cn0"), nullptr);
-  EXPECT_EQ(db.find("cn0")->np, 8);
-  EXPECT_EQ(db.find("ghost"), nullptr);
+  ASSERT_TRUE(db.lookup("cn0").has_value());
+  EXPECT_EQ(db.lookup("cn0")->np, 8);
+  EXPECT_FALSE(db.lookup("ghost").has_value());
   EXPECT_EQ(db.size(), 1u);
 }
 
@@ -30,8 +30,8 @@ TEST(NodeDb, UpsertRefreshKeepsAssignments) {
   ASSERT_TRUE(db.assign("cn0", 1, 4));
   auto refreshed = make_node("cn0", NodeKind::kCompute, 16);
   db.upsert(refreshed);
-  EXPECT_EQ(db.find("cn0")->np, 16);
-  EXPECT_EQ(db.find("cn0")->used, 4);  // assignment survived
+  EXPECT_EQ(db.lookup("cn0")->np, 16);
+  EXPECT_EQ(db.lookup("cn0")->used, 4);  // assignment survived
 }
 
 TEST(NodeDb, AssignRespectsCapacity) {
@@ -40,7 +40,7 @@ TEST(NodeDb, AssignRespectsCapacity) {
   EXPECT_TRUE(db.assign("cn0", 1, 6));
   EXPECT_FALSE(db.assign("cn0", 2, 4));  // only 2 free
   EXPECT_TRUE(db.assign("cn0", 2, 2));
-  EXPECT_EQ(db.find("cn0")->free_slots(), 0);
+  EXPECT_EQ(db.lookup("cn0")->free_slots(), 0);
 }
 
 TEST(NodeDb, AssignUnknownHostFails) {
@@ -54,10 +54,10 @@ TEST(NodeDb, ReleasePerHost) {
   ASSERT_TRUE(db.assign("cn0", 1, 3));
   ASSERT_TRUE(db.assign("cn0", 2, 2));
   db.release("cn0", 1);
-  EXPECT_EQ(db.find("cn0")->used, 2);
-  EXPECT_EQ(db.find("cn0")->jobs, (std::vector<JobId>{2}));
+  EXPECT_EQ(db.lookup("cn0")->used, 2);
+  EXPECT_EQ(db.lookup("cn0")->jobs, (std::vector<JobId>{2}));
   db.release("cn0", 99);  // unknown job: no-op
-  EXPECT_EQ(db.find("cn0")->used, 2);
+  EXPECT_EQ(db.lookup("cn0")->used, 2);
 }
 
 TEST(NodeDb, ReleaseAllAcrossHosts) {
@@ -67,8 +67,8 @@ TEST(NodeDb, ReleaseAllAcrossHosts) {
   ASSERT_TRUE(db.assign("cn0", 1, 2));
   ASSERT_TRUE(db.assign("ac0", 1, 1));
   db.release_all(1);
-  EXPECT_EQ(db.find("cn0")->used, 0);
-  EXPECT_EQ(db.find("ac0")->used, 0);
+  EXPECT_EQ(db.lookup("cn0")->used, 0);
+  EXPECT_EQ(db.lookup("ac0")->used, 0);
 }
 
 TEST(NodeDb, MultipleAssignmentsSameJobAccumulate) {
@@ -76,10 +76,10 @@ TEST(NodeDb, MultipleAssignmentsSameJobAccumulate) {
   db.upsert(make_node("cn0", NodeKind::kCompute, 8));
   ASSERT_TRUE(db.assign("cn0", 1, 2));
   ASSERT_TRUE(db.assign("cn0", 1, 2));
-  EXPECT_EQ(db.find("cn0")->used, 4);
-  EXPECT_EQ(db.find("cn0")->jobs.size(), 1u);  // listed once
+  EXPECT_EQ(db.lookup("cn0")->used, 4);
+  EXPECT_EQ(db.lookup("cn0")->jobs.size(), 1u);  // listed once
   db.release("cn0", 1);
-  EXPECT_EQ(db.find("cn0")->used, 0);
+  EXPECT_EQ(db.lookup("cn0")->used, 0);
 }
 
 TEST(NodeDb, AcceleratorExclusivity) {
@@ -105,7 +105,48 @@ TEST(NodeDb, SnapshotIsCopy) {
   auto snap = db.snapshot();
   ASSERT_EQ(snap.size(), 1u);
   snap[0].used = 99;
-  EXPECT_EQ(db.find("cn0")->used, 0);
+  EXPECT_EQ(db.lookup("cn0")->used, 0);
+}
+
+TEST(NodeDb, SnapshotSortedAcrossShards) {
+  NodeDb db(4);
+  for (int i = 15; i >= 0; --i) {
+    db.upsert(make_node("cn" + std::to_string(i), NodeKind::kCompute, 8));
+  }
+  const auto snap = db.snapshot();
+  ASSERT_EQ(snap.size(), 16u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].hostname, snap[i].hostname);
+  }
+}
+
+TEST(NodeDb, DirtyTracksSchedulerVisibleChanges) {
+  NodeDb db(4);
+  db.upsert(make_node("cn0", NodeKind::kCompute, 8));
+  db.upsert(make_node("ac0", NodeKind::kAccelerator, 1));
+  EXPECT_EQ(db.drain_dirty(), (std::vector<std::string>{"ac0", "cn0"}));
+  EXPECT_TRUE(db.drain_dirty().empty());  // drained
+
+  ASSERT_TRUE(db.assign("ac0", 1, 1));
+  EXPECT_EQ(db.drain_dirty(), (std::vector<std::string>{"ac0"}));
+
+  db.release("ac0", 1);
+  db.release("ac0", 1);  // second release is a no-op: not re-dirtied
+  EXPECT_EQ(db.drain_dirty(), (std::vector<std::string>{"ac0"}));
+
+  // Heartbeats only dirty a node when they revive it.
+  db.heartbeat("cn0", 1.0);
+  EXPECT_TRUE(db.drain_dirty().empty());
+}
+
+TEST(NodeDb, ForEachVisitsEveryNode) {
+  NodeDb db(3);
+  for (int i = 0; i < 7; ++i) {
+    db.upsert(make_node("n" + std::to_string(i), NodeKind::kCompute, 4));
+  }
+  int count = 0;
+  db.for_each([&](const NodeStatus&) { ++count; });
+  EXPECT_EQ(count, 7);
 }
 
 }  // namespace

@@ -190,6 +190,13 @@ TEST_F(ServerTest, SchedulerWakeOnSubmit) {
                   MsgType::kRegisterScheduler, std::move(reg).take());
   // Registration itself triggers one wake; drain it.
   (void)sched_ep->recv_for(1000ms);
+  // Wakes are edge-triggered: the server holds further wakes until the
+  // scheduler fetches state (which disarms the gate), so a real scheduler
+  // gets exactly one wake per fetch no matter how many events pile up.
+  (void)submit_simple();
+  EXPECT_FALSE(sched_ep->recv_for(50ms).has_value());  // still coalesced
+  (void)rpc::call(cluster_.node(1), server_->address(), MsgType::kGetQueue,
+                  {});
   (void)submit_simple();
   auto wake = sched_ep->recv_for(1000ms);
   ASSERT_TRUE(wake.has_value());

@@ -79,6 +79,7 @@ enum class Rule {
   kCheckSideEffect,
   kRawSync,
   kRawClock,
+  kGlobalNodeDbLock,
   kDetach,
   kSleepPoll,
   kNondetSeed,

@@ -28,6 +28,14 @@ bool is_simtime(const CleanFile& file) {
   return file.src->path.find("src/simtime/") != std::string::npos;
 }
 
+// src/torque/node_db.{hpp,cpp} own the whole-DB guard (NodeDb::lock_all /
+// ExclusiveAll): its legitimate uses are the cross-shard snapshot paths
+// inside the database itself.
+bool is_node_db(const CleanFile& file) {
+  return ends_with(file.src->path, "src/torque/node_db.hpp") ||
+         ends_with(file.src->path, "src/torque/node_db.cpp");
+}
+
 // ---- include hygiene ------------------------------------------------------
 
 void check_includes(CleanFile& file, Sink& sink) {
@@ -130,6 +138,22 @@ void check_simple(CleanFile& file, Sink& sink) {
         sink.report(file, lineno, Rule::kRawClock,
                     "this_thread sleeps are banned outside src/simtime/; "
                     "use simtime::sleep_for so DiscreteEvent mode works");
+      }
+    }
+    // global-nodedb-lock: the whole-DB guard serializes every shard; taking
+    // it outside node_db reintroduces the single-lock bottleneck the shards
+    // exist to remove. New code goes through the per-shard API.
+    if (!is_node_db(file)) {
+      const auto la = find_word(line, "lock_all");
+      const bool calls_lock_all =
+          la != std::string::npos && la + 8 < line.size() &&
+          line[la + 8] == '(';
+      if (calls_lock_all ||
+          find_word(line, "ExclusiveAll") != std::string::npos) {
+        sink.report(file, lineno, Rule::kGlobalNodeDbLock,
+                    "the whole-DB guard (NodeDb::lock_all / ExclusiveAll) is "
+                    "reserved for node_db's own cross-shard snapshots; use "
+                    "the per-shard API");
       }
     }
   }
